@@ -1,0 +1,67 @@
+//! Criterion benchmarks for the mesh substrate: SFC keys, refinement with
+//! 2:1 balance, and neighbor-graph construction — the operations on the
+//! redistribution critical path (§V-A's three-step pipeline).
+
+use amr_mesh::{sfc_key, AmrMesh, Dim, MeshConfig, Octant, Point, RefineTag};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn refined_mesh(roots: u32) -> AmrMesh {
+    let mut mesh = AmrMesh::new(MeshConfig::from_cells(
+        Dim::D3,
+        (roots * 16, roots * 16, roots * 16),
+        2,
+    ));
+    let hot = Point::new(0.3, 0.4, 0.5);
+    mesh.adapt(|b| {
+        if b.bounds.distance_to_point(&hot) < 0.2 {
+            RefineTag::Refine
+        } else {
+            RefineTag::Keep
+        }
+    });
+    mesh
+}
+
+fn bench_sfc_keys(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sfc_key");
+    let octants: Vec<Octant> = (0..4096u32)
+        .map(|i| Octant::new(8, i % 256, (i / 16) % 256, (i / 256) % 256))
+        .collect();
+    group.throughput(Throughput::Elements(octants.len() as u64));
+    group.bench_function("batch_4096", |b| {
+        b.iter(|| {
+            octants
+                .iter()
+                .map(|o| sfc_key(o, Dim::D3))
+                .fold(0u64, |a, k| a ^ k)
+        })
+    });
+    group.finish();
+}
+
+fn bench_refinement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refine_ball");
+    for roots in [4u32, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(roots), &roots, |b, &roots| {
+            b.iter(|| std::hint::black_box(refined_mesh(roots).num_blocks()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_neighbor_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbor_graph");
+    for roots in [4u32, 8] {
+        let mesh = refined_mesh(roots);
+        group.throughput(Throughput::Elements(mesh.num_blocks() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mesh.num_blocks()),
+            &mesh,
+            |b, mesh| b.iter(|| std::hint::black_box(mesh.neighbor_graph().total_relations())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sfc_keys, bench_refinement, bench_neighbor_graph);
+criterion_main!(benches);

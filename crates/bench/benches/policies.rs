@@ -1,0 +1,57 @@
+//! Criterion benchmarks for the placement policies — the wall-clock side of
+//! Fig. 7c, with per-policy and per-scale breakdowns against the paper's
+//! 50 ms redistribution budget.
+
+use amr_core::policies::{Baseline, Cdp, ChunkedCdp, Cplx, Lpt, PlacementPolicy};
+use amr_workloads::CostDistribution;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn costs(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    CostDistribution::Exponential { mean: 1.0 }.sample_vec(n, &mut rng)
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement");
+    for &ranks in &[512usize, 4096, 16384] {
+        let n = ranks * 2;
+        let cost = costs(n, ranks as u64);
+        group.throughput(Throughput::Elements(n as u64));
+        let policies: Vec<(&str, Box<dyn PlacementPolicy>)> = vec![
+            ("baseline", Box::new(Baseline)),
+            ("lpt", Box::new(Lpt)),
+            ("cdp", Box::new(Cdp)),
+            ("cdp-chunked", Box::new(ChunkedCdp::default())),
+            ("cpl50", Box::new(Cplx::new(50))),
+        ];
+        for (name, policy) in &policies {
+            // Plain CDP is quadratic-ish; skip it at the largest scale like
+            // the paper does (that's what chunking is for).
+            if *name == "cdp" && ranks > 4096 {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new(*name, ranks), &cost, |b, cost| {
+                b.iter(|| std::hint::black_box(policy.place(cost, ranks)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_cplx_x_sweep(c: &mut Criterion) {
+    let ranks = 4096;
+    let cost = costs(ranks * 2, 7);
+    let mut group = c.benchmark_group("cplx_x_sweep_4096");
+    for x in [0u32, 25, 50, 75, 100] {
+        let policy = Cplx::new(x);
+        group.bench_function(format!("x{x}"), |b| {
+            b.iter(|| std::hint::black_box(policy.place(&cost, ranks)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_cplx_x_sweep);
+criterion_main!(benches);

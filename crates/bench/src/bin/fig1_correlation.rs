@@ -1,0 +1,123 @@
+//! Fig. 1 — telemetry challenges in AMR codes.
+//!
+//! * **Top**: correlation between per-rank communication time and message
+//!   volume, before and after tuning. With the untuned stack (undersized
+//!   shared-memory queues, no drain queue) communication time decouples
+//!   from volume; the tuned stack restores the correlation that makes
+//!   telemetry usable for placement.
+//! * **Bottom**: MPI_Wait spikes from the fabric ACK-recovery path inflate
+//!   average wait several-fold while being rare; the drain-queue mitigation
+//!   removes the sender-side stall. Detected with the telemetry
+//!   wait-spike analyzer.
+//!
+//! ```text
+//! cargo run -p amr-bench --release --bin fig1_correlation -- \
+//!     [--ranks 256] [--rounds 200] [--seed 5]
+//! ```
+
+use amr_bench::{render_table, Args};
+use amr_core::policies::{Baseline, PlacementPolicy};
+use amr_sim::{MicroSim, NetworkConfig, RoundSpec, TaskOrder, Topology};
+use amr_telemetry::anomaly::detect_wait_spikes;
+use amr_telemetry::stats;
+use amr_workloads::random_refined_mesh;
+
+fn per_rank_volume(spec: &RoundSpec) -> Vec<f64> {
+    let mut v = vec![0.0; spec.num_ranks];
+    for m in &spec.messages {
+        if m.src != m.dst {
+            v[m.src as usize] += 1.0;
+            v[m.dst as usize] += 1.0;
+        }
+    }
+    v
+}
+
+fn main() {
+    let args = Args::from_env();
+    let ranks = args.get_usize("ranks", 256);
+    let rounds = args.get_usize("rounds", 200);
+    let seed = args.get_u64("seed", 5);
+
+    let mesh = random_refined_mesh(ranks, 1.8, seed);
+    let costs = vec![1.0; mesh.num_blocks()];
+    let placement = Baseline.place(&costs, ranks);
+    let messages = amr_workloads::exchange::build_round_messages(&mesh, &placement);
+    let spec = RoundSpec {
+        num_ranks: ranks,
+        compute_ns: vec![0; ranks],
+        messages,
+        order: TaskOrder::SendsFirst,
+    };
+    let volume = per_rank_volume(&spec);
+
+    println!("== Fig. 1 (top): comm-time vs message-volume correlation ==\n");
+    let mut rows = Vec::new();
+    for (label, net) in [
+        ("untuned", NetworkConfig::untuned()),
+        ("tuned", NetworkConfig::tuned()),
+    ] {
+        let mut sim = MicroSim::new(Topology::paper(ranks), net, seed);
+        // Per-(rank, round) samples — the granularity of the paper's
+        // scatter plot; round-averaging would hide the transient noise.
+        let mut xs = Vec::with_capacity(ranks * rounds);
+        let mut ys = Vec::with_capacity(ranks * rounds);
+        for _ in 0..rounds {
+            let res = sim.run_round(&spec);
+            for (r, &vol) in volume.iter().enumerate() {
+                xs.push(vol);
+                ys.push((res.comm_ns[r] + res.wait_ns[r]) as f64);
+            }
+        }
+        let r = stats::pearson(&xs, &ys);
+        rows.push(vec![label.to_string(), format!("{r:.3}")]);
+    }
+    println!("{}", render_table(&["stack", "pearson r"], &rows));
+    println!("Paper shape check: untuned correlation is poor; tuning restores it (Fig. 1a).\n");
+
+    println!("== Fig. 1 (bottom): MPI_Wait spikes and the drain-queue mitigation ==\n");
+    let mut rows = Vec::new();
+    // Make ACK-recovery stalls *rare per round* (the paper's transient
+    // spikes): scale the per-message probability by the round's remote
+    // message count so ~8% of rounds see a stall.
+    let remote_msgs = {
+        let topo = Topology::paper(ranks);
+        spec.messages
+            .iter()
+            .filter(|m| m.src != m.dst && !topo.same_node(m.src as usize, m.dst as usize))
+            .count()
+            .max(1)
+    };
+    for (label, drain) in [("no drain queue", false), ("drain queue", true)] {
+        let net = NetworkConfig {
+            ack_loss_prob: 0.08 / remote_msgs as f64,
+            drain_queue: drain,
+            ..NetworkConfig::tuned()
+        };
+        let mut sim = MicroSim::new(Topology::paper(ranks), net, seed ^ 1);
+        let mut per_round_wait = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            let res = sim.run_round(&spec);
+            // The straggler's wait gates the closing collective, so the
+            // per-round max is what collective time telemetry sees.
+            let straggler_wait = *res.wait_ns.iter().max().unwrap() as f64;
+            per_round_wait.push(straggler_wait);
+        }
+        let rep = detect_wait_spikes(&per_round_wait, 5.0);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1}", rep.mean_with / 1e3),
+            format!("{:.1}", rep.mean_without / 1e3),
+            format!("{:.2}x", rep.amplification),
+            format!("{:.1}%", rep.spike_rate * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["config", "mean gating wait (us)", "spike-free mean (us)", "amplification", "spike rate"],
+            &rows
+        )
+    );
+    println!("Paper shape check: rare spikes inflate the average several-fold (paper: ~3x);\nthe drain queue removes the sender-side stall (Fig. 1b).");
+}

@@ -1,0 +1,81 @@
+//! Fig. 7 (bottom) — placement computation overhead vs scale.
+//!
+//! Wall-clock time of each policy's `place()` call at 1–2 blocks per rank,
+//! from 512 up to 128K ranks. The paper reports CPLX staying near ~10 ms up
+//! to 16K ranks and ~100 ms at 128K, against its 50 ms redistribution
+//! budget; zonal/chunked parallelism is the escape hatch at the largest
+//! scales (already built into `ChunkedCdp`).
+//!
+//! ```text
+//! cargo run -p amr-bench --release --bin fig7c_overhead -- \
+//!     [--ranks 512,2048,8192,16384,65536,131072] [--reps 5]
+//! ```
+
+use amr_bench::{render_table, Args};
+use amr_core::policies::{cdp_parametric, Baseline, ChunkedCdp, Cplx, Lpt, PlacementPolicy, Zonal};
+use amr_workloads::CostDistribution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Adapter: run the free-function parametric CDP through the policy trait.
+struct ParametricCdp;
+impl PlacementPolicy for ParametricCdp {
+    fn name(&self) -> String {
+        "cdp-param".into()
+    }
+    fn place(&self, costs: &[f64], num_ranks: usize) -> amr_core::Placement {
+        cdp_parametric(costs, num_ranks)
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scales =
+        args.get_usize_list("ranks", &[512, 2048, 8192, 16384, 65536, 131072]);
+    let reps = args.get_usize("reps", 5);
+    let bpr = args.get_usize("blocks-per-rank", 2);
+
+    println!("== Fig. 7c: placement computation time vs scale (host wall-clock, ms) ==");
+    println!("   ({bpr} blocks/rank; mean over {reps} runs; budget = 50 ms)\n");
+
+    let dist = CostDistribution::Exponential { mean: 1.0 };
+    let mut rows = Vec::new();
+    for &ranks in &scales {
+        let n = ranks * bpr;
+        let mut rng = StdRng::seed_from_u64(42 ^ ranks as u64);
+        let costs = dist.sample_vec(n, &mut rng);
+
+        let policies: Vec<Box<dyn PlacementPolicy>> = vec![
+            Box::new(Baseline),
+            Box::new(Lpt),
+            Box::new(ChunkedCdp::default()),
+            Box::new(ParametricCdp),
+            Box::new(Cplx::new(25)),
+            Box::new(Cplx::new(50)),
+            Box::new(Cplx::new(100)),
+            // The paper's zonal mitigation for the largest scales (§VI-C).
+            Box::new(Zonal::new(ranks.div_ceil(8192).max(2), Cplx::new(50))),
+        ];
+        let mut cells = vec![ranks.to_string()];
+        for policy in &policies {
+            // Warm-up, then timed reps.
+            let _ = policy.place(&costs, ranks);
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(policy.place(&costs, ranks));
+            }
+            let ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+            cells.push(format!("{ms:.2}"));
+        }
+        rows.push(cells);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["ranks", "baseline", "lpt", "cdp-chunked", "cdp-param", "cpl25", "cpl50", "cpl100", "zonal-cpl50"],
+            &rows
+        )
+    );
+    println!("Paper shape check: ~10 ms at 16K ranks, rising toward ~100 ms at 128K.");
+}

@@ -1,0 +1,200 @@
+//! Placement assessment: one report card per placement decision.
+//!
+//! Lesson 5 — "tradeoffs between compute balance, communication locality,
+//! and placement overhead must be evaluated based on observed performance
+//! impact" — implies every placement should be inspectable along all three
+//! axes at once. [`PlacementAssessment`] bundles the §V metrics: makespan
+//! and imbalance (balance axis), the locality class split and traffic
+//! hotspots (locality axis), migration volume against the previous
+//! placement and computation wall time against the 50 ms budget
+//! (overhead axis).
+
+use crate::placement::Placement;
+use crate::traffic::TrafficMatrix;
+use amr_mesh::{BlockSpec, Dim, NeighborGraph};
+
+/// A complete quality report for one placement.
+#[derive(Debug, Clone)]
+pub struct PlacementAssessment {
+    pub policy: String,
+    // Balance axis.
+    pub makespan: f64,
+    pub imbalance: f64,
+    // Locality axis.
+    pub intra_rank_msgs: u64,
+    pub local_msgs: u64,
+    pub remote_msgs: u64,
+    pub remote_fraction: f64,
+    pub traffic_imbalance: f64,
+    pub contiguous: bool,
+    // Overhead axis.
+    pub blocks_migrated: Option<usize>,
+    pub wall_ns: Option<u64>,
+}
+
+/// Everything needed to assess a placement.
+pub struct AssessmentInputs<'a> {
+    pub costs: &'a [f64],
+    pub graph: &'a NeighborGraph,
+    pub spec: &'a BlockSpec,
+    pub dim: Dim,
+    pub ranks_per_node: usize,
+    /// Previous placement, if this one replaces it (enables migration count).
+    pub previous: Option<&'a Placement>,
+    /// Measured placement computation time, if available.
+    pub wall_ns: Option<u64>,
+}
+
+impl PlacementAssessment {
+    /// Assess `placement` against the given inputs.
+    pub fn assess(
+        policy: impl Into<String>,
+        placement: &Placement,
+        inputs: &AssessmentInputs<'_>,
+    ) -> PlacementAssessment {
+        let loc = placement.locality_stats(
+            inputs.graph,
+            inputs.ranks_per_node,
+            inputs.spec,
+            inputs.dim,
+        );
+        let traffic =
+            TrafficMatrix::build(placement, inputs.graph, inputs.spec, inputs.dim);
+        PlacementAssessment {
+            policy: policy.into(),
+            makespan: placement.makespan(inputs.costs),
+            imbalance: placement.imbalance(inputs.costs),
+            intra_rank_msgs: loc.intra_rank_msgs,
+            local_msgs: loc.local_msgs,
+            remote_msgs: loc.remote_msgs,
+            remote_fraction: loc.remote_fraction(),
+            traffic_imbalance: traffic.inbound_imbalance(),
+            contiguous: placement.is_contiguous(),
+            blocks_migrated: inputs.previous.map(|p| placement.migration_count(p)),
+            wall_ns: inputs.wall_ns,
+        }
+    }
+
+    /// Does the computation meet the paper's redistribution budget?
+    /// `None` when no wall time was measured.
+    pub fn within_budget(&self, budget_ns: u64) -> Option<bool> {
+        self.wall_ns.map(|w| w <= budget_ns)
+    }
+
+    /// Render as a compact multi-line report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("placement report: {}\n", self.policy));
+        out.push_str(&format!(
+            "  balance : makespan {:.3}, imbalance {:.3}x\n",
+            self.makespan, self.imbalance
+        ));
+        out.push_str(&format!(
+            "  locality: {} memcpy / {} local / {} remote ({:.1}% remote), traffic imb {:.2}x, contiguous: {}\n",
+            self.intra_rank_msgs,
+            self.local_msgs,
+            self.remote_msgs,
+            self.remote_fraction * 100.0,
+            self.traffic_imbalance,
+            self.contiguous,
+        ));
+        match (self.blocks_migrated, self.wall_ns) {
+            (Some(m), Some(w)) => out.push_str(&format!(
+                "  overhead: {m} blocks to migrate, computed in {:.2} ms\n",
+                w as f64 / 1e6
+            )),
+            (Some(m), None) => {
+                out.push_str(&format!("  overhead: {m} blocks to migrate\n"))
+            }
+            (None, Some(w)) => out.push_str(&format!(
+                "  overhead: computed in {:.2} ms\n",
+                w as f64 / 1e6
+            )),
+            (None, None) => {}
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{Baseline, Lpt, PlacementPolicy};
+    use amr_mesh::{AmrMesh, MeshConfig};
+
+    fn setup() -> (AmrMesh, NeighborGraph, Vec<f64>) {
+        let mesh = AmrMesh::new(MeshConfig::from_cells(Dim::D3, (64, 64, 64), 1));
+        let graph = mesh.neighbor_graph();
+        let costs: Vec<f64> = (0..mesh.num_blocks())
+            .map(|i| 1.0 + (i % 5) as f64)
+            .collect();
+        (mesh, graph, costs)
+    }
+
+    #[test]
+    fn assessment_captures_the_tradeoff() {
+        let (mesh, graph, costs) = setup();
+        let spec = mesh.config().spec;
+        let inputs = AssessmentInputs {
+            costs: &costs,
+            graph: &graph,
+            spec: &spec,
+            dim: Dim::D3,
+            ranks_per_node: 4,
+            previous: None,
+            wall_ns: None,
+        };
+        let base = Baseline.place(&costs, 8);
+        let lpt = Lpt.place(&costs, 8);
+        let a_base = PlacementAssessment::assess("baseline", &base, &inputs);
+        let a_lpt = PlacementAssessment::assess("lpt", &lpt, &inputs);
+        // The §V tradeoff in one assert pair.
+        assert!(a_lpt.makespan < a_base.makespan);
+        assert!(a_lpt.remote_msgs > a_base.remote_msgs);
+        assert!(a_base.contiguous && !a_lpt.contiguous);
+    }
+
+    #[test]
+    fn migration_and_budget_fields() {
+        let (mesh, graph, costs) = setup();
+        let spec = mesh.config().spec;
+        let base = Baseline.place(&costs, 8);
+        let lpt = Lpt.place(&costs, 8);
+        let inputs = AssessmentInputs {
+            costs: &costs,
+            graph: &graph,
+            spec: &spec,
+            dim: Dim::D3,
+            ranks_per_node: 4,
+            previous: Some(&base),
+            wall_ns: Some(3_000_000),
+        };
+        let a = PlacementAssessment::assess("lpt", &lpt, &inputs);
+        assert_eq!(a.blocks_migrated, Some(lpt.migration_count(&base)));
+        assert_eq!(a.within_budget(50_000_000), Some(true));
+        assert_eq!(a.within_budget(1_000_000), Some(false));
+        let text = a.render();
+        assert!(text.contains("lpt"));
+        assert!(text.contains("blocks to migrate"));
+        assert!(text.contains("3.00 ms"));
+    }
+
+    #[test]
+    fn render_without_overhead_info() {
+        let (mesh, graph, costs) = setup();
+        let spec = mesh.config().spec;
+        let p = Baseline.place(&costs, 8);
+        let inputs = AssessmentInputs {
+            costs: &costs,
+            graph: &graph,
+            spec: &spec,
+            dim: Dim::D3,
+            ranks_per_node: 16,
+            previous: None,
+            wall_ns: None,
+        };
+        let a = PlacementAssessment::assess("baseline", &p, &inputs);
+        assert!(a.within_budget(1).is_none());
+        assert!(!a.render().contains("overhead"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Telemetry-driven per-block cost models (§V-A3).
+//!
+//! Parthenon-style frameworks expose per-block cost hooks that are "typically
+//! initialized to 1 in practice — treating all blocks as computationally
+//! equal". The paper's first infrastructure change populates those hooks
+//! with *measured* compute costs. This module provides that feedback loop:
+//! an EWMA estimator over observed per-block compute times, plus the
+//! bookkeeping to carry estimates across mesh refinement (children inherit
+//! the parent's cost; merged parents average their children — block cell
+//! counts are level-invariant, so cost carries over directly).
+
+use serde::{Deserialize, Serialize};
+
+/// A source of per-block costs in SFC order, consumed by placement policies.
+pub trait CostModel {
+    /// Current cost estimates, indexed by `BlockId`.
+    fn costs(&self) -> &[f64];
+}
+
+/// The production-default cost model: every block costs 1.
+#[derive(Debug, Clone)]
+pub struct UniformCost {
+    costs: Vec<f64>,
+}
+
+impl UniformCost {
+    /// Uniform cost model over `num_blocks` blocks.
+    pub fn new(num_blocks: usize) -> Self {
+        UniformCost {
+            costs: vec![1.0; num_blocks],
+        }
+    }
+}
+
+impl CostModel for UniformCost {
+    fn costs(&self) -> &[f64] {
+        &self.costs
+    }
+}
+
+/// How a block of the *new* mesh relates to blocks of the *old* mesh after
+/// an adaptation step. Drives cost-estimate inheritance across refinement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CostOrigin {
+    /// Same block as old index `i` (possibly with a new `BlockId`).
+    Same(usize),
+    /// Child produced by refining old block `i`.
+    SplitFrom(usize),
+    /// Parent produced by merging the given old blocks.
+    MergedFrom(Vec<usize>),
+    /// No ancestry (initial mesh).
+    Fresh,
+}
+
+/// EWMA estimator of per-block compute cost from telemetry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TelemetryCostModel {
+    costs: Vec<f64>,
+    /// EWMA smoothing factor in (0, 1]: weight of the newest observation.
+    alpha: f64,
+    /// Value assigned to blocks with no history.
+    default_cost: f64,
+}
+
+impl TelemetryCostModel {
+    /// New model over `num_blocks` blocks; estimates start at `default_cost`.
+    pub fn new(num_blocks: usize, alpha: f64, default_cost: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!(default_cost >= 0.0);
+        TelemetryCostModel {
+            costs: vec![default_cost; num_blocks],
+            alpha,
+            default_cost,
+        }
+    }
+
+    /// Fold one measured compute time for `block` into its estimate.
+    pub fn observe(&mut self, block: usize, measured: f64) {
+        debug_assert!(measured >= 0.0);
+        let c = &mut self.costs[block];
+        *c = self.alpha * measured + (1.0 - self.alpha) * *c;
+    }
+
+    /// Fold a full per-block measurement vector (one timestep's telemetry).
+    pub fn observe_all(&mut self, measured: &[f64]) {
+        assert_eq!(measured.len(), self.costs.len());
+        for (b, &m) in measured.iter().enumerate() {
+            self.observe(b, m);
+        }
+    }
+
+    /// Rebuild the model for a new mesh described by per-new-block origins.
+    pub fn remap(&self, origins: &[CostOrigin]) -> TelemetryCostModel {
+        let costs = origins
+            .iter()
+            .map(|o| match o {
+                CostOrigin::Same(i) | CostOrigin::SplitFrom(i) => self.costs[*i],
+                CostOrigin::MergedFrom(parts) => {
+                    if parts.is_empty() {
+                        self.default_cost
+                    } else {
+                        parts.iter().map(|&i| self.costs[i]).sum::<f64>() / parts.len() as f64
+                    }
+                }
+                CostOrigin::Fresh => self.default_cost,
+            })
+            .collect();
+        TelemetryCostModel {
+            costs,
+            alpha: self.alpha,
+            default_cost: self.default_cost,
+        }
+    }
+
+    /// Number of blocks tracked.
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// No blocks tracked?
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
+}
+
+impl CostModel for TelemetryCostModel {
+    fn costs(&self) -> &[f64] {
+        &self.costs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_all_ones() {
+        let m = UniformCost::new(4);
+        assert_eq!(m.costs(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn ewma_converges_to_stationary_signal() {
+        let mut m = TelemetryCostModel::new(1, 0.3, 1.0);
+        for _ in 0..100 {
+            m.observe(0, 5.0);
+        }
+        assert!((m.costs()[0] - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ewma_smooths_noise() {
+        let mut m = TelemetryCostModel::new(1, 0.1, 4.0);
+        // Alternating 3/5 observations around mean 4.
+        for i in 0..200 {
+            m.observe(0, if i % 2 == 0 { 3.0 } else { 5.0 });
+        }
+        assert!((m.costs()[0] - 4.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn alpha_one_tracks_latest() {
+        let mut m = TelemetryCostModel::new(2, 1.0, 0.0);
+        m.observe_all(&[7.0, 9.0]);
+        assert_eq!(m.costs(), &[7.0, 9.0]);
+    }
+
+    #[test]
+    fn remap_inherits_across_refinement() {
+        let mut m = TelemetryCostModel::new(2, 1.0, 1.0);
+        m.observe_all(&[8.0, 2.0]);
+        // Block 0 splits into 4 children; block 1 carries over.
+        let origins = vec![
+            CostOrigin::SplitFrom(0),
+            CostOrigin::SplitFrom(0),
+            CostOrigin::SplitFrom(0),
+            CostOrigin::SplitFrom(0),
+            CostOrigin::Same(1),
+        ];
+        let m2 = m.remap(&origins);
+        assert_eq!(m2.costs(), &[8.0, 8.0, 8.0, 8.0, 2.0]);
+    }
+
+    #[test]
+    fn remap_merges_by_mean() {
+        let mut m = TelemetryCostModel::new(4, 1.0, 1.0);
+        m.observe_all(&[1.0, 2.0, 3.0, 6.0]);
+        let m2 = m.remap(&[CostOrigin::MergedFrom(vec![0, 1, 2, 3])]);
+        assert_eq!(m2.costs(), &[3.0]);
+        let m3 = m.remap(&[CostOrigin::Fresh, CostOrigin::MergedFrom(vec![])]);
+        assert_eq!(m3.costs(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn rejects_bad_alpha() {
+        TelemetryCostModel::new(1, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,531 @@
+//! The critical-path model of execution between synchronization points
+//! (§IV-D).
+//!
+//! Within one synchronization window each rank executes an ordered list of
+//! tasks: compute kernels (fixed duration), message sends (post to the
+//! fabric, fixed dispatch cost) and waits (block until a remote send's
+//! message arrives). The *critical path* is the chain of dependent tasks
+//! ending at the globally last-finishing task — it determines the straggler
+//! at the next synchronization point.
+//!
+//! The paper's key principle, verified here as an executable property:
+//!
+//! > *Given a single round of concurrent P2P communication between two
+//! > synchronization points, at most two ranks can be implicated in the
+//! > critical path, regardless of scale.*
+//!
+//! The module also quantifies the two §IV-D optimization levers: task
+//! **reordering** (send prioritization — Fig. 4 bottom) via
+//! [`prioritize_sends`], and overlap availability.
+
+use std::collections::HashMap;
+
+/// Message identifier linking a send to its wait.
+pub type MsgId = u32;
+
+/// One task in a synchronization window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Task {
+    /// A compute kernel of fixed duration.
+    Compute { dur: u64 },
+    /// Post a message send; the message arrives `latency` after the send's
+    /// dispatch completes. Dispatch itself takes `dur` (buffer posting).
+    Send { msg: MsgId, dur: u64, latency: u64 },
+    /// Block until message `msg` has arrived.
+    Wait { msg: MsgId },
+}
+
+impl Task {
+    fn is_send(&self) -> bool {
+        matches!(self, Task::Send { .. })
+    }
+}
+
+/// A synchronization window: per-rank ordered task lists.
+#[derive(Debug, Clone, Default)]
+pub struct Window {
+    /// `tasks[r]` is rank `r`'s program, executed strictly in order.
+    pub tasks: Vec<Vec<Task>>,
+}
+
+/// Reference to one task instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskRef {
+    pub rank: usize,
+    pub index: usize,
+}
+
+/// Execution schedule of a window: start/finish times per task.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// `start[r][i]` / `finish[r][i]` for task `i` of rank `r`.
+    pub start: Vec<Vec<u64>>,
+    pub finish: Vec<Vec<u64>>,
+    /// Arrival time of each message.
+    pub arrival: HashMap<MsgId, u64>,
+    /// Sender task of each message.
+    pub sender: HashMap<MsgId, TaskRef>,
+}
+
+impl Schedule {
+    /// The window's makespan: time when the last task finishes (i.e. when
+    /// the trailing synchronization can complete).
+    pub fn makespan(&self) -> u64 {
+        self.finish
+            .iter()
+            .flat_map(|v| v.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total time spent blocked in waits, summed over ranks. The §IV-D model
+    /// treats this as the only flexible-duration component of the window.
+    pub fn total_wait(&self, window: &Window) -> u64 {
+        let mut total = 0;
+        for (r, tasks) in window.tasks.iter().enumerate() {
+            for (i, t) in tasks.iter().enumerate() {
+                if matches!(t, Task::Wait { .. }) {
+                    total += self.finish[r][i] - self.start[r][i];
+                }
+            }
+        }
+        total
+    }
+}
+
+/// Errors from window execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A wait references a message that no task sends.
+    UnknownMessage(MsgId),
+    /// Circular wait: no rank can make progress.
+    Deadlock,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::UnknownMessage(m) => write!(f, "wait on unsent message {m}"),
+            ExecError::Deadlock => write!(f, "deadlock: circular message dependencies"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Execute a window, producing the schedule.
+///
+/// Ranks run concurrently; each executes its list in order. A `Wait` blocks
+/// until its message's arrival time (send finish + latency).
+pub fn execute(window: &Window) -> Result<Schedule, ExecError> {
+    let nr = window.tasks.len();
+    // Validate that every waited-on message has a sender.
+    let mut senders: HashMap<MsgId, TaskRef> = HashMap::new();
+    for (r, tasks) in window.tasks.iter().enumerate() {
+        for (i, t) in tasks.iter().enumerate() {
+            if let Task::Send { msg, .. } = t {
+                senders.insert(*msg, TaskRef { rank: r, index: i });
+            }
+        }
+    }
+    for tasks in &window.tasks {
+        for t in tasks {
+            if let Task::Wait { msg } = t {
+                if !senders.contains_key(msg) {
+                    return Err(ExecError::UnknownMessage(*msg));
+                }
+            }
+        }
+    }
+
+    let mut start = vec![Vec::new(); nr];
+    let mut finish = vec![Vec::new(); nr];
+    let mut arrival: HashMap<MsgId, u64> = HashMap::new();
+    let mut pc = vec![0usize; nr]; // per-rank program counter
+    let mut clock = vec![0u64; nr];
+
+    loop {
+        let mut progressed = false;
+        let mut all_done = true;
+        for r in 0..nr {
+            while pc[r] < window.tasks[r].len() {
+                let t = window.tasks[r][pc[r]];
+                let s;
+                let f;
+                match t {
+                    Task::Compute { dur } => {
+                        s = clock[r];
+                        f = s + dur;
+                    }
+                    Task::Send { msg, dur, latency } => {
+                        s = clock[r];
+                        f = s + dur;
+                        arrival.insert(msg, f + latency);
+                    }
+                    Task::Wait { msg } => {
+                        let Some(&arr) = arrival.get(&msg) else {
+                            break; // blocked: sender hasn't executed yet
+                        };
+                        s = clock[r];
+                        f = s.max(arr);
+                    }
+                }
+                start[r].push(s);
+                finish[r].push(f);
+                clock[r] = f;
+                pc[r] += 1;
+                progressed = true;
+            }
+            if pc[r] < window.tasks[r].len() {
+                all_done = false;
+            }
+        }
+        if all_done {
+            break;
+        }
+        if !progressed {
+            return Err(ExecError::Deadlock);
+        }
+    }
+
+    Ok(Schedule {
+        start,
+        finish,
+        arrival,
+        sender: senders,
+    })
+}
+
+/// Extract the critical path: the dependency chain ending at the globally
+/// last-finishing task, returned in execution order.
+///
+/// Backtracking rule at each task: if the task is a `Wait` whose finish was
+/// determined by the message arrival (not by local readiness), its
+/// predecessor is the remote `Send`; otherwise it is the previous task on
+/// the same rank (if its start coincides with that task's finish).
+pub fn critical_path(window: &Window, schedule: &Schedule) -> Vec<TaskRef> {
+    // Find the last-finishing task (ties: lowest rank, then latest index,
+    // deterministic).
+    let mut cur: Option<TaskRef> = None;
+    let mut best = 0u64;
+    for (r, fins) in schedule.finish.iter().enumerate() {
+        for (i, &f) in fins.iter().enumerate() {
+            if f > best || cur.is_none() {
+                best = f;
+                cur = Some(TaskRef { rank: r, index: i });
+            }
+        }
+    }
+    let mut path = Vec::new();
+    while let Some(t) = cur {
+        path.push(t);
+        let task = window.tasks[t.rank][t.index];
+        let s = schedule.start[t.rank][t.index];
+        let f = schedule.finish[t.rank][t.index];
+        // Wait dominated by the message? Jump to the sender.
+        if let Task::Wait { msg } = task {
+            let arr = schedule.arrival[&msg];
+            if f == arr && arr > s {
+                cur = Some(schedule.sender[&msg]);
+                continue;
+            }
+            // Arrival before local readiness: the local chain dominates.
+        }
+        // Otherwise follow the local chain if this task started exactly when
+        // the previous one finished (and the previous one exists).
+        if t.index > 0 && schedule.finish[t.rank][t.index - 1] == s {
+            cur = Some(TaskRef {
+                rank: t.rank,
+                index: t.index - 1,
+            });
+        } else {
+            cur = None;
+        }
+    }
+    path.reverse();
+    path
+}
+
+/// Number of distinct ranks on a path.
+pub fn ranks_on_path(path: &[TaskRef]) -> usize {
+    let mut ranks: Vec<usize> = path.iter().map(|t| t.rank).collect();
+    ranks.sort_unstable();
+    ranks.dedup();
+    ranks.len()
+}
+
+/// The §IV-B "task reordering" mitigation: move all sends to the front of
+/// each rank's program, preserving relative order otherwise. Sends have no
+/// local dependencies in the single-round model, so this is legal and
+/// minimizes their dispatch delay (Fig. 4 bottom).
+pub fn prioritize_sends(window: &Window) -> Window {
+    let tasks = window
+        .tasks
+        .iter()
+        .map(|list| {
+            let (sends, rest): (Vec<Task>, Vec<Task>) =
+                list.iter().partition(|t| t.is_send());
+            sends.into_iter().chain(rest).collect()
+        })
+        .collect();
+    Window { tasks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two ranks: rank 0 computes then sends; rank 1 computes then waits.
+    fn two_rank_window(compute0: u64, compute1: u64) -> Window {
+        Window {
+            tasks: vec![
+                vec![
+                    Task::Compute { dur: compute0 },
+                    Task::Send {
+                        msg: 0,
+                        dur: 1,
+                        latency: 5,
+                    },
+                ],
+                vec![Task::Compute { dur: compute1 }, Task::Wait { msg: 0 }],
+            ],
+        }
+    }
+
+    #[test]
+    fn simple_two_rank_schedule() {
+        let w = two_rank_window(10, 3);
+        let s = execute(&w).unwrap();
+        // Send dispatched at 10, finishes 11, arrives 16. Rank 1 ready at 3,
+        // waits until 16.
+        assert_eq!(s.makespan(), 16);
+        assert_eq!(s.total_wait(&w), 13);
+    }
+
+    #[test]
+    fn wait_already_satisfied_costs_nothing() {
+        let w = two_rank_window(1, 50);
+        let s = execute(&w).unwrap();
+        // Message arrives at 7; rank 1 ready at 50: zero wait.
+        assert_eq!(s.total_wait(&w), 0);
+        assert_eq!(s.makespan(), 50);
+    }
+
+    #[test]
+    fn critical_path_two_ranks_via_message() {
+        let w = two_rank_window(10, 3);
+        let s = execute(&w).unwrap();
+        let path = critical_path(&w, &s);
+        // Path: rank0 compute -> rank0 send -> rank1 wait.
+        assert_eq!(ranks_on_path(&path), 2);
+        assert_eq!(path.last().unwrap().rank, 1);
+        assert_eq!(path.first().unwrap(), &TaskRef { rank: 0, index: 0 });
+    }
+
+    #[test]
+    fn critical_path_local_when_compute_dominates() {
+        let w = two_rank_window(1, 50);
+        let s = execute(&w).unwrap();
+        let path = critical_path(&w, &s);
+        assert_eq!(ranks_on_path(&path), 1);
+        assert!(path.iter().all(|t| t.rank == 1));
+    }
+
+    #[test]
+    fn send_prioritization_shortens_path() {
+        // Rank 0: long compute scheduled *before* the send (the §IV-B bug).
+        let w = Window {
+            tasks: vec![
+                vec![
+                    Task::Compute { dur: 100 },
+                    Task::Send {
+                        msg: 0,
+                        dur: 1,
+                        latency: 5,
+                    },
+                ],
+                vec![Task::Wait { msg: 0 }, Task::Compute { dur: 10 }],
+            ],
+        };
+        let s = execute(&w).unwrap();
+        assert_eq!(s.makespan(), 116);
+        let tuned = prioritize_sends(&w);
+        let s2 = execute(&tuned).unwrap();
+        // Send dispatches at t=0 (arrives at 6, rank 1 done by 16); rank 0's
+        // compute now bounds the window at 1 + 100.
+        assert_eq!(s2.makespan(), 101);
+        assert!(s2.total_wait(&tuned) < s.total_wait(&w));
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        // Rank 0 waits on msg 1 before sending msg 0; rank 1 symmetric.
+        let w = Window {
+            tasks: vec![
+                vec![
+                    Task::Wait { msg: 1 },
+                    Task::Send {
+                        msg: 0,
+                        dur: 1,
+                        latency: 1,
+                    },
+                ],
+                vec![
+                    Task::Wait { msg: 0 },
+                    Task::Send {
+                        msg: 1,
+                        dur: 1,
+                        latency: 1,
+                    },
+                ],
+            ],
+        };
+        assert_eq!(execute(&w).unwrap_err(), ExecError::Deadlock);
+    }
+
+    #[test]
+    fn unknown_message_rejected() {
+        let w = Window {
+            tasks: vec![vec![Task::Wait { msg: 42 }]],
+        };
+        assert_eq!(execute(&w).unwrap_err(), ExecError::UnknownMessage(42));
+    }
+
+    #[test]
+    fn single_round_implies_at_most_two_ranks_on_path() {
+        // Build a many-rank single-round window: every rank computes a
+        // variable amount, sends to its ring successor, then waits on its
+        // predecessor. Single round: sends never depend on receives.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1234);
+        for _ in 0..20 {
+            let nr = rng.gen_range(3..32);
+            let mut tasks = Vec::new();
+            for r in 0..nr {
+                let succ_msg = r as MsgId;
+                let pred_msg = ((r + nr - 1) % nr) as MsgId;
+                tasks.push(vec![
+                    Task::Compute {
+                        dur: rng.gen_range(1..100),
+                    },
+                    Task::Send {
+                        msg: succ_msg,
+                        dur: 1,
+                        latency: rng.gen_range(1..20),
+                    },
+                    Task::Wait { msg: pred_msg },
+                    Task::Compute {
+                        dur: rng.gen_range(1..30),
+                    },
+                ]);
+            }
+            let w = Window { tasks };
+            let s = execute(&w).unwrap();
+            let path = critical_path(&w, &s);
+            assert!(
+                ranks_on_path(&path) <= 2,
+                "theorem violated: {} ranks on path",
+                ranks_on_path(&path)
+            );
+        }
+    }
+}
+
+/// Quantify the §IV-D *overlap* lever for a window: how much of the total
+/// MPI_Wait could be hidden by independent work, per rank.
+///
+/// A rank's wait at a `Wait` task can be overlapped only with tasks that are
+/// (a) on the same rank, (b) scheduled *after* the wait, and (c) independent
+/// of the awaited message. In the single-round model every subsequent
+/// compute task qualifies, so the hideable wait is
+/// `min(wait, subsequent independent compute)` — which is why co-locating
+/// all of a rank's blocks behind the same remote straggler (perfect
+/// locality) can backfire: nothing independent remains (§IV-D's
+/// "counterintuitive tension").
+pub fn overlap_potential(window: &Window, schedule: &Schedule) -> Vec<u64> {
+    window
+        .tasks
+        .iter()
+        .enumerate()
+        .map(|(r, tasks)| {
+            let mut hideable = 0u64;
+            for (i, t) in tasks.iter().enumerate() {
+                if !matches!(t, Task::Wait { .. }) {
+                    continue;
+                }
+                let wait = schedule.finish[r][i] - schedule.start[r][i];
+                // Independent work scheduled after this wait.
+                let independent: u64 = tasks[i + 1..]
+                    .iter()
+                    .filter_map(|t| match t {
+                        Task::Compute { dur } => Some(*dur),
+                        _ => None,
+                    })
+                    .sum();
+                hideable += wait.min(independent);
+            }
+            hideable
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod overlap_tests {
+    use super::*;
+
+    #[test]
+    fn overlap_bounded_by_independent_work() {
+        // Rank 1 waits 386 ns but has only 100 ns of later compute.
+        let w = Window {
+            tasks: vec![
+                vec![
+                    Task::Compute { dur: 400 },
+                    Task::Send { msg: 0, dur: 1, latency: 5 },
+                ],
+                vec![
+                    Task::Compute { dur: 20 },
+                    Task::Wait { msg: 0 },
+                    Task::Compute { dur: 100 },
+                ],
+            ],
+        };
+        let s = execute(&w).unwrap();
+        let pot = overlap_potential(&w, &s);
+        assert_eq!(pot[0], 0); // no waits on rank 0
+        assert_eq!(pot[1], 100); // capped by the independent compute
+    }
+
+    #[test]
+    fn no_trailing_work_means_nothing_to_hide() {
+        let w = Window {
+            tasks: vec![
+                vec![
+                    Task::Compute { dur: 500 },
+                    Task::Send { msg: 0, dur: 1, latency: 5 },
+                ],
+                vec![Task::Wait { msg: 0 }],
+            ],
+        };
+        let s = execute(&w).unwrap();
+        let pot = overlap_potential(&w, &s);
+        assert_eq!(pot[1], 0, "perfect-locality pathology: no independent work");
+    }
+
+    #[test]
+    fn fully_hideable_when_work_exceeds_wait() {
+        let w = Window {
+            tasks: vec![
+                vec![
+                    Task::Compute { dur: 100 },
+                    Task::Send { msg: 0, dur: 1, latency: 5 },
+                ],
+                vec![Task::Wait { msg: 0 }, Task::Compute { dur: 10_000 }],
+            ],
+        };
+        let s = execute(&w).unwrap();
+        let wait = s.total_wait(&w);
+        assert!(wait > 0);
+        assert_eq!(overlap_potential(&w, &s)[1], wait);
+    }
+}

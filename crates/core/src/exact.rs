@@ -1,0 +1,207 @@
+//! Exact makespan minimization by branch-and-bound.
+//!
+//! Stands in for the commercial ILP solver (Gurobi) the paper used as a
+//! quality referee for LPT (§V-B: "we could not obtain better solutions from
+//! a commercial ILP solver despite letting it run for 200 s"). Makespan
+//! minimization is NP-hard, so this is only usable for small instances —
+//! which is all a referee needs. Tests use it to validate LPT's 4/3 bound
+//! and CDP's optimality claims on small meshes.
+
+use crate::placement::Placement;
+
+/// Result of an exact solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactSolution {
+    /// Optimal placement found (first one achieving the optimum).
+    pub placement: Placement,
+    /// The optimal makespan.
+    pub makespan: f64,
+    /// Search nodes explored (for overhead reporting).
+    pub nodes_explored: u64,
+}
+
+/// Exactly minimize makespan of `costs` over `num_ranks` identical ranks.
+///
+/// Branch-and-bound over blocks in descending cost order with:
+/// * incumbent initialized by the LPT greedy (never worse than 4/3 OPT),
+/// * lower-bound pruning (`max(current makespan, remaining/r̄)`),
+/// * symmetry breaking (a block may open at most one new empty rank).
+///
+/// Panics if `costs.len() > 32` — beyond a referee's pay grade.
+pub fn solve_exact(costs: &[f64], num_ranks: usize) -> ExactSolution {
+    assert!(num_ranks > 0);
+    assert!(
+        costs.len() <= 32,
+        "exact solver limited to 32 blocks (NP-hard!)"
+    );
+    let n = costs.len();
+    if n == 0 {
+        return ExactSolution {
+            placement: Placement::new(vec![], num_ranks),
+            makespan: 0.0,
+            nodes_explored: 0,
+        };
+    }
+
+    // Blocks in descending order (big rocks first prunes fastest).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| costs[b].total_cmp(&costs[a]).then(a.cmp(&b)));
+
+    // Incumbent from LPT.
+    let lpt = crate::policies::Lpt;
+    use crate::policies::PlacementPolicy;
+    let incumbent = lpt.place(costs, num_ranks);
+    let mut best_makespan = incumbent.makespan(costs);
+    let mut best_assign: Vec<u32> = incumbent.as_slice().to_vec();
+
+    // Suffix sums of ordered costs for lower bounds.
+    let mut suffix = vec![0.0; n + 1];
+    for i in (0..n).rev() {
+        suffix[i] = suffix[i + 1] + costs[order[i]];
+    }
+
+    let mut loads = vec![0.0f64; num_ranks];
+    let mut assign = vec![0u32; n];
+    let mut nodes = 0u64;
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        depth: usize,
+        order: &[usize],
+        costs: &[f64],
+        suffix: &[f64],
+        loads: &mut [f64],
+        assign: &mut [u32],
+        best_makespan: &mut f64,
+        best_assign: &mut Vec<u32>,
+        nodes: &mut u64,
+    ) {
+        *nodes += 1;
+        let r = loads.len();
+        if depth == order.len() {
+            let mk = loads.iter().cloned().fold(0.0f64, f64::max);
+            if mk < *best_makespan - 1e-15 {
+                *best_makespan = mk;
+                best_assign.copy_from_slice(assign);
+            }
+            return;
+        }
+        // Lower bound: even spreading the remaining work perfectly cannot
+        // beat (current max, mean-with-remaining).
+        let cur_max = loads.iter().cloned().fold(0.0f64, f64::max);
+        let total_remaining = suffix[depth];
+        let mean_bound = (loads.iter().sum::<f64>() + total_remaining) / r as f64;
+        if cur_max.max(mean_bound) >= *best_makespan - 1e-15 {
+            return;
+        }
+        let block = order[depth];
+        let mut seen_empty = false;
+        for rank in 0..r {
+            if loads[rank] == 0.0 {
+                // All empty ranks are symmetric: try only the first.
+                if seen_empty {
+                    continue;
+                }
+                seen_empty = true;
+            }
+            let new_load = loads[rank] + costs[block];
+            if new_load >= *best_makespan - 1e-15 {
+                continue;
+            }
+            loads[rank] += costs[block];
+            assign[block] = rank as u32;
+            dfs(
+                depth + 1,
+                order,
+                costs,
+                suffix,
+                loads,
+                assign,
+                best_makespan,
+                best_assign,
+                nodes,
+            );
+            loads[rank] -= costs[block];
+        }
+    }
+
+    dfs(
+        0,
+        &order,
+        costs,
+        &suffix,
+        &mut loads,
+        &mut assign,
+        &mut best_makespan,
+        &mut best_assign,
+        &mut nodes,
+    );
+
+    ExactSolution {
+        placement: Placement::new(best_assign, num_ranks),
+        makespan: best_makespan,
+        nodes_explored: nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{Lpt, PlacementPolicy};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn trivial_cases() {
+        let s = solve_exact(&[], 3);
+        assert_eq!(s.makespan, 0.0);
+        let s = solve_exact(&[5.0], 3);
+        assert_eq!(s.makespan, 5.0);
+        let s = solve_exact(&[1.0, 1.0, 1.0], 3);
+        assert_eq!(s.makespan, 1.0);
+    }
+
+    #[test]
+    fn known_optimal_instance() {
+        // {7,6,5,4,3} on 2 ranks: OPT = 13 ({7,6} | {5,4,3} -> 13/12).
+        let costs = [7.0, 6.0, 5.0, 4.0, 3.0];
+        let s = solve_exact(&costs, 2);
+        assert_eq!(s.makespan, 13.0);
+        assert_eq!(s.placement.makespan(&costs), 13.0);
+    }
+
+    #[test]
+    fn lpt_within_four_thirds_of_exact() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..20 {
+            let n = rng.gen_range(5..14);
+            let r = rng.gen_range(2..5);
+            let costs: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..10.0)).collect();
+            let exact = solve_exact(&costs, r);
+            let lpt = Lpt.place(&costs, r).makespan(&costs);
+            assert!(
+                lpt <= exact.makespan * (4.0 / 3.0) + 1e-9,
+                "LPT {lpt} vs OPT {}",
+                exact.makespan
+            );
+            assert!(lpt + 1e-9 >= exact.makespan);
+        }
+    }
+
+    #[test]
+    fn never_worse_than_lpt_incumbent() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let costs: Vec<f64> = (0..12).map(|_| rng.gen_range(0.5..5.0)).collect();
+            let exact = solve_exact(&costs, 3);
+            let lpt = Lpt.place(&costs, 3).makespan(&costs);
+            assert!(exact.makespan <= lpt + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 32 blocks")]
+    fn rejects_large_instances() {
+        solve_exact(&vec![1.0; 33], 4);
+    }
+}

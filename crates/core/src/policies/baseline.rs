@@ -1,0 +1,74 @@
+//! The baseline placement policy of production AMR codes (§V-A2).
+//!
+//! Blocks, ordered by SFC block ID, are split into contiguous ranges of
+//! ⌈n/r⌉ or ⌊n/r⌋ blocks assigned to consecutive ranks. This balances block
+//! *counts* (treating all blocks as equally expensive — the "cost = 1"
+//! default the paper found in practice) while co-locating spatial neighbors.
+
+use super::{validate_inputs, PlacementPolicy};
+use crate::placement::Placement;
+
+/// Contiguous equal-count SFC placement.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Baseline;
+
+impl PlacementPolicy for Baseline {
+    fn name(&self) -> String {
+        "baseline".into()
+    }
+
+    fn place(&self, costs: &[f64], num_ranks: usize) -> Placement {
+        validate_inputs(costs, num_ranks);
+        let n = costs.len();
+        let r = num_ranks;
+        let base = n / r;
+        let extra = n % r; // first `extra` ranks take one more block
+        let mut ranks = Vec::with_capacity(n);
+        for rank in 0..r {
+            let take = base + usize::from(rank < extra);
+            ranks.extend(std::iter::repeat_n(rank as u32, take));
+        }
+        Placement::new(ranks, num_ranks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_evenly_when_divisible() {
+        let p = Baseline.place(&[1.0; 8], 4);
+        assert_eq!(p.counts_per_rank(), vec![2, 2, 2, 2]);
+        assert!(p.is_contiguous());
+    }
+
+    #[test]
+    fn remainder_goes_to_leading_ranks() {
+        let p = Baseline.place(&[1.0; 10], 4);
+        assert_eq!(p.counts_per_rank(), vec![3, 3, 2, 2]);
+        assert!(p.is_contiguous());
+    }
+
+    #[test]
+    fn fewer_blocks_than_ranks() {
+        let p = Baseline.place(&[1.0; 3], 5);
+        assert_eq!(p.counts_per_rank(), vec![1, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn ignores_costs_entirely() {
+        // One huge block: baseline still balances counts, not cost.
+        let mut costs = vec![1.0; 8];
+        costs[0] = 100.0;
+        let p = Baseline.place(&costs, 4);
+        assert_eq!(p.counts_per_rank(), vec![2, 2, 2, 2]);
+        assert!(p.imbalance(&costs) > 3.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let p = Baseline.place(&[], 4);
+        assert_eq!(p.num_blocks(), 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! The naive CDP/LPT blend — the paper's documented dead end (§V-D).
+//!
+//! "Our initial attempts to blend the policies produced unpredictable
+//! results — small sacrifices in load balance did not translate to
+//! proportional gains in locality, and vice versa. We eventually realized
+//! that it was easier to selectively break locality in a contiguous
+//! placement than to restore locality in an arbitrary one."
+//!
+//! This module reproduces that dead end so the insight is testable: `Blend`
+//! computes a full CDP solution *and* a full LPT solution, then mixes their
+//! assignments block-by-block — the heaviest `w` fraction of blocks takes
+//! LPT's rank, everything else keeps CDP's. It sounds plausible (rebalance
+//! only the expensive blocks!), and it does reduce makespan — but the
+//! heavy blocks of an AMR workload are *spatially clustered* (the shock
+//! front), so cost-quantile selection shreds exactly the hottest
+//! neighborhoods: "small sacrifices in load balance did not translate to
+//! proportional gains in locality, and vice versa". The tests show CPLX
+//! Pareto-dominating the blend on the (makespan, locality) plane; that
+//! dominated tradeoff is why the paper abandoned blending for rank-based
+//! selective rebalancing.
+
+use super::chunked::ChunkedCdp;
+use super::lpt::Lpt;
+use super::{validate_inputs, PlacementPolicy};
+use crate::placement::Placement;
+
+/// Naive cost-quantile blend of CDP and LPT. `w = 0` is CDP, `w = 1` is
+/// close to LPT (all blocks re-placed) — but intermediate `w` behaves
+/// erratically, which is the point.
+#[derive(Debug, Clone, Copy)]
+pub struct Blend {
+    /// Fraction (0..=1) of the *cost-heaviest blocks* re-placed by LPT.
+    pub heavy_fraction: f64,
+    /// CDP chunking for the base placement.
+    pub chunking: ChunkedCdp,
+}
+
+impl Blend {
+    /// Blend with the given heavy-block fraction.
+    pub fn new(heavy_fraction: f64) -> Blend {
+        assert!((0.0..=1.0).contains(&heavy_fraction));
+        Blend {
+            heavy_fraction,
+            chunking: ChunkedCdp::default(),
+        }
+    }
+}
+
+impl PlacementPolicy for Blend {
+    fn name(&self) -> String {
+        format!("blend{}", (self.heavy_fraction * 100.0).round() as u32)
+    }
+
+    fn place(&self, costs: &[f64], num_ranks: usize) -> Placement {
+        validate_inputs(costs, num_ranks);
+        let base = self.chunking.place(costs, num_ranks);
+        if self.heavy_fraction == 0.0 || costs.is_empty() {
+            return base;
+        }
+        let lpt = Lpt.place(costs, num_ranks);
+        if self.heavy_fraction >= 1.0 {
+            return lpt;
+        }
+        // Pick the heaviest w-fraction of blocks, regardless of where they
+        // live, and splice LPT's assignment for them into CDP's placement —
+        // the design mistake: each solution's loads assumed it owned every
+        // block.
+        let k = ((costs.len() as f64 * self.heavy_fraction).round() as usize)
+            .clamp(1, costs.len());
+        let mut order: Vec<usize> = (0..costs.len()).collect();
+        order.sort_by(|&a, &b| costs[b].total_cmp(&costs[a]).then(a.cmp(&b)));
+        let mut ranks = base.as_slice().to_vec();
+        for &b in &order[..k] {
+            ranks[b] = lpt.rank_of(b);
+        }
+        Placement::new(ranks, num_ranks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::random_costs;
+    use super::super::{Cdp, Cplx, PlacementPolicy};
+    use super::*;
+
+    #[test]
+    fn endpoints_behave() {
+        let costs = random_costs(128, 1);
+        let b0 = Blend::new(0.0).place(&costs, 16);
+        assert_eq!(b0, Cdp.place(&costs, 16));
+        let b1 = Blend::new(1.0).place(&costs, 16);
+        assert_eq!(b1, super::super::Lpt.place(&costs, 16));
+    }
+
+    /// A Sedov-like instance: a refined mesh with a hot spherical band whose
+    /// blocks cost several times the background.
+    fn hot_ball_instance() -> (amr_mesh::AmrMesh, Vec<f64>) {
+        use amr_mesh::{AmrMesh, Dim, MeshConfig, Point, RefineTag};
+        let hot = Point::new(0.35, 0.4, 0.45);
+        let mut mesh = AmrMesh::new(MeshConfig::from_cells(Dim::D3, (64, 64, 64), 1));
+        mesh.adapt(|b| {
+            if b.bounds.distance_to_point(&hot) < 0.2 {
+                RefineTag::Refine
+            } else {
+                RefineTag::Keep
+            }
+        });
+        let costs = mesh
+            .blocks()
+            .iter()
+            .map(|b| {
+                if b.bounds.center().distance(&hot) < 0.3 {
+                    5.0
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        (mesh, costs)
+    }
+
+    #[test]
+    fn cplx_pareto_dominates_blend_on_the_tradeoff_plane() {
+        // For every blend operating point (makespan, mpi messages), some
+        // CPLX point must be at least as good on both axes — the measured
+        // version of "blending controlled the tradeoff poorly".
+        use amr_mesh::Dim;
+        let (mesh, costs) = hot_ball_instance();
+        let graph = mesh.neighbor_graph();
+        let spec = mesh.config().spec;
+        let ranks = 32;
+        let point = |p: &crate::placement::Placement| {
+            let loc = p.locality_stats(&graph, 16, &spec, Dim::D3);
+            (p.makespan(&costs), loc.mpi_msgs())
+        };
+        let cplx_points: Vec<(f64, u64)> = [0u32, 25, 50, 75, 100]
+            .iter()
+            .map(|&x| point(&Cplx::new(x).place(&costs, ranks)))
+            .collect();
+        let mut dominated = 0;
+        let blend_ws = [0.1f64, 0.25, 0.5, 0.75];
+        for &w in &blend_ws {
+            let (mk, msgs) = point(&Blend::new(w).place(&costs, ranks));
+            if cplx_points
+                .iter()
+                .any(|&(cm, cg)| cm <= mk * 1.02 && cg <= msgs + msgs / 50)
+            {
+                dominated += 1;
+            }
+        }
+        assert!(
+            dominated >= blend_ws.len() - 1,
+            "only {dominated}/{} blend points dominated by CPLX",
+            blend_ws.len()
+        );
+    }
+
+    #[test]
+    fn blend_shreds_locality_faster_than_cplx_per_balance_gained() {
+        // At matched makespan improvement, the blend converts far more
+        // intra-rank relations into MPI messages than CPLX.
+        use amr_mesh::Dim;
+        let (mesh, costs) = hot_ball_instance();
+        let graph = mesh.neighbor_graph();
+        let spec = mesh.config().spec;
+        let ranks = 32;
+        let base = Cplx::new(0).place(&costs, ranks);
+        let base_msgs = base
+            .locality_stats(&graph, 16, &spec, Dim::D3)
+            .mpi_msgs() as f64;
+        let base_mk = base.makespan(&costs);
+
+        let efficiency = |p: &crate::placement::Placement| {
+            let mk = p.makespan(&costs);
+            let msgs = p.locality_stats(&graph, 16, &spec, Dim::D3).mpi_msgs() as f64;
+            let gain = (base_mk - mk).max(0.0);
+            let cost = (msgs - base_msgs).max(1.0);
+            gain / cost
+        };
+        let cplx_eff = efficiency(&Cplx::new(50).place(&costs, ranks));
+        let blend_eff = efficiency(&Blend::new(0.5).place(&costs, ranks));
+        assert!(
+            cplx_eff > blend_eff,
+            "CPLX efficiency {cplx_eff} should beat blend {blend_eff}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let costs = random_costs(200, 9);
+        assert_eq!(
+            Blend::new(0.3).place(&costs, 24),
+            Blend::new(0.3).place(&costs, 24)
+        );
+    }
+}

@@ -1,0 +1,468 @@
+//! Contiguous-DP (CDP) placement (§V-C).
+//!
+//! CDP keeps the baseline's contiguous SFC ranges — and therefore its exact
+//! locality-preserving properties — but chooses the *boundaries* to minimize
+//! makespan over measured costs, via dynamic programming.
+//!
+//! Two variants:
+//!
+//! * [`cdp_general`] — the full contiguous-partition DP,
+//!   `DP[i][k] = min_j max(DP[j][k-1], W[i] - W[j])`, O(n²r). A reference
+//!   implementation for tests and small instances.
+//! * [`Cdp`] — the paper's O(nr) restriction to chunk sizes
+//!   ⌊n/r⌋ and ⌈n/r⌉ only, "maintaining solution quality while making CDP
+//!   practical for AMR timescales". With `L = ⌊n/r⌋` and `H` chunks of size
+//!   `L+1` (where `H = n mod r`), the DP state collapses to
+//!   `(ranks used, H-chunks used)` because the prefix length is then
+//!   determined — this is what makes the restricted DP fast.
+
+use super::{validate_inputs, PlacementPolicy};
+use crate::placement::Placement;
+
+/// The paper's restricted contiguous DP: chunk sizes ⌊n/r⌋/⌈n/r⌉.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cdp;
+
+/// Prefix sums of costs: `W[i] = sum(costs[..i])`, `W[0] = 0`.
+fn prefix_sums(costs: &[f64]) -> Vec<f64> {
+    let mut w = Vec::with_capacity(costs.len() + 1);
+    let mut acc = 0.0;
+    w.push(0.0);
+    for &c in costs {
+        acc += c;
+        w.push(acc);
+    }
+    w
+}
+
+/// Expand per-rank segment lengths into a block→rank assignment.
+fn lengths_to_placement(lengths: &[usize], num_ranks: usize) -> Placement {
+    let n: usize = lengths.iter().sum();
+    let mut ranks = Vec::with_capacity(n);
+    for (rank, &len) in lengths.iter().enumerate() {
+        ranks.extend(std::iter::repeat_n(rank as u32, len));
+    }
+    Placement::new(ranks, num_ranks)
+}
+
+impl Cdp {
+    /// The restricted DP over chunk sizes `{L, L+1}`; returns per-rank
+    /// segment lengths. Split out so [`super::ChunkedCdp`] can reuse it on
+    /// sub-ranges.
+    pub(crate) fn solve_lengths(costs: &[f64], num_ranks: usize) -> Vec<usize> {
+        let n = costs.len();
+        let r = num_ranks;
+        if n == 0 {
+            return vec![0; r];
+        }
+        let low = n / r;
+        let high_total = n % r; // number of (L+1)-sized chunks
+        if high_total == 0 {
+            // All segments have identical length: nothing to optimize.
+            return vec![low; r];
+        }
+        let w = prefix_sums(costs);
+
+        // DP over (k ranks used, h high-chunks used); prefix length is
+        // k*low + h. Rolling 1-D array over h; parent bits for backtracking.
+        let ht = high_total;
+        let inf = f64::INFINITY;
+        let mut dp = vec![inf; ht + 1];
+        let mut next = vec![inf; ht + 1];
+        // Bit-packed parent choices: parent(k, h) == true => rank k-1 took a
+        // high (L+1) chunk.
+        let stride = ht + 1;
+        let mut parent = vec![0u64; (r * stride).div_ceil(64)];
+        let set_parent = |buf: &mut Vec<u64>, k: usize, h: usize| {
+            let bit = (k - 1) * stride + h;
+            buf[bit / 64] |= 1 << (bit % 64);
+        };
+        let get_parent = |buf: &[u64], k: usize, h: usize| -> bool {
+            let bit = (k - 1) * stride + h;
+            buf[bit / 64] & (1 << (bit % 64)) != 0
+        };
+
+        dp[0] = 0.0; // zero ranks, zero chunks
+        for k in 1..=r {
+            // Feasible h range for k ranks: can't exceed total H chunks or k;
+            // must leave enough remaining ranks for remaining H chunks.
+            let h_min = ht.saturating_sub(r - k);
+            let h_max = ht.min(k);
+            next.iter_mut().for_each(|v| *v = inf);
+            for h in h_min..=h_max {
+                let i = k * low + h; // prefix length after k ranks
+                // Option A: rank k-1 takes a low chunk (length `low`).
+                if h < k {
+                    let prev = dp[h];
+                    if prev < inf {
+                        let seg = w[i] - w[i - low];
+                        let val = prev.max(seg);
+                        if val < next[h] {
+                            next[h] = val;
+                        }
+                    }
+                }
+                // Option B: rank k-1 takes a high chunk (length `low+1`).
+                if h >= 1 {
+                    let prev = dp[h - 1];
+                    if prev < inf {
+                        let seg = w[i] - w[i - (low + 1)];
+                        let val = prev.max(seg);
+                        if val < next[h] {
+                            next[h] = val;
+                            set_parent(&mut parent, k, h);
+                        }
+                    }
+                }
+            }
+            std::mem::swap(&mut dp, &mut next);
+        }
+        debug_assert!(dp[ht] < inf, "restricted CDP found no feasible partition");
+
+        // Backtrack.
+        let mut lengths = vec![0usize; r];
+        let mut h = ht;
+        for k in (1..=r).rev() {
+            if get_parent(&parent, k, h) {
+                lengths[k - 1] = low + 1;
+                h -= 1;
+            } else {
+                lengths[k - 1] = low;
+            }
+        }
+        debug_assert_eq!(lengths.iter().sum::<usize>(), n);
+        lengths
+    }
+}
+
+impl PlacementPolicy for Cdp {
+    fn name(&self) -> String {
+        "cdp".into()
+    }
+
+    fn place(&self, costs: &[f64], num_ranks: usize) -> Placement {
+        validate_inputs(costs, num_ranks);
+        let lengths = Cdp::solve_lengths(costs, num_ranks);
+        lengths_to_placement(&lengths, num_ranks)
+    }
+}
+
+/// The unrestricted contiguous-partition DP (all segment lengths allowed),
+/// O(n²r) time, O(nr) space. Optimal among *all* contiguous placements;
+/// used as a test oracle for [`Cdp`] and in small-scale studies.
+pub fn cdp_general(costs: &[f64], num_ranks: usize) -> Placement {
+    validate_inputs(costs, num_ranks);
+    let n = costs.len();
+    let r = num_ranks;
+    if n == 0 {
+        return Placement::new(vec![], r);
+    }
+    let w = prefix_sums(costs);
+    let inf = f64::INFINITY;
+    // dp[k][i]: min makespan placing first i blocks on k ranks.
+    let mut dp = vec![vec![inf; n + 1]; r + 1];
+    let mut cut = vec![vec![0usize; n + 1]; r + 1];
+    dp[0][0] = 0.0;
+    for k in 1..=r {
+        for i in 0..=n {
+            // j = blocks on first k-1 ranks.
+            for j in 0..=i {
+                let prev = dp[k - 1][j];
+                if prev == inf {
+                    continue;
+                }
+                let val = prev.max(w[i] - w[j]);
+                if val < dp[k][i] {
+                    dp[k][i] = val;
+                    cut[k][i] = j;
+                }
+            }
+        }
+    }
+    // Backtrack segment boundaries.
+    let mut lengths = vec![0usize; r];
+    let mut i = n;
+    for k in (1..=r).rev() {
+        let j = cut[k][i];
+        lengths[k - 1] = i - j;
+        i = j;
+    }
+    lengths_to_placement(&lengths, num_ranks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::random_costs;
+    use super::super::{Baseline, PlacementPolicy};
+    use super::*;
+
+    #[test]
+    fn uniform_costs_match_baseline_counts() {
+        let costs = vec![1.0; 10];
+        let p = Cdp.place(&costs, 4);
+        let mut counts = p.counts_per_rank();
+        counts.sort();
+        assert_eq!(counts, vec![2, 2, 3, 3]);
+        assert!(p.is_contiguous());
+    }
+
+    #[test]
+    fn divisible_case_short_circuits() {
+        let costs = random_costs(16, 1);
+        let p = Cdp.place(&costs, 4);
+        assert_eq!(p.counts_per_rank(), vec![4, 4, 4, 4]);
+        assert!(p.is_contiguous());
+    }
+
+    #[test]
+    fn improves_on_baseline_with_skewed_costs() {
+        // Paper example (§V-C): 10 blocks on 4 ranks, CDP explores [2,2,3,3]
+        // orderings to dodge expensive blocks landing together.
+        let costs = [9.0, 1.0, 1.0, 1.0, 9.0, 1.0, 1.0, 1.0, 9.0, 1.0];
+        let cdp = Cdp.place(&costs, 4);
+        let base = Baseline.place(&costs, 4);
+        assert!(cdp.makespan(&costs) <= base.makespan(&costs));
+        assert!(cdp.is_contiguous());
+    }
+
+    #[test]
+    fn matches_general_dp_restricted_to_two_sizes() {
+        // The restricted DP must be optimal *within its chunk-size space*:
+        // verify against brute force over all {L, L+1} length vectors.
+        fn brute(costs: &[f64], r: usize) -> f64 {
+            let n = costs.len();
+            let low = n / r;
+            let ht = n % r;
+            // Choose which ranks get the high chunk.
+            fn rec(
+                costs: &[f64],
+                lengths: &mut Vec<usize>,
+                k: usize,
+                r: usize,
+                low: usize,
+                remaining_high: usize,
+                best: &mut f64,
+            ) {
+                if k == r {
+                    if remaining_high == 0 {
+                        let mut i = 0;
+                        let mut mk = 0.0f64;
+                        for &len in lengths.iter() {
+                            let seg: f64 = costs[i..i + len].iter().sum();
+                            mk = mk.max(seg);
+                            i += len;
+                        }
+                        *best = best.min(mk);
+                    }
+                    return;
+                }
+                if remaining_high > 0 {
+                    lengths.push(low + 1);
+                    rec(costs, lengths, k + 1, r, low, remaining_high - 1, best);
+                    lengths.pop();
+                }
+                if r - k > remaining_high {
+                    lengths.push(low);
+                    rec(costs, lengths, k + 1, r, low, remaining_high, best);
+                    lengths.pop();
+                }
+            }
+            let mut best = f64::INFINITY;
+            rec(costs, &mut Vec::new(), 0, r, low, ht, &mut best);
+            best
+        }
+        for seed in 0..8 {
+            let costs = random_costs(11, seed);
+            let p = Cdp.place(&costs, 4);
+            let opt = brute(&costs, 4);
+            assert!(
+                (p.makespan(&costs) - opt).abs() < 1e-9,
+                "seed {seed}: got {}, brute {opt}",
+                p.makespan(&costs)
+            );
+        }
+    }
+
+    #[test]
+    fn general_dp_is_optimal_contiguous() {
+        // Known instance: [4,1,1,4] on 2 ranks; optimal contiguous split is
+        // [4,1|1,4] with makespan 5.
+        let costs = [4.0, 1.0, 1.0, 4.0];
+        let p = cdp_general(&costs, 2);
+        assert_eq!(p.makespan(&costs), 5.0);
+        assert!(p.is_contiguous());
+    }
+
+    #[test]
+    fn general_dp_beats_or_ties_restricted() {
+        for seed in 0..8 {
+            let costs = random_costs(13, seed + 100);
+            let gen = cdp_general(&costs, 5);
+            let restricted = Cdp.place(&costs, 5);
+            assert!(gen.makespan(&costs) <= restricted.makespan(&costs) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn handles_fewer_blocks_than_ranks() {
+        let costs = [3.0, 1.0];
+        let p = Cdp.place(&costs, 4);
+        assert_eq!(p.num_blocks(), 2);
+        // Two ranks get one block each, two get none (L=0, H=2).
+        let counts = p.counts_per_rank();
+        assert_eq!(counts.iter().sum::<usize>(), 2);
+        assert_eq!(counts.iter().filter(|&&c| c == 1).count(), 2);
+        let g = cdp_general(&costs, 4);
+        assert_eq!(g.makespan(&costs), 3.0);
+    }
+
+    #[test]
+    fn empty_costs() {
+        let p = Cdp.place(&[], 3);
+        assert_eq!(p.num_blocks(), 0);
+        let g = cdp_general(&[], 3);
+        assert_eq!(g.num_blocks(), 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let costs = random_costs(100, 7);
+        assert_eq!(Cdp.place(&costs, 13), Cdp.place(&costs, 13));
+    }
+}
+
+/// Optimal contiguous partitioning by parametric search — the classic
+/// O(n log(Σw/ε)) alternative to the DP.
+///
+/// Binary-searches the makespan and greedily checks feasibility ("can the
+/// blocks be split into ≤ r contiguous segments each summing ≤ T?"). It
+/// explores *all* segment lengths like [`cdp_general`] but runs in
+/// near-linear time, so it stays practical far beyond where the O(n²r) DP
+/// gives out — a useful upper-quality reference at fig7c scales. (The
+/// paper's restricted [`Cdp`] remains the production choice: its {⌊n/r⌋,
+/// ⌈n/r⌉} chunk sizes also bound per-rank *block counts*, which the
+/// parametric search does not.)
+pub fn cdp_parametric(costs: &[f64], num_ranks: usize) -> Placement {
+    validate_inputs(costs, num_ranks);
+    let n = costs.len();
+    let r = num_ranks;
+    if n == 0 {
+        return Placement::new(vec![], r);
+    }
+    let total: f64 = costs.iter().sum();
+    let max_block = costs.iter().cloned().fold(0.0, f64::max);
+
+    // Feasibility: greedy first-fit of contiguous segments under cap T.
+    let feasible = |t: f64| -> bool {
+        let mut segments = 1usize;
+        let mut acc = 0.0f64;
+        for &c in costs {
+            if c > t {
+                return false;
+            }
+            if acc + c > t {
+                segments += 1;
+                acc = c;
+                if segments > r {
+                    return false;
+                }
+            } else {
+                acc += c;
+            }
+        }
+        true
+    };
+
+    let mut lo = (total / r as f64).max(max_block);
+    let mut hi = total;
+    // Relative-precision bisection; 60 iterations ≫ f64 precision.
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if feasible(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let t = hi;
+
+    // Materialize the greedy partition at the found makespan.
+    let mut lengths = Vec::with_capacity(r);
+    let mut acc = 0.0f64;
+    let mut len = 0usize;
+    for &c in costs {
+        if len > 0 && acc + c > t {
+            lengths.push(len);
+            acc = c;
+            len = 1;
+        } else {
+            acc += c;
+            len += 1;
+        }
+    }
+    lengths.push(len);
+    while lengths.len() < r {
+        lengths.push(0);
+    }
+    lengths_to_placement(&lengths, r)
+}
+
+#[cfg(test)]
+mod parametric_tests {
+    use super::super::test_util::random_costs;
+    use super::super::PlacementPolicy;
+    use super::*;
+
+    #[test]
+    fn matches_general_dp_optimum() {
+        for seed in 0..10 {
+            let costs = random_costs(14, seed + 500);
+            for r in [2usize, 3, 5] {
+                let dp = cdp_general(&costs, r).makespan(&costs);
+                let ps = cdp_parametric(&costs, r).makespan(&costs);
+                assert!(
+                    (ps - dp).abs() / dp < 1e-6,
+                    "seed {seed} r {r}: parametric {ps} vs dp {dp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn never_worse_than_restricted_cdp() {
+        for seed in 0..10 {
+            let costs = random_costs(200, seed + 900);
+            let restricted = Cdp.place(&costs, 31).makespan(&costs);
+            let parametric = cdp_parametric(&costs, 31).makespan(&costs);
+            assert!(parametric <= restricted + 1e-9);
+        }
+    }
+
+    #[test]
+    fn stays_contiguous_and_complete() {
+        let costs = random_costs(500, 77);
+        let p = cdp_parametric(&costs, 64);
+        assert!(p.is_contiguous());
+        assert_eq!(p.num_blocks(), 500);
+    }
+
+    #[test]
+    fn fast_at_scale() {
+        // 128K ranks, ~2 blocks/rank: must finish in well under the budget.
+        let costs = random_costs(262_144, 3);
+        let t0 = std::time::Instant::now();
+        let p = cdp_parametric(&costs, 131_072);
+        let ms = t0.elapsed().as_millis();
+        assert!(p.is_contiguous());
+        assert!(ms < 1_000, "parametric CDP took {ms} ms");
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(cdp_parametric(&[], 4).num_blocks(), 0);
+        let p = cdp_parametric(&[5.0], 3);
+        assert_eq!(p.makespan(&[5.0]), 5.0);
+        let p = cdp_parametric(&[1.0, 1.0, 1.0, 1.0], 2);
+        assert_eq!(p.makespan(&[1.0; 4]), 2.0);
+    }
+}

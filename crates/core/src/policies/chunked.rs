@@ -1,0 +1,182 @@
+//! Hierarchically chunked, parallel CDP (§V-C, "Scaling CDP With Chunking").
+//!
+//! Plain CDP's placement overhead "became noticeable at 4096 ranks". The
+//! paper's fix: divide blocks into `c` contiguous chunks of approximately
+//! equal cost, then apply CDP *independently* to each chunk using a subset
+//! of ranks — at 4096 ranks with chunk size 512 this creates 8
+//! parallel-processed chunks. Chunking may miss the globally optimal CDP
+//! solution, but the output only seeds CPLX, so the approximation "has
+//! minimal impact".
+//!
+//! Parallelism uses rayon's `par_iter` over chunks, mirroring the paper's
+//! parallel implementation.
+
+use super::cdp::Cdp;
+use super::{validate_inputs, PlacementPolicy};
+use crate::placement::Placement;
+use rayon::prelude::*;
+
+/// Chunked parallel CDP.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkedCdp {
+    /// Target number of ranks handled by one chunk (the paper used 512).
+    pub ranks_per_chunk: usize,
+}
+
+impl Default for ChunkedCdp {
+    fn default() -> Self {
+        ChunkedCdp {
+            ranks_per_chunk: 512,
+        }
+    }
+}
+
+impl ChunkedCdp {
+    /// Chunked CDP with a custom chunk size.
+    pub fn new(ranks_per_chunk: usize) -> Self {
+        assert!(ranks_per_chunk >= 1);
+        ChunkedCdp { ranks_per_chunk }
+    }
+
+    /// Partition ranks as evenly as possible into `c` chunks, and blocks into
+    /// contiguous runs whose cost share is proportional to each chunk's rank
+    /// share. Returns `(block_range, rank_range)` per chunk.
+    fn split(
+        &self,
+        costs: &[f64],
+        num_ranks: usize,
+    ) -> Vec<(std::ops::Range<usize>, std::ops::Range<usize>)> {
+        let c = num_ranks.div_ceil(self.ranks_per_chunk);
+        let total: f64 = costs.iter().sum();
+        let n = costs.len();
+
+        // Rank ranges: as even as possible.
+        let base_ranks = num_ranks / c;
+        let extra_ranks = num_ranks % c;
+
+        let mut out = Vec::with_capacity(c);
+        let mut rank_start = 0usize;
+        let mut block_start = 0usize;
+        let mut cost_acc = 0.0f64;
+        let mut cost_target = 0.0f64;
+        for chunk in 0..c {
+            let nranks = base_ranks + usize::from(chunk < extra_ranks);
+            let rank_range = rank_start..rank_start + nranks;
+            rank_start += nranks;
+
+            let block_end = if chunk == c - 1 {
+                n
+            } else {
+                // Advance until this chunk's cumulative cost share matches
+                // its rank share; leave at least one block per remaining
+                // rank so downstream CDP stays well-formed when possible.
+                cost_target += total * nranks as f64 / num_ranks as f64;
+                let mut end = block_start;
+                while end < n && (cost_acc < cost_target || total == 0.0 && end < block_start) {
+                    cost_acc += costs[end];
+                    end += 1;
+                }
+                if total == 0.0 {
+                    // Zero-cost mesh: fall back to count-proportional split.
+                    end = n * rank_range.end / num_ranks;
+                }
+                end.min(n)
+            };
+            out.push((block_start..block_end, rank_range));
+            block_start = block_end;
+        }
+        out
+    }
+}
+
+impl PlacementPolicy for ChunkedCdp {
+    fn name(&self) -> String {
+        format!("cdp-chunked{}", self.ranks_per_chunk)
+    }
+
+    fn place(&self, costs: &[f64], num_ranks: usize) -> Placement {
+        validate_inputs(costs, num_ranks);
+        if num_ranks <= self.ranks_per_chunk {
+            return Cdp.place(costs, num_ranks);
+        }
+        let splits = self.split(costs, num_ranks);
+        // Solve each chunk independently, in parallel.
+        let per_chunk: Vec<Vec<usize>> = splits
+            .par_iter()
+            .map(|(blocks, ranks)| Cdp::solve_lengths(&costs[blocks.clone()], ranks.len()))
+            .collect();
+        // Stitch: chunk k's rank-local lengths map onto its global rank range.
+        let mut ranks_out = vec![0u32; costs.len()];
+        for ((blocks, rank_range), lengths) in splits.iter().zip(&per_chunk) {
+            let mut b = blocks.start;
+            for (local_rank, &len) in lengths.iter().enumerate() {
+                let rank = (rank_range.start + local_rank) as u32;
+                for _ in 0..len {
+                    ranks_out[b] = rank;
+                    b += 1;
+                }
+            }
+            debug_assert_eq!(b, blocks.end);
+        }
+        Placement::new(ranks_out, num_ranks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::random_costs;
+    use super::*;
+
+    #[test]
+    fn small_case_delegates_to_plain_cdp() {
+        let costs = random_costs(40, 3);
+        let chunked = ChunkedCdp::new(64).place(&costs, 8);
+        let plain = Cdp.place(&costs, 8);
+        assert_eq!(chunked, plain);
+    }
+
+    #[test]
+    fn preserves_contiguity() {
+        let costs = random_costs(512, 5);
+        let p = ChunkedCdp::new(32).place(&costs, 128);
+        assert!(p.is_contiguous());
+        assert_eq!(p.num_blocks(), 512);
+    }
+
+    #[test]
+    fn near_plain_cdp_quality() {
+        // Chunking is an approximation; allow modest slack.
+        let costs = random_costs(1024, 11);
+        let plain = Cdp.place(&costs, 256);
+        let chunked = ChunkedCdp::new(64).place(&costs, 256);
+        let ratio = chunked.makespan(&costs) / plain.makespan(&costs);
+        assert!(ratio < 1.3, "chunked/plain = {ratio}");
+    }
+
+    #[test]
+    fn every_rank_used_with_two_blocks_per_rank() {
+        let costs = random_costs(512, 9);
+        let p = ChunkedCdp::new(64).place(&costs, 256);
+        let counts = p.counts_per_rank();
+        assert_eq!(counts.iter().sum::<usize>(), 512);
+        // With equal-cost-share chunking and 2 blocks/rank, no rank should
+        // starve badly: all get between 0 and 4.
+        assert!(counts.iter().all(|&c| c <= 5));
+    }
+
+    #[test]
+    fn zero_cost_mesh_falls_back_to_counts() {
+        let costs = vec![0.0; 128];
+        let p = ChunkedCdp::new(16).place(&costs, 64);
+        assert_eq!(p.counts_per_rank().iter().sum::<usize>(), 128);
+        assert!(p.is_contiguous());
+    }
+
+    #[test]
+    fn deterministic_despite_parallelism() {
+        let costs = random_costs(2048, 21);
+        let a = ChunkedCdp::new(128).place(&costs, 1024);
+        let b = ChunkedCdp::new(128).place(&costs, 1024);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,233 @@
+//! CPLX: the tunable hybrid placement policy (§V-D) — the paper's headline
+//! contribution.
+//!
+//! Design principle: *"it is easier to selectively break locality in a
+//! contiguous placement than to restore locality in an arbitrary one."*
+//! CPLX starts from a locality-preserving CDP placement (reusing the
+//! chunking mechanism for scalability), sorts ranks by load, selects the
+//! `X%` most-overloaded and most-underloaded ranks — both ends, because
+//! rebalancing needs sources *and* destinations — and re-places only those
+//! ranks' blocks with LPT. Locality is disrupted only within the selected
+//! ranks; everywhere else the CDP contiguity survives.
+//!
+//! `X = 0` (CPL0) reduces to CDP; `X = 100` (CPL100) rebalances every rank,
+//! i.e. pure LPT over the whole mesh.
+
+use super::chunked::ChunkedCdp;
+use super::lpt::lpt_into;
+use super::{validate_inputs, PlacementPolicy};
+use crate::placement::Placement;
+
+/// The CPLX hybrid policy with rebalancing fraction `X` (percent).
+///
+/// ```
+/// use amr_core::policies::{Cplx, PlacementPolicy};
+/// let costs = vec![4.0, 1.0, 1.0, 1.0, 3.0, 1.0, 1.0, 1.0];
+/// let placement = Cplx::new(50).place(&costs, 4);
+/// assert_eq!(placement.num_blocks(), 8);
+/// // Better balanced than the count-based contiguous split:
+/// assert!(placement.imbalance(&costs) < 1.3);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Cplx {
+    /// Percentage (0–100) of ranks rebalanced via LPT, counting both the
+    /// overloaded and underloaded ends of the load-sorted rank list.
+    pub x_percent: u32,
+    /// The CDP chunking configuration used for the initial placement.
+    pub chunking: ChunkedCdp,
+}
+
+impl Cplx {
+    /// CPLX with the given `X` and default chunking (512 ranks/chunk).
+    pub fn new(x_percent: u32) -> Cplx {
+        assert!(x_percent <= 100, "X must be within 0..=100");
+        Cplx {
+            x_percent,
+            chunking: ChunkedCdp::default(),
+        }
+    }
+
+    /// CPLX with custom chunking.
+    pub fn with_chunking(x_percent: u32, ranks_per_chunk: usize) -> Cplx {
+        assert!(x_percent <= 100, "X must be within 0..=100");
+        Cplx {
+            x_percent,
+            chunking: ChunkedCdp::new(ranks_per_chunk),
+        }
+    }
+
+    /// Number of ranks taken from each end of the load-sorted list:
+    /// `(overloaded, underloaded)`. Chosen so the two ends are disjoint and
+    /// together cover exactly all ranks at `X = 100`.
+    fn selection_sizes(&self, num_ranks: usize) -> (usize, usize) {
+        let frac = self.x_percent as f64 / 100.0;
+        let top = (frac * num_ranks as f64 / 2.0).ceil() as usize;
+        let bottom = (frac * num_ranks as f64 / 2.0).floor() as usize;
+        debug_assert!(top + bottom <= num_ranks);
+        (top, bottom)
+    }
+}
+
+impl PlacementPolicy for Cplx {
+    fn name(&self) -> String {
+        format!("cpl{}", self.x_percent)
+    }
+
+    fn place(&self, costs: &[f64], num_ranks: usize) -> Placement {
+        validate_inputs(costs, num_ranks);
+        let base = self.chunking.place(costs, num_ranks);
+        if self.x_percent == 0 || costs.is_empty() {
+            return base;
+        }
+
+        // Sort ranks by load, descending; deterministic tie-break on id.
+        let loads = base.rank_loads(costs);
+        let mut order: Vec<u32> = (0..num_ranks as u32).collect();
+        order.sort_by(|&a, &b| {
+            loads[b as usize]
+                .total_cmp(&loads[a as usize])
+                .then(a.cmp(&b))
+        });
+
+        let (top, bottom) = self.selection_sizes(num_ranks);
+        let mut selected: Vec<u32> = Vec::with_capacity(top + bottom);
+        selected.extend_from_slice(&order[..top]);
+        selected.extend_from_slice(&order[num_ranks - bottom..]);
+        selected.sort_unstable();
+        selected.dedup();
+
+        // Collect all blocks owned by selected ranks and re-place them via
+        // LPT restricted to those ranks.
+        let is_selected = {
+            let mut v = vec![false; num_ranks];
+            for &r in &selected {
+                v[r as usize] = true;
+            }
+            v
+        };
+        let blocks: Vec<usize> = (0..costs.len())
+            .filter(|&b| is_selected[base.rank_of(b) as usize])
+            .collect();
+        if blocks.is_empty() {
+            return base;
+        }
+        let mut ranks = base.as_slice().to_vec();
+        lpt_into(costs, &blocks, &selected, &mut ranks);
+        Placement::new(ranks, num_ranks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::random_costs;
+    use super::super::{Cdp, Lpt};
+    use super::*;
+
+    #[test]
+    fn x0_equals_cdp() {
+        let costs = random_costs(100, 2);
+        let cplx = Cplx::new(0).place(&costs, 16);
+        let cdp = Cdp.place(&costs, 16);
+        assert_eq!(cplx, cdp);
+    }
+
+    #[test]
+    fn x100_matches_lpt_makespan() {
+        // CPL100 re-places all blocks via LPT from a clean slate, so the
+        // resulting makespan matches pure LPT (assignments may permute ranks).
+        let costs = random_costs(128, 4);
+        let cplx = Cplx::new(100).place(&costs, 16);
+        let lpt = Lpt.place(&costs, 16);
+        assert!((cplx.makespan(&costs) - lpt.makespan(&costs)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn makespan_monotone_in_x_roughly() {
+        // More rebalancing should not noticeably hurt makespan: allow tiny
+        // slack for greedy quirks, but CPL75 must be no worse than CPL0's
+        // imbalance by a clear margin on skewed costs.
+        let mut costs = random_costs(256, 8);
+        // Inject strong skew so CDP is visibly imbalanced.
+        for c in costs.iter_mut().step_by(17) {
+            *c *= 8.0;
+        }
+        let r = 32;
+        let m0 = Cplx::new(0).place(&costs, r).makespan(&costs);
+        let m50 = Cplx::new(50).place(&costs, r).makespan(&costs);
+        let m100 = Cplx::new(100).place(&costs, r).makespan(&costs);
+        assert!(m50 <= m0 + 1e-9);
+        assert!(m100 <= m50 * 1.1 + 1e-9);
+    }
+
+    #[test]
+    fn selection_sizes_cover_all_at_100() {
+        for r in [1usize, 2, 3, 16, 17, 512] {
+            let (t, b) = Cplx::new(100).selection_sizes(r);
+            assert_eq!(t + b, r, "r = {r}");
+        }
+        for r in [2usize, 16, 100] {
+            let (t, b) = Cplx::new(50).selection_sizes(r);
+            assert!(t + b <= r);
+            assert!(t + b >= r / 2);
+        }
+        let (t, b) = Cplx::new(0).selection_sizes(64);
+        assert_eq!((t, b), (0, 0));
+    }
+
+    #[test]
+    fn intermediate_x_keeps_most_blocks_contiguous() {
+        let costs = random_costs(512, 12);
+        let r = 64;
+        let base = Cplx::new(0).place(&costs, r);
+        let p25 = Cplx::new(25).place(&costs, r);
+        // At X=25 at most ~25% of ranks' blocks moved.
+        let moved = p25.migration_count(&base);
+        assert!(moved > 0);
+        assert!(
+            moved <= costs.len() * 2 / 5,
+            "moved {moved} of {}",
+            costs.len()
+        );
+    }
+
+    #[test]
+    fn x_controls_locality_disruption_monotonically() {
+        let costs = random_costs(512, 13);
+        let r = 64;
+        let base = Cplx::new(0).place(&costs, r);
+        let mut prev_moved = 0usize;
+        for x in [10, 40, 80, 100] {
+            let p = Cplx::new(x).place(&costs, r);
+            let moved = p.migration_count(&base);
+            assert!(
+                moved + 64 >= prev_moved,
+                "x={x}: moved {moved} < prev {prev_moved}"
+            );
+            prev_moved = moved;
+        }
+    }
+
+    #[test]
+    fn single_rank_degenerate() {
+        let costs = random_costs(10, 1);
+        for x in [0, 50, 100] {
+            let p = Cplx::new(x).place(&costs, 1);
+            assert!(p.as_slice().iter().all(|&r| r == 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "X must be within")]
+    fn rejects_x_over_100() {
+        Cplx::new(101);
+    }
+
+    #[test]
+    fn deterministic() {
+        let costs = random_costs(1024, 30);
+        assert_eq!(
+            Cplx::new(50).place(&costs, 128),
+            Cplx::new(50).place(&costs, 128)
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! Recursive coordinate bisection (RCB) — the classical geometric
+//! partitioner (Zoltan-style), as a comparison point.
+//!
+//! Related work (§VIII) contrasts the paper's SFC-centric approach with
+//! geometric/graph partitioners: RCB recursively splits the block set along
+//! the widest coordinate axis at the cost-weighted median. It balances load
+//! well and keeps rectangular locality, but costs more to compute and — the
+//! paper's point — optimizing geometric compactness is not the same as
+//! optimizing runtime.
+//!
+//! RCB needs block *positions*, so it implements [`MeshAwarePolicy`] rather
+//! than the cost-only [`super::PlacementPolicy`].
+
+use crate::placement::Placement;
+use amr_mesh::AmrMesh;
+
+/// A policy that needs mesh geometry/topology in addition to costs.
+pub trait MeshAwarePolicy {
+    /// Short stable name for reports.
+    fn name(&self) -> String;
+    /// Compute a placement given the mesh snapshot and per-block costs.
+    fn place_on_mesh(&self, mesh: &AmrMesh, costs: &[f64], num_ranks: usize) -> Placement;
+}
+
+/// Recursive coordinate bisection over block centers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rcb;
+
+impl MeshAwarePolicy for Rcb {
+    fn name(&self) -> String {
+        "rcb".into()
+    }
+
+    fn place_on_mesh(&self, mesh: &AmrMesh, costs: &[f64], num_ranks: usize) -> Placement {
+        assert_eq!(mesh.num_blocks(), costs.len());
+        let centers: Vec<[f64; 3]> = mesh
+            .blocks()
+            .iter()
+            .map(|b| {
+                let c = b.bounds.center();
+                [c.x, c.y, c.z]
+            })
+            .collect();
+        let mut assignment = vec![0u32; costs.len()];
+        let blocks: Vec<usize> = (0..costs.len()).collect();
+        bisect(&centers, costs, &blocks, 0, num_ranks, &mut assignment);
+        Placement::new(assignment, num_ranks)
+    }
+}
+
+/// Recursively split `blocks` among ranks `[rank_base, rank_base + nranks)`.
+fn bisect(
+    centers: &[[f64; 3]],
+    costs: &[f64],
+    blocks: &[usize],
+    rank_base: usize,
+    nranks: usize,
+    out: &mut [u32],
+) {
+    if nranks == 1 || blocks.len() <= 1 {
+        for &b in blocks {
+            out[b] = rank_base as u32;
+        }
+        return;
+    }
+    // Widest axis of the current block set.
+    let mut lo = [f64::INFINITY; 3];
+    let mut hi = [f64::NEG_INFINITY; 3];
+    for &b in blocks {
+        for d in 0..3 {
+            lo[d] = lo[d].min(centers[b][d]);
+            hi[d] = hi[d].max(centers[b][d]);
+        }
+    }
+    let axis = (0..3)
+        .max_by(|&a, &b| (hi[a] - lo[a]).total_cmp(&(hi[b] - lo[b])))
+        .unwrap();
+
+    // Sort by the chosen coordinate and cut at the cost-weighted split
+    // proportional to the rank split.
+    let mut sorted: Vec<usize> = blocks.to_vec();
+    sorted.sort_by(|&a, &b| {
+        centers[a][axis]
+            .total_cmp(&centers[b][axis])
+            .then(a.cmp(&b))
+    });
+    let left_ranks = nranks / 2;
+    let total: f64 = sorted.iter().map(|&b| costs[b]).sum();
+    let target = total * left_ranks as f64 / nranks as f64;
+    let mut acc = 0.0;
+    let mut cut = 0;
+    for (i, &b) in sorted.iter().enumerate() {
+        // Keep at least one block per side when possible.
+        if acc >= target && i > 0 {
+            break;
+        }
+        acc += costs[b];
+        cut = i + 1;
+    }
+    cut = cut.min(sorted.len().saturating_sub(1)).max(1);
+
+    let (left, right) = sorted.split_at(cut);
+    bisect(centers, costs, left, rank_base, left_ranks, out);
+    bisect(
+        centers,
+        costs,
+        right,
+        rank_base + left_ranks,
+        nranks - left_ranks,
+        out,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amr_mesh::{Dim, MeshConfig};
+
+    fn mesh() -> AmrMesh {
+        AmrMesh::new(MeshConfig::from_cells(Dim::D3, (64, 64, 64), 1))
+    }
+
+    #[test]
+    fn assigns_every_block_in_range() {
+        let m = mesh();
+        let costs = vec![1.0; m.num_blocks()];
+        let p = Rcb.place_on_mesh(&m, &costs, 8);
+        assert_eq!(p.num_blocks(), 64);
+        assert!(p.as_slice().iter().all(|&r| r < 8));
+        // Uniform cube, power-of-two ranks: perfectly even split.
+        assert!(p.counts_per_rank().iter().all(|&c| c == 8));
+    }
+
+    #[test]
+    fn balances_weighted_costs() {
+        let m = mesh();
+        let mut costs = vec![1.0; m.num_blocks()];
+        // One octant of the domain is 8x more expensive.
+        for (i, b) in m.blocks().iter().enumerate() {
+            let c = b.bounds.center();
+            if c.x < 0.5 && c.y < 0.5 && c.z < 0.5 {
+                costs[i] = 8.0;
+            }
+        }
+        let p = Rcb.place_on_mesh(&m, &costs, 8);
+        // RCB's imbalance on this instance must beat the count-balanced
+        // baseline's.
+        use crate::policies::{Baseline, PlacementPolicy};
+        let base = Baseline.place(&costs, 8);
+        assert!(p.imbalance(&costs) < base.imbalance(&costs));
+    }
+
+    #[test]
+    fn geometric_compactness() {
+        // Each rank's blocks should be spatially clustered: mean intra-rank
+        // pairwise distance well below the domain diameter.
+        let m = mesh();
+        let costs = vec![1.0; m.num_blocks()];
+        let p = Rcb.place_on_mesh(&m, &costs, 8);
+        for blocks in p.blocks_per_rank() {
+            let centers: Vec<_> = blocks
+                .iter()
+                .map(|&b| m.blocks()[b].bounds.center())
+                .collect();
+            let mut maxd = 0.0f64;
+            for i in 0..centers.len() {
+                for j in i + 1..centers.len() {
+                    maxd = maxd.max(centers[i].distance(&centers[j]));
+                }
+            }
+            // A rank's region spans at most half the domain per axis here.
+            assert!(maxd < 1.0, "rank spread {maxd}");
+        }
+    }
+
+    #[test]
+    fn single_rank_and_single_block() {
+        let m = mesh();
+        let costs = vec![1.0; m.num_blocks()];
+        let p = Rcb.place_on_mesh(&m, &costs, 1);
+        assert!(p.as_slice().iter().all(|&r| r == 0));
+    }
+
+    #[test]
+    fn handles_non_power_of_two_ranks() {
+        let m = mesh();
+        let costs = vec![1.0; m.num_blocks()];
+        let p = Rcb.place_on_mesh(&m, &costs, 7);
+        assert!(p.as_slice().iter().all(|&r| r < 7));
+        let counts = p.counts_per_rank();
+        assert_eq!(counts.iter().sum::<usize>(), 64);
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+}

@@ -1,0 +1,157 @@
+//! Longest-Processing-Time-first (LPT) placement (§V-B).
+//!
+//! The classical greedy for makespan minimization (Graham 1969): sort blocks
+//! by cost descending, repeatedly assign the next block to the least-loaded
+//! rank. Guaranteed within 4/3 of the optimal makespan; the paper "could not
+//! obtain better solutions from a commercial ILP solver despite letting it
+//! run for 200 s" — our [`crate::exact`] solver plays that referee role in
+//! tests.
+//!
+//! LPT ignores communication locality entirely; it is the `X = 100` endpoint
+//! of the CPLX family.
+
+use super::{validate_inputs, PlacementPolicy};
+use crate::placement::Placement;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Pure load-balancing placement via the LPT greedy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lpt;
+
+/// Min-heap entry: least-loaded rank first; ties broken by rank id for
+/// determinism.
+#[derive(Debug, PartialEq)]
+struct Slot {
+    load: f64,
+    rank: u32,
+}
+
+impl Eq for Slot {}
+
+impl Ord for Slot {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse on load => BinaryHeap pops the *smallest* load.
+        other
+            .load
+            .total_cmp(&self.load)
+            .then_with(|| other.rank.cmp(&self.rank))
+    }
+}
+
+impl PartialOrd for Slot {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Assign `blocks` (indices into `costs`) to `ranks` (subset of all ranks)
+/// by LPT, writing assignments into `out[block]`. Exposed for reuse by
+/// [`super::Cplx`], which runs LPT over a *subset* of ranks and blocks.
+pub fn lpt_into(costs: &[f64], blocks: &[usize], ranks: &[u32], out: &mut [u32]) {
+    assert!(!ranks.is_empty());
+    let mut order: Vec<usize> = blocks.to_vec();
+    // Sort by cost descending; index ascending tie-break for determinism.
+    order.sort_by(|&a, &b| costs[b].total_cmp(&costs[a]).then(a.cmp(&b)));
+    let mut heap: BinaryHeap<Slot> = ranks.iter().map(|&r| Slot { load: 0.0, rank: r }).collect();
+    for b in order {
+        let mut slot = heap.pop().expect("non-empty rank heap");
+        out[b] = slot.rank;
+        slot.load += costs[b];
+        heap.push(slot);
+    }
+}
+
+impl PlacementPolicy for Lpt {
+    fn name(&self) -> String {
+        "lpt".into()
+    }
+
+    fn place(&self, costs: &[f64], num_ranks: usize) -> Placement {
+        validate_inputs(costs, num_ranks);
+        let blocks: Vec<usize> = (0..costs.len()).collect();
+        let ranks: Vec<u32> = (0..num_ranks as u32).collect();
+        let mut out = vec![0u32; costs.len()];
+        lpt_into(costs, &blocks, &ranks, &mut out);
+        Placement::new(out, num_ranks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::random_costs;
+    use super::*;
+
+    #[test]
+    fn balances_uniform_costs() {
+        let p = Lpt.place(&[1.0; 12], 4);
+        assert_eq!(p.counts_per_rank(), vec![3, 3, 3, 3]);
+        assert!((p.imbalance(&[1.0; 12]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classic_lpt_example() {
+        // Costs {7,6,5,4,3} on 2 ranks: LPT gives {7,4,3}=14? No: 7 -> r0,
+        // 6 -> r1, 5 -> r1? loads 7 vs 6, least is r1 -> 5 => 11; 4 -> r0 =>
+        // 11; 3 -> either (tie, rank 0 wins) => 14 vs 11 -> r0=7+4=11,
+        // actually recompute: after 5: r0=7, r1=11; 4 -> r0=11; 3 -> r0 (tie
+        // break lowest id) = 14? No: tie at 11,11 -> rank 0 -> 14.
+        let costs = [7.0, 6.0, 5.0, 4.0, 3.0];
+        let p = Lpt.place(&costs, 2);
+        let makespan = p.makespan(&costs);
+        // Optimal is 13 ({7,6} vs {5,4,3} = 13/12); LPT achieves 14 here,
+        // within the 4/3 bound (4/3 * 13 ≈ 17.3).
+        assert!(makespan <= 14.0 + 1e-9);
+        assert!(makespan >= 12.5);
+    }
+
+    #[test]
+    fn dominates_baseline_on_skewed_costs() {
+        let mut costs = vec![1.0; 16];
+        costs[0] = 16.0;
+        let lpt = Lpt.place(&costs, 4);
+        let base = super::super::Baseline.place(&costs, 4);
+        assert!(lpt.makespan(&costs) < base.makespan(&costs));
+        assert_eq!(lpt.makespan(&costs), 16.0); // lower bound: the big block
+    }
+
+    #[test]
+    fn deterministic() {
+        let costs = random_costs(200, 42);
+        let a = Lpt.place(&costs, 16);
+        let b = Lpt.place(&costs, 16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn respects_graham_bound_vs_mean_lower_bound() {
+        // makespan <= 4/3 * OPT and OPT >= max(total/r, max cost).
+        for seed in 0..5 {
+            let costs = random_costs(64, seed);
+            let p = Lpt.place(&costs, 8);
+            let total: f64 = costs.iter().sum();
+            let lower = (total / 8.0).max(costs.iter().cloned().fold(0.0, f64::max));
+            assert!(p.makespan(&costs) <= 4.0 / 3.0 * lower + 1e-9 + lower * 1e-9);
+        }
+    }
+
+    #[test]
+    fn lpt_into_subset_of_ranks() {
+        let costs = [5.0, 1.0, 4.0, 2.0];
+        let mut out = vec![99u32; 4];
+        lpt_into(&costs, &[0, 2], &[7, 9], &mut out);
+        // Blocks 1,3 untouched.
+        assert_eq!(out[1], 99);
+        assert_eq!(out[3], 99);
+        // 5.0 -> rank 7 (tie, lowest id), 4.0 -> rank 9.
+        assert_eq!(out[0], 7);
+        assert_eq!(out[2], 9);
+    }
+
+    #[test]
+    fn zero_cost_blocks_are_fine() {
+        let costs = [0.0, 0.0, 3.0];
+        let p = Lpt.place(&costs, 2);
+        assert_eq!(p.makespan(&costs), 3.0);
+    }
+}

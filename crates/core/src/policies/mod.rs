@@ -1,0 +1,61 @@
+//! Placement policies (§V of the paper).
+//!
+//! All policies implement [`PlacementPolicy`]: given per-block costs in SFC
+//! order and a rank count, produce a [`Placement`]. Policies are pure
+//! functions of their inputs — determinism is part of the contract (the
+//! paper's redistribution step is executed identically on all ranks).
+
+mod baseline;
+mod blend;
+mod cdp;
+mod chunked;
+mod cplx;
+pub mod geometric;
+pub mod graph;
+mod lpt;
+pub mod zonal;
+
+pub use baseline::Baseline;
+pub use blend::Blend;
+pub use cdp::{cdp_general, cdp_parametric, Cdp};
+pub use chunked::ChunkedCdp;
+pub use cplx::Cplx;
+pub use geometric::{MeshAwarePolicy, Rcb};
+pub use graph::{edge_cut_bytes, GreedyEdgeCut};
+pub use lpt::{lpt_into, Lpt};
+pub use zonal::Zonal;
+
+use crate::placement::Placement;
+
+/// A block-placement policy: maps SFC-ordered block costs to ranks.
+pub trait PlacementPolicy {
+    /// Short stable name for reports ("baseline", "lpt", "cpl50", ...).
+    fn name(&self) -> String;
+
+    /// Compute a placement of `costs.len()` blocks onto `num_ranks` ranks.
+    ///
+    /// `costs[i]` is the measured (or assumed) compute cost of the block
+    /// with `BlockId(i)`; costs must be finite and non-negative.
+    fn place(&self, costs: &[f64], num_ranks: usize) -> Placement;
+}
+
+/// Validate policy inputs; shared by all implementations.
+pub(crate) fn validate_inputs(costs: &[f64], num_ranks: usize) {
+    assert!(num_ranks > 0, "need at least one rank");
+    assert!(
+        costs.iter().all(|c| c.is_finite() && *c >= 0.0),
+        "block costs must be finite and non-negative"
+    );
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Deterministic pseudo-random cost vector for tests.
+    pub fn random_costs(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0.1..10.0)).collect()
+    }
+}

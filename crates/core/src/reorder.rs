@@ -1,0 +1,100 @@
+//! Running SFC-order policies under an alternative block ordering.
+//!
+//! Contiguity-based policies (baseline, CDP, CPLX's CDP stage) interpret
+//! "contiguous" relative to the block ordering they are given — the Z-order
+//! SFC in production. [`permuted_place`] runs any such policy under a
+//! different ordering (e.g. a Hilbert curve from
+//! `amr_mesh::hilbert::hilbert_key`) and maps the result back to original
+//! block IDs, enabling apples-to-apples curve comparisons
+//! (`ablation_sfc`).
+
+use crate::placement::Placement;
+use crate::policies::PlacementPolicy;
+
+/// Place blocks with `policy` as if they were ordered by `perm`
+/// (`perm[pos]` = original block index at position `pos`), returning the
+/// placement indexed by original block IDs.
+///
+/// `perm` must be a permutation of `0..costs.len()`.
+pub fn permuted_place(
+    policy: &dyn PlacementPolicy,
+    costs: &[f64],
+    perm: &[usize],
+    num_ranks: usize,
+) -> Placement {
+    assert_eq!(perm.len(), costs.len(), "perm/costs length mismatch");
+    debug_assert!(is_permutation(perm));
+    let permuted_costs: Vec<f64> = perm.iter().map(|&i| costs[i]).collect();
+    let p = policy.place(&permuted_costs, num_ranks);
+    let mut ranks = vec![0u32; costs.len()];
+    for (pos, &orig) in perm.iter().enumerate() {
+        ranks[orig] = p.rank_of(pos);
+    }
+    Placement::new(ranks, num_ranks)
+}
+
+/// Build the permutation that sorts blocks by an arbitrary key.
+pub fn order_by_key<K: Ord>(n: usize, key: impl Fn(usize) -> K) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.sort_by_key(|&i| key(i));
+    perm
+}
+
+fn is_permutation(perm: &[usize]) -> bool {
+    let mut seen = vec![false; perm.len()];
+    for &p in perm {
+        if p >= perm.len() || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{Baseline, Cdp, Lpt};
+
+    #[test]
+    fn identity_permutation_is_identity() {
+        let costs = [1.0, 2.0, 3.0, 4.0];
+        let perm: Vec<usize> = (0..4).collect();
+        let direct = Cdp.place(&costs, 2);
+        let via = permuted_place(&Cdp, &costs, &perm, 2);
+        assert_eq!(direct, via);
+    }
+
+    #[test]
+    fn reversal_reverses_baseline_ranges() {
+        let costs = [1.0; 6];
+        let perm = vec![5, 4, 3, 2, 1, 0];
+        let p = permuted_place(&Baseline, &costs, &perm, 2);
+        // In reversed order, the first 3 (blocks 5,4,3) go to rank 0.
+        assert_eq!(p.as_slice(), &[1, 1, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn makespan_is_order_invariant_for_lpt() {
+        // LPT sorts by cost internally, so any ordering gives the same
+        // makespan.
+        let costs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let perm = vec![2, 0, 4, 1, 3];
+        let direct = Lpt.place(&costs, 2).makespan(&costs);
+        let via = permuted_place(&Lpt, &costs, &perm, 2).makespan(&costs);
+        assert_eq!(direct, via);
+    }
+
+    #[test]
+    fn order_by_key_sorts() {
+        let keys = [30u64, 10, 20];
+        let perm = order_by_key(3, |i| keys[i]);
+        assert_eq!(perm, vec![1, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_bad_perm_length() {
+        permuted_place(&Baseline, &[1.0, 2.0], &[0], 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! Rank-to-rank traffic matrices: the communication-hotspot view.
+//!
+//! The Fig. 7a analysis hinges on *where* traffic concentrates, not just how
+//! much crosses ranks: "locality-preserving policies cluster high-traffic
+//! neighbors unevenly, increasing per-rank load". A traffic matrix makes
+//! that measurable: per-(src, dst) byte volumes derived from a placement and
+//! the neighbor graph, with hotspot and imbalance summaries.
+
+use crate::placement::Placement;
+use amr_mesh::{BlockSpec, Dim, NeighborGraph};
+use std::collections::BTreeMap;
+
+/// Sparse rank-to-rank traffic matrix (directed, bytes per exchange round).
+/// Intra-rank (diagonal) traffic is tracked separately since it is memcpy,
+/// not MPI.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficMatrix {
+    entries: BTreeMap<(u32, u32), u64>,
+    diagonal: BTreeMap<u32, u64>,
+    num_ranks: usize,
+}
+
+impl TrafficMatrix {
+    /// Build from a placement over a neighbor graph.
+    pub fn build(
+        placement: &Placement,
+        graph: &NeighborGraph,
+        spec: &BlockSpec,
+        dim: Dim,
+    ) -> TrafficMatrix {
+        assert_eq!(placement.num_blocks(), graph.num_blocks());
+        let mut m = TrafficMatrix {
+            num_ranks: placement.num_ranks(),
+            ..TrafficMatrix::default()
+        };
+        for (block, nbs) in graph.iter() {
+            let src = placement.rank_of(block.index());
+            for n in nbs {
+                let dst = placement.rank_of(n.block.index());
+                let bytes = spec.message_bytes(dim, n.kind.codim());
+                if src == dst {
+                    *m.diagonal.entry(src).or_insert(0) += bytes;
+                } else {
+                    *m.entries.entry((src, dst)).or_insert(0) += bytes;
+                }
+            }
+        }
+        m
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.num_ranks
+    }
+
+    /// Total MPI-visible bytes per round.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.values().sum()
+    }
+
+    /// Total intra-rank (memcpy) bytes per round.
+    pub fn diagonal_bytes(&self) -> u64 {
+        self.diagonal.values().sum()
+    }
+
+    /// Bytes from `src` to `dst` (0 if none).
+    pub fn bytes(&self, src: u32, dst: u32) -> u64 {
+        if src == dst {
+            self.diagonal.get(&src).copied().unwrap_or(0)
+        } else {
+            self.entries.get(&(src, dst)).copied().unwrap_or(0)
+        }
+    }
+
+    /// Inbound MPI bytes per rank.
+    pub fn inbound(&self) -> Vec<u64> {
+        let mut v = vec![0u64; self.num_ranks];
+        for (&(_, dst), &b) in &self.entries {
+            v[dst as usize] += b;
+        }
+        v
+    }
+
+    /// Outbound MPI bytes per rank.
+    pub fn outbound(&self) -> Vec<u64> {
+        let mut v = vec![0u64; self.num_ranks];
+        for (&(src, _), &b) in &self.entries {
+            v[src as usize] += b;
+        }
+        v
+    }
+
+    /// The `k` ranks receiving the most traffic: `(rank, inbound bytes)`,
+    /// descending — the incast hotspots.
+    pub fn hotspots(&self, k: usize) -> Vec<(u32, u64)> {
+        let mut ranked: Vec<(u32, u64)> = self
+            .inbound()
+            .into_iter()
+            .enumerate()
+            .map(|(r, b)| (r as u32, b))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// Traffic imbalance: max inbound / mean inbound (1.0 = perfectly even).
+    pub fn inbound_imbalance(&self) -> f64 {
+        let inbound = self.inbound();
+        let total: u64 = inbound.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.num_ranks as f64;
+        *inbound.iter().max().unwrap() as f64 / mean
+    }
+
+    /// Number of distinct communicating rank pairs (directed).
+    pub fn num_pairs(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{Baseline, Lpt, PlacementPolicy};
+    use amr_mesh::{AmrMesh, MeshConfig};
+
+    fn setup() -> (AmrMesh, NeighborGraph) {
+        let mesh = AmrMesh::new(MeshConfig::from_cells(Dim::D3, (64, 64, 64), 1));
+        let graph = mesh.neighbor_graph();
+        (mesh, graph)
+    }
+
+    #[test]
+    fn totals_match_locality_stats() {
+        let (mesh, graph) = setup();
+        let spec = mesh.config().spec;
+        let costs = vec![1.0; mesh.num_blocks()];
+        let p = Baseline.place(&costs, 8);
+        let m = TrafficMatrix::build(&p, &graph, &spec, Dim::D3);
+        let loc = p.locality_stats(&graph, 16, &spec, Dim::D3);
+        assert_eq!(m.total_bytes(), loc.local_bytes + loc.remote_bytes);
+        assert_eq!(m.diagonal_bytes(), loc.intra_rank_bytes);
+    }
+
+    #[test]
+    fn inbound_outbound_conserve_total() {
+        let (mesh, graph) = setup();
+        let spec = mesh.config().spec;
+        let costs = vec![1.0; mesh.num_blocks()];
+        let p = Lpt.place(&costs, 8);
+        let m = TrafficMatrix::build(&p, &graph, &spec, Dim::D3);
+        assert_eq!(m.inbound().iter().sum::<u64>(), m.total_bytes());
+        assert_eq!(m.outbound().iter().sum::<u64>(), m.total_bytes());
+    }
+
+    #[test]
+    fn symmetric_mesh_has_symmetric_matrix() {
+        // Boundary exchanges are symmetric relations, so bytes(a, b) ==
+        // bytes(b, a) for any placement.
+        let (mesh, graph) = setup();
+        let spec = mesh.config().spec;
+        let costs = vec![1.0; mesh.num_blocks()];
+        let p = Baseline.place(&costs, 8);
+        let m = TrafficMatrix::build(&p, &graph, &spec, Dim::D3);
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                assert_eq!(m.bytes(a, b), m.bytes(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn hotspots_ranked_descending() {
+        let (mesh, graph) = setup();
+        let spec = mesh.config().spec;
+        let costs = vec![1.0; mesh.num_blocks()];
+        let p = Baseline.place(&costs, 8);
+        let m = TrafficMatrix::build(&p, &graph, &spec, Dim::D3);
+        let hot = m.hotspots(3);
+        assert_eq!(hot.len(), 3);
+        assert!(hot[0].1 >= hot[1].1 && hot[1].1 >= hot[2].1);
+        assert!(m.inbound_imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn all_on_one_rank_is_pure_diagonal() {
+        let (mesh, graph) = setup();
+        let spec = mesh.config().spec;
+        let p = Placement::new(vec![0; mesh.num_blocks()], 4);
+        let m = TrafficMatrix::build(&p, &graph, &spec, Dim::D3);
+        assert_eq!(m.total_bytes(), 0);
+        assert!(m.diagonal_bytes() > 0);
+        assert_eq!(m.num_pairs(), 0);
+    }
+
+    use crate::placement::Placement;
+}

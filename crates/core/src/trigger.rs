@@ -1,0 +1,93 @@
+//! Redistribution trigger policies.
+//!
+//! Placement is computed as part of *redistribution*, which the paper's
+//! codes invoke when the mesh structure changes (§II-B); related work
+//! (Meta-Balancer) studies smarter triggers. This module provides the
+//! trigger predicates used by the simulator and experiments: the
+//! production-faithful "on mesh change" default, plus periodic and
+//! imbalance-threshold variants for ablations.
+
+use serde::{Deserialize, Serialize};
+
+/// Inputs available when deciding whether to rebalance at a step boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriggerContext {
+    /// Current timestep.
+    pub step: u64,
+    /// Did the mesh refine/coarsen this step?
+    pub mesh_changed: bool,
+    /// Current imbalance factor (makespan / mean load) under the current
+    /// placement and newest cost estimates.
+    pub imbalance: f64,
+}
+
+/// When to invoke redistribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RebalanceTrigger {
+    /// Whenever the mesh structure changes (the AMR default).
+    OnMeshChange,
+    /// Every `n` steps regardless of mesh activity.
+    Periodic(u64),
+    /// When the mesh changes *or* measured imbalance exceeds the factor.
+    MeshChangeOrImbalance(f64),
+    /// Never rebalance (static placement ablation).
+    Never,
+}
+
+impl RebalanceTrigger {
+    /// Should redistribution run now?
+    pub fn should_rebalance(&self, ctx: &TriggerContext) -> bool {
+        match *self {
+            RebalanceTrigger::OnMeshChange => ctx.mesh_changed,
+            RebalanceTrigger::Periodic(n) => n > 0 && ctx.step.is_multiple_of(n),
+            RebalanceTrigger::MeshChangeOrImbalance(threshold) => {
+                ctx.mesh_changed || ctx.imbalance > threshold
+            }
+            RebalanceTrigger::Never => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(step: u64, mesh_changed: bool, imbalance: f64) -> TriggerContext {
+        TriggerContext {
+            step,
+            mesh_changed,
+            imbalance,
+        }
+    }
+
+    #[test]
+    fn on_mesh_change_tracks_mesh() {
+        let t = RebalanceTrigger::OnMeshChange;
+        assert!(t.should_rebalance(&ctx(5, true, 1.0)));
+        assert!(!t.should_rebalance(&ctx(5, false, 9.0)));
+    }
+
+    #[test]
+    fn periodic_fires_on_multiples() {
+        let t = RebalanceTrigger::Periodic(10);
+        assert!(t.should_rebalance(&ctx(0, false, 1.0)));
+        assert!(t.should_rebalance(&ctx(20, false, 1.0)));
+        assert!(!t.should_rebalance(&ctx(21, true, 9.0)));
+        // Period 0 never fires (avoids div-by-zero semantics).
+        assert!(!RebalanceTrigger::Periodic(0).should_rebalance(&ctx(0, true, 9.0)));
+    }
+
+    #[test]
+    fn imbalance_threshold() {
+        let t = RebalanceTrigger::MeshChangeOrImbalance(1.5);
+        assert!(t.should_rebalance(&ctx(3, false, 1.6)));
+        assert!(!t.should_rebalance(&ctx(3, false, 1.4)));
+        assert!(t.should_rebalance(&ctx(3, true, 1.0)));
+    }
+
+    #[test]
+    fn never_is_never() {
+        let t = RebalanceTrigger::Never;
+        assert!(!t.should_rebalance(&ctx(0, true, 99.0)));
+    }
+}

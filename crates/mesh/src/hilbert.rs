@@ -1,0 +1,198 @@
+//! Hilbert-curve keys: an alternative SFC with strictly better locality.
+//!
+//! The paper's baseline (and Parthenon's) is the Z-order curve because it
+//! falls out of the octree traversal for free (§V-A1), at the cost of long
+//! jumps — "some locality is inevitably lost as dimensionality reduction is
+//! inherently lossy". The Hilbert curve has no jumps: consecutive keys are
+//! always face neighbors. This module provides Hilbert keys over the same
+//! normalized octant lattice as [`crate::sfc`], enabling the
+//! `ablation_sfc` experiment: how much of the baseline's locality gap is
+//! the curve's fault vs fundamental?
+//!
+//! Implementation: Skilling's compact transpose algorithm (J. Skilling,
+//! "Programming the Hilbert curve", AIP Conf. Proc. 707, 2004), reimplemented
+//! from the published description.
+
+use crate::geom::Dim;
+use crate::octant::Octant;
+use crate::tree::NORM_LEVEL;
+
+/// Convert axis coordinates to the Hilbert "transpose" form, in place.
+///
+/// `bits` is the per-axis resolution. After the call, the Hilbert index is
+/// the bit-interleave of the transformed coordinates, most significant bit
+/// of `x[0]` first.
+fn axes_to_transpose(x: &mut [u32], bits: u32) {
+    let n = x.len();
+    debug_assert!((1..=32).contains(&bits));
+    let m = 1u32 << (bits - 1);
+
+    // Inverse undo.
+    let mut q = m;
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..n {
+            if x[i] & q != 0 {
+                x[0] ^= p; // invert low bits of x[0]
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+
+    // Gray encode.
+    for i in 1..n {
+        x[i] ^= x[i - 1];
+    }
+    let mut t = 0u32;
+    let mut q = m;
+    while q > 1 {
+        if x[n - 1] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for v in x.iter_mut() {
+        *v ^= t;
+    }
+}
+
+/// Interleave transpose-form coordinates into a single index, MSB-first.
+fn transpose_to_index(x: &[u32], bits: u32) -> u64 {
+    let n = x.len();
+    let mut h = 0u64;
+    for b in (0..bits).rev() {
+        for xi in x.iter().take(n) {
+            h = (h << 1) | ((xi >> b) & 1) as u64;
+        }
+    }
+    h
+}
+
+/// Hilbert index of a point on a `2^bits` lattice.
+pub fn hilbert_index(coords: &[u32], bits: u32) -> u64 {
+    let mut x: Vec<u32> = coords.to_vec();
+    axes_to_transpose(&mut x, bits);
+    transpose_to_index(&x, bits)
+}
+
+/// Hilbert key of an octant, normalized to [`NORM_LEVEL`] like
+/// [`crate::sfc::sfc_key`]. Children of a refined leaf occupy the parent's
+/// key range, so sorting leaves by this key yields a valid (non-Z) SFC
+/// traversal.
+pub fn hilbert_key(o: &Octant, dim: Dim) -> u64 {
+    debug_assert!(o.level <= NORM_LEVEL);
+    let shift = (NORM_LEVEL - o.level) as u32;
+    // Resolution: NORM_LEVEL bits for the octant lattice plus up to 5 root
+    // bits; 21 bits/axis keeps the 3D index within u64 (63 bits).
+    let bits = 21u32;
+    match dim {
+        Dim::D2 => hilbert_index(&[o.x << shift, o.y << shift], bits),
+        Dim::D3 => hilbert_index(&[o.x << shift, o.y << shift, o.z << shift], bits),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Decode helper for testing: walk all cells of a small lattice, sort by
+    /// index, verify the path is a Hamiltonian face-neighbor walk.
+    fn check_hamiltonian_path(dims: usize, bits: u32) {
+        let side = 1usize << bits;
+        let total = side.pow(dims as u32);
+        let mut cells: Vec<(u64, Vec<u32>)> = Vec::with_capacity(total);
+        let mut idx = vec![0u32; dims];
+        for flat in 0..total {
+            let mut f = flat;
+            for v in idx.iter_mut() {
+                *v = (f % side) as u32;
+                f /= side;
+            }
+            cells.push((hilbert_index(&idx, bits), idx.clone()));
+        }
+        cells.sort();
+        // All indices distinct and dense in [0, total).
+        for (i, (h, _)) in cells.iter().enumerate() {
+            assert_eq!(*h, i as u64, "Hilbert indices must be a dense permutation");
+        }
+        // Consecutive cells are face neighbors (L1 distance exactly 1).
+        for w in cells.windows(2) {
+            let d: u32 = w[0]
+                .1
+                .iter()
+                .zip(&w[1].1)
+                .map(|(a, b)| a.abs_diff(*b))
+                .sum();
+            assert_eq!(d, 1, "jump between {:?} and {:?}", w[0].1, w[1].1);
+        }
+    }
+
+    #[test]
+    fn hilbert_2d_is_hamiltonian_walk() {
+        check_hamiltonian_path(2, 1);
+        check_hamiltonian_path(2, 2);
+        check_hamiltonian_path(2, 3);
+        check_hamiltonian_path(2, 4);
+    }
+
+    #[test]
+    fn hilbert_3d_is_hamiltonian_walk() {
+        check_hamiltonian_path(3, 1);
+        check_hamiltonian_path(3, 2);
+        check_hamiltonian_path(3, 3);
+    }
+
+    #[test]
+    fn octant_keys_unique_across_levels() {
+        use crate::tree::Octree;
+        let mut t = Octree::uniform_roots(Dim::D3, (2, 2, 2));
+        t.refine(&Octant::new(0, 0, 0, 0));
+        t.refine(&Octant::new(1, 0, 0, 0));
+        let mut keys: Vec<u64> = t
+            .leaves()
+            .map(|o| hilbert_key(o, Dim::D3))
+            .collect();
+        let n = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), n);
+    }
+
+    #[test]
+    fn hilbert_has_better_adjacency_than_zorder() {
+        // Count how many consecutive key pairs are face neighbors on a flat
+        // 8x8x8 lattice: Hilbert should win decisively (it is 100%).
+        use crate::morton::morton_encode3;
+        let bits = 3;
+        let side = 1u32 << bits;
+        let mut hil: Vec<(u64, (u32, u32, u32))> = Vec::new();
+        let mut mor: Vec<(u64, (u32, u32, u32))> = Vec::new();
+        for z in 0..side {
+            for y in 0..side {
+                for x in 0..side {
+                    hil.push((hilbert_index(&[x, y, z], bits), (x, y, z)));
+                    mor.push((morton_encode3(x, y, z), (x, y, z)));
+                }
+            }
+        }
+        hil.sort();
+        mor.sort();
+        let adj = |v: &[(u64, (u32, u32, u32))]| {
+            v.windows(2)
+                .filter(|w| {
+                    let a = w[0].1;
+                    let b = w[1].1;
+                    a.0.abs_diff(b.0) + a.1.abs_diff(b.1) + a.2.abs_diff(b.2) == 1
+                })
+                .count()
+        };
+        let h = adj(&hil);
+        let m = adj(&mor);
+        assert_eq!(h, hil.len() - 1, "Hilbert must be a perfect walk");
+        assert!(m < h, "Z-order {m} should have fewer adjacent steps than Hilbert {h}");
+    }
+}

@@ -1,0 +1,518 @@
+//! `AmrMesh`: the top-level mesh API tying together tree, blocks, SFC
+//! ordering and neighbor topology.
+//!
+//! This is the interface the rest of the workspace consumes: workloads tag
+//! blocks for (de)refinement, the mesh adapts while keeping 2:1 balance,
+//! block IDs are re-assigned in SFC order (exactly the redistribution
+//! pipeline of §V-A: *assign block IDs via Z-order SFC → compute placement →
+//! migrate*), and placement policies read the SFC-ordered cost vector plus
+//! the neighbor graph.
+
+use crate::block::{BlockId, BlockSpec, MeshBlock};
+use crate::geom::{Aabb, Dim};
+use crate::neighbors::NeighborGraph;
+use crate::octant::Octant;
+use crate::tree::{Octree, NORM_LEVEL};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Static configuration of an AMR mesh.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MeshConfig {
+    pub dim: Dim,
+    /// Root grid (initial blocks per axis). One initial block per root.
+    pub roots: (u32, u32, u32),
+    /// Physical domain covered by the root grid.
+    pub domain: Aabb,
+    /// Per-block cell counts / ghost width / variables.
+    pub spec: BlockSpec,
+    /// Maximum refinement level (relative to the roots).
+    pub max_level: u8,
+    /// Periodic domain boundaries (opposite faces are neighbors).
+    pub periodic: bool,
+}
+
+impl MeshConfig {
+    /// Config for the paper's Sedov setups: `mesh_cells` total cells per axis
+    /// with `16³` blocks gives `mesh_cells/16` roots per axis (Table I).
+    pub fn from_cells(dim: Dim, mesh_cells: (u32, u32, u32), max_level: u8) -> MeshConfig {
+        let spec = BlockSpec::default();
+        let b = spec.cells_per_axis;
+        assert!(
+            mesh_cells.0.is_multiple_of(b) && mesh_cells.1.is_multiple_of(b) && (dim == Dim::D2 || mesh_cells.2.is_multiple_of(b)),
+            "mesh cells must be a multiple of the block size"
+        );
+        MeshConfig {
+            dim,
+            roots: (
+                mesh_cells.0 / b,
+                mesh_cells.1 / b,
+                if dim == Dim::D2 { 1 } else { mesh_cells.2 / b },
+            ),
+            domain: Aabb::unit(),
+            spec,
+            max_level,
+            periodic: false,
+        }
+    }
+
+    /// Same configuration with periodic domain boundaries.
+    pub fn with_periodic(mut self) -> MeshConfig {
+        self.periodic = true;
+        self
+    }
+}
+
+/// Per-block adaptation decision produced by a workload's tagging criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefineTag {
+    /// Split the block into `2^d` children.
+    Refine,
+    /// Merge with siblings into the parent (only applied if all siblings
+    /// agree and 2:1 balance permits).
+    Coarsen,
+    /// Leave as is.
+    Keep,
+}
+
+/// Summary of one adaptation step.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RefinementDelta {
+    /// Leaves refined (including balance-induced ripples).
+    pub refined: usize,
+    /// Parents created by coarsening.
+    pub coarsened: usize,
+    /// Block count before adaptation.
+    pub blocks_before: usize,
+    /// Block count after adaptation.
+    pub blocks_after: usize,
+}
+
+impl RefinementDelta {
+    /// Did the mesh change (requiring redistribution)?
+    pub fn changed(&self) -> bool {
+        self.refined > 0 || self.coarsened > 0
+    }
+}
+
+/// A block-structured AMR mesh: 2:1-balanced octree forest + SFC-ordered
+/// block index.
+///
+/// ```
+/// use amr_mesh::{AmrMesh, Dim, MeshConfig, Point, RefineTag};
+/// // 64^3 cells, 16^3 blocks -> 4x4x4 roots.
+/// let mut mesh = AmrMesh::new(MeshConfig::from_cells(Dim::D3, (64, 64, 64), 2));
+/// assert_eq!(mesh.num_blocks(), 64);
+/// let hot = Point::new(0.25, 0.25, 0.25);
+/// mesh.adapt(|b| if b.bounds.contains(&hot) { RefineTag::Refine } else { RefineTag::Keep });
+/// assert_eq!(mesh.num_blocks(), 64 + 7); // one block split into 8
+/// mesh.check_invariants().unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct AmrMesh {
+    config: MeshConfig,
+    tree: Octree,
+    blocks: Vec<MeshBlock>,
+    id_of: HashMap<Octant, BlockId>,
+}
+
+impl AmrMesh {
+    /// Build the initial mesh: one block per root-grid cell.
+    pub fn new(config: MeshConfig) -> AmrMesh {
+        assert!(config.max_level <= NORM_LEVEL);
+        let mut tree = Octree::uniform_roots(config.dim, config.roots);
+        tree.set_periodic(config.periodic);
+        let mut mesh = AmrMesh {
+            config,
+            tree,
+            blocks: Vec::new(),
+            id_of: HashMap::new(),
+        };
+        mesh.rebuild_index();
+        mesh
+    }
+
+    /// Rebuild a mesh from a config and a validated tree (checkpoint
+    /// restore). Fails if the tree's dimensionality or root grid disagrees
+    /// with the config.
+    pub fn from_parts(config: MeshConfig, tree: Octree) -> Result<AmrMesh, String> {
+        if tree.dim() != config.dim {
+            return Err("tree/config dimensionality mismatch".into());
+        }
+        let rz = match config.dim {
+            Dim::D2 => 1,
+            Dim::D3 => config.roots.2,
+        };
+        if tree.roots() != (config.roots.0, config.roots.1, rz) {
+            return Err("tree/config root grid mismatch".into());
+        }
+        if config.max_level > NORM_LEVEL {
+            return Err("max_level beyond supported depth".into());
+        }
+        let mut tree = tree;
+        tree.set_periodic(config.periodic);
+        // Re-validate: periodic domains impose extra 2:1 constraints across
+        // the wrap that a non-periodic check would not see.
+        if config.periodic {
+            tree.check_invariants()?;
+        }
+        let mut mesh = AmrMesh {
+            config,
+            tree,
+            blocks: Vec::new(),
+            id_of: HashMap::new(),
+        };
+        mesh.rebuild_index();
+        Ok(mesh)
+    }
+
+    /// Mesh configuration.
+    #[inline]
+    pub fn config(&self) -> &MeshConfig {
+        &self.config
+    }
+
+    /// Underlying tree (read-only).
+    #[inline]
+    pub fn tree(&self) -> &Octree {
+        &self.tree
+    }
+
+    /// Number of blocks.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Blocks in SFC order (index == `BlockId`).
+    #[inline]
+    pub fn blocks(&self) -> &[MeshBlock] {
+        &self.blocks
+    }
+
+    /// Look up a block by ID.
+    #[inline]
+    pub fn block(&self, id: BlockId) -> &MeshBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// The `BlockId` of a leaf octant, if it is a current leaf.
+    pub fn id_of(&self, o: &Octant) -> Option<BlockId> {
+        self.id_of.get(o).copied()
+    }
+
+    /// Blocks whose bounds intersect `region` (positive-measure overlap),
+    /// in SFC order. Used by diagnostics and region-of-interest tooling.
+    pub fn blocks_in_region(&self, region: &Aabb) -> Vec<BlockId> {
+        self.blocks
+            .iter()
+            .filter(|b| b.bounds.intersects(region))
+            .map(|b| b.id)
+            .collect()
+    }
+
+    /// The block containing a physical point, if the point lies inside the
+    /// domain (half-open block bounds: exactly one block matches).
+    pub fn block_at(&self, p: &crate::geom::Point) -> Option<BlockId> {
+        self.blocks
+            .iter()
+            .find(|b| b.bounds.contains(p))
+            .map(|b| b.id)
+    }
+
+    /// Build the neighbor graph for the current mesh snapshot.
+    pub fn neighbor_graph(&self) -> NeighborGraph {
+        let leaves: Vec<Octant> = self.blocks.iter().map(|b| b.octant).collect();
+        NeighborGraph::build(&self.tree, &leaves)
+    }
+
+    /// Apply one adaptation step driven by a per-block tagging criterion.
+    ///
+    /// Refinement is capped at `config.max_level` and triggers 2:1 ripple
+    /// refinement; coarsening requires all `2^d` siblings tagged `Coarsen`
+    /// and balance to permit the merge. Block IDs are re-assigned in SFC
+    /// order afterwards.
+    pub fn adapt<F>(&mut self, tag: F) -> RefinementDelta
+    where
+        F: Fn(&MeshBlock) -> RefineTag,
+    {
+        let blocks_before = self.blocks.len();
+        let tags: Vec<(MeshBlock, RefineTag)> =
+            self.blocks.iter().map(|b| (*b, tag(b))).collect();
+
+        let mut refined = 0usize;
+        for (b, t) in &tags {
+            if *t == RefineTag::Refine && b.level() < self.config.max_level {
+                refined += self.tree.refine(&b.octant);
+            }
+        }
+
+        // Group coarsen tags by parent; merge only complete, willing families.
+        let mut coarsened = 0usize;
+        let mut by_parent: HashMap<Octant, usize> = HashMap::new();
+        for (b, t) in &tags {
+            if *t == RefineTag::Coarsen {
+                if let Some(p) = b.octant.parent() {
+                    *by_parent.entry(p).or_insert(0) += 1;
+                }
+            }
+        }
+        let family = self.config.dim.children_per_octant();
+        let mut parents: Vec<Octant> = by_parent
+            .iter()
+            .filter(|(_, &c)| c == family)
+            .map(|(p, _)| *p)
+            .collect();
+        // Deterministic order for reproducibility.
+        parents.sort();
+        for p in parents {
+            // A sibling may have been refined by a balance ripple above; the
+            // can_coarsen check inside coarsen() guards that.
+            if self.tree.coarsen(&p) {
+                coarsened += 1;
+            }
+        }
+
+        self.rebuild_index();
+        RefinementDelta {
+            refined,
+            coarsened,
+            blocks_before,
+            blocks_after: self.blocks.len(),
+        }
+    }
+
+    /// Recompute SFC-ordered block IDs and physical bounds after any tree
+    /// mutation.
+    fn rebuild_index(&mut self) {
+        let leaves = self.tree.leaves_sorted();
+        self.blocks.clear();
+        self.id_of.clear();
+        self.blocks.reserve(leaves.len());
+        for (i, o) in leaves.iter().enumerate() {
+            let id = BlockId(i as u32);
+            self.blocks.push(MeshBlock {
+                id,
+                octant: *o,
+                bounds: o.bounds(&self.config.domain, self.tree.roots(), self.config.dim),
+            });
+            self.id_of.insert(*o, id);
+        }
+    }
+
+    /// Validate structural invariants (tiling, balance, index coherence).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.tree.check_invariants()?;
+        if self.blocks.len() != self.tree.num_leaves() {
+            return Err("block index out of sync with tree".into());
+        }
+        for (i, b) in self.blocks.iter().enumerate() {
+            if b.id.index() != i {
+                return Err(format!("block {i} has id {}", b.id));
+            }
+            if self.id_of.get(&b.octant) != Some(&b.id) {
+                return Err(format!("octant map out of sync for {}", b.id));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Point;
+
+    fn cfg(roots: u32, max_level: u8) -> MeshConfig {
+        MeshConfig {
+            dim: Dim::D3,
+            roots: (roots, roots, roots),
+            domain: Aabb::unit(),
+            spec: BlockSpec::default(),
+            max_level,
+            periodic: false,
+        }
+    }
+
+    #[test]
+    fn table1_configs_have_one_block_per_rank() {
+        // Table I: 512 ranks <-> 128^3 cells, 16^3 blocks -> 512 roots.
+        let m = AmrMesh::new(MeshConfig::from_cells(Dim::D3, (128, 128, 128), 3));
+        assert_eq!(m.num_blocks(), 512);
+        let m = AmrMesh::new(MeshConfig::from_cells(Dim::D3, (128, 128, 256), 3));
+        assert_eq!(m.num_blocks(), 1024);
+        let m = AmrMesh::new(MeshConfig::from_cells(Dim::D3, (128, 256, 256), 3));
+        assert_eq!(m.num_blocks(), 2048);
+        let m = AmrMesh::new(MeshConfig::from_cells(Dim::D3, (256, 256, 256), 3));
+        assert_eq!(m.num_blocks(), 4096);
+    }
+
+    #[test]
+    fn adapt_refines_tagged_blocks() {
+        let mut m = AmrMesh::new(cfg(2, 3));
+        let delta = m.adapt(|b| {
+            if b.bounds.contains(&Point::new(0.1, 0.1, 0.1)) {
+                RefineTag::Refine
+            } else {
+                RefineTag::Keep
+            }
+        });
+        assert!(delta.changed());
+        assert_eq!(delta.refined, 1);
+        assert_eq!(delta.blocks_before, 8);
+        assert_eq!(delta.blocks_after, 15);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn adapt_respects_max_level() {
+        let mut m = AmrMesh::new(cfg(1, 1));
+        let d1 = m.adapt(|_| RefineTag::Refine);
+        assert_eq!(d1.blocks_after, 8);
+        // All at max level now; further refinement is a no-op.
+        let d2 = m.adapt(|_| RefineTag::Refine);
+        assert!(!d2.changed());
+        assert_eq!(d2.blocks_after, 8);
+    }
+
+    #[test]
+    fn adapt_coarsens_complete_families_only() {
+        let mut m = AmrMesh::new(cfg(2, 2));
+        m.adapt(|b| {
+            if b.octant == Octant::new(0, 0, 0, 0) {
+                RefineTag::Refine
+            } else {
+                RefineTag::Keep
+            }
+        });
+        assert_eq!(m.num_blocks(), 15);
+        // Tag only some of the children: nothing merges.
+        let d = m.adapt(|b| {
+            if b.level() == 1 && b.octant.x == 0 && b.octant.y == 0 && b.octant.z == 0 {
+                RefineTag::Coarsen
+            } else {
+                RefineTag::Keep
+            }
+        });
+        assert_eq!(d.coarsened, 0);
+        // Tag the whole family: merges back.
+        let d = m.adapt(|b| {
+            if b.level() == 1 {
+                RefineTag::Coarsen
+            } else {
+                RefineTag::Keep
+            }
+        });
+        assert_eq!(d.coarsened, 1);
+        assert_eq!(m.num_blocks(), 8);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn block_ids_are_sfc_sequential_after_adapt() {
+        let mut m = AmrMesh::new(cfg(2, 2));
+        m.adapt(|b| {
+            if b.octant.x == 0 {
+                RefineTag::Refine
+            } else {
+                RefineTag::Keep
+            }
+        });
+        m.check_invariants().unwrap();
+        let keys: Vec<u64> = m
+            .blocks()
+            .iter()
+            .map(|b| crate::sfc::sfc_key(&b.octant, Dim::D3))
+            .collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn neighbor_graph_matches_block_count() {
+        let mut m = AmrMesh::new(cfg(2, 2));
+        m.adapt(|b| {
+            if b.octant.x == 0 && b.octant.y == 0 {
+                RefineTag::Refine
+            } else {
+                RefineTag::Keep
+            }
+        });
+        let g = m.neighbor_graph();
+        assert_eq!(g.num_blocks(), m.num_blocks());
+        g.check_symmetry().unwrap();
+    }
+
+    #[test]
+    fn periodic_mesh_has_full_neighborhoods() {
+        // Every block of a uniform periodic 3D mesh has exactly 26 neighbors
+        // (wrap-around removes the domain boundary).
+        let m = AmrMesh::new(
+            MeshConfig::from_cells(Dim::D3, (64, 64, 64), 1).with_periodic(),
+        );
+        let g = m.neighbor_graph();
+        g.check_symmetry().unwrap();
+        for (_, nbs) in g.iter() {
+            assert_eq!(nbs.len(), 26);
+        }
+    }
+
+    #[test]
+    fn periodic_refinement_ripples_across_the_wrap() {
+        // Deep refinement at the domain corner must ripple to the opposite
+        // corner blocks through the periodic boundary.
+        let mut m = AmrMesh::new(
+            MeshConfig::from_cells(Dim::D3, (64, 64, 64), 2).with_periodic(),
+        );
+        m.adapt(|b| {
+            if b.octant == Octant::new(0, 0, 0, 0) {
+                RefineTag::Refine
+            } else {
+                RefineTag::Keep
+            }
+        });
+        let d2 = m.adapt(|b| {
+            if b.octant == Octant::new(1, 0, 0, 0) {
+                RefineTag::Refine
+            } else {
+                RefineTag::Keep
+            }
+        });
+        // The level-2 corner leaf touches the far corner root (3,3,3) across
+        // the wrap; that root must have been ripple-refined.
+        assert!(d2.refined > 1, "no periodic ripple: {d2:?}");
+        assert!(!m.tree().is_leaf(&Octant::new(0, 3, 3, 3)));
+        m.tree().check_invariants().unwrap();
+        let g = m.neighbor_graph();
+        g.check_symmetry().unwrap();
+    }
+
+    #[test]
+    fn spatial_queries() {
+        let m = AmrMesh::new(cfg(4, 1));
+        // The whole domain returns every block.
+        assert_eq!(m.blocks_in_region(&Aabb::unit()).len(), 64);
+        // A thin slab returns one layer of the 4x4x4 grid.
+        let slab = Aabb::new(Point::new(0.0, 0.0, 0.3), Point::new(1.0, 1.0, 0.4));
+        assert_eq!(m.blocks_in_region(&slab).len(), 16);
+        // Point lookup is unique and consistent with bounds.
+        let p = Point::new(0.6, 0.1, 0.9);
+        let id = m.block_at(&p).unwrap();
+        assert!(m.block(id).bounds.contains(&p));
+        // Outside the domain: none.
+        assert!(m.block_at(&Point::new(1.5, 0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn bounds_cover_domain() {
+        let m = AmrMesh::new(cfg(2, 1));
+        let total_vol: f64 = m
+            .blocks()
+            .iter()
+            .map(|b| {
+                let e = b.bounds.extent();
+                e.x * e.y * e.z
+            })
+            .sum();
+        assert!((total_vol - 1.0).abs() < 1e-9);
+    }
+}

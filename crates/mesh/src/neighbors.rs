@@ -1,0 +1,326 @@
+//! Neighbor topology: which blocks exchange boundary data with which.
+//!
+//! Each block communicates with up to 26 neighbors in 3D — faces, edges and
+//! vertices (§II-B). Under 2:1 balance a neighbor is at most one refinement
+//! level away; a coarse block can face up to four fine blocks across one
+//! face. The neighbor graph drives both boundary-exchange simulation and the
+//! locality accounting of placement policies.
+
+use crate::block::BlockId;
+use crate::octant::{Direction, Octant};
+use crate::tree::{Coverage, Octree};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Classification of a shared boundary surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NeighborKind {
+    /// Codimension-1 contact (largest messages).
+    Face,
+    /// Codimension-2 contact.
+    Edge,
+    /// Codimension-3 contact (smallest messages).
+    Vertex,
+}
+
+impl NeighborKind {
+    /// Map a direction's codimension to a kind, given the mesh dimension.
+    ///
+    /// In 2D, codim-1 contact is an edge of the square but plays the "face"
+    /// role (largest message), and codim-2 is the corner/vertex.
+    #[inline]
+    pub fn from_codim(codim: u8) -> NeighborKind {
+        match codim {
+            1 => NeighborKind::Face,
+            2 => NeighborKind::Edge,
+            3 => NeighborKind::Vertex,
+            _ => unreachable!("codim must be 1..=3"),
+        }
+    }
+
+    /// Codimension of the contact (1, 2 or 3).
+    #[inline]
+    pub fn codim(self) -> u8 {
+        match self {
+            NeighborKind::Face => 1,
+            NeighborKind::Edge => 2,
+            NeighborKind::Vertex => 3,
+        }
+    }
+}
+
+/// One directed neighbor relation: the owning block sends a ghost-zone
+/// message to `block` across a `kind` surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// The neighboring block.
+    pub block: BlockId,
+    /// Surface classification (sets the message size).
+    pub kind: NeighborKind,
+    /// `neighbor.level - self.level` ∈ {-1, 0, +1} under 2:1 balance.
+    pub level_delta: i8,
+}
+
+/// The full neighbor graph of a mesh snapshot: `adj[i]` lists the neighbors
+/// of the block with `BlockId(i)`. Relations are symmetric as sets of block
+/// pairs (kinds match; level deltas are negated).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NeighborGraph {
+    adj: Vec<Vec<Neighbor>>,
+}
+
+impl NeighborGraph {
+    /// Build the neighbor graph for all leaves of `tree`, with `leaves`
+    /// given in SFC order (defining the `BlockId` of each leaf).
+    pub fn build(tree: &Octree, leaves: &[Octant]) -> NeighborGraph {
+        let dim = tree.dim();
+        let id_of: HashMap<Octant, BlockId> = leaves
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (*o, BlockId(i as u32)))
+            .collect();
+        let dirs = Direction::all(dim);
+        let mut adj = Vec::with_capacity(leaves.len());
+        for leaf in leaves {
+            let mut seen: HashMap<BlockId, Neighbor> = HashMap::new();
+            for dir in &dirs {
+                let Some(nb_cell) = tree.lattice_neighbor(leaf, *dir) else {
+                    continue;
+                };
+                let kind = NeighborKind::from_codim(dir.codim());
+                match tree.coverage(&nb_cell) {
+                    Coverage::Leaf => {
+                        let id = id_of[&nb_cell];
+                        seen.entry(id).or_insert(Neighbor {
+                            block: id,
+                            kind,
+                            level_delta: 0,
+                        });
+                    }
+                    Coverage::CoveredBy(coarse) => {
+                        let id = id_of[&coarse];
+                        let delta = coarse.level as i8 - leaf.level as i8;
+                        seen.entry(id).or_insert(Neighbor {
+                            block: id,
+                            kind,
+                            level_delta: delta,
+                        });
+                    }
+                    Coverage::Subdivided => {
+                        for fine in touching_descendant_leaves(tree, &nb_cell, *dir) {
+                            let id = id_of[&fine];
+                            let delta = fine.level as i8 - leaf.level as i8;
+                            seen.entry(id).or_insert(Neighbor {
+                                block: id,
+                                kind,
+                                level_delta: delta,
+                            });
+                        }
+                    }
+                    Coverage::Outside => {}
+                }
+            }
+            let mut list: Vec<Neighbor> = seen.into_values().collect();
+            list.sort_by_key(|n| n.block);
+            adj.push(list);
+        }
+        NeighborGraph { adj }
+    }
+
+    /// Number of blocks in the graph.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Neighbors of a block.
+    #[inline]
+    pub fn neighbors(&self, b: BlockId) -> &[Neighbor] {
+        &self.adj[b.index()]
+    }
+
+    /// Iterate over `(block, neighbors)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, &[Neighbor])> {
+        self.adj
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (BlockId(i as u32), v.as_slice()))
+    }
+
+    /// Total number of directed neighbor relations (messages per exchange
+    /// round, before placement-dependent local/remote classification).
+    pub fn total_relations(&self) -> usize {
+        self.adj.iter().map(|v| v.len()).sum()
+    }
+
+    /// Verify symmetry: if `a` lists `b`, then `b` lists `a` with the same
+    /// kind and negated level delta. Returns a description of the first
+    /// violation found.
+    pub fn check_symmetry(&self) -> Result<(), String> {
+        for (a, nbs) in self.iter() {
+            for n in nbs {
+                let back = self.neighbors(n.block).iter().find(|m| m.block == a);
+                match back {
+                    None => {
+                        return Err(format!("{} lists {} but not vice versa", a, n.block))
+                    }
+                    Some(m) => {
+                        if m.kind != n.kind || m.level_delta != -n.level_delta {
+                            return Err(format!(
+                                "asymmetric relation {}<->{}: {:?} vs {:?}",
+                                a, n.block, n, m
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Leaves that are descendants of `cell` and touch the boundary shared with
+/// the cell the direction came from (i.e. on the near side w.r.t. `dir`).
+fn touching_descendant_leaves(tree: &Octree, cell: &Octant, dir: Direction) -> Vec<Octant> {
+    let mut out = Vec::new();
+    collect(tree, cell, dir, &mut out);
+    fn collect(tree: &Octree, cell: &Octant, dir: Direction, out: &mut Vec<Octant>) {
+        match tree.coverage(cell) {
+            Coverage::Leaf => out.push(*cell),
+            Coverage::Subdivided => {
+                for child in cell.children(tree.dim()) {
+                    let near_x = dir.dx == 0 || (dir.dx > 0) == (child.x & 1 == 0);
+                    let near_y = dir.dy == 0 || (dir.dy > 0) == (child.y & 1 == 0);
+                    let near_z = dir.dz == 0 || (dir.dz > 0) == (child.z & 1 == 0);
+                    if near_x && near_y && near_z {
+                        collect(tree, &child, dir, out);
+                    }
+                }
+            }
+            Coverage::CoveredBy(_) | Coverage::Outside => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Dim;
+    use crate::tree::Octree;
+
+    fn graph_of(tree: &Octree) -> NeighborGraph {
+        let leaves = tree.leaves_sorted();
+        NeighborGraph::build(tree, &leaves)
+    }
+
+    #[test]
+    fn uniform_3d_interior_block_has_26_neighbors() {
+        let tree = Octree::uniform_roots(Dim::D3, (4, 4, 4));
+        let leaves = tree.leaves_sorted();
+        let g = NeighborGraph::build(&tree, &leaves);
+        g.check_symmetry().unwrap();
+        // Find an interior leaf (coordinates 1..3 on each axis).
+        let (idx, _) = leaves
+            .iter()
+            .enumerate()
+            .find(|(_, o)| {
+                (1..3).contains(&o.x) && (1..3).contains(&o.y) && (1..3).contains(&o.z)
+            })
+            .unwrap();
+        assert_eq!(g.neighbors(BlockId(idx as u32)).len(), 26);
+    }
+
+    #[test]
+    fn uniform_3d_corner_block_has_7_neighbors() {
+        let tree = Octree::uniform_roots(Dim::D3, (4, 4, 4));
+        let leaves = tree.leaves_sorted();
+        let g = NeighborGraph::build(&tree, &leaves);
+        let (idx, _) = leaves
+            .iter()
+            .enumerate()
+            .find(|(_, o)| o.x == 0 && o.y == 0 && o.z == 0)
+            .unwrap();
+        assert_eq!(g.neighbors(BlockId(idx as u32)).len(), 7);
+    }
+
+    #[test]
+    fn uniform_2d_interior_block_has_8_neighbors() {
+        let tree = Octree::uniform_roots(Dim::D2, (4, 4, 1));
+        let leaves = tree.leaves_sorted();
+        let g = NeighborGraph::build(&tree, &leaves);
+        let (idx, _) = leaves
+            .iter()
+            .enumerate()
+            .find(|(_, o)| o.x == 1 && o.y == 1)
+            .unwrap();
+        assert_eq!(g.neighbors(BlockId(idx as u32)).len(), 8);
+    }
+
+    #[test]
+    fn neighbor_kinds_counted_for_interior_block() {
+        let tree = Octree::uniform_roots(Dim::D3, (3, 3, 3));
+        let leaves = tree.leaves_sorted();
+        let g = NeighborGraph::build(&tree, &leaves);
+        let (idx, _) = leaves
+            .iter()
+            .enumerate()
+            .find(|(_, o)| o.x == 1 && o.y == 1 && o.z == 1)
+            .unwrap();
+        let nbs = g.neighbors(BlockId(idx as u32));
+        let faces = nbs.iter().filter(|n| n.kind == NeighborKind::Face).count();
+        let edges = nbs.iter().filter(|n| n.kind == NeighborKind::Edge).count();
+        let verts = nbs.iter().filter(|n| n.kind == NeighborKind::Vertex).count();
+        assert_eq!((faces, edges, verts), (6, 12, 8));
+    }
+
+    #[test]
+    fn refined_mesh_graph_is_symmetric_with_level_deltas() {
+        let mut tree = Octree::uniform_roots(Dim::D3, (2, 2, 2));
+        tree.refine(&Octant::new(0, 0, 0, 0));
+        tree.check_invariants().unwrap();
+        let leaves = tree.leaves_sorted();
+        let g = NeighborGraph::build(&tree, &leaves);
+        g.check_symmetry().unwrap();
+        // Some fine leaf must list a coarse neighbor (delta = -1): the
+        // refined root's children on the +x/+y/+z sides touch level-0 roots.
+        let has_coarse = leaves
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.level == 1)
+            .any(|(i, _)| {
+                g.neighbors(BlockId(i as u32))
+                    .iter()
+                    .any(|n| n.level_delta == -1)
+            });
+        assert!(has_coarse);
+    }
+
+    #[test]
+    fn coarse_block_sees_four_fine_face_neighbors() {
+        // Refine root (0,0,0); root (1,0,0)'s -x face now touches 4 fine leaves.
+        let mut tree = Octree::uniform_roots(Dim::D3, (2, 2, 2));
+        tree.refine(&Octant::new(0, 0, 0, 0));
+        let leaves = tree.leaves_sorted();
+        let g = NeighborGraph::build(&tree, &leaves);
+        let coarse_idx = leaves
+            .iter()
+            .position(|o| o.level == 0 && o.x == 1 && o.y == 0 && o.z == 0)
+            .unwrap();
+        let fine_face_nbs = g
+            .neighbors(BlockId(coarse_idx as u32))
+            .iter()
+            .filter(|n| n.kind == NeighborKind::Face && n.level_delta == 1)
+            .count();
+        assert_eq!(fine_face_nbs, 4);
+    }
+
+    #[test]
+    fn total_relations_even() {
+        let mut tree = Octree::uniform_roots(Dim::D3, (2, 2, 2));
+        tree.refine(&Octant::new(0, 1, 1, 0));
+        let g = graph_of(&tree);
+        // Directed relations pair up.
+        assert_eq!(g.total_relations() % 2, 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Collective (synchronization) cost model.
+//!
+//! Synchronization operations "inherently expose performance variability by
+//! forcing all ranks to wait until the last rank reaches the synchronization
+//! point" (§II-B). We model barriers/blocking-allreduce with a binomial
+//! tree: once every rank has arrived, completion takes `⌈log₂ r⌉` fabric
+//! hops; each rank's *wait* is the gap between its own arrival and the
+//! collective's completion. This is the mechanism that converts per-rank
+//! compute imbalance into the 35–50%-of-runtime synchronization phase of
+//! Fig. 6a.
+
+/// Result of a collective operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectiveResult {
+    /// Virtual time when the collective completes (same for all ranks).
+    pub completion_ns: u64,
+    /// Per-rank wait time: completion − own arrival − own tree work.
+    pub wait_ns: Vec<u64>,
+}
+
+impl CollectiveResult {
+    /// Total wait summed over ranks.
+    pub fn total_wait_ns(&self) -> u64 {
+        self.wait_ns.iter().sum()
+    }
+
+    /// Maximum single-rank wait (the earliest arriver's penalty).
+    pub fn max_wait_ns(&self) -> u64 {
+        self.wait_ns.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Tree depth for `num_ranks` participants.
+#[inline]
+pub fn tree_depth(num_ranks: usize) -> u32 {
+    if num_ranks <= 1 {
+        0
+    } else {
+        usize::BITS - (num_ranks - 1).leading_zeros()
+    }
+}
+
+/// Execute a barrier given each rank's arrival time at the sync point.
+///
+/// `hop_ns` is the per-tree-level message cost (fabric latency for small
+/// control messages).
+pub fn barrier(arrivals_ns: &[u64], hop_ns: u64) -> CollectiveResult {
+    let r = arrivals_ns.len();
+    assert!(r > 0);
+    let last = arrivals_ns.iter().copied().max().unwrap();
+    let depth = tree_depth(r) as u64;
+    let completion = last + depth * hop_ns;
+    let wait = arrivals_ns
+        .iter()
+        .map(|&a| completion - a.min(completion))
+        .collect();
+    CollectiveResult {
+        completion_ns: completion,
+        wait_ns: wait,
+    }
+}
+
+/// Execute a blocking allreduce: a barrier plus a reduction payload moved at
+/// every level (small vectors in AMR codes — timestep control values).
+pub fn allreduce(arrivals_ns: &[u64], hop_ns: u64, payload_bytes: u64, bytes_per_ns: f64) -> CollectiveResult {
+    let payload_ns = (payload_bytes as f64 / bytes_per_ns) as u64;
+    barrier(arrivals_ns, hop_ns + payload_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_is_log2_ceiling() {
+        assert_eq!(tree_depth(1), 0);
+        assert_eq!(tree_depth(2), 1);
+        assert_eq!(tree_depth(3), 2);
+        assert_eq!(tree_depth(4), 2);
+        assert_eq!(tree_depth(512), 9);
+        assert_eq!(tree_depth(4096), 12);
+        assert_eq!(tree_depth(4097), 13);
+    }
+
+    #[test]
+    fn straggler_sets_completion() {
+        let r = barrier(&[10, 20, 1000, 30], 5);
+        assert_eq!(r.completion_ns, 1000 + 2 * 5);
+        // The straggler waits only for the tree; early arrivers wait longest.
+        assert_eq!(r.wait_ns[2], 10);
+        assert_eq!(r.wait_ns[0], 1000);
+        assert_eq!(r.max_wait_ns(), 1000);
+    }
+
+    #[test]
+    fn uniform_arrivals_mean_minimal_wait() {
+        let r = barrier(&[100; 64], 5);
+        let depth = tree_depth(64) as u64;
+        assert!(r.wait_ns.iter().all(|&w| w == depth * 5));
+    }
+
+    #[test]
+    fn wait_grows_with_scale_for_same_imbalance() {
+        // Same arrival spread, more ranks -> deeper tree, and with random
+        // stragglers the expected max grows; here just check tree term.
+        let small = barrier(&[0, 100], 10);
+        let large = barrier(&vec![0; 1023].into_iter().chain([100]).collect::<Vec<_>>(), 10);
+        assert!(large.completion_ns > small.completion_ns);
+    }
+
+    #[test]
+    fn allreduce_adds_payload_cost() {
+        let b = barrier(&[0, 0], 10);
+        let a = allreduce(&[0, 0], 10, 1000, 1.0);
+        assert!(a.completion_ns > b.completion_ns);
+    }
+
+    #[test]
+    fn total_wait_sums() {
+        let r = barrier(&[0, 50], 0);
+        assert_eq!(r.total_wait_ns(), 50);
+    }
+}

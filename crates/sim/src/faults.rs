@@ -1,0 +1,106 @@
+//! Fault injection: the fail-slow hardware and OS-noise behaviors the paper
+//! had to diagnose before placement work could start (§IV-A).
+//!
+//! * **Thermal throttling** — whole nodes compute slower by a factor
+//!   (the paper measured ≈4×), affecting all 16 ranks of the node at once.
+//!   This cluster signature is what [`crate::health`] and
+//!   `amr_telemetry::anomaly::detect_throttling` look for.
+//! * **OS jitter** — small multiplicative noise on every compute kernel,
+//!   always present even on healthy nodes (Petrini et al.'s classic
+//!   "missing supercomputer performance").
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Fault-injection configuration for a simulated run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct FaultConfig {
+    /// Nodes whose ranks compute `throttle_factor`× slower.
+    pub throttled_nodes: BTreeSet<usize>,
+    /// Compute-time inflation on throttled nodes (the paper observed ~4×).
+    pub throttle_factor: f64,
+    /// Uniform multiplicative compute jitter half-width: each kernel's time
+    /// is scaled by `1 + U(-jitter, +jitter)`.
+    pub compute_jitter: f64,
+}
+
+impl FaultConfig {
+    /// No faults, light OS jitter — the post-§IV "tuned and healthy" state.
+    pub fn healthy() -> FaultConfig {
+        FaultConfig {
+            throttled_nodes: BTreeSet::new(),
+            throttle_factor: 1.0,
+            compute_jitter: 0.02,
+        }
+    }
+
+    /// Throttle the given nodes at the paper's observed 4× inflation.
+    pub fn with_throttled_nodes(nodes: impl IntoIterator<Item = usize>) -> FaultConfig {
+        FaultConfig {
+            throttled_nodes: nodes.into_iter().collect(),
+            throttle_factor: 4.0,
+            ..FaultConfig::healthy()
+        }
+    }
+
+    /// Compute-time multiplier for a rank on `node`, sampling jitter from
+    /// `rng`.
+    pub fn compute_multiplier<R: Rng>(&self, node: usize, rng: &mut R) -> f64 {
+        let base = if self.throttled_nodes.contains(&node) {
+            self.throttle_factor
+        } else {
+            1.0
+        };
+        if self.compute_jitter > 0.0 {
+            base * (1.0 + rng.gen_range(-self.compute_jitter..self.compute_jitter))
+        } else {
+            base
+        }
+    }
+
+    /// Any node-level faults configured?
+    pub fn any_throttled(&self) -> bool {
+        !self.throttled_nodes.is_empty() && self.throttle_factor > 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn healthy_multiplier_near_one() {
+        let f = FaultConfig::healthy();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let m = f.compute_multiplier(3, &mut rng);
+            assert!((0.9..1.1).contains(&m));
+        }
+        assert!(!f.any_throttled());
+    }
+
+    #[test]
+    fn throttled_node_inflates() {
+        let f = FaultConfig::with_throttled_nodes([2]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let healthy = f.compute_multiplier(0, &mut rng);
+        let slow = f.compute_multiplier(2, &mut rng);
+        assert!(slow > 3.5 && slow < 4.5);
+        assert!(healthy < 1.1);
+        assert!(f.any_throttled());
+    }
+
+    #[test]
+    fn zero_jitter_is_deterministic() {
+        let f = FaultConfig {
+            compute_jitter: 0.0,
+            ..FaultConfig::with_throttled_nodes([1])
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(f.compute_multiplier(1, &mut rng), 4.0);
+        assert_eq!(f.compute_multiplier(0, &mut rng), 1.0);
+    }
+}

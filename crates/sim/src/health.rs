@@ -1,0 +1,96 @@
+//! Node health checks: the measurement-integrity workflow of §IV-A.
+//!
+//! The paper's launch workflow "overprovisioned nodes and ran pre/post-job
+//! health checks... failing nodes were automatically pruned from runs and
+//! blacklisted". Here, a health check runs a short synthetic compute probe
+//! on every rank, feeds per-rank timings to the telemetry throttle detector,
+//! and (if requested) prunes the faulty nodes — replacing them with healthy
+//! spares from the overprovisioned pool, which in simulation terms means
+//! clearing their fault entries.
+
+use crate::faults::FaultConfig;
+use crate::topology::Topology;
+use amr_telemetry::anomaly::{detect_throttling, ThrottleReport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Result of a pre/post-run health check.
+#[derive(Debug, Clone)]
+pub struct HealthCheck {
+    /// Per-rank probe durations (ns).
+    pub probe_ns: Vec<f64>,
+    /// The anomaly detector's verdict.
+    pub report: ThrottleReport,
+}
+
+impl HealthCheck {
+    /// Did every node pass?
+    pub fn all_healthy(&self) -> bool {
+        !self.report.any()
+    }
+}
+
+/// Run a synthetic compute probe (nominal duration `probe_base_ns`) on every
+/// rank and analyze the timings for node-level fail-slow signatures.
+pub fn run_health_check(
+    topology: &Topology,
+    faults: &FaultConfig,
+    probe_base_ns: f64,
+    seed: u64,
+) -> HealthCheck {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let probe_ns: Vec<f64> = (0..topology.num_ranks)
+        .map(|rank| probe_base_ns * faults.compute_multiplier(topology.node_of(rank), &mut rng))
+        .collect();
+    let report = detect_throttling(&probe_ns, topology.ranks_per_node, 2.0, 0.75);
+    HealthCheck { probe_ns, report }
+}
+
+/// Prune the nodes flagged by a health check: in simulation, the ranks are
+/// re-hosted on healthy spares, i.e. the throttle entries disappear.
+/// Returns the cleaned fault config and the list of blacklisted nodes.
+pub fn prune_faulty_nodes(faults: &FaultConfig, check: &HealthCheck) -> (FaultConfig, Vec<u32>) {
+    let mut cleaned = faults.clone();
+    for node in &check.report.throttled_nodes {
+        cleaned.throttled_nodes.remove(&(*node as usize));
+    }
+    (cleaned, check.report.throttled_nodes.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_cluster_passes() {
+        let topo = Topology::paper(64);
+        let check = run_health_check(&topo, &FaultConfig::healthy(), 1.0e6, 1);
+        assert!(check.all_healthy());
+        assert_eq!(check.probe_ns.len(), 64);
+    }
+
+    #[test]
+    fn throttled_node_caught_and_pruned() {
+        let topo = Topology::paper(64); // 4 nodes
+        let faults = FaultConfig::with_throttled_nodes([2]);
+        let check = run_health_check(&topo, &faults, 1.0e6, 2);
+        assert!(!check.all_healthy());
+        assert_eq!(check.report.throttled_nodes, vec![2]);
+        let (cleaned, blacklisted) = prune_faulty_nodes(&faults, &check);
+        assert_eq!(blacklisted, vec![2]);
+        assert!(!cleaned.any_throttled());
+        // Re-check after pruning passes.
+        let recheck = run_health_check(&topo, &cleaned, 1.0e6, 3);
+        assert!(recheck.all_healthy());
+    }
+
+    #[test]
+    fn multiple_faulty_nodes() {
+        let topo = Topology::paper(128); // 8 nodes
+        let faults = FaultConfig::with_throttled_nodes([1, 5, 6]);
+        let check = run_health_check(&topo, &faults, 1.0e6, 4);
+        assert_eq!(check.report.throttled_nodes, vec![1, 5, 6]);
+        let (cleaned, _) = prune_faulty_nodes(&faults, &check);
+        assert!(cleaned.throttled_nodes.is_empty());
+    }
+}

@@ -1,0 +1,513 @@
+//! An event-driven, MPI-like nonblocking communication layer.
+//!
+//! [`crate::microsim`] prices one boundary round analytically; this module
+//! is the ground-truth counterpart: a discrete-event engine in which every
+//! rank executes a *program* of MPI-style operations — `Compute`, `Isend`,
+//! `Irecv`, `WaitAll`, `Barrier` — with genuine nonblocking semantics:
+//! sends post immediately, receives match messages by `(src, tag)` in FIFO
+//! order (with an unexpected-message queue, as in real MPI), `WaitAll`
+//! blocks until every posted receive has matched *and* arrived, and
+//! barriers complete a binomial tree after the last arrival.
+//!
+//! Use it when per-message causality matters (critical-path studies,
+//! validating the analytic models); use `microsim`/`macrosim` for sweeps.
+
+use crate::collectives::tree_depth;
+use crate::network::NetworkConfig;
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Virtual time in nanoseconds.
+pub type SimTime = u64;
+
+/// One operation of a rank's program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Busy compute for the given duration.
+    Compute(u64),
+    /// Post a nonblocking send of `bytes` to `dst` with a matching `tag`.
+    Isend { dst: u32, tag: u32, bytes: u64 },
+    /// Post a nonblocking receive from `src` with `tag`.
+    Irecv { src: u32, tag: u32 },
+    /// Block until all outstanding receives posted so far have completed.
+    WaitAll,
+    /// Enter a global barrier.
+    Barrier,
+}
+
+/// Per-rank outcome of a program run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankStats {
+    /// Time the rank finished its program.
+    pub finish_ns: SimTime,
+    /// Total time blocked in `WaitAll`.
+    pub wait_ns: u64,
+    /// Total time blocked in barriers.
+    pub barrier_ns: u64,
+    /// Messages sent / received.
+    pub sent: u32,
+    pub received: u32,
+}
+
+/// Outcome of an [`MpiWorld::run`].
+#[derive(Debug, Clone)]
+pub struct WorldResult {
+    pub ranks: Vec<RankStats>,
+    /// Virtual time when every rank finished.
+    pub makespan_ns: SimTime,
+}
+
+/// Errors detected by the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// All ranks blocked with no events pending: circular waits or missing
+    /// sends/receives.
+    Deadlock { stuck_ranks: Vec<u32> },
+    /// A barrier was entered by some ranks while another finished its
+    /// program without entering it.
+    BarrierMismatch,
+}
+
+impl std::fmt::Display for MpiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpiError::Deadlock { stuck_ranks } => {
+                write!(f, "deadlock: ranks {stuck_ranks:?} blocked forever")
+            }
+            MpiError::BarrierMismatch => write!(f, "barrier entered by a strict subset of ranks"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Block {
+    None,
+    WaitAll,
+    Barrier,
+    Done,
+}
+
+#[derive(Debug)]
+struct RankState {
+    program: Vec<Op>,
+    pc: usize,
+    clock: SimTime,
+    block: Block,
+    /// Outstanding receive requests: (src, tag) not yet completed.
+    pending_recvs: Vec<(u32, u32)>,
+    /// Matched-but-not-yet-waited receives do not block; only pending ones.
+    stats: RankStats,
+    blocked_since: SimTime,
+}
+
+/// Pending arrivals at a receiver, keyed by (src, tag).
+#[derive(Debug, Default)]
+struct Mailbox {
+    /// Arrived messages not yet matched to a posted receive.
+    unexpected: HashMap<(u32, u32), VecDeque<SimTime>>,
+}
+
+/// The event-driven MPI world.
+pub struct MpiWorld {
+    topology: Topology,
+    network: NetworkConfig,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum Event {
+    /// Message from (src, tag) becomes visible at `dst`.
+    Arrival { dst: u32, src: u32, tag: u32 },
+}
+
+impl MpiWorld {
+    /// Create a world over the given topology and network model.
+    pub fn new(topology: Topology, network: NetworkConfig) -> MpiWorld {
+        MpiWorld { topology, network }
+    }
+
+    /// Execute one program per rank to completion.
+    pub fn run(&self, programs: Vec<Vec<Op>>) -> Result<WorldResult, MpiError> {
+        let r = programs.len();
+        assert_eq!(r, self.topology.num_ranks, "one program per rank");
+        let mut ranks: Vec<RankState> = programs
+            .into_iter()
+            .map(|program| RankState {
+                program,
+                pc: 0,
+                clock: 0,
+                block: Block::None,
+                pending_recvs: Vec::new(),
+                stats: RankStats::default(),
+                blocked_since: 0,
+            })
+            .collect();
+        let mut mailboxes: Vec<Mailbox> = (0..r).map(|_| Mailbox::default()).collect();
+        // Event queue ordered by (time, seq) for determinism.
+        let mut queue: BinaryHeap<Reverse<(SimTime, u64, u32)>> = BinaryHeap::new();
+        let mut events: HashMap<u32, Event> = HashMap::new();
+        let mut seq = 0u64;
+
+        // Barrier bookkeeping.
+        let mut barrier_entered: Vec<Option<SimTime>> = vec![None; r];
+        let mut barrier_count = 0usize;
+
+        // Run every rank as far as it can go; repeat on each event.
+        let mut runnable: VecDeque<usize> = (0..r).collect();
+        loop {
+            while let Some(ri) = runnable.pop_front() {
+                self.advance(
+                    ri,
+                    &mut ranks,
+                    &mut mailboxes,
+                    &mut queue,
+                    &mut events,
+                    &mut seq,
+                    &mut barrier_entered,
+                    &mut barrier_count,
+                    &mut runnable,
+                );
+            }
+            // Barrier release: everyone in?
+            if barrier_count == r {
+                let last = barrier_entered.iter().map(|t| t.unwrap()).max().unwrap();
+                let release = last + tree_depth(r) as u64 * self.network.fabric.latency_ns;
+                for (ri, rank) in ranks.iter_mut().enumerate() {
+                    debug_assert_eq!(rank.block, Block::Barrier);
+                    rank.stats.barrier_ns += release - barrier_entered[ri].unwrap();
+                    rank.clock = release;
+                    rank.block = Block::None;
+                    runnable.push_back(ri);
+                }
+                barrier_entered.iter_mut().for_each(|t| *t = None);
+                barrier_count = 0;
+                continue;
+            }
+            // Deliver the next event.
+            match queue.pop() {
+                Some(Reverse((time, _, eid))) => {
+                    let Event::Arrival { dst, src, tag } = events.remove(&eid).expect("event");
+                    let rank = &mut ranks[dst as usize];
+                    // Match against a pending receive, else park as
+                    // unexpected.
+                    if let Some(pos) = rank
+                        .pending_recvs
+                        .iter()
+                        .position(|&(s, t)| s == src && t == tag)
+                    {
+                        rank.pending_recvs.swap_remove(pos);
+                        rank.stats.received += 1;
+                        // Receive completion costs service time at the head.
+                        let done = time + self.network.recv_overhead_ns;
+                        if rank.block == Block::WaitAll {
+                            rank.clock = rank.clock.max(done);
+                            if rank.pending_recvs.is_empty() {
+                                rank.stats.wait_ns += rank.clock - rank.blocked_since;
+                                rank.block = Block::None;
+                                runnable.push_back(dst as usize);
+                            }
+                        } else {
+                            rank.clock = rank.clock.max(done);
+                        }
+                    } else {
+                        mailboxes[dst as usize]
+                            .unexpected
+                            .entry((src, tag))
+                            .or_default()
+                            .push_back(time);
+                    }
+                }
+                None => break, // no events left
+            }
+        }
+
+        // Completion / error analysis. Deadlocked (WaitAll-stuck) ranks take
+        // precedence: a rank parked at a barrier while others are deadlocked
+        // is a symptom, not the cause.
+        let mut stuck = Vec::new();
+        let mut at_barrier = false;
+        for (ri, rank) in ranks.iter().enumerate() {
+            match rank.block {
+                Block::Done => {}
+                Block::Barrier => at_barrier = true,
+                _ => stuck.push(ri as u32),
+            }
+        }
+        if !stuck.is_empty() {
+            return Err(MpiError::Deadlock { stuck_ranks: stuck });
+        }
+        if at_barrier {
+            return Err(MpiError::BarrierMismatch);
+        }
+
+        let makespan = ranks.iter().map(|r| r.stats.finish_ns).max().unwrap_or(0);
+        Ok(WorldResult {
+            ranks: ranks.into_iter().map(|r| r.stats).collect(),
+            makespan_ns: makespan,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn advance(
+        &self,
+        ri: usize,
+        ranks: &mut [RankState],
+        mailboxes: &mut [Mailbox],
+        queue: &mut BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+        events: &mut HashMap<u32, Event>,
+        seq: &mut u64,
+        barrier_entered: &mut [Option<SimTime>],
+        barrier_count: &mut usize,
+        _runnable: &mut VecDeque<usize>,
+    ) {
+        loop {
+            let rank = &mut ranks[ri];
+            if rank.block != Block::None {
+                return;
+            }
+            if rank.pc >= rank.program.len() {
+                rank.block = Block::Done;
+                rank.stats.finish_ns = rank.clock;
+                return;
+            }
+            let op = rank.program[rank.pc];
+            rank.pc += 1;
+            match op {
+                Op::Compute(dur) => {
+                    rank.clock += dur;
+                }
+                Op::Isend { dst, tag, bytes } => {
+                    rank.clock += self.network.dispatch_ns(bytes);
+                    rank.stats.sent += 1;
+                    let local = self.topology.same_node(ri, dst as usize);
+                    let arrive = rank.clock + self.network.transfer_ns(bytes, local);
+                    let eid = *seq as u32;
+                    events.insert(
+                        eid,
+                        Event::Arrival {
+                            dst,
+                            src: ri as u32,
+                            tag,
+                        },
+                    );
+                    queue.push(Reverse((arrive, *seq, eid)));
+                    *seq += 1;
+                }
+                Op::Irecv { src, tag } => {
+                    // Unexpected message already here? Complete immediately.
+                    let mb = &mut mailboxes[ri];
+                    let done = mb
+                        .unexpected
+                        .get_mut(&(src, tag))
+                        .and_then(|q| q.pop_front());
+                    if let Some(arrival) = done {
+                        ranks[ri].stats.received += 1;
+                        ranks[ri].clock =
+                            ranks[ri].clock.max(arrival + self.network.recv_overhead_ns);
+                    } else {
+                        ranks[ri].pending_recvs.push((src, tag));
+                    }
+                }
+                Op::WaitAll => {
+                    if !rank.pending_recvs.is_empty() {
+                        rank.block = Block::WaitAll;
+                        rank.blocked_since = rank.clock;
+                        return;
+                    }
+                }
+                Op::Barrier => {
+                    rank.block = Block::Barrier;
+                    barrier_entered[ri] = Some(rank.clock);
+                    *barrier_count += 1;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet() -> NetworkConfig {
+        NetworkConfig {
+            ack_loss_prob: 0.0,
+            ..NetworkConfig::tuned()
+        }
+    }
+
+    fn ring_programs(r: usize, bytes: u64, compute: u64) -> Vec<Vec<Op>> {
+        (0..r as u32)
+            .map(|i| {
+                vec![
+                    Op::Irecv {
+                        src: (i + r as u32 - 1) % r as u32,
+                        tag: 0,
+                    },
+                    Op::Isend {
+                        dst: (i + 1) % r as u32,
+                        tag: 0,
+                        bytes,
+                    },
+                    Op::Compute(compute),
+                    Op::WaitAll,
+                    Op::Barrier,
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ring_exchange_completes() {
+        let world = MpiWorld::new(Topology::paper(8), quiet());
+        let res = world.run(ring_programs(8, 4096, 100_000)).unwrap();
+        assert_eq!(res.ranks.len(), 8);
+        for s in &res.ranks {
+            assert_eq!(s.sent, 1);
+            assert_eq!(s.received, 1);
+            assert!(s.finish_ns >= 100_000);
+        }
+        assert!(res.makespan_ns >= 100_000);
+    }
+
+    #[test]
+    fn compute_only_program() {
+        let world = MpiWorld::new(Topology::paper(4), quiet());
+        let progs = (0..4).map(|i| vec![Op::Compute(100 * (i + 1))]).collect();
+        let res = world.run(progs).unwrap();
+        assert_eq!(res.makespan_ns, 400);
+        assert_eq!(res.ranks[2].finish_ns, 300);
+        assert!(res.ranks.iter().all(|s| s.wait_ns == 0));
+    }
+
+    #[test]
+    fn late_send_charges_wait() {
+        // Rank 0 computes long then sends; rank 1 waits.
+        let world = MpiWorld::new(Topology::new(2, 1), quiet());
+        let progs = vec![
+            vec![
+                Op::Compute(1_000_000),
+                Op::Isend { dst: 1, tag: 7, bytes: 100 },
+            ],
+            vec![Op::Irecv { src: 0, tag: 7 }, Op::WaitAll],
+        ];
+        let res = world.run(progs).unwrap();
+        assert!(res.ranks[1].wait_ns >= 1_000_000);
+        assert_eq!(res.ranks[1].received, 1);
+    }
+
+    #[test]
+    fn unexpected_message_queue_matches_fifo() {
+        // Two sends with the same (src, tag) arrive before the receives are
+        // posted; both must match.
+        let world = MpiWorld::new(Topology::new(2, 1), quiet());
+        let progs = vec![
+            vec![
+                Op::Isend { dst: 1, tag: 3, bytes: 10 },
+                Op::Isend { dst: 1, tag: 3, bytes: 10 },
+            ],
+            vec![
+                Op::Compute(10_000_000), // let the messages land first
+                Op::Irecv { src: 0, tag: 3 },
+                Op::Irecv { src: 0, tag: 3 },
+                Op::WaitAll,
+            ],
+        ];
+        let res = world.run(progs).unwrap();
+        assert_eq!(res.ranks[1].received, 2);
+        assert_eq!(res.ranks[1].wait_ns, 0, "messages were already there");
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        // Both ranks wait for a message that is never sent.
+        let world = MpiWorld::new(Topology::new(2, 1), quiet());
+        let progs = vec![
+            vec![Op::Irecv { src: 1, tag: 0 }, Op::WaitAll],
+            vec![Op::Irecv { src: 0, tag: 0 }, Op::WaitAll],
+        ];
+        match world.run(progs) {
+            Err(MpiError::Deadlock { stuck_ranks }) => {
+                assert_eq!(stuck_ranks, vec![0, 1]);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn barrier_mismatch_detected() {
+        let world = MpiWorld::new(Topology::new(2, 1), quiet());
+        let progs = vec![vec![Op::Barrier], vec![Op::Compute(5)]];
+        assert_eq!(world.run(progs).unwrap_err(), MpiError::BarrierMismatch);
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let world = MpiWorld::new(Topology::paper(4), quiet());
+        let progs = (0..4)
+            .map(|i| vec![Op::Compute(100 * (i as u64 + 1)), Op::Barrier, Op::Compute(10)])
+            .collect();
+        let res = world.run(progs).unwrap();
+        // All ranks leave the barrier together; finishes within tree slack.
+        let finishes: Vec<u64> = res.ranks.iter().map(|s| s.finish_ns).collect();
+        assert!(finishes.iter().all(|&f| f == finishes[0]));
+        // The earliest arriver waited the longest.
+        assert!(res.ranks[0].barrier_ns > res.ranks[3].barrier_ns);
+    }
+
+    #[test]
+    fn tags_disambiguate_messages() {
+        // Receiver posts tag 1 then tag 2; sender sends tag 2 then tag 1.
+        let world = MpiWorld::new(Topology::new(2, 1), quiet());
+        let progs = vec![
+            vec![
+                Op::Isend { dst: 1, tag: 2, bytes: 10 },
+                Op::Isend { dst: 1, tag: 1, bytes: 10 },
+            ],
+            vec![
+                Op::Irecv { src: 0, tag: 1 },
+                Op::Irecv { src: 0, tag: 2 },
+                Op::WaitAll,
+            ],
+        ];
+        let res = world.run(progs).unwrap();
+        assert_eq!(res.ranks[1].received, 2);
+    }
+
+    #[test]
+    fn agrees_with_microsim_on_ordering_effects() {
+        // Qualitative cross-validation: a late send (compute-first) must
+        // produce more wait than sends-first in both engines.
+        let world = MpiWorld::new(Topology::paper(8), quiet());
+        let sends_first: Vec<Vec<Op>> = (0..8u32)
+            .map(|i| {
+                vec![
+                    Op::Irecv { src: (i + 7) % 8, tag: 0 },
+                    Op::Isend { dst: (i + 1) % 8, tag: 0, bytes: 20_480 },
+                    Op::Compute(1_000_000),
+                    Op::WaitAll,
+                ]
+            })
+            .collect();
+        let compute_first: Vec<Vec<Op>> = (0..8u32)
+            .map(|i| {
+                vec![
+                    Op::Irecv { src: (i + 7) % 8, tag: 0 },
+                    Op::Compute(1_000_000),
+                    Op::Isend { dst: (i + 1) % 8, tag: 0, bytes: 20_480 },
+                    Op::WaitAll,
+                ]
+            })
+            .collect();
+        let sf = world.run(sends_first).unwrap();
+        let cf = world.run(compute_first).unwrap();
+        let sf_wait: u64 = sf.ranks.iter().map(|s| s.wait_ns).sum();
+        let cf_wait: u64 = cf.ranks.iter().map(|s| s.wait_ns).sum();
+        assert!(sf_wait < cf_wait);
+        assert!(sf.makespan_ns <= cf.makespan_ns);
+    }
+}

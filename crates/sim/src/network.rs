@@ -1,0 +1,178 @@
+//! Communication cost model: shared-memory vs fabric paths, queue
+//! contention, and the PSM ACK-recovery misbehavior.
+//!
+//! Parameters loosely calibrated to the paper's hardware — 40 Gbps QLogic
+//! fabric (≈ 5 GB/s, microsecond-scale latency) and intra-node shared
+//! memory — but what matters to the experiments is the *structure*:
+//!
+//! * local messages are cheaper than remote ones (locality matters);
+//! * per-receiver shared-memory queues of finite depth cause nonlinear
+//!   contention penalties when overflowed (the §IV-B "queue size tuning"
+//!   example — an undersized preconfigured queue destroys the correlation
+//!   between communication time and message volume, Fig. 1a);
+//! * remote sends can, with small probability, hit a missing-ACK recovery
+//!   path that blocks the *sender* in `MPI_Wait` for milliseconds (§IV-B
+//!   "MPI_Wait spikes"); the paper's drain-queue mitigation makes the stall
+//!   invisible to the sender.
+
+use serde::{Deserialize, Serialize};
+
+/// Latency/bandwidth parameters for one communication path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathParams {
+    /// One-way message latency (ns).
+    pub latency_ns: u64,
+    /// Sustained bandwidth in bytes per nanosecond (== GB/s).
+    pub bytes_per_ns: f64,
+}
+
+impl PathParams {
+    /// Pure transfer time of a payload on this path (latency + serialization).
+    #[inline]
+    pub fn transfer_ns(&self, bytes: u64) -> u64 {
+        self.latency_ns + (bytes as f64 / self.bytes_per_ns) as u64
+    }
+}
+
+/// Full network model configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Intra-node shared-memory path.
+    pub shm: PathParams,
+    /// Inter-node fabric path.
+    pub fabric: PathParams,
+    /// Sender-side per-message dispatch overhead (posting the buffer), ns.
+    pub send_overhead_ns: u64,
+    /// Receiver-side per-message processing overhead, ns.
+    pub recv_overhead_ns: u64,
+    /// Depth of the per-receiver shared-memory queue. Messages beyond this
+    /// many simultaneous shm arrivals pay `queue_overflow_penalty_ns` each.
+    pub shm_queue_size: usize,
+    /// Contention penalty per excess shm message (ns).
+    pub queue_overflow_penalty_ns: u64,
+    /// Probability that a remote send triggers the missing-ACK recovery path.
+    pub ack_loss_prob: f64,
+    /// Sender-side stall when recovery triggers (ns). The paper saw
+    /// multi-millisecond stalls.
+    pub ack_recovery_ns: u64,
+    /// The paper's mitigation: a drain queue that transparently re-allocates
+    /// the blocked request so the sender never stalls.
+    pub drain_queue: bool,
+}
+
+impl NetworkConfig {
+    /// The *tuned* stack of §IV-B: generous shm queue, drain-queue
+    /// mitigation enabled. With this configuration, communication time
+    /// correlates cleanly with message volume.
+    pub fn tuned() -> NetworkConfig {
+        NetworkConfig {
+            shm: PathParams {
+                latency_ns: 400,
+                bytes_per_ns: 10.0,
+            },
+            fabric: PathParams {
+                latency_ns: 2_500,
+                bytes_per_ns: 5.0,
+            },
+            send_overhead_ns: 1_500,
+            recv_overhead_ns: 1_500,
+            shm_queue_size: 64,
+            queue_overflow_penalty_ns: 20_000,
+            ack_loss_prob: 0.002,
+            ack_recovery_ns: 5_000_000,
+            drain_queue: true,
+        }
+    }
+
+    /// The *untuned* stack the paper started from: small preconfigured shm
+    /// queue, no drain queue — both §IV-B pathologies active.
+    pub fn untuned() -> NetworkConfig {
+        NetworkConfig {
+            shm_queue_size: 8,
+            drain_queue: false,
+            ..NetworkConfig::tuned()
+        }
+    }
+
+    /// Transfer time for a message between `src` and `dst` given locality.
+    #[inline]
+    pub fn transfer_ns(&self, bytes: u64, local: bool) -> u64 {
+        if local {
+            self.shm.transfer_ns(bytes)
+        } else {
+            self.fabric.transfer_ns(bytes)
+        }
+    }
+
+    /// Sender dispatch cost for one message (independent of path; posting a
+    /// nonblocking send is cheap either way, §II-B).
+    #[inline]
+    pub fn dispatch_ns(&self, bytes: u64) -> u64 {
+        // Injection serializes at fabric bandwidth (worst case of the two).
+        self.send_overhead_ns + (bytes as f64 / self.fabric.bytes_per_ns) as u64
+    }
+
+    /// Receiver-side service time for one message.
+    #[inline]
+    pub fn service_ns(&self, bytes: u64, local: bool) -> u64 {
+        let bw = if local {
+            self.shm.bytes_per_ns
+        } else {
+            self.fabric.bytes_per_ns
+        };
+        self.recv_overhead_ns + (bytes as f64 / bw) as u64
+    }
+
+    /// Total contention penalty for `shm_arrivals` simultaneous shm messages
+    /// at one receiver.
+    #[inline]
+    pub fn shm_contention_ns(&self, shm_arrivals: usize) -> u64 {
+        let excess = shm_arrivals.saturating_sub(self.shm_queue_size);
+        excess as u64 * self.queue_overflow_penalty_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_cheaper_than_remote() {
+        let n = NetworkConfig::tuned();
+        let bytes = 20_480; // one face message
+        assert!(n.transfer_ns(bytes, true) < n.transfer_ns(bytes, false));
+    }
+
+    #[test]
+    fn transfer_scales_with_bytes() {
+        let n = NetworkConfig::tuned();
+        assert!(n.transfer_ns(1 << 20, false) > n.transfer_ns(1 << 10, false));
+        // Latency floor for tiny messages.
+        assert!(n.transfer_ns(1, false) >= n.fabric.latency_ns);
+    }
+
+    #[test]
+    fn untuned_has_small_queue_and_no_drain() {
+        let u = NetworkConfig::untuned();
+        let t = NetworkConfig::tuned();
+        assert!(u.shm_queue_size < t.shm_queue_size);
+        assert!(!u.drain_queue && t.drain_queue);
+    }
+
+    #[test]
+    fn contention_kicks_in_past_queue_size() {
+        let n = NetworkConfig::untuned();
+        assert_eq!(n.shm_contention_ns(n.shm_queue_size), 0);
+        assert_eq!(
+            n.shm_contention_ns(n.shm_queue_size + 3),
+            3 * n.queue_overflow_penalty_ns
+        );
+    }
+
+    #[test]
+    fn service_time_positive() {
+        let n = NetworkConfig::tuned();
+        assert!(n.service_ns(0, true) >= n.recv_overhead_ns);
+        assert!(n.dispatch_ns(0) >= n.send_overhead_ns);
+    }
+}

@@ -1,0 +1,90 @@
+//! Cluster topology: which ranks share a node.
+//!
+//! The paper's cluster packs 16 ranks per node; whether two ranks share a
+//! node decides whether their messages ride the shared-memory path or the
+//! fabric — the distinction behind the local/remote split of Fig. 6c.
+
+use serde::{Deserialize, Serialize};
+
+/// A flat nodes × ranks-per-node topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Total MPI ranks.
+    pub num_ranks: usize,
+    /// Ranks packed per node (16 in the paper's cluster).
+    pub ranks_per_node: usize,
+}
+
+impl Topology {
+    /// Build a topology; ranks fill nodes in order, the last node may be
+    /// partially filled.
+    pub fn new(num_ranks: usize, ranks_per_node: usize) -> Topology {
+        assert!(num_ranks > 0 && ranks_per_node > 0);
+        Topology {
+            num_ranks,
+            ranks_per_node,
+        }
+    }
+
+    /// The paper's configuration: 16 ranks per node.
+    pub fn paper(num_ranks: usize) -> Topology {
+        Topology::new(num_ranks, 16)
+    }
+
+    /// Number of (possibly partially filled) nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_ranks.div_ceil(self.ranks_per_node)
+    }
+
+    /// Node hosting `rank`.
+    #[inline]
+    pub fn node_of(&self, rank: usize) -> usize {
+        debug_assert!(rank < self.num_ranks);
+        rank / self.ranks_per_node
+    }
+
+    /// Do two ranks share a node (shared-memory communication)?
+    #[inline]
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Ranks hosted on `node`.
+    pub fn ranks_on_node(&self, node: usize) -> std::ops::Range<usize> {
+        let start = node * self.ranks_per_node;
+        let end = ((node + 1) * self.ranks_per_node).min(self.num_ranks);
+        start..end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_mapping() {
+        let t = Topology::paper(48);
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(15), 0);
+        assert_eq!(t.node_of(16), 1);
+        assert!(t.same_node(17, 31));
+        assert!(!t.same_node(15, 16));
+    }
+
+    #[test]
+    fn partial_last_node() {
+        let t = Topology::new(20, 16);
+        assert_eq!(t.num_nodes(), 2);
+        assert_eq!(t.ranks_on_node(1), 16..20);
+        assert_eq!(t.ranks_on_node(0), 0..16);
+    }
+
+    #[test]
+    fn single_rank_cluster() {
+        let t = Topology::new(1, 16);
+        assert_eq!(t.num_nodes(), 1);
+        assert!(t.same_node(0, 0));
+    }
+}

@@ -1,0 +1,253 @@
+//! Anomaly detection over telemetry: the diagnostic half of §IV.
+//!
+//! Three detectors mirror the paper's cross-stack failure modes:
+//!
+//! * [`detect_throttling`] — fail-slow hardware (§IV-A, Fig. 2): compute
+//!   times inflated by a large factor on *clusters of ranks sharing a node*
+//!   ("appeared in clusters of 16, an unmistakable sign of thermal
+//!   throttling").
+//! * [`detect_wait_spikes`] — transient MPI_Wait spikes from fabric recovery
+//!   paths (§IV-B, Fig. 1b): rare, large outliers that inflate average
+//!   collective time several-fold while being invisible in aggregates.
+//! * [`variance_ratio`] — before/after variance-regime comparison used to
+//!   validate tuning steps (Fig. 3): did send prioritization / queue sizing
+//!   actually reduce rankwise spread?
+
+use crate::stats;
+
+/// Result of fail-slow (throttling) detection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThrottleReport {
+    /// Ranks whose compute time exceeded the threshold.
+    pub slow_ranks: Vec<u32>,
+    /// Nodes where at least `node_quorum` of the ranks are slow — the
+    /// "cluster of 16" signature distinguishing hardware faults from
+    /// workload imbalance.
+    pub throttled_nodes: Vec<u32>,
+    /// Mean compute-time inflation of slow ranks relative to the median rank.
+    pub inflation: f64,
+    /// Median per-rank compute time used as the baseline.
+    pub median: f64,
+}
+
+impl ThrottleReport {
+    /// Any throttled nodes found?
+    pub fn any(&self) -> bool {
+        !self.throttled_nodes.is_empty()
+    }
+}
+
+/// Detect node-level fail-slow behavior from per-rank compute times.
+///
+/// * `per_rank_compute[r]` — total (or per-step mean) compute time of rank `r`;
+/// * `ranks_per_node` — topology fan-out (16 in the paper's cluster);
+/// * `slow_factor` — how much slower than the median counts as slow (the
+///   paper observed ≈4×; 2.0 is a reasonable detection threshold);
+/// * `node_quorum` — fraction of a node's ranks that must be slow to call
+///   the *node* (not the workload) faulty. 0.75 tolerates a few lucky ranks.
+pub fn detect_throttling(
+    per_rank_compute: &[f64],
+    ranks_per_node: usize,
+    slow_factor: f64,
+    node_quorum: f64,
+) -> ThrottleReport {
+    assert!(ranks_per_node > 0);
+    let median = stats::median(per_rank_compute);
+    let threshold = median * slow_factor;
+    let slow_ranks: Vec<u32> = per_rank_compute
+        .iter()
+        .enumerate()
+        .filter(|(_, &t)| median > 0.0 && t > threshold)
+        .map(|(r, _)| r as u32)
+        .collect();
+
+    let num_nodes = per_rank_compute.len().div_ceil(ranks_per_node);
+    let mut slow_per_node = vec![0usize; num_nodes];
+    for &r in &slow_ranks {
+        slow_per_node[r as usize / ranks_per_node] += 1;
+    }
+    let throttled_nodes: Vec<u32> = slow_per_node
+        .iter()
+        .enumerate()
+        .filter(|(n, &c)| {
+            let node_size = ranks_per_node.min(per_rank_compute.len() - n * ranks_per_node);
+            c as f64 >= node_quorum * node_size as f64 && c > 0
+        })
+        .map(|(n, _)| n as u32)
+        .collect();
+
+    let inflation = if slow_ranks.is_empty() || median == 0.0 {
+        1.0
+    } else {
+        let slow_mean = stats::mean(
+            &slow_ranks
+                .iter()
+                .map(|&r| per_rank_compute[r as usize])
+                .collect::<Vec<_>>(),
+        );
+        slow_mean / median
+    };
+
+    ThrottleReport {
+        slow_ranks,
+        throttled_nodes,
+        inflation,
+        median,
+    }
+}
+
+/// Result of MPI_Wait spike detection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaitSpikeReport {
+    /// Indices (into the input series) of spike events.
+    pub spikes: Vec<usize>,
+    /// Fraction of events that are spikes.
+    pub spike_rate: f64,
+    /// Mean including spikes.
+    pub mean_with: f64,
+    /// Mean excluding spikes.
+    pub mean_without: f64,
+    /// `mean_with / mean_without` — how much the rare spikes inflate the
+    /// average (the paper observed ≈3× on collective time, Fig. 1b).
+    pub amplification: f64,
+}
+
+impl WaitSpikeReport {
+    /// Any spikes found?
+    pub fn any(&self) -> bool {
+        !self.spikes.is_empty()
+    }
+}
+
+/// Detect rare, large outliers in a duration series.
+///
+/// An event is a spike if it exceeds `spike_factor ×` the series median
+/// (median, not mean: the spikes themselves would drag a mean-based
+/// threshold upward and hide their peers).
+pub fn detect_wait_spikes(durations: &[f64], spike_factor: f64) -> WaitSpikeReport {
+    let med = stats::median(durations);
+    let threshold = med * spike_factor;
+    let spikes: Vec<usize> = durations
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| med > 0.0 && d > threshold)
+        .map(|(i, _)| i)
+        .collect();
+    let mean_with = stats::mean(durations);
+    let non_spike: Vec<f64> = durations
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !spikes.contains(i))
+        .map(|(_, &d)| d)
+        .collect();
+    let mean_without = stats::mean(&non_spike);
+    WaitSpikeReport {
+        spike_rate: if durations.is_empty() {
+            0.0
+        } else {
+            spikes.len() as f64 / durations.len() as f64
+        },
+        spikes,
+        mean_with,
+        mean_without,
+        amplification: if mean_without > 0.0 {
+            mean_with / mean_without
+        } else {
+            1.0
+        },
+    }
+}
+
+/// Ratio of coefficients of variation `after / before`. Values < 1 mean the
+/// tuning step reduced relative spread (Fig. 3's "variance clarifies
+/// stepwise" narrative).
+pub fn variance_ratio(before: &[f64], after: &[f64]) -> f64 {
+    let b = stats::coeff_of_variation(before);
+    let a = stats::coeff_of_variation(after);
+    if b == 0.0 {
+        if a == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        a / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throttling_detects_node_clusters() {
+        // 4 nodes x 16 ranks; node 2 throttled at 4x.
+        let mut per_rank = vec![1.0; 64];
+        per_rank[32..48].fill(4.0);
+        let rep = detect_throttling(&per_rank, 16, 2.0, 0.75);
+        assert!(rep.any());
+        assert_eq!(rep.throttled_nodes, vec![2]);
+        assert_eq!(rep.slow_ranks.len(), 16);
+        assert!((rep.inflation - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throttling_ignores_scattered_stragglers() {
+        // One slow rank per node: workload imbalance, not hardware.
+        let mut per_rank = vec![1.0; 64];
+        for n in 0..4 {
+            per_rank[n * 16] = 4.0;
+        }
+        let rep = detect_throttling(&per_rank, 16, 2.0, 0.75);
+        assert_eq!(rep.slow_ranks.len(), 4);
+        assert!(rep.throttled_nodes.is_empty());
+    }
+
+    #[test]
+    fn throttling_handles_partial_last_node() {
+        // 20 ranks, 16 per node: node 1 has 4 ranks, 3 slow => quorum met.
+        let mut per_rank = vec![1.0; 20];
+        per_rank[16] = 5.0;
+        per_rank[17] = 5.0;
+        per_rank[18] = 5.0;
+        let rep = detect_throttling(&per_rank, 16, 2.0, 0.75);
+        assert_eq!(rep.throttled_nodes, vec![1]);
+    }
+
+    #[test]
+    fn throttling_on_empty_and_uniform() {
+        let rep = detect_throttling(&[], 16, 2.0, 0.75);
+        assert!(!rep.any());
+        let rep = detect_throttling(&[1.0; 32], 16, 2.0, 0.75);
+        assert!(!rep.any());
+        assert_eq!(rep.inflation, 1.0);
+    }
+
+    #[test]
+    fn wait_spikes_amplify_mean() {
+        // 99 quick waits + 1 huge spike: mean inflated, median robust.
+        let mut d = vec![1.0; 99];
+        d.push(200.0);
+        let rep = detect_wait_spikes(&d, 10.0);
+        assert!(rep.any());
+        assert_eq!(rep.spikes, vec![99]);
+        assert!((rep.spike_rate - 0.01).abs() < 1e-9);
+        assert!(rep.amplification > 2.5, "amp = {}", rep.amplification);
+    }
+
+    #[test]
+    fn wait_spikes_none_in_clean_series() {
+        let d = vec![1.0, 1.1, 0.9, 1.05];
+        let rep = detect_wait_spikes(&d, 10.0);
+        assert!(!rep.any());
+        assert!((rep.amplification - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_ratio_reflects_tuning() {
+        let noisy = [1.0, 5.0, 0.5, 8.0, 2.0];
+        let tuned = [2.0, 2.1, 1.9, 2.05, 2.0];
+        assert!(variance_ratio(&noisy, &tuned) < 0.2);
+        assert!((variance_ratio(&tuned, &tuned) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,381 @@
+//! A chunked columnar store with embedded statistics (zone maps) and
+//! predicate pushdown.
+//!
+//! Lesson 4's concrete recommendation: "binary columnar formats like Arrow
+//! and Parquet, when paired with in-situ collection, offer a promising
+//! foundation for low-latency BSP telemetry by enabling low-overhead
+//! parsing and **efficient querying via embedded statistics over
+//! partitioned data**." This module is that idea at crate scale:
+//!
+//! * events are partitioned into fixed-size **chunks** (row groups);
+//! * each chunk carries **min/max statistics** for the `step`, `rank` and
+//!   `duration_ns` columns plus a phase bitmask (the zone map);
+//! * range/phase queries consult the zone maps first and **skip whole
+//!   chunks** that cannot match — the dominant access pattern of the
+//!   paper's diagnosis loop is "this step range, that phase, slow events
+//!   only", which prunes aggressively;
+//! * chunks serialize with the same columnar binary codec as
+//!   [`crate::codec`], so a chunked file is just a sequence of framed
+//!   chunks with a statistics footer.
+
+use crate::codec;
+use crate::record::{EventRecord, Phase};
+use crate::table::EventTable;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Per-chunk statistics: the zone map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkStats {
+    pub rows: u32,
+    pub step_min: u32,
+    pub step_max: u32,
+    pub rank_min: u32,
+    pub rank_max: u32,
+    pub duration_min: u64,
+    pub duration_max: u64,
+    /// Bit `p` set ⇔ some row in the chunk has phase code `p`.
+    pub phase_mask: u8,
+}
+
+impl ChunkStats {
+    fn of(table: &EventTable) -> ChunkStats {
+        let mut s = ChunkStats {
+            rows: table.len() as u32,
+            step_min: u32::MAX,
+            step_max: 0,
+            rank_min: u32::MAX,
+            rank_max: 0,
+            duration_min: u64::MAX,
+            duration_max: 0,
+            phase_mask: 0,
+        };
+        for i in 0..table.len() {
+            s.step_min = s.step_min.min(table.steps()[i]);
+            s.step_max = s.step_max.max(table.steps()[i]);
+            s.rank_min = s.rank_min.min(table.ranks()[i]);
+            s.rank_max = s.rank_max.max(table.ranks()[i]);
+            s.duration_min = s.duration_min.min(table.durations()[i]);
+            s.duration_max = s.duration_max.max(table.durations()[i]);
+            s.phase_mask |= 1 << table.phases()[i];
+        }
+        s
+    }
+}
+
+/// A pushdown predicate over the indexed columns. All bounds are inclusive;
+/// `None` means unconstrained.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Predicate {
+    pub step: Option<(u32, u32)>,
+    pub rank: Option<(u32, u32)>,
+    /// Minimum duration — "slow events only", the spike-hunting filter.
+    pub min_duration_ns: Option<u64>,
+    pub phase: Option<Phase>,
+}
+
+impl Predicate {
+    /// Could any row of a chunk with these statistics match?
+    pub fn may_match(&self, s: &ChunkStats) -> bool {
+        if let Some((lo, hi)) = self.step {
+            if s.step_max < lo || s.step_min > hi {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.rank {
+            if s.rank_max < lo || s.rank_min > hi {
+                return false;
+            }
+        }
+        if let Some(min) = self.min_duration_ns {
+            if s.duration_max < min {
+                return false;
+            }
+        }
+        if let Some(p) = self.phase {
+            if s.phase_mask & (1 << p.code()) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Does a single row match?
+    pub fn matches(&self, r: &EventRecord) -> bool {
+        self.step.is_none_or(|(lo, hi)| r.step >= lo && r.step <= hi)
+            && self.rank.is_none_or(|(lo, hi)| r.rank >= lo && r.rank <= hi)
+            && self.min_duration_ns.is_none_or(|m| r.duration_ns >= m)
+            && self.phase.is_none_or(|p| r.phase == p)
+    }
+}
+
+/// An immutable chunked store built from an event table.
+#[derive(Debug, Clone)]
+pub struct ChunkedStore {
+    chunks: Vec<EventTable>,
+    stats: Vec<ChunkStats>,
+}
+
+/// Result of a pushdown scan, with pruning accounting.
+#[derive(Debug, Clone)]
+pub struct ScanResult {
+    /// Matching rows, in storage order.
+    pub rows: Vec<EventRecord>,
+    /// Chunks whose zone map allowed skipping without reading.
+    pub chunks_pruned: usize,
+    /// Chunks actually scanned.
+    pub chunks_scanned: usize,
+}
+
+impl ChunkedStore {
+    /// Partition `table` into chunks of `chunk_rows` rows (storage order is
+    /// the table's current order; sort canonically first for best pruning).
+    pub fn build(table: &EventTable, chunk_rows: usize) -> ChunkedStore {
+        assert!(chunk_rows > 0);
+        let mut chunks = Vec::new();
+        let mut stats = Vec::new();
+        let mut current = EventTable::new();
+        for r in table.iter() {
+            current.push(r);
+            if current.len() == chunk_rows {
+                stats.push(ChunkStats::of(&current));
+                chunks.push(std::mem::take(&mut current));
+            }
+        }
+        if !current.is_empty() {
+            stats.push(ChunkStats::of(&current));
+            chunks.push(current);
+        }
+        ChunkedStore { chunks, stats }
+    }
+
+    /// Number of chunks.
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Total rows.
+    pub fn num_rows(&self) -> usize {
+        self.stats.iter().map(|s| s.rows as usize).sum()
+    }
+
+    /// Zone maps (for inspection/tests).
+    pub fn stats(&self) -> &[ChunkStats] {
+        &self.stats
+    }
+
+    /// Scan with predicate pushdown: chunks whose zone map rules out the
+    /// predicate are skipped entirely.
+    pub fn scan(&self, pred: &Predicate) -> ScanResult {
+        let mut rows = Vec::new();
+        let mut pruned = 0;
+        let mut scanned = 0;
+        for (chunk, stats) in self.chunks.iter().zip(&self.stats) {
+            if !pred.may_match(stats) {
+                pruned += 1;
+                continue;
+            }
+            scanned += 1;
+            for r in chunk.iter() {
+                if pred.matches(&r) {
+                    rows.push(r);
+                }
+            }
+        }
+        ScanResult {
+            rows,
+            chunks_pruned: pruned,
+            chunks_scanned: scanned,
+        }
+    }
+
+    /// Serialize: framed chunks, each a [`crate::codec`] buffer.
+    ///
+    /// ```text
+    /// magic "AMRC" | version u32 | chunk_count u32 |
+    /// (chunk_len u32, chunk_bytes...) × chunk_count
+    /// ```
+    /// Zone maps are rebuilt on load (they are derived data).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"AMRC");
+        buf.put_u32_le(1);
+        buf.put_u32_le(self.chunks.len() as u32);
+        for chunk in &self.chunks {
+            let bytes = codec::encode(chunk);
+            buf.put_u32_le(bytes.len() as u32);
+            buf.put_slice(&bytes);
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize a chunked buffer.
+    pub fn decode(mut buf: &[u8]) -> Result<ChunkedStore, codec::DecodeError> {
+        if buf.remaining() < 12 {
+            return Err(codec::DecodeError::Truncated);
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != b"AMRC" {
+            return Err(codec::DecodeError::BadMagic);
+        }
+        let version = buf.get_u32_le();
+        if version != 1 {
+            return Err(codec::DecodeError::BadVersion(version));
+        }
+        let count = buf.get_u32_le() as usize;
+        let mut chunks = Vec::with_capacity(count);
+        let mut stats = Vec::with_capacity(count);
+        for _ in 0..count {
+            if buf.remaining() < 4 {
+                return Err(codec::DecodeError::Truncated);
+            }
+            let len = buf.get_u32_le() as usize;
+            if buf.remaining() < len {
+                return Err(codec::DecodeError::Truncated);
+            }
+            let chunk = codec::decode(&buf[..len])?;
+            buf.advance(len);
+            stats.push(ChunkStats::of(&chunk));
+            chunks.push(chunk);
+        }
+        Ok(ChunkedStore { chunks, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rows: usize) -> EventTable {
+        let mut t: EventTable = (0..rows as u32)
+            .map(|i| EventRecord {
+                step: i / 64,
+                rank: i % 64,
+                block: i,
+                phase: Phase::ALL[(i % 6) as usize],
+                duration_ns: 100 + (i as u64 % 97) * 10,
+                msg_count: 0,
+                msg_bytes: 0,
+            })
+            .collect();
+        t.sort_canonical();
+        t
+    }
+
+    #[test]
+    fn chunking_partitions_all_rows() {
+        let t = sample(1000);
+        let s = ChunkedStore::build(&t, 128);
+        assert_eq!(s.num_rows(), 1000);
+        assert_eq!(s.num_chunks(), 8); // 7 full + 1 tail
+        assert_eq!(s.stats()[0].rows, 128);
+        assert_eq!(s.stats()[7].rows, 1000 - 7 * 128);
+    }
+
+    #[test]
+    fn step_range_pushdown_prunes_chunks() {
+        let t = sample(4096); // steps 0..64, sorted by step
+        let s = ChunkedStore::build(&t, 256);
+        let pred = Predicate {
+            step: Some((10, 11)),
+            ..Predicate::default()
+        };
+        let res = s.scan(&pred);
+        // Correctness: identical to a full filter.
+        let expect = t.iter().filter(|r| pred.matches(r)).count();
+        assert_eq!(res.rows.len(), expect);
+        assert!(expect > 0);
+        // Pruning: the narrow step range must skip most chunks.
+        assert!(
+            res.chunks_pruned > res.chunks_scanned,
+            "pruned {} vs scanned {}",
+            res.chunks_pruned,
+            res.chunks_scanned
+        );
+    }
+
+    #[test]
+    fn phase_mask_prunes_when_sorted_by_phase() {
+        // Group rows by phase so chunks become phase-pure.
+        let mut rows: Vec<EventRecord> = sample(1200).iter().collect();
+        rows.sort_by_key(|r| r.phase.code());
+        let t: EventTable = rows.into_iter().collect();
+        let s = ChunkedStore::build(&t, 100);
+        let pred = Predicate {
+            phase: Some(Phase::Redistribution),
+            ..Predicate::default()
+        };
+        let res = s.scan(&pred);
+        assert!(res.chunks_pruned > 0);
+        assert!(res.rows.iter().all(|r| r.phase == Phase::Redistribution));
+        assert_eq!(
+            res.rows.len(),
+            t.iter().filter(|r| r.phase == Phase::Redistribution).count()
+        );
+    }
+
+    #[test]
+    fn duration_pushdown_finds_spikes_cheaply() {
+        // One spike hidden in a sea of fast events.
+        let mut t = sample(2000);
+        t.push(EventRecord {
+            step: 1000,
+            rank: 0,
+            block: 0,
+            phase: Phase::MpiWait,
+            duration_ns: 5_000_000,
+            msg_count: 0,
+            msg_bytes: 0,
+        });
+        let s = ChunkedStore::build(&t, 100);
+        let pred = Predicate {
+            min_duration_ns: Some(1_000_000),
+            ..Predicate::default()
+        };
+        let res = s.scan(&pred);
+        assert_eq!(res.rows.len(), 1);
+        assert_eq!(res.rows[0].duration_ns, 5_000_000);
+        // All but the spike's chunk pruned by the duration zone map.
+        assert_eq!(res.chunks_scanned, 1);
+    }
+
+    #[test]
+    fn empty_predicate_scans_everything() {
+        let t = sample(500);
+        let s = ChunkedStore::build(&t, 64);
+        let res = s.scan(&Predicate::default());
+        assert_eq!(res.rows.len(), 500);
+        assert_eq!(res.chunks_pruned, 0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let t = sample(777);
+        let s = ChunkedStore::build(&t, 100);
+        let bytes = s.encode();
+        let back = ChunkedStore::decode(&bytes).unwrap();
+        assert_eq!(back.num_rows(), 777);
+        assert_eq!(back.num_chunks(), s.num_chunks());
+        assert_eq!(back.stats(), s.stats());
+        // Scans agree.
+        let pred = Predicate {
+            rank: Some((3, 5)),
+            ..Predicate::default()
+        };
+        assert_eq!(back.scan(&pred).rows.len(), s.scan(&pred).rows.len());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(ChunkedStore::decode(b"junk").is_err());
+        let t = sample(100);
+        let bytes = ChunkedStore::build(&t, 50).encode();
+        assert!(ChunkedStore::decode(&bytes[..bytes.len() - 3]).is_err());
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        assert_eq!(
+            ChunkedStore::decode(&bad).unwrap_err(),
+            codec::DecodeError::BadMagic
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! # amr-telemetry — structured, queryable performance telemetry
+//!
+//! The paper's Lesson 4: *diagnosis needs structured, queryable telemetry*.
+//! Its authors evolved from TAU profiles → CSV + pandas → custom binary
+//! formats → SQL over ClickHouse (§IV-C). This crate implements the endpoint
+//! of that evolution, sized for a single-process simulator:
+//!
+//! * a fixed, typed event schema ([`record`]) keyed by
+//!   `(timestep, rank, block, phase)` — the dimensions the paper's queries
+//!   group by;
+//! * an in-memory **columnar** store ([`table`]) — struct-of-arrays, cheap
+//!   scans, no per-row allocation;
+//! * a binary codec on `bytes` plus CSV interop ([`codec`]) — mirroring the
+//!   paper's move from plaintext to binary formats when parsing became the
+//!   bottleneck;
+//! * a small relational-style query layer ([`query`]) with filters,
+//!   group-bys and aggregates (sum/mean/max/percentiles);
+//! * statistics ([`stats`]) including Pearson correlation — the paper's
+//!   measure of telemetry reliability (Fig. 1a) — and
+//! * anomaly detectors ([`anomaly`]) for the cross-stack failure modes of
+//!   §IV: throttled node clusters, MPI_Wait spikes, variance regimes.
+
+pub mod anomaly;
+pub mod chunked;
+pub mod codec;
+pub mod collector;
+pub mod histogram;
+pub mod query;
+pub mod record;
+pub mod stats;
+pub mod table;
+pub mod views;
+
+pub use anomaly::{ThrottleReport, WaitSpikeReport};
+pub use chunked::{ChunkedStore, Predicate};
+pub use collector::Collector;
+pub use histogram::LogHistogram;
+pub use query::Query;
+pub use record::{EventRecord, Phase, NO_BLOCK};
+pub use table::EventTable;

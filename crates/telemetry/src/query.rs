@@ -1,0 +1,282 @@
+//! Relational-style queries over [`EventTable`].
+//!
+//! A tiny, composable subset of what the paper ran as SQL on ClickHouse:
+//! predicate filters over the typed columns, group-bys over arbitrary keys,
+//! and per-group aggregates. Queries never copy event data — they refine a
+//! row-index selection over a borrowed table, so chaining filters is cheap
+//! and the final aggregation is a single pass.
+//!
+//! ```
+//! use amr_telemetry::{EventRecord, EventTable, Phase, Query};
+//! let table: EventTable = (0..4)
+//!     .map(|r| EventRecord::rank_phase(0, r, Phase::MpiWait, 100 * (r as u64 + 1)))
+//!     .collect();
+//! let waits = Query::new(&table).phase(Phase::MpiWait).by_rank();
+//! assert_eq!(waits[&3].total_duration_ns, 400);
+//! ```
+
+use crate::record::{EventRecord, Phase};
+use crate::stats;
+use crate::table::EventTable;
+use std::collections::BTreeMap;
+
+/// Per-group aggregate accumulator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroupAgg {
+    /// Rows in the group.
+    pub count: usize,
+    /// Sum of durations (ns).
+    pub total_duration_ns: u64,
+    /// Max single duration (ns).
+    pub max_duration_ns: u64,
+    /// Sum of message counts.
+    pub total_msg_count: u64,
+    /// Sum of message bytes.
+    pub total_msg_bytes: u64,
+    /// Individual durations (ns, as f64) for distribution statistics.
+    pub durations: Vec<f64>,
+}
+
+impl GroupAgg {
+    fn add(&mut self, r: &EventRecord) {
+        self.count += 1;
+        self.total_duration_ns += r.duration_ns;
+        self.max_duration_ns = self.max_duration_ns.max(r.duration_ns);
+        self.total_msg_count += r.msg_count as u64;
+        self.total_msg_bytes += r.msg_bytes;
+        self.durations.push(r.duration_ns as f64);
+    }
+
+    /// Mean duration in ns.
+    pub fn mean_duration_ns(&self) -> f64 {
+        stats::mean(&self.durations)
+    }
+
+    /// Total duration in (virtual) seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.total_duration_ns as f64 * 1e-9
+    }
+}
+
+/// A filtered view over an [`EventTable`].
+#[derive(Debug, Clone)]
+pub struct Query<'a> {
+    table: &'a EventTable,
+    rows: Vec<usize>,
+}
+
+impl<'a> Query<'a> {
+    /// Start a query selecting every row.
+    pub fn new(table: &'a EventTable) -> Self {
+        Query {
+            table,
+            rows: (0..table.len()).collect(),
+        }
+    }
+
+    /// Keep rows with the given phase.
+    pub fn phase(mut self, p: Phase) -> Self {
+        let phases = self.table.phases();
+        self.rows.retain(|&i| phases[i] == p.code());
+        self
+    }
+
+    /// Keep rows from the given rank.
+    pub fn rank(mut self, rank: u32) -> Self {
+        let ranks = self.table.ranks();
+        self.rows.retain(|&i| ranks[i] == rank);
+        self
+    }
+
+    /// Keep rows whose step lies in `[lo, hi)`.
+    pub fn step_range(mut self, lo: u32, hi: u32) -> Self {
+        let steps = self.table.steps();
+        self.rows.retain(|&i| steps[i] >= lo && steps[i] < hi);
+        self
+    }
+
+    /// Keep rows attributed to the given block.
+    pub fn block(mut self, block: u32) -> Self {
+        let blocks = self.table.blocks();
+        self.rows.retain(|&i| blocks[i] == block);
+        self
+    }
+
+    /// Keep rows matching an arbitrary predicate.
+    pub fn filter<F: Fn(&EventRecord) -> bool>(mut self, pred: F) -> Self {
+        let table = self.table;
+        self.rows.retain(|&i| pred(&table.row(i)));
+        self
+    }
+
+    /// Number of selected rows.
+    pub fn count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Materialize selected rows.
+    pub fn records(&self) -> Vec<EventRecord> {
+        self.rows.iter().map(|&i| self.table.row(i)).collect()
+    }
+
+    /// Durations of selected rows in ns (as f64, ready for statistics).
+    pub fn durations(&self) -> Vec<f64> {
+        let d = self.table.durations();
+        self.rows.iter().map(|&i| d[i] as f64).collect()
+    }
+
+    /// Sum of selected durations (ns).
+    pub fn total_duration_ns(&self) -> u64 {
+        let d = self.table.durations();
+        self.rows.iter().map(|&i| d[i]).sum()
+    }
+
+    /// Sum of selected message counts.
+    pub fn total_msg_count(&self) -> u64 {
+        let c = self.table.msg_counts();
+        self.rows.iter().map(|&i| c[i] as u64).sum()
+    }
+
+    /// Group selected rows by an arbitrary key.
+    pub fn group_by<K: Ord, F: Fn(&EventRecord) -> K>(&self, key: F) -> BTreeMap<K, GroupAgg> {
+        let mut out: BTreeMap<K, GroupAgg> = BTreeMap::new();
+        for &i in &self.rows {
+            let r = self.table.row(i);
+            out.entry(key(&r)).or_default().add(&r);
+        }
+        out
+    }
+
+    /// Group by rank.
+    pub fn by_rank(&self) -> BTreeMap<u32, GroupAgg> {
+        self.group_by(|r| r.rank)
+    }
+
+    /// Group by timestep.
+    pub fn by_step(&self) -> BTreeMap<u32, GroupAgg> {
+        self.group_by(|r| r.step)
+    }
+
+    /// Group by phase.
+    pub fn by_phase(&self) -> BTreeMap<Phase, GroupAgg> {
+        self.group_by(|r| r.phase)
+    }
+
+    /// Group by block.
+    pub fn by_block(&self) -> BTreeMap<u32, GroupAgg> {
+        self.group_by(|r| r.block)
+    }
+
+    /// Per-rank total durations as a dense vector of seconds (ranks without
+    /// rows get 0.0). Convenient for rankwise plots like Fig. 3.
+    pub fn per_rank_secs(&self, num_ranks: usize) -> Vec<f64> {
+        let mut out = vec![0.0; num_ranks];
+        for (rank, agg) in self.by_rank() {
+            if (rank as usize) < num_ranks {
+                out[rank as usize] = agg.total_secs();
+            }
+        }
+        out
+    }
+
+    /// Pearson correlation between two per-group aggregate projections.
+    ///
+    /// The Fig. 1a reliability check is
+    /// `correlate_groups(|r| r.rank, msg_count, duration)`: does per-rank
+    /// communication time track per-rank message volume?
+    pub fn correlate_groups<K: Ord, F: Fn(&EventRecord) -> K>(
+        &self,
+        key: F,
+        x: impl Fn(&GroupAgg) -> f64,
+        y: impl Fn(&GroupAgg) -> f64,
+    ) -> f64 {
+        let groups = self.group_by(key);
+        let xs: Vec<f64> = groups.values().map(&x).collect();
+        let ys: Vec<f64> = groups.values().map(&y).collect();
+        stats::pearson(&xs, &ys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> EventTable {
+        let mut t = EventTable::new();
+        for step in 0..3u32 {
+            for rank in 0..4u32 {
+                t.push(EventRecord::compute(step, rank, rank, 100 * (rank as u64 + 1)));
+                t.push(EventRecord {
+                    step,
+                    rank,
+                    block: rank,
+                    phase: Phase::BoundaryComm,
+                    duration_ns: 50 * (rank as u64 + 1),
+                    msg_count: 26,
+                    msg_bytes: 1000 * (rank as u64 + 1),
+                });
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn filters_compose() {
+        let t = table();
+        let q = Query::new(&t).phase(Phase::Compute).rank(2).step_range(1, 3);
+        assert_eq!(q.count(), 2);
+        assert_eq!(q.total_duration_ns(), 600);
+    }
+
+    #[test]
+    fn group_by_rank_totals() {
+        let t = table();
+        let g = Query::new(&t).phase(Phase::Compute).by_rank();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g[&0].total_duration_ns, 300);
+        assert_eq!(g[&3].total_duration_ns, 1200);
+        assert_eq!(g[&3].count, 3);
+        assert!((g[&3].mean_duration_ns() - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_by_phase_partitions_everything() {
+        let t = table();
+        let g = Query::new(&t).by_phase();
+        let total: usize = g.values().map(|a| a.count).sum();
+        assert_eq!(total, t.len());
+        assert_eq!(g[&Phase::Compute].count, 12);
+        assert_eq!(g[&Phase::BoundaryComm].count, 12);
+    }
+
+    #[test]
+    fn per_rank_secs_dense() {
+        let t = table();
+        let v = Query::new(&t).phase(Phase::BoundaryComm).per_rank_secs(6);
+        assert_eq!(v.len(), 6);
+        assert!(v[3] > v[0]);
+        assert_eq!(v[5], 0.0);
+    }
+
+    #[test]
+    fn correlation_of_comm_time_and_volume_is_high() {
+        // Comm durations are proportional to msg_bytes by construction.
+        let t = table();
+        let r = Query::new(&t).phase(Phase::BoundaryComm).correlate_groups(
+            |r| r.rank,
+            |g| g.total_msg_bytes as f64,
+            |g| g.total_duration_ns as f64,
+        );
+        assert!(r > 0.999, "r = {r}");
+    }
+
+    #[test]
+    fn arbitrary_filter_and_block_grouping() {
+        let t = table();
+        let q = Query::new(&t).filter(|r| r.msg_count > 0);
+        assert_eq!(q.count(), 12);
+        let g = q.by_block();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g[&1].total_msg_count, 3 * 26);
+    }
+}

@@ -1,0 +1,229 @@
+//! Columnar event storage (struct-of-arrays).
+//!
+//! ClickHouse-style layout at toy scale: one `Vec` per column, so scans for
+//! a single dimension touch only that column's memory, and pushes are
+//! allocation-free after warm-up. Rows can be materialized on demand as
+//! [`EventRecord`]s, but the query layer works directly on columns.
+
+use crate::record::{EventRecord, Phase};
+
+/// Columnar table of telemetry events.
+#[derive(Debug, Clone, Default)]
+pub struct EventTable {
+    step: Vec<u32>,
+    rank: Vec<u32>,
+    block: Vec<u32>,
+    phase: Vec<u8>,
+    duration_ns: Vec<u64>,
+    msg_count: Vec<u32>,
+    msg_bytes: Vec<u64>,
+}
+
+impl EventTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty table with row capacity pre-reserved.
+    pub fn with_capacity(rows: usize) -> Self {
+        EventTable {
+            step: Vec::with_capacity(rows),
+            rank: Vec::with_capacity(rows),
+            block: Vec::with_capacity(rows),
+            phase: Vec::with_capacity(rows),
+            duration_ns: Vec::with_capacity(rows),
+            msg_count: Vec::with_capacity(rows),
+            msg_bytes: Vec::with_capacity(rows),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.step.len()
+    }
+
+    /// Is the table empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.step.is_empty()
+    }
+
+    /// Append one record.
+    pub fn push(&mut self, r: EventRecord) {
+        self.step.push(r.step);
+        self.rank.push(r.rank);
+        self.block.push(r.block);
+        self.phase.push(r.phase.code());
+        self.duration_ns.push(r.duration_ns);
+        self.msg_count.push(r.msg_count);
+        self.msg_bytes.push(r.msg_bytes);
+    }
+
+    /// Materialize row `i` as a record.
+    pub fn row(&self, i: usize) -> EventRecord {
+        EventRecord {
+            step: self.step[i],
+            rank: self.rank[i],
+            block: self.block[i],
+            phase: Phase::from_code(self.phase[i]).expect("valid phase code"),
+            duration_ns: self.duration_ns[i],
+            msg_count: self.msg_count[i],
+            msg_bytes: self.msg_bytes[i],
+        }
+    }
+
+    /// Iterate over all rows as records.
+    pub fn iter(&self) -> impl Iterator<Item = EventRecord> + '_ {
+        (0..self.len()).map(move |i| self.row(i))
+    }
+
+    // Column accessors (used by the query layer for column-at-a-time scans).
+
+    /// `step` column.
+    #[inline]
+    pub fn steps(&self) -> &[u32] {
+        &self.step
+    }
+    /// `rank` column.
+    #[inline]
+    pub fn ranks(&self) -> &[u32] {
+        &self.rank
+    }
+    /// `block` column.
+    #[inline]
+    pub fn blocks(&self) -> &[u32] {
+        &self.block
+    }
+    /// `phase` column (raw codes).
+    #[inline]
+    pub fn phases(&self) -> &[u8] {
+        &self.phase
+    }
+    /// `duration_ns` column.
+    #[inline]
+    pub fn durations(&self) -> &[u64] {
+        &self.duration_ns
+    }
+    /// `msg_count` column.
+    #[inline]
+    pub fn msg_counts(&self) -> &[u32] {
+        &self.msg_count
+    }
+    /// `msg_bytes` column.
+    #[inline]
+    pub fn msg_bytes(&self) -> &[u64] {
+        &self.msg_bytes
+    }
+
+    /// Append all rows of `other`.
+    pub fn extend_from(&mut self, other: &EventTable) {
+        self.step.extend_from_slice(&other.step);
+        self.rank.extend_from_slice(&other.rank);
+        self.block.extend_from_slice(&other.block);
+        self.phase.extend_from_slice(&other.phase);
+        self.duration_ns.extend_from_slice(&other.duration_ns);
+        self.msg_count.extend_from_slice(&other.msg_count);
+        self.msg_bytes.extend_from_slice(&other.msg_bytes);
+    }
+
+    /// Sort rows by `(step, rank, phase, block)` — the paper's canonical
+    /// layout: "telemetry grouped by timestep and sorted by rank" (Lesson 4).
+    pub fn sort_canonical(&mut self) {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.sort_by_key(|&i| (self.step[i], self.rank[i], self.phase[i], self.block[i]));
+        self.permute(&idx);
+    }
+
+    /// Reorder all columns by the given index permutation.
+    fn permute(&mut self, idx: &[usize]) {
+        fn apply<T: Copy>(col: &mut Vec<T>, idx: &[usize]) {
+            let old = std::mem::take(col);
+            col.extend(idx.iter().map(|&i| old[i]));
+        }
+        apply(&mut self.step, idx);
+        apply(&mut self.rank, idx);
+        apply(&mut self.block, idx);
+        apply(&mut self.phase, idx);
+        apply(&mut self.duration_ns, idx);
+        apply(&mut self.msg_count, idx);
+        apply(&mut self.msg_bytes, idx);
+    }
+
+    /// Keep only rows matching the predicate (row-index based, used by
+    /// maintenance tasks; ad hoc filtering should go through [`crate::Query`]).
+    pub fn retain<F: Fn(&EventRecord) -> bool>(&mut self, pred: F) {
+        let keep: Vec<usize> = (0..self.len())
+            .filter(|&i| pred(&self.row(i)))
+            .collect();
+        self.permute(&keep);
+    }
+}
+
+impl FromIterator<EventRecord> for EventTable {
+    fn from_iter<T: IntoIterator<Item = EventRecord>>(iter: T) -> Self {
+        let mut t = EventTable::new();
+        for r in iter {
+            t.push(r);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::NO_BLOCK;
+
+    fn sample() -> EventTable {
+        vec![
+            EventRecord::compute(1, 1, 0, 100),
+            EventRecord::compute(0, 1, 0, 200),
+            EventRecord::rank_phase(0, 0, Phase::Synchronization, 300),
+            EventRecord::compute(0, 0, 1, 400),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn push_and_row_roundtrip() {
+        let t = sample();
+        assert_eq!(t.len(), 4);
+        let r = t.row(2);
+        assert_eq!(r.rank, 0);
+        assert_eq!(r.phase, Phase::Synchronization);
+        assert_eq!(r.block, NO_BLOCK);
+    }
+
+    #[test]
+    fn sort_canonical_orders_by_step_then_rank() {
+        let mut t = sample();
+        t.sort_canonical();
+        let steps: Vec<u32> = t.iter().map(|r| r.step).collect();
+        assert_eq!(steps, vec![0, 0, 0, 1]);
+        let ranks: Vec<u32> = t.iter().map(|r| r.rank).collect();
+        assert_eq!(&ranks[..3], &[0, 0, 1]);
+    }
+
+    #[test]
+    fn extend_and_retain() {
+        let mut a = sample();
+        let b = sample();
+        a.extend_from(&b);
+        assert_eq!(a.len(), 8);
+        a.retain(|r| r.phase == Phase::Compute);
+        assert_eq!(a.len(), 6);
+        assert!(a.iter().all(|r| r.phase == Phase::Compute));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let t: EventTable = (0..10u32)
+            .map(|i| EventRecord::compute(i, i % 3, i, i as u64 * 10))
+            .collect();
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.durations()[9], 90);
+    }
+}

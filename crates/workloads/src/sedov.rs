@@ -1,0 +1,364 @@
+//! The Sedov–Taylor blast-wave workload (§VI, Table I).
+//!
+//! The paper evaluates placement on the Sedov Blast Wave 3D problem in
+//! Phoebus: a point explosion drives a spherical shock outward; the mesh
+//! refines along the shock front as it propagates, and compute cost peaks in
+//! the steep-gradient shell (more solver iterations, §II-B).
+//!
+//! We reproduce that driver analytically. The Sedov–Taylor similarity
+//! solution gives the shock radius `r(t) ∝ t^{2/5}`; blocks whose distance
+//! range from the blast center intersects the shell `[r − w, r + w]` are
+//! tagged for refinement, blocks left far behind or far ahead are coarsened.
+//! Per-block compute cost is
+//!
+//! ```text
+//! cost(b) = base · noise(b) · (1 + amp · exp(−(d(b)/w)²) + post · [inside])
+//! ```
+//!
+//! where `noise(b)` is a *deterministic per-octant* lognormal factor (hashed
+//! from the octant coordinates, so every policy sees the identical workload
+//! — the paper's "compute time remains flat across all policies" invariant
+//! holds by construction), `d(b)` is the block center's distance to the
+//! shock surface, and `post` is a milder post-shock (interior) boost.
+
+use crate::exchange::cost_origins;
+use amr_core::cost::CostOrigin;
+use amr_mesh::{AmrMesh, MeshConfig, Point, RefineTag};
+use amr_sim::{Workload, WorkloadStep};
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64-based deterministic lognormal sample with σ = `sigma`.
+fn lognormal_hash(key: u64, sigma: f64) -> f64 {
+    let mut z = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    let u1 = ((z >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
+    let u2 = ((z.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
+    // Box–Muller → standard normal → lognormal.
+    let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (sigma * g).exp()
+}
+
+/// Configuration of a Sedov run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SedovConfig {
+    /// Mesh geometry (use [`MeshConfig::from_cells`] with Table I sizes).
+    pub mesh: MeshConfig,
+    /// Timesteps to simulate.
+    pub total_steps: u64,
+    /// Refinement-check cadence in steps (the paper's codes refine at most
+    /// every 5 timesteps).
+    pub adapt_interval: u64,
+    /// Shock radius at the end of the run, in units of the domain's shortest
+    /// half-extent (≤ ~1.7 keeps the shock inside a unit cube's corners).
+    pub final_radius: f64,
+    /// Gradient-cost shell half-width (physical units) — sets how far the
+    /// compute-cost bump extends around the shock surface.
+    pub shell_width: f64,
+    /// Refinement margin (physical units): a block is tagged for refinement
+    /// when the shock surface passes within this distance of it. Small
+    /// margins keep the refined band one block-layer thick, matching
+    /// Table I's final block counts.
+    pub refine_margin: f64,
+    /// Nominal per-block compute time (ns). 250 ms timesteps across ~2
+    /// blocks/rank put this at O(10⁸) ns in the paper; scale freely.
+    pub base_cost_ns: f64,
+    /// Peak cost amplification at the shock front.
+    pub gradient_amp: f64,
+    /// Post-shock (interior) cost boost.
+    pub post_shock_boost: f64,
+    /// Lognormal σ of the static per-block noise factor.
+    pub noise_sigma: f64,
+    /// Lognormal σ of the *per-step* kernel noise: solver-iteration
+    /// variability the cost model cannot predict (§II-B). Deterministic in
+    /// `(octant, step)` so every policy sees the identical workload; it sets
+    /// the residual-imbalance floor that even perfect load balancing cannot
+    /// remove.
+    pub step_noise_sigma: f64,
+}
+
+impl SedovConfig {
+    /// Reasonable defaults for a given Table I mesh.
+    pub fn new(mesh: MeshConfig, total_steps: u64) -> SedovConfig {
+        SedovConfig {
+            mesh,
+            total_steps,
+            adapt_interval: 5,
+            final_radius: 1.25,
+            shell_width: 0.06,
+            refine_margin: 0.005,
+            base_cost_ns: 1.0e6,
+            gradient_amp: 2.2,
+            post_shock_boost: 0.5,
+            noise_sigma: 0.2,
+            step_noise_sigma: 0.24,
+        }
+    }
+}
+
+/// The Sedov workload state.
+pub struct SedovWorkload {
+    config: SedovConfig,
+    mesh: AmrMesh,
+    costs: Vec<f64>,
+    center: Point,
+    current_radius: f64,
+    current_step: u64,
+}
+
+impl SedovWorkload {
+    /// Initialize the workload (mesh at one block per root, shock at 0).
+    pub fn new(config: SedovConfig) -> SedovWorkload {
+        let mesh = AmrMesh::new(config.mesh.clone());
+        let center = mesh.config().domain.center();
+        let mut w = SedovWorkload {
+            config,
+            mesh,
+            costs: Vec::new(),
+            center,
+            current_radius: 0.0,
+            current_step: 0,
+        };
+        w.recompute_costs();
+        w
+    }
+
+    /// Shock radius at (0-based) step `s` out of `total_steps`:
+    /// Sedov–Taylor `r ∝ t^{2/5}`.
+    pub fn radius_at(&self, step: u64) -> f64 {
+        let t = (step + 1) as f64 / self.config.total_steps as f64;
+        let half_extent = {
+            let e = self.mesh.config().domain.extent();
+            0.5 * e.x.min(e.y).min(if e.z > 0.0 { e.z } else { e.x })
+        };
+        self.config.final_radius * half_extent * t.powf(0.4)
+    }
+
+    /// Deterministic lognormal noise for an octant: identical across
+    /// policies, runs and refinement histories.
+    fn octant_noise(&self, o: &amr_mesh::Octant) -> f64 {
+        let key = ((o.level as u64) << 60)
+            ^ ((o.x as u64) << 40)
+            ^ ((o.y as u64) << 20)
+            ^ (o.z as u64);
+        lognormal_hash(key, self.config.noise_sigma)
+    }
+
+    /// Deterministic per-(octant, step) kernel noise: the unpredictable
+    /// solver-iteration component.
+    fn step_noise(&self, o: &amr_mesh::Octant, step: u64) -> f64 {
+        let key = ((o.level as u64) << 58)
+            ^ ((o.x as u64) << 39)
+            ^ ((o.y as u64) << 20)
+            ^ ((o.z as u64) << 1)
+            ^ step.rotate_left(17);
+        lognormal_hash(key, self.config.step_noise_sigma)
+    }
+
+    fn recompute_costs(&mut self) {
+        let r = self.current_radius;
+        let w = self.config.shell_width;
+        let cfg = &self.config;
+        let step = self.current_step;
+        self.costs = self
+            .mesh
+            .blocks()
+            .iter()
+            .map(|b| {
+                let d_center = b.bounds.center().distance(&self.center);
+                let d_shell = (d_center - r).abs();
+                let shell_term = cfg.gradient_amp * (-(d_shell / w) * (d_shell / w)).exp();
+                let post_term = if d_center < r { cfg.post_shock_boost } else { 0.0 };
+                cfg.base_cost_ns
+                    * self.octant_noise(&b.octant)
+                    * self.step_noise(&b.octant, step)
+                    * (1.0 + shell_term + post_term)
+            })
+            .collect();
+    }
+
+    /// Adapt the mesh to the current shock position. Returns the cost-origin
+    /// mapping if the mesh changed.
+    fn adapt_mesh(&mut self) -> Option<Vec<CostOrigin>> {
+        let r = self.current_radius;
+        let w = self.config.refine_margin;
+        let center = self.center;
+        let max_level = self.config.mesh.max_level;
+        let old: std::collections::HashMap<amr_mesh::Octant, usize> = self
+            .mesh
+            .blocks()
+            .iter()
+            .map(|b| (b.octant, b.id.index()))
+            .collect();
+        let delta = self.mesh.adapt(|b| {
+            let dmin = b.bounds.distance_to_point(&center);
+            let dmax = b.bounds.max_distance_to_point(&center);
+            let intersects_shell = dmin <= r + w && dmax >= r - w;
+            if intersects_shell && b.level() < max_level {
+                RefineTag::Refine
+            } else if !intersects_shell && b.level() > 0 {
+                // Hysteresis: only coarsen when clearly away from the shell.
+                let clear = dmin > r + 2.0 * w || dmax < r - 2.0 * w;
+                if clear {
+                    RefineTag::Coarsen
+                } else {
+                    RefineTag::Keep
+                }
+            } else {
+                RefineTag::Keep
+            }
+        });
+        if delta.changed() {
+            Some(cost_origins(&old, &self.mesh))
+        } else {
+            None
+        }
+    }
+
+    /// Current shock radius (after the last `advance`).
+    pub fn current_radius(&self) -> f64 {
+        self.current_radius
+    }
+}
+
+impl Workload for SedovWorkload {
+    fn mesh(&self) -> &AmrMesh {
+        &self.mesh
+    }
+
+    fn advance(&mut self, step: u64) -> WorkloadStep {
+        self.current_step = step;
+        self.current_radius = self.radius_at(step);
+        let mut ws = WorkloadStep::default();
+        if step.is_multiple_of(self.config.adapt_interval) {
+            if let Some(origins) = self.adapt_mesh() {
+                ws.mesh_changed = true;
+                ws.origins = Some(origins);
+            }
+        }
+        self.recompute_costs();
+        ws
+    }
+
+    fn block_compute_ns(&self) -> &[f64] {
+        &self.costs
+    }
+
+    fn total_steps(&self) -> u64 {
+        self.config.total_steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amr_mesh::Dim;
+
+    fn small() -> SedovConfig {
+        let mut c = SedovConfig::new(MeshConfig::from_cells(Dim::D3, (64, 64, 64), 1), 100);
+        c.shell_width = 0.08;
+        c
+    }
+
+    /// `small()` with the stochastic factors disabled, for geometry checks.
+    fn small_noiseless() -> SedovConfig {
+        let mut c = small();
+        c.noise_sigma = 1e-9;
+        c.step_noise_sigma = 1e-9;
+        c
+    }
+
+    #[test]
+    fn starts_with_one_block_per_root() {
+        let w = SedovWorkload::new(small());
+        assert_eq!(w.mesh().num_blocks(), 64);
+        assert_eq!(w.block_compute_ns().len(), 64);
+    }
+
+    #[test]
+    fn shock_radius_grows_as_t_to_two_fifths() {
+        let w = SedovWorkload::new(small());
+        let r10 = w.radius_at(9);
+        let r99 = w.radius_at(99);
+        assert!(r10 < r99);
+        // r(t)/r(T) = (t/T)^0.4
+        let expect = (10.0f64 / 100.0).powf(0.4);
+        assert!((r10 / r99 - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocks_grow_and_shrink_as_shock_sweeps() {
+        let mut w = SedovWorkload::new(small());
+        let initial = w.mesh().num_blocks();
+        let mut peak = initial;
+        let mut changes = 0;
+        for step in 0..100 {
+            let ws = w.advance(step);
+            if ws.mesh_changed {
+                changes += 1;
+                assert!(ws.origins.is_some());
+                w.mesh().check_invariants().unwrap();
+            }
+            peak = peak.max(w.mesh().num_blocks());
+        }
+        assert!(changes > 2, "only {changes} mesh changes");
+        assert!(peak > initial, "mesh never refined");
+        // After the shock passes, trailing blocks coarsen: final < peak.
+        assert!(w.mesh().num_blocks() <= peak);
+    }
+
+    #[test]
+    fn costs_peak_at_shock_front() {
+        let mut w = SedovWorkload::new(small_noiseless());
+        // Advance mid-run so the shock is inside the domain.
+        for step in 0..50 {
+            w.advance(step);
+        }
+        let r = w.current_radius();
+        assert!(r > 0.05 && r < 0.9);
+        // Blocks near the shell should be the most expensive ones
+        // (modulo the lognormal noise: compare averages).
+        let center = w.mesh().config().domain.center();
+        let (mut near_sum, mut near_n, mut far_sum, mut far_n) = (0.0, 0, 0.0, 0);
+        for (b, &c) in w.mesh().blocks().iter().zip(w.block_compute_ns()) {
+            let d = (b.bounds.center().distance(&center) - r).abs();
+            if d < w.config.shell_width {
+                near_sum += c;
+                near_n += 1;
+            } else if d > 2.0 * w.config.shell_width {
+                far_sum += c;
+                far_n += 1;
+            }
+        }
+        assert!(near_n > 0 && far_n > 0);
+        assert!(
+            near_sum / near_n as f64 > 1.5 * far_sum / far_n as f64,
+            "no cost peak at the shock"
+        );
+    }
+
+    #[test]
+    fn costs_identical_across_instances() {
+        // The deterministic-noise invariant: two instances advanced the same
+        // way have identical cost vectors (the Fig. 6a flat-compute check).
+        let mut a = SedovWorkload::new(small());
+        let mut b = SedovWorkload::new(small());
+        for step in 0..30 {
+            a.advance(step);
+            b.advance(step);
+        }
+        assert_eq!(a.block_compute_ns(), b.block_compute_ns());
+    }
+
+    #[test]
+    fn noise_is_per_octant_deterministic() {
+        let w = SedovWorkload::new(small());
+        let o = amr_mesh::Octant::new(2, 1, 2, 3);
+        assert_eq!(w.octant_noise(&o), w.octant_noise(&o));
+        let o2 = amr_mesh::Octant::new(2, 1, 2, 2);
+        assert_ne!(w.octant_noise(&o), w.octant_noise(&o2));
+        // Lognormal: strictly positive.
+        assert!(w.octant_noise(&o) > 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! commbench in example form: how placement locality shapes boundary
+//! communication rounds.
+//!
+//! ```text
+//! cargo run --release --example commbench
+//! ```
+//!
+//! Builds a random refined AMR mesh, sweeps CPLX's X, and message-level
+//! simulates boundary-exchange rounds — reporting round latency and the
+//! local/remote message split for each placement (paper §VI-C, Fig. 7a).
+
+use amr_tools::placement::policies::{Cplx, PlacementPolicy};
+use amr_tools::placement::TrafficMatrix;
+use amr_tools::sim::{MicroSim, NetworkConfig, RoundSpec, TaskOrder, Topology};
+use amr_tools::workloads::exchange::build_round_messages;
+use amr_tools::workloads::{random_refined_mesh, CostDistribution};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let ranks = 256;
+    let rounds = 50;
+    let mesh = random_refined_mesh(ranks, 1.6, 42);
+    println!(
+        "commbench: {} ranks, {} blocks, {} neighbor relations\n",
+        ranks,
+        mesh.num_blocks(),
+        mesh.neighbor_graph().total_relations()
+    );
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let costs = CostDistribution::Exponential { mean: 1.0 }.sample_vec(mesh.num_blocks(), &mut rng);
+
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "policy", "latency (us)", "local msgs", "remote msgs", "max wait", "traffic imb"
+    );
+    for x in [0u32, 25, 50, 75, 100] {
+        let policy = Cplx::new(x);
+        let placement = policy.place(&costs, ranks);
+        let spec = RoundSpec {
+            num_ranks: ranks,
+            compute_ns: vec![0; ranks],
+            messages: build_round_messages(&mesh, &placement),
+            order: TaskOrder::SendsFirst,
+        };
+        let mut sim = MicroSim::new(Topology::paper(ranks), NetworkConfig::tuned(), 3);
+        let mut lat = 0.0;
+        let mut max_wait = 0u64;
+        let mut local = 0;
+        let mut remote = 0;
+        for round in 0..rounds {
+            let res = sim.run_round(&spec);
+            if round >= 3 {
+                lat += res.round_latency_ns as f64;
+                max_wait = max_wait.max(*res.wait_ns.iter().max().unwrap());
+            }
+            local = res.local_msgs;
+            remote = res.remote_msgs;
+        }
+        let traffic = TrafficMatrix::build(
+            &placement,
+            &mesh.neighbor_graph(),
+            &mesh.config().spec,
+            mesh.config().dim,
+        );
+        println!(
+            "{:<8} {:>12.1} {:>12} {:>12} {:>9.1}u {:>10.2}",
+            policy.name(),
+            lat / (rounds - 3) as f64 / 1e3,
+            local,
+            remote,
+            max_wait as f64 / 1e3,
+            traffic.inbound_imbalance(),
+        );
+    }
+    println!(
+        "\nRaising X converts local (shared-memory) messages into remote (fabric)\n\
+         ones; the latency impact is modest but measurable — and at scale, strict\n\
+         locality can even lose to hybrid placements (paper Fig. 7a)."
+    );
+}

@@ -1,0 +1,139 @@
+//! Cross-validation between the three communication engines: the analytic
+//! micro-simulator, the event-driven MPI world, and the step-level macro
+//! model must agree on the *structure* of every result (message counts,
+//! ordering effects, locality classes), even though their time models
+//! differ.
+
+use amr_tools::placement::policies::{Baseline, Cplx, PlacementPolicy};
+use amr_tools::sim::{MicroSim, MpiWorld, NetworkConfig, RoundSpec, TaskOrder, Topology};
+use amr_tools::workloads::exchange::{build_mpi_programs, build_round_messages};
+use amr_tools::workloads::random_refined_mesh;
+
+fn quiet() -> NetworkConfig {
+    NetworkConfig {
+        ack_loss_prob: 0.0,
+        ..NetworkConfig::tuned()
+    }
+}
+
+#[test]
+fn mpi_world_and_microsim_agree_on_message_counts() {
+    let ranks = 64;
+    let mesh = random_refined_mesh(ranks, 1.6, 3);
+    let costs = vec![1.0; mesh.num_blocks()];
+    let placement = Baseline.place(&costs, ranks);
+
+    let messages = build_round_messages(&mesh, &placement);
+    let mpi_msgs = messages.iter().filter(|m| m.src != m.dst).count();
+
+    let programs = build_mpi_programs(&mesh, &placement, &vec![0; ranks], true);
+    let world = MpiWorld::new(Topology::paper(ranks), quiet());
+    let res = world.run(programs).expect("exchange completes");
+    let sent: u32 = res.ranks.iter().map(|s| s.sent).sum();
+    let received: u32 = res.ranks.iter().map(|s| s.received).sum();
+    assert_eq!(sent as usize, mpi_msgs);
+    assert_eq!(received as usize, mpi_msgs);
+}
+
+#[test]
+fn both_engines_rank_task_orderings_identically() {
+    let ranks = 32;
+    let mesh = random_refined_mesh(ranks, 1.6, 7);
+    let costs = vec![1.0; mesh.num_blocks()];
+    let placement = Cplx::new(50).place(&costs, ranks);
+    let compute: Vec<u64> = (0..ranks as u64).map(|r| 200_000 + r * 31_000).collect();
+
+    // Event-driven engine.
+    let world = MpiWorld::new(Topology::paper(ranks), quiet());
+    let sf = world
+        .run(build_mpi_programs(&mesh, &placement, &compute, true))
+        .unwrap();
+    let cf = world
+        .run(build_mpi_programs(&mesh, &placement, &compute, false))
+        .unwrap();
+    assert!(sf.makespan_ns <= cf.makespan_ns);
+    let sf_wait: u64 = sf.ranks.iter().map(|s| s.wait_ns).sum();
+    let cf_wait: u64 = cf.ranks.iter().map(|s| s.wait_ns).sum();
+    assert!(sf_wait <= cf_wait);
+
+    // Analytic engine must agree on the ordering.
+    let messages = build_round_messages(&mesh, &placement);
+    let mut micro = MicroSim::new(Topology::paper(ranks), quiet(), 1);
+    let spec_sf = RoundSpec {
+        num_ranks: ranks,
+        compute_ns: compute.clone(),
+        messages: messages.clone(),
+        order: TaskOrder::SendsFirst,
+    };
+    let spec_cf = RoundSpec {
+        order: TaskOrder::ComputeFirst,
+        ..spec_sf.clone()
+    };
+    let micro_sf = micro.run_round(&spec_sf);
+    let micro_cf = micro.run_round(&spec_cf);
+    assert!(micro_sf.round_latency_ns <= micro_cf.round_latency_ns);
+}
+
+#[test]
+fn engines_agree_on_locality_monotonicity() {
+    // Raising X strictly increases MPI-visible traffic in both engines.
+    let ranks = 32;
+    let mesh = random_refined_mesh(ranks, 1.6, 11);
+    let costs = vec![1.0; mesh.num_blocks()];
+    let world = MpiWorld::new(Topology::paper(ranks), quiet());
+    let mut prev_mpi = 0u32;
+    let mut prev_micro = 0u64;
+    for x in [0u32, 50, 100] {
+        let placement = Cplx::new(x).place(&costs, ranks);
+        let res = world
+            .run(build_mpi_programs(&mesh, &placement, &vec![0; ranks], true))
+            .unwrap();
+        let sent: u32 = res.ranks.iter().map(|s| s.sent).sum();
+        assert!(sent >= prev_mpi, "x={x}: MPI sends fell");
+        prev_mpi = sent;
+
+        let mut micro = MicroSim::new(Topology::paper(ranks), quiet(), 2);
+        let r = micro.run_round(&RoundSpec {
+            num_ranks: ranks,
+            compute_ns: vec![0; ranks],
+            messages: build_round_messages(&mesh, &placement),
+            order: TaskOrder::SendsFirst,
+        });
+        let micro_mpi = r.local_msgs + r.remote_msgs;
+        assert_eq!(micro_mpi as u32, sent, "engines disagree on MPI volume");
+        assert!(micro_mpi >= prev_micro);
+        prev_micro = micro_mpi;
+    }
+}
+
+#[test]
+fn round_latencies_within_model_tolerance() {
+    // The engines use different receiver models (busy server vs per-message
+    // completion), but their round latencies should land within a small
+    // factor of each other on a quiet network.
+    let ranks = 32;
+    let mesh = random_refined_mesh(ranks, 1.6, 13);
+    let costs = vec![1.0; mesh.num_blocks()];
+    let placement = Baseline.place(&costs, ranks);
+    let compute = vec![500_000u64; ranks];
+
+    let world = MpiWorld::new(Topology::paper(ranks), quiet());
+    let mpi = world
+        .run(build_mpi_programs(&mesh, &placement, &compute, true))
+        .unwrap();
+
+    let mut micro = MicroSim::new(Topology::paper(ranks), quiet(), 5);
+    let res = micro.run_round(&RoundSpec {
+        num_ranks: ranks,
+        compute_ns: compute,
+        messages: build_round_messages(&mesh, &placement),
+        order: TaskOrder::SendsFirst,
+    });
+    let ratio = res.round_latency_ns as f64 / mpi.makespan_ns as f64;
+    assert!(
+        (0.5..=3.0).contains(&ratio),
+        "engines diverge: micro {} vs mpi {} (ratio {ratio})",
+        res.round_latency_ns,
+        mpi.makespan_ns
+    );
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the mesh substrate (amr-mesh).
+//!
+//! Random refinement/coarsening programs must preserve the structural
+//! invariants production AMR frameworks rely on: exact tiling, 2:1 balance,
+//! SFC-ordered dense block IDs, and a symmetric neighbor graph.
+
+use amr_tools::mesh::{
+    morton_decode2, morton_decode3, morton_encode2, morton_encode3, sfc_key, AmrMesh, Dim,
+    MeshConfig, RefineTag,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn morton3_roundtrip(x in 0u32..(1 << 21), y in 0u32..(1 << 21), z in 0u32..(1 << 21)) {
+        prop_assert_eq!(morton_decode3(morton_encode3(x, y, z)), (x, y, z));
+    }
+
+    #[test]
+    fn morton2_roundtrip(x: u32, y: u32) {
+        prop_assert_eq!(morton_decode2(morton_encode2(x, y)), (x, y));
+    }
+
+    #[test]
+    fn morton3_is_injective(a in 0u32..256, b in 0u32..256, c in 0u32..256,
+                            d in 0u32..256, e in 0u32..256, f in 0u32..256) {
+        let m1 = morton_encode3(a, b, c);
+        let m2 = morton_encode3(d, e, f);
+        prop_assert_eq!(m1 == m2, (a, b, c) == (d, e, f));
+    }
+
+    /// Random adapt programs: each step refines blocks whose index hash
+    /// matches and coarsens another slice; invariants must hold throughout.
+    #[test]
+    fn random_adaptation_preserves_invariants(
+        dim_3d: bool,
+        steps in 1usize..5,
+        salt in 0u64..1000,
+    ) {
+        let dim = if dim_3d { Dim::D3 } else { Dim::D2 };
+        let cells = if dim_3d { (32, 32, 32) } else { (64, 64, 64) };
+        let mut mesh = AmrMesh::new(MeshConfig::from_cells(dim, cells, 2));
+        for step in 0..steps {
+            let key = salt.wrapping_add(step as u64);
+            mesh.adapt(|b| {
+                let h = (b.id.index() as u64)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(key);
+                match h % 5 {
+                    0 => RefineTag::Refine,
+                    1 => RefineTag::Coarsen,
+                    _ => RefineTag::Keep,
+                }
+            });
+            mesh.check_invariants().unwrap();
+        }
+        // Block IDs dense, SFC-sorted, unique.
+        let keys: Vec<u64> = mesh
+            .blocks()
+            .iter()
+            .map(|b| sfc_key(&b.octant, dim))
+            .collect();
+        prop_assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        // Neighbor graph symmetric, bounded degree.
+        let graph = mesh.neighbor_graph();
+        graph.check_symmetry().unwrap();
+        let max_deg = if dim_3d { 26 * 4 } else { 8 * 2 + 4 };
+        for (b, nbs) in graph.iter() {
+            prop_assert!(nbs.len() <= max_deg, "block {} has {} neighbors", b, nbs.len());
+            // Self-loops are forbidden.
+            prop_assert!(nbs.iter().all(|n| n.block != b));
+            // 2:1 balance shows up as |level_delta| <= 1.
+            prop_assert!(nbs.iter().all(|n| n.level_delta.abs() <= 1));
+        }
+    }
+
+    #[test]
+    fn adapt_reports_consistent_delta(salt in 0u64..1000) {
+        let mut mesh = AmrMesh::new(MeshConfig::from_cells(Dim::D3, (32, 32, 32), 2));
+        let before = mesh.num_blocks();
+        let delta = mesh.adapt(|b| {
+            if (b.id.index() as u64).wrapping_mul(salt + 1).is_multiple_of(7) {
+                RefineTag::Refine
+            } else {
+                RefineTag::Keep
+            }
+        });
+        prop_assert_eq!(delta.blocks_before, before);
+        prop_assert_eq!(delta.blocks_after, mesh.num_blocks());
+        // Refining k leaves in 3D nets exactly 7k extra blocks.
+        prop_assert_eq!(delta.blocks_after - delta.blocks_before, delta.refined * 7);
+    }
+}
+
+#[test]
+fn full_refine_coarsen_cycle_restores_mesh() {
+    let mut mesh = AmrMesh::new(MeshConfig::from_cells(Dim::D3, (32, 32, 32), 1));
+    let initial = mesh.num_blocks();
+    mesh.adapt(|_| RefineTag::Refine);
+    assert_eq!(mesh.num_blocks(), initial * 8);
+    mesh.adapt(|_| RefineTag::Coarsen);
+    assert_eq!(mesh.num_blocks(), initial);
+    mesh.check_invariants().unwrap();
+}

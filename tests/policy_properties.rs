@@ -1,0 +1,146 @@
+//! Property-based tests for the placement policies (amr-core).
+//!
+//! These encode the paper's algorithmic claims as executable invariants:
+//! Graham's 4/3 bound for LPT (§V-B), CDP's optimality within its chunk
+//! space and its locality preservation (§V-C), and the CPLX endpoints
+//! (X=0 ≡ CDP, X=100 ≡ LPT; §V-D).
+
+use amr_tools::placement::exact::solve_exact;
+use amr_tools::placement::policies::{
+    cdp_general, Baseline, Cdp, ChunkedCdp, Cplx, Lpt, PlacementPolicy,
+};
+use proptest::prelude::*;
+
+fn costs_strategy(max_n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01f64..10.0, 1..=max_n)
+}
+
+fn lower_bound(costs: &[f64], ranks: usize) -> f64 {
+    let total: f64 = costs.iter().sum();
+    let max = costs.iter().cloned().fold(0.0, f64::max);
+    (total / ranks as f64).max(max)
+}
+
+proptest! {
+    #[test]
+    fn every_policy_assigns_every_block(costs in costs_strategy(200), ranks in 1usize..32) {
+        let policies: Vec<Box<dyn PlacementPolicy>> = vec![
+            Box::new(Baseline),
+            Box::new(Lpt),
+            Box::new(Cdp),
+            Box::new(ChunkedCdp::new(8)),
+            Box::new(Cplx::with_chunking(50, 8)),
+        ];
+        for p in &policies {
+            let placement = p.place(&costs, ranks);
+            prop_assert_eq!(placement.num_blocks(), costs.len());
+            prop_assert!(placement.as_slice().iter().all(|&r| (r as usize) < ranks));
+            // Conservation: per-rank loads sum to total cost.
+            let loads: f64 = placement.rank_loads(&costs).iter().sum();
+            let total: f64 = costs.iter().sum();
+            prop_assert!((loads - total).abs() < 1e-6 * total.max(1.0));
+        }
+    }
+
+    #[test]
+    fn lpt_within_four_thirds_of_optimal(costs in costs_strategy(12), ranks in 2usize..5) {
+        let exact = solve_exact(&costs, ranks);
+        let lpt = Lpt.place(&costs, ranks).makespan(&costs);
+        prop_assert!(lpt <= exact.makespan * 4.0 / 3.0 + 1e-9,
+            "LPT {} vs OPT {}", lpt, exact.makespan);
+        prop_assert!(lpt + 1e-9 >= exact.makespan);
+    }
+
+    #[test]
+    fn makespan_never_below_lower_bound(costs in costs_strategy(300), ranks in 1usize..64) {
+        let lb = lower_bound(&costs, ranks);
+        for p in [&Lpt as &dyn PlacementPolicy, &Cdp, &Baseline] {
+            prop_assert!(p.place(&costs, ranks).makespan(&costs) >= lb - 1e-9);
+        }
+    }
+
+    #[test]
+    fn cdp_variants_are_contiguous(costs in costs_strategy(300), ranks in 1usize..64) {
+        prop_assert!(Cdp.place(&costs, ranks).is_contiguous());
+        prop_assert!(ChunkedCdp::new(16).place(&costs, ranks).is_contiguous());
+        prop_assert!(cdp_general(&costs, ranks).is_contiguous());
+        prop_assert!(Baseline.place(&costs, ranks).is_contiguous());
+    }
+
+    #[test]
+    fn cdp_general_is_optimal_contiguous_vs_brute_force(
+        costs in costs_strategy(9),
+        ranks in 1usize..4,
+    ) {
+        // Brute force over all contiguous partitions.
+        fn brute(costs: &[f64], ranks: usize) -> f64 {
+            fn rec(costs: &[f64], start: usize, k: usize, ranks: usize, cur: f64) -> f64 {
+                if k == ranks - 1 {
+                    let seg: f64 = costs[start..].iter().sum();
+                    return cur.max(seg);
+                }
+                let mut best = f64::INFINITY;
+                for end in start..=costs.len() {
+                    let seg: f64 = costs[start..end].iter().sum();
+                    best = best.min(rec(costs, end, k + 1, ranks, cur.max(seg)));
+                }
+                best
+            }
+            rec(costs, 0, 0, ranks, 0.0)
+        }
+        let dp = cdp_general(&costs, ranks).makespan(&costs);
+        let opt = brute(&costs, ranks);
+        prop_assert!((dp - opt).abs() < 1e-9, "dp {} vs brute {}", dp, opt);
+    }
+
+    #[test]
+    fn cdp_never_worse_than_baseline(costs in costs_strategy(300), ranks in 1usize..64) {
+        let cdp = Cdp.place(&costs, ranks).makespan(&costs);
+        let base = Baseline.place(&costs, ranks).makespan(&costs);
+        prop_assert!(cdp <= base + 1e-9);
+    }
+
+    #[test]
+    fn cplx_zero_is_cdp_and_hundred_matches_lpt(
+        costs in costs_strategy(128),
+        ranks in 1usize..32,
+    ) {
+        let cpl0 = Cplx::with_chunking(0, 512).place(&costs, ranks);
+        let cdp = Cdp.place(&costs, ranks);
+        prop_assert_eq!(cpl0, cdp);
+
+        let cpl100 = Cplx::with_chunking(100, 512).place(&costs, ranks).makespan(&costs);
+        let lpt = Lpt.place(&costs, ranks).makespan(&costs);
+        prop_assert!((cpl100 - lpt).abs() <= 1e-9, "cpl100 {} vs lpt {}", cpl100, lpt);
+    }
+
+    #[test]
+    fn cplx_is_deterministic(costs in costs_strategy(128), ranks in 1usize..32, x in 0u32..=100) {
+        let a = Cplx::new(x).place(&costs, ranks);
+        let b = Cplx::new(x).place(&costs, ranks);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chunked_cdp_close_to_plain(costs in costs_strategy(256), ranks in 2usize..64) {
+        let plain = Cdp.place(&costs, ranks).makespan(&costs);
+        let chunked = ChunkedCdp::new(8).place(&costs, ranks).makespan(&costs);
+        // Chunking is an approximation but must stay within a small factor.
+        prop_assert!(chunked <= plain * 2.0 + 1e-9, "chunked {} vs plain {}", chunked, plain);
+        prop_assert!(chunked + 1e-9 >= lower_bound(&costs, ranks));
+    }
+
+    #[test]
+    fn migration_count_bounded_by_selection(
+        costs in costs_strategy(256),
+        ranks in 4usize..32,
+    ) {
+        // CPLX only reassigns blocks owned by selected ranks: migration
+        // relative to CPL0 is bounded by the number of blocks on selected
+        // ranks (cannot exceed total blocks, and is 0 at X=0).
+        let base = Cplx::new(0).place(&costs, ranks);
+        prop_assert_eq!(base.migration_count(&Cplx::new(0).place(&costs, ranks)), 0);
+        let p = Cplx::new(50).place(&costs, ranks);
+        prop_assert!(p.migration_count(&base) <= costs.len());
+    }
+}

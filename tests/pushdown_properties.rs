@@ -1,0 +1,93 @@
+//! Property tests for the chunked columnar store: zone-map pushdown must be
+//! an exact optimization — identical results to a full filter scan for any
+//! predicate, any data, any chunk size.
+
+use amr_tools::telemetry::chunked::{ChunkedStore, Predicate};
+use amr_tools::telemetry::{EventRecord, EventTable, Phase};
+use proptest::prelude::*;
+
+fn record_strategy() -> impl Strategy<Value = EventRecord> {
+    (
+        0u32..64,
+        0u32..32,
+        0u32..100,
+        0usize..Phase::ALL.len(),
+        0u64..1_000_000,
+    )
+        .prop_map(|(step, rank, block, phase, duration_ns)| EventRecord {
+            step,
+            rank,
+            block,
+            phase: Phase::ALL[phase],
+            duration_ns,
+            msg_count: 0,
+            msg_bytes: 0,
+        })
+}
+
+fn predicate_strategy() -> impl Strategy<Value = Predicate> {
+    (
+        prop::option::of((0u32..64, 0u32..64)),
+        prop::option::of((0u32..32, 0u32..32)),
+        prop::option::of(0u64..1_000_000),
+        prop::option::of(0usize..Phase::ALL.len()),
+    )
+        .prop_map(|(step, rank, min_dur, phase)| Predicate {
+            step: step.map(|(a, b)| (a.min(b), a.max(b))),
+            rank: rank.map(|(a, b)| (a.min(b), a.max(b))),
+            min_duration_ns: min_dur,
+            phase: phase.map(|p| Phase::ALL[p]),
+        })
+}
+
+proptest! {
+    #[test]
+    fn pushdown_scan_equals_full_filter(
+        records in prop::collection::vec(record_strategy(), 0..500),
+        chunk_rows in 1usize..64,
+        pred in predicate_strategy(),
+        sort_first: bool,
+    ) {
+        let mut table: EventTable = records.iter().copied().collect();
+        if sort_first {
+            table.sort_canonical();
+        }
+        let store = ChunkedStore::build(&table, chunk_rows);
+        prop_assert_eq!(store.num_rows(), table.len());
+
+        let scan = store.scan(&pred);
+        let expected: Vec<EventRecord> =
+            table.iter().filter(|r| pred.matches(r)).collect();
+        prop_assert_eq!(&scan.rows, &expected, "pushdown changed the result set");
+        prop_assert_eq!(
+            scan.chunks_pruned + scan.chunks_scanned,
+            store.num_chunks()
+        );
+    }
+
+    #[test]
+    fn pruned_chunks_really_had_no_matches(
+        records in prop::collection::vec(record_strategy(), 1..300),
+        pred in predicate_strategy(),
+    ) {
+        // Zone maps must never prune a chunk containing a match: verified
+        // indirectly by equality above, and directly here via counts.
+        let mut table: EventTable = records.iter().copied().collect();
+        table.sort_canonical();
+        let store = ChunkedStore::build(&table, 32);
+        let scan = store.scan(&pred);
+        let expected = table.iter().filter(|r| pred.matches(r)).count();
+        prop_assert_eq!(scan.rows.len(), expected);
+    }
+
+    #[test]
+    fn encode_decode_preserves_scans(
+        records in prop::collection::vec(record_strategy(), 0..200),
+        pred in predicate_strategy(),
+    ) {
+        let table: EventTable = records.iter().copied().collect();
+        let store = ChunkedStore::build(&table, 17);
+        let back = ChunkedStore::decode(&store.encode()).unwrap();
+        prop_assert_eq!(back.scan(&pred).rows, store.scan(&pred).rows);
+    }
+}

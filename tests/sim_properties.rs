@@ -1,0 +1,110 @@
+//! Property-based tests for the simulator (amr-sim): monotonicity and
+//! conservation laws that must hold regardless of workload or placement.
+
+use amr_tools::sim::collectives::{barrier, tree_depth};
+use amr_tools::sim::{Message, MicroSim, NetworkConfig, RoundSpec, TaskOrder, Topology};
+use proptest::prelude::*;
+
+fn quiet_net() -> NetworkConfig {
+    NetworkConfig {
+        ack_loss_prob: 0.0,
+        ..NetworkConfig::tuned()
+    }
+}
+
+fn round_strategy(max_ranks: usize) -> impl Strategy<Value = RoundSpec> {
+    (2usize..=max_ranks)
+        .prop_flat_map(|ranks| {
+            let msgs = prop::collection::vec(
+                (0..ranks as u32, 0..ranks as u32, 1u64..100_000),
+                0..64,
+            );
+            let compute = prop::collection::vec(0u64..2_000_000, ranks..=ranks);
+            (Just(ranks), compute, msgs)
+        })
+        .prop_map(|(ranks, compute_ns, raw)| RoundSpec {
+            num_ranks: ranks,
+            compute_ns,
+            messages: raw
+                .into_iter()
+                .map(|(src, dst, bytes)| Message { src, dst, bytes })
+                .collect(),
+            order: TaskOrder::SendsFirst,
+        })
+}
+
+proptest! {
+    #[test]
+    fn finish_is_wait_plus_local(spec in round_strategy(32)) {
+        let mut sim = MicroSim::new(Topology::paper(spec.num_ranks), quiet_net(), 1);
+        let res = sim.run_round(&spec);
+        for r in 0..spec.num_ranks {
+            prop_assert_eq!(res.finish_ns[r], res.local_finish_ns[r] + res.wait_ns[r]);
+        }
+    }
+
+    #[test]
+    fn round_latency_bounds(spec in round_strategy(32)) {
+        let mut sim = MicroSim::new(Topology::paper(spec.num_ranks), quiet_net(), 2);
+        let res = sim.run_round(&spec);
+        let max_finish = *res.finish_ns.iter().max().unwrap();
+        // Barrier completion is after the straggler, including tree hops.
+        prop_assert!(res.round_latency_ns >= max_finish);
+        let slack = tree_depth(spec.num_ranks) as u64 * 1_000_000;
+        prop_assert!(res.round_latency_ns <= max_finish + slack);
+        // And no earlier than the slowest compute.
+        let max_compute = *spec.compute_ns.iter().max().unwrap();
+        prop_assert!(res.round_latency_ns >= max_compute);
+    }
+
+    #[test]
+    fn adding_a_message_never_speeds_up_the_round(
+        spec in round_strategy(16),
+        src in 0u32..16,
+        dst in 0u32..16,
+        bytes in 1u64..50_000,
+    ) {
+        let src = src % spec.num_ranks as u32;
+        let dst = dst % spec.num_ranks as u32;
+        let mut sim_a = MicroSim::new(Topology::paper(spec.num_ranks), quiet_net(), 3);
+        let base = sim_a.run_round(&spec);
+        let mut bigger = spec.clone();
+        bigger.messages.push(Message { src, dst, bytes });
+        let mut sim_b = MicroSim::new(Topology::paper(spec.num_ranks), quiet_net(), 3);
+        let more = sim_b.run_round(&bigger);
+        prop_assert!(more.round_latency_ns >= base.round_latency_ns);
+    }
+
+    #[test]
+    fn sends_first_never_loses_to_compute_first(spec in round_strategy(24)) {
+        let mut cf = spec.clone();
+        cf.order = TaskOrder::ComputeFirst;
+        let mut sim_a = MicroSim::new(Topology::paper(spec.num_ranks), quiet_net(), 4);
+        let mut sim_b = MicroSim::new(Topology::paper(spec.num_ranks), quiet_net(), 4);
+        let sf = sim_a.run_round(&spec);
+        let cfr = sim_b.run_round(&cf);
+        prop_assert!(sf.round_latency_ns <= cfr.round_latency_ns,
+            "sends-first {} > compute-first {}", sf.round_latency_ns, cfr.round_latency_ns);
+    }
+
+    #[test]
+    fn message_class_counts_partition(spec in round_strategy(32)) {
+        let mut sim = MicroSim::new(Topology::new(spec.num_ranks, 4), quiet_net(), 5);
+        let res = sim.run_round(&spec);
+        prop_assert_eq!(
+            res.intra_msgs + res.local_msgs + res.remote_msgs,
+            spec.messages.len() as u64
+        );
+    }
+
+    #[test]
+    fn barrier_waits_are_consistent(arrivals in prop::collection::vec(0u64..1_000_000, 1..128),
+                                    hop in 0u64..10_000) {
+        let res = barrier(&arrivals, hop);
+        let last = *arrivals.iter().max().unwrap();
+        prop_assert_eq!(res.completion_ns, last + tree_depth(arrivals.len()) as u64 * hop);
+        for (a, w) in arrivals.iter().zip(&res.wait_ns) {
+            prop_assert_eq!(a + w, res.completion_ns);
+        }
+    }
+}

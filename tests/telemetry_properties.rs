@@ -1,0 +1,109 @@
+//! Property-based tests for the telemetry substrate (amr-telemetry).
+
+use amr_tools::telemetry::{codec, EventRecord, EventTable, Phase, Query};
+use proptest::prelude::*;
+
+fn record_strategy() -> impl Strategy<Value = EventRecord> {
+    (
+        0u32..1000,
+        0u32..4096,
+        prop_oneof![Just(u32::MAX), 0u32..10_000],
+        0usize..Phase::ALL.len(),
+        0u64..10_000_000_000,
+        0u32..100,
+        0u64..(1 << 30),
+    )
+        .prop_map(|(step, rank, block, phase, duration_ns, msg_count, msg_bytes)| {
+            EventRecord {
+                step,
+                rank,
+                block,
+                phase: Phase::ALL[phase],
+                duration_ns,
+                msg_count,
+                msg_bytes,
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn binary_codec_roundtrips(records in prop::collection::vec(record_strategy(), 0..200)) {
+        let table: EventTable = records.iter().copied().collect();
+        let decoded = codec::decode(&codec::encode(&table)).unwrap();
+        prop_assert_eq!(decoded.len(), table.len());
+        for i in 0..table.len() {
+            prop_assert_eq!(decoded.row(i), table.row(i));
+        }
+    }
+
+    #[test]
+    fn csv_codec_roundtrips(records in prop::collection::vec(record_strategy(), 0..100)) {
+        let table: EventTable = records.iter().copied().collect();
+        let parsed = codec::from_csv(&codec::to_csv(&table)).unwrap();
+        prop_assert_eq!(parsed.len(), table.len());
+        for i in 0..table.len() {
+            prop_assert_eq!(parsed.row(i), table.row(i));
+        }
+    }
+
+    #[test]
+    fn truncated_binary_never_panics(
+        records in prop::collection::vec(record_strategy(), 0..50),
+        cut in 0usize..200,
+    ) {
+        let table: EventTable = records.iter().copied().collect();
+        let buf = codec::encode(&table);
+        let cut = cut.min(buf.len());
+        // Must return an error or a valid table, never panic.
+        let _ = codec::decode(&buf[..cut]);
+    }
+
+    #[test]
+    fn group_bys_partition_the_table(records in prop::collection::vec(record_strategy(), 0..200)) {
+        let table: EventTable = records.iter().copied().collect();
+        let q = Query::new(&table);
+        for groups in [
+            q.by_rank().values().map(|g| g.count).sum::<usize>(),
+            q.by_step().values().map(|g| g.count).sum::<usize>(),
+            q.by_phase().values().map(|g| g.count).sum::<usize>(),
+        ] {
+            prop_assert_eq!(groups, table.len());
+        }
+        // Total duration is preserved by grouping.
+        let direct: u64 = table.durations().iter().sum();
+        let grouped: u64 = q.by_rank().values().map(|g| g.total_duration_ns).sum();
+        prop_assert_eq!(direct, grouped);
+    }
+
+    #[test]
+    fn filters_are_complementary(
+        records in prop::collection::vec(record_strategy(), 0..200),
+        pivot in 0u32..1000,
+    ) {
+        let table: EventTable = records.iter().copied().collect();
+        let below = Query::new(&table).step_range(0, pivot).count();
+        let above = Query::new(&table).step_range(pivot, u32::MAX).count();
+        prop_assert_eq!(below + above, table.len());
+    }
+
+    #[test]
+    fn sort_canonical_is_stable_permutation(
+        records in prop::collection::vec(record_strategy(), 0..200),
+    ) {
+        let mut table: EventTable = records.iter().copied().collect();
+        let total_before: u64 = table.durations().iter().sum();
+        table.sort_canonical();
+        prop_assert_eq!(table.len(), records.len());
+        let total_after: u64 = table.durations().iter().sum();
+        prop_assert_eq!(total_before, total_after);
+        // Ordered by (step, rank, phase, block).
+        for i in 1..table.len() {
+            let a = table.row(i - 1);
+            let b = table.row(i);
+            let ka = (a.step, a.rank, a.phase.code(), a.block);
+            let kb = (b.step, b.rank, b.phase.code(), b.block);
+            prop_assert!(ka <= kb);
+        }
+    }
+}

@@ -63,5 +63,10 @@ fn bench_neighbor_graph(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sfc_keys, bench_refinement, bench_neighbor_graph);
+criterion_group!(
+    benches,
+    bench_sfc_keys,
+    bench_refinement,
+    bench_neighbor_graph
+);
 criterion_main!(benches);

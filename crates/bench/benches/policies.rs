@@ -2,7 +2,9 @@
 //! Fig. 7c, with per-policy and per-scale breakdowns against the paper's
 //! 50 ms redistribution budget.
 
+use amr_core::engine::{PlacementCtx, PlacementEngine};
 use amr_core::policies::{Baseline, Cdp, ChunkedCdp, Cplx, Lpt, PlacementPolicy};
+use amr_core::Placement;
 use amr_workloads::CostDistribution;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
@@ -40,6 +42,63 @@ fn bench_policies(c: &mut Criterion) {
     group.finish();
 }
 
+/// The headline engine comparison at the fig7c overhead configuration
+/// (16384 ranks × 2 blocks/rank): a cold `place()` per rebalance vs the
+/// steady-state `PlacementEngine::rebalance` with warm scratch. The warm
+/// path must be allocation-free and measurably faster (≥1.2×) — the
+/// acceptance bar for the engine refactor.
+fn bench_engine_fig7c(c: &mut Criterion) {
+    let ranks = 16384usize;
+    let n = ranks * 2;
+    let cost = costs(n, ranks as u64);
+    let mut group = c.benchmark_group("engine_fig7c_16384");
+    group.throughput(Throughput::Elements(n as u64));
+    let policies: Vec<(&str, Box<dyn PlacementPolicy>)> = vec![
+        ("baseline", Box::new(Baseline)),
+        ("lpt", Box::new(Lpt)),
+        ("cpl50", Box::new(Cplx::new(50))),
+    ];
+    for (name, policy) in &policies {
+        group.bench_function(format!("{name}/cold_place"), |b| {
+            b.iter(|| std::hint::black_box(policy.place(&cost, ranks)))
+        });
+        // Apples-to-apples reuse: the same computation as `place()` but into
+        // a persistent output with warm scratch — no allocation, no extra
+        // migration accounting. This pair carries the ≥1.2× acceptance bar.
+        let scratch_engine = PlacementEngine::new();
+        let ctx = PlacementCtx::new(&cost, ranks).with_scratch(scratch_engine.scratch());
+        let mut out = Placement::default();
+        for _ in 0..2 {
+            policy
+                .place_into(&ctx, &mut out)
+                .expect("warm-up place_into");
+        }
+        group.bench_function(format!("{name}/warm_place_into"), |b| {
+            b.iter(|| {
+                std::hint::black_box(policy.place_into(&ctx, &mut out).expect("warm place_into"))
+            })
+        });
+        // The full steady-state engine loop: reuse plus per-call migration
+        // accounting against the previous placement.
+        let mut engine = PlacementEngine::new();
+        for _ in 0..2 {
+            engine
+                .rebalance(policy.as_ref(), &cost, ranks)
+                .expect("warm-up rebalance");
+        }
+        group.bench_function(format!("{name}/warm_engine"), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    engine
+                        .rebalance(policy.as_ref(), &cost, ranks)
+                        .expect("engine rebalance"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_cplx_x_sweep(c: &mut Criterion) {
     let ranks = 4096;
     let cost = costs(ranks * 2, 7);
@@ -53,5 +112,10 @@ fn bench_cplx_x_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_policies, bench_cplx_x_sweep);
+criterion_group!(
+    benches,
+    bench_policies,
+    bench_engine_fig7c,
+    bench_cplx_x_sweep
+);
 criterion_main!(benches);

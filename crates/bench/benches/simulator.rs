@@ -3,13 +3,13 @@
 //! cheap enough to sweep the paper's parameter space.
 
 use amr_core::policies::Baseline;
+use amr_core::policies::PlacementPolicy;
 use amr_core::trigger::RebalanceTrigger;
+use amr_mesh::{Dim, MeshConfig};
 use amr_sim::{MacroSim, MicroSim, NetworkConfig, RoundSpec, SimConfig, TaskOrder, Topology};
+use amr_workloads::cooling::CoolingConfig;
 use amr_workloads::exchange::build_round_messages;
 use amr_workloads::{random_refined_mesh, CoolingWorkload};
-use amr_workloads::cooling::CoolingConfig;
-use amr_core::policies::PlacementPolicy;
-use amr_mesh::{Dim, MeshConfig};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn bench_micro_round(c: &mut Criterion) {
@@ -42,7 +42,8 @@ fn bench_macro_steps(c: &mut Criterion) {
             cfg.telemetry_sampling = 1000; // effectively off
             let mut sim = MacroSim::new(cfg);
             std::hint::black_box(
-                sim.run(&mut w, &Baseline, RebalanceTrigger::OnMeshChange).total_ns,
+                sim.run(&mut w, &Baseline, RebalanceTrigger::OnMeshChange)
+                    .total_ns,
             )
         })
     });

@@ -41,11 +41,13 @@ fn bench_queries(c: &mut Criterion) {
     });
     group.bench_function("correlate_volume_time", |b| {
         b.iter(|| {
-            Query::new(&table).phase(Phase::BoundaryComm).correlate_groups(
-                |r| r.rank,
-                |g| g.total_msg_bytes as f64,
-                |g| g.total_duration_ns as f64,
-            )
+            Query::new(&table)
+                .phase(Phase::BoundaryComm)
+                .correlate_groups(
+                    |r| r.rank,
+                    |g| g.total_msg_bytes as f64,
+                    |g| g.total_duration_ns as f64,
+                )
         })
     });
     group.finish();
@@ -97,5 +99,11 @@ fn bench_pushdown(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ingest, bench_queries, bench_codec, bench_pushdown);
+criterion_group!(
+    benches,
+    bench_ingest,
+    bench_queries,
+    bench_codec,
+    bench_pushdown
+);
 criterion_main!(benches);

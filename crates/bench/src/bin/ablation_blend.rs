@@ -50,7 +50,10 @@ fn main() {
     let spec = mesh.config().spec;
 
     println!("== Ablation: naive blend vs CPLX on the (makespan, locality) plane ==");
-    println!("   ({} blocks, {ranks} ranks; lower is better on both axes)\n", mesh.num_blocks());
+    println!(
+        "   ({} blocks, {ranks} ranks; lower is better on both axes)\n",
+        mesh.num_blocks()
+    );
 
     let mut rows = Vec::new();
     let point = |name: String, p: &amr_core::Placement, rows: &mut Vec<Vec<String>>| {

@@ -26,11 +26,8 @@ fn main() {
     println!("== Ablation: measured (telemetry) costs vs uniform cost=1 hooks ==");
     println!("   ({ranks} ranks, Sedov, steps = Table I / {step_scale})\n");
 
-    let policies: Vec<Box<dyn PlacementPolicy>> = vec![
-        Box::new(Baseline),
-        Box::new(Cplx::new(50)),
-        Box::new(Lpt),
-    ];
+    let policies: Vec<Box<dyn PlacementPolicy>> =
+        vec![Box::new(Baseline), Box::new(Cplx::new(50)), Box::new(Lpt)];
 
     let mut rows = Vec::new();
     let mut baseline_total = None;
@@ -58,7 +55,16 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["cost hooks", "policy", "sync (s)", "total (s)", "vs baseline"], &rows)
+        render_table(
+            &[
+                "cost hooks",
+                "policy",
+                "sync (s)",
+                "total (s)",
+                "vs baseline"
+            ],
+            &rows
+        )
     );
     println!(
         "\nExpected: with uniform hooks, cpl50/lpt lose most of their advantage — the\n\

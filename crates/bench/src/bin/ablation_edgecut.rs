@@ -15,12 +15,12 @@
 use amr_bench::{render_table, Args};
 use amr_core::placement::Placement;
 use amr_core::policies::{
-    edge_cut_bytes, Baseline, Cdp, Cplx, GreedyEdgeCut, Lpt, MeshAwarePolicy, PlacementPolicy,
-    Rcb,
+    edge_cut_bytes, Baseline, Cdp, Cplx, GreedyEdgeCut, Lpt, PlacementPolicy, Rcb,
 };
 use amr_sim::{MicroSim, NetworkConfig, RoundSpec, TaskOrder, Topology};
 use amr_telemetry::stats;
 use amr_workloads::exchange::build_round_messages;
+use amr_workloads::exchange::placement_ctx;
 use amr_workloads::{random_refined_mesh, CostDistribution};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -45,10 +45,16 @@ fn main() {
         ("cdp".into(), Cdp.place(&costs, ranks)),
         ("cpl50".into(), Cplx::new(50).place(&costs, ranks)),
         ("lpt".into(), Lpt.place(&costs, ranks)),
-        (
-            "edge-cut".into(),
-            GreedyEdgeCut::default().place_on_mesh(&mesh, &costs, ranks),
-        ),
+        ("edge-cut".into(), {
+            // Thread the prebuilt neighbor graph through the context so the
+            // partitioner does not rebuild it.
+            let ctx = placement_ctx(&mesh, &costs, ranks).with_graph(&graph);
+            let mut out = Placement::default();
+            GreedyEdgeCut::default()
+                .place_into(&ctx, &mut out)
+                .expect("edge-cut placement");
+            out
+        }),
         ("rcb".into(), Rcb.place_on_mesh(&mesh, &costs, ranks)),
     ];
 

@@ -25,8 +25,7 @@ fn main() {
 
     println!("== Ablation: async wait-masking vs placement (Sedov, {ranks} ranks) ==\n");
 
-    let policies: Vec<Box<dyn PlacementPolicy>> =
-        vec![Box::new(Baseline), Box::new(Cplx::new(50))];
+    let policies: Vec<Box<dyn PlacementPolicy>> = vec![Box::new(Baseline), Box::new(Cplx::new(50))];
     let mut rows = Vec::new();
     for overlap in [0.0f64, 0.5, 0.9] {
         let mut baseline_total = None;
@@ -61,7 +60,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["masking", "policy", "comm (s)", "sync (s)", "total (s)", "cpl50 vs base"],
+            &[
+                "masking",
+                "policy",
+                "comm (s)",
+                "sync (s)",
+                "total (s)",
+                "cpl50 vs base"
+            ],
             &rows
         )
     );

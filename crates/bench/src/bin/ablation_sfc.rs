@@ -12,8 +12,8 @@
 //! ```
 
 use amr_bench::{render_table, Args};
-use amr_core::reorder::{order_by_key, permuted_place};
 use amr_core::policies::{Baseline, Cdp, Cplx, PlacementPolicy};
+use amr_core::reorder::{order_by_key, permuted_place};
 use amr_mesh::{hilbert_key, sfc_key};
 use amr_workloads::{random_refined_mesh, CostDistribution};
 use rand::rngs::StdRng;
@@ -44,11 +44,8 @@ fn main() {
         order_by_key(n, |i| sfc_key(&mesh.blocks()[i].octant, dim))
     );
 
-    let policies: Vec<Box<dyn PlacementPolicy>> = vec![
-        Box::new(Baseline),
-        Box::new(Cdp),
-        Box::new(Cplx::new(25)),
-    ];
+    let policies: Vec<Box<dyn PlacementPolicy>> =
+        vec![Box::new(Baseline), Box::new(Cdp), Box::new(Cplx::new(25))];
 
     let mut rows = Vec::new();
     for (curve, perm) in [("z-order", &zorder), ("hilbert", &hilbert)] {
@@ -69,7 +66,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["curve", "policy", "makespan", "intra-rank", "local", "remote", "remote%"],
+            &[
+                "curve",
+                "policy",
+                "makespan",
+                "intra-rank",
+                "local",
+                "remote",
+                "remote%"
+            ],
             &rows
         )
     );

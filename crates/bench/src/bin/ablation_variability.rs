@@ -40,7 +40,9 @@ fn main() {
     // Low-variability anchor: the cooling-style workload.
     {
         let mesh = MeshConfig::from_cells(Dim::D3, (128, 128, 128), 1);
-        let steps = SedovScenario::for_ranks(ranks, step_scale).config.total_steps;
+        let steps = SedovScenario::for_ranks(ranks, step_scale)
+            .config
+            .total_steps;
         let mut wb = CoolingWorkload::new(CoolingConfig::new(mesh.clone(), steps));
         let base = run(&mut wb, &Baseline);
         let mut wc = CoolingWorkload::new(CoolingConfig::new(mesh, steps));
@@ -55,7 +57,9 @@ fn main() {
     // Mid-variability: the shear-interface (KH-style) workload.
     {
         let mesh = MeshConfig::from_cells(Dim::D3, (128, 128, 128), 1);
-        let steps = SedovScenario::for_ranks(ranks, step_scale).config.total_steps;
+        let steps = SedovScenario::for_ranks(ranks, step_scale)
+            .config
+            .total_steps;
         let mut wb = InterfaceWorkload::new(InterfaceConfig::new(mesh.clone(), steps));
         let base = run(&mut wb, &Baseline);
         let mut wc = InterfaceWorkload::new(InterfaceConfig::new(mesh, steps));
@@ -84,10 +88,7 @@ fn main() {
 
     println!(
         "{}",
-        render_table(
-            &["workload", "baseline sync %", "cpl50 vs baseline"],
-            &rows
-        )
+        render_table(&["workload", "baseline sync %", "cpl50 vs baseline"], &rows)
     );
     println!(
         "\nExpected: the benefit of telemetry-driven placement grows with the\n\

@@ -115,7 +115,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["config", "mean gating wait (us)", "spike-free mean (us)", "amplification", "spike rate"],
+            &[
+                "config",
+                "mean gating wait (us)",
+                "spike-free mean (us)",
+                "amplification",
+                "spike rate"
+            ],
             &rows
         )
     );

@@ -30,7 +30,9 @@ fn main() {
     // Throttle a few interior nodes at the paper's observed 4x.
     let num_nodes = ranks / 16;
     assert!(n_throttled < num_nodes, "too many throttled nodes");
-    let throttled: Vec<usize> = (0..n_throttled).map(|i| 1 + i * (num_nodes - 1) / n_throttled.max(1)).collect();
+    let throttled: Vec<usize> = (0..n_throttled)
+        .map(|i| 1 + i * (num_nodes - 1) / n_throttled.max(1))
+        .collect();
     let faults = FaultConfig::with_throttled_nodes(throttled.iter().copied());
 
     println!("== Fig. 2: throttled compute, cluster signature, pruning ==");
@@ -50,14 +52,8 @@ fn main() {
             let mut w = SedovScenario::for_ranks(ranks, 200).workload();
             sim.run(&mut w, &Baseline, RebalanceTrigger::OnMeshChange)
         } else {
-            let mesh = amr_mesh::MeshConfig::from_cells(
-                amr_mesh::Dim::D3,
-                (128, 128, 128),
-                1,
-            );
-            let mut w = CoolingWorkload::new(amr_workloads::cooling::CoolingConfig::new(
-                mesh, 150,
-            ));
+            let mesh = amr_mesh::MeshConfig::from_cells(amr_mesh::Dim::D3, (128, 128, 128), 1);
+            let mut w = CoolingWorkload::new(amr_workloads::cooling::CoolingConfig::new(mesh, 150));
             sim.run(&mut w, &Baseline, RebalanceTrigger::OnMeshChange)
         };
         println!(
@@ -115,7 +111,10 @@ fn main() {
             format!("{:.1}%", pruned.phases.sync_fraction() * 100.0),
         ],
     ];
-    println!("{}", render_table(&["run", "total (s)", "sync share"], &rows));
+    println!(
+        "{}",
+        render_table(&["run", "total (s)", "sync share"], &rows)
+    );
     println!(
         "runtime recovered: {speedup:.2}x (paper: 10 h -> 2.5 h = 4x; >70% of time in sync before pruning)"
     );

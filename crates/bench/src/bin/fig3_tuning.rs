@@ -93,7 +93,9 @@ fn main() {
         let mean = stats::mean(&comm);
         let cv = stats::coeff_of_variation(&comm);
         let p99 = stats::percentile(&comm, 0.99);
-        let ratio = prev_cv.map(|p| format!("{:.2}", cv / p)).unwrap_or("-".into());
+        let ratio = prev_cv
+            .map(|p| format!("{:.2}", cv / p))
+            .unwrap_or("-".into());
         prev_cv = Some(cv);
         rows.push(vec![
             label.to_string(),
@@ -106,7 +108,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["stage", "mean comm (us)", "p99 (us)", "rankwise CV", "CV vs prev"],
+            &[
+                "stage",
+                "mean comm (us)",
+                "p99 (us)",
+                "rankwise CV",
+                "CV vs prev"
+            ],
             &rows
         )
     );

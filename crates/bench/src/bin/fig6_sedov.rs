@@ -34,9 +34,7 @@ fn main() {
     let csv_dir = args.get("csv", "").to_string();
 
     println!("== Fig. 6: Sedov Blast Wave 3D, policies vs scale ==");
-    println!(
-        "   (step counts = Table I / {step_scale}; virtual time; 16 ranks/node)\n"
-    );
+    println!("   (step counts = Table I / {step_scale}; virtual time; 16 ranks/node)\n");
 
     let mut all_reports: Vec<(usize, Vec<RunReport>)> = Vec::new();
 
@@ -50,7 +48,11 @@ fn main() {
             cfg.seed = seed ^ (ranks as u64);
             cfg.telemetry_sampling = 16;
             let mut sim = MacroSim::new(cfg);
-            let report = sim.run(&mut workload, policy.as_ref(), RebalanceTrigger::OnMeshChange);
+            let report = sim.run(
+                &mut workload,
+                policy.as_ref(),
+                RebalanceTrigger::OnMeshChange,
+            );
             reports.push(report);
         }
         print_fig6a(ranks, &reports);
@@ -126,7 +128,17 @@ fn print_fig6a(ranks: usize, reports: &[RunReport]) {
     println!(
         "{}",
         render_table(
-            &["policy", "compute", "comm", "sync", "redist", "total", "sync%", "vs base", "#=compute ~=comm ==sync %=redist"],
+            &[
+                "policy",
+                "compute",
+                "comm",
+                "sync",
+                "redist",
+                "total",
+                "sync%",
+                "vs base",
+                "#=compute ~=comm ==sync %=redist"
+            ],
             &rows
         )
     );

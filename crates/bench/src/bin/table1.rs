@@ -22,7 +22,9 @@ fn main() {
     let scales = args.get_usize_list("ranks", &[512, 1024, 2048, 4096]);
 
     println!("== Table I: Sedov Blast Wave 3D configurations ==");
-    println!("   (simulated steps = paper steps / {step_scale}; 16^3 blocks, 1 initial block/rank)\n");
+    println!(
+        "   (simulated steps = paper steps / {step_scale}; 16^3 blocks, 1 initial block/rank)\n"
+    );
 
     let mut rows = Vec::new();
     for &ranks in &scales {
@@ -45,7 +47,10 @@ fn main() {
             row.t_lb.to_string(),
             rep.lb_invocations.to_string(),
             format!("{:.1}%", row.t_lb as f64 / row.t_total as f64 * 100.0),
-            format!("{:.1}%", rep.lb_invocations as f64 / rep.steps as f64 * 100.0),
+            format!(
+                "{:.1}%",
+                rep.lb_invocations as f64 / rep.steps as f64 * 100.0
+            ),
             row.n_initial.to_string(),
             rep.initial_blocks.to_string(),
             row.n_final.to_string(),
@@ -56,8 +61,18 @@ fn main() {
         "{}",
         render_table(
             &[
-                "ranks", "mesh", "t_tot(p)", "t_tot(sim)", "t_lb(p)", "t_lb(sim)", "lb%(p)",
-                "lb%(sim)", "n_init(p)", "n_init", "n_final(p)", "n_final"
+                "ranks",
+                "mesh",
+                "t_tot(p)",
+                "t_tot(sim)",
+                "t_lb(p)",
+                "t_lb(sim)",
+                "lb%(p)",
+                "lb%(sim)",
+                "n_init(p)",
+                "n_init",
+                "n_final(p)",
+                "n_final"
             ],
             &rows
         )

@@ -87,7 +87,10 @@ impl Args {
     pub fn get_usize(&self, key: &str, default: usize) -> usize {
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer"))
+            })
             .unwrap_or(default)
     }
 
@@ -95,7 +98,10 @@ impl Args {
     pub fn get_u64(&self, key: &str, default: u64) -> u64 {
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer"))
+            })
             .unwrap_or(default)
     }
 
@@ -103,7 +109,10 @@ impl Args {
     pub fn get_f64(&self, key: &str, default: f64) -> f64 {
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects a number"))
+            })
             .unwrap_or(default)
     }
 
@@ -113,7 +122,11 @@ impl Args {
             None => default.to_vec(),
             Some(v) => v
                 .split(',')
-                .map(|s| s.trim().parse().unwrap_or_else(|_| panic!("--{key}: bad list")))
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--{key}: bad list"))
+                })
                 .collect(),
         }
     }
@@ -195,9 +208,11 @@ mod tests {
     #[test]
     fn args_parse_values_and_flags() {
         let a = Args::from_iter(
-            ["--ranks", "512", "--quick", "--scale", "2.5", "--list", "1,2,3"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--ranks", "512", "--quick", "--scale", "2.5", "--list", "1,2,3",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert_eq!(a.get_usize("ranks", 0), 512);
         assert!(a.flag("quick"));
@@ -222,10 +237,7 @@ mod tests {
     fn table_alignment() {
         let t = render_table(
             &["a", "long"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["100".into(), "x".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["100".into(), "x".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -52,14 +52,9 @@ impl PlacementAssessment {
         placement: &Placement,
         inputs: &AssessmentInputs<'_>,
     ) -> PlacementAssessment {
-        let loc = placement.locality_stats(
-            inputs.graph,
-            inputs.ranks_per_node,
-            inputs.spec,
-            inputs.dim,
-        );
-        let traffic =
-            TrafficMatrix::build(placement, inputs.graph, inputs.spec, inputs.dim);
+        let loc =
+            placement.locality_stats(inputs.graph, inputs.ranks_per_node, inputs.spec, inputs.dim);
+        let traffic = TrafficMatrix::build(placement, inputs.graph, inputs.spec, inputs.dim);
         PlacementAssessment {
             policy: policy.into(),
             makespan: placement.makespan(inputs.costs),
@@ -103,9 +98,7 @@ impl PlacementAssessment {
                 "  overhead: {m} blocks to migrate, computed in {:.2} ms\n",
                 w as f64 / 1e6
             )),
-            (Some(m), None) => {
-                out.push_str(&format!("  overhead: {m} blocks to migrate\n"))
-            }
+            (Some(m), None) => out.push_str(&format!("  overhead: {m} blocks to migrate\n")),
             (None, Some(w)) => out.push_str(&format!(
                 "  overhead: computed in {:.2} ms\n",
                 w as f64 / 1e6

@@ -91,25 +91,30 @@ impl TelemetryCostModel {
 
     /// Rebuild the model for a new mesh described by per-new-block origins.
     pub fn remap(&self, origins: &[CostOrigin]) -> TelemetryCostModel {
-        let costs = origins
-            .iter()
-            .map(|o| match o {
-                CostOrigin::Same(i) | CostOrigin::SplitFrom(i) => self.costs[*i],
-                CostOrigin::MergedFrom(parts) => {
-                    if parts.is_empty() {
-                        self.default_cost
-                    } else {
-                        parts.iter().map(|&i| self.costs[i]).sum::<f64>() / parts.len() as f64
-                    }
+        let mut out = self.clone();
+        out.remap_in_place(origins, &mut Vec::new());
+        out
+    }
+
+    /// In-place [`remap`](TelemetryCostModel::remap): the new estimates are
+    /// staged in `spare` (cleared first), then swapped in, leaving the old
+    /// cost vector as the next call's stage. With a reused `spare`, a
+    /// steady-state remap loop allocates only on mesh growth.
+    pub fn remap_in_place(&mut self, origins: &[CostOrigin], spare: &mut Vec<f64>) {
+        spare.clear();
+        spare.reserve(origins.len());
+        spare.extend(origins.iter().map(|o| match o {
+            CostOrigin::Same(i) | CostOrigin::SplitFrom(i) => self.costs[*i],
+            CostOrigin::MergedFrom(parts) => {
+                if parts.is_empty() {
+                    self.default_cost
+                } else {
+                    parts.iter().map(|&i| self.costs[i]).sum::<f64>() / parts.len() as f64
                 }
-                CostOrigin::Fresh => self.default_cost,
-            })
-            .collect();
-        TelemetryCostModel {
-            costs,
-            alpha: self.alpha,
-            default_cost: self.default_cost,
-        }
+            }
+            CostOrigin::Fresh => self.default_cost,
+        }));
+        std::mem::swap(&mut self.costs, spare);
     }
 
     /// Number of blocks tracked.
@@ -195,5 +200,24 @@ mod tests {
     #[should_panic(expected = "alpha must be in")]
     fn rejects_bad_alpha() {
         TelemetryCostModel::new(1, 0.0, 1.0);
+    }
+
+    #[test]
+    fn remap_in_place_matches_remap() {
+        let mut m = TelemetryCostModel::new(3, 1.0, 1.0);
+        m.observe_all(&[2.0, 4.0, 6.0]);
+        let origins = vec![
+            CostOrigin::Same(2),
+            CostOrigin::MergedFrom(vec![0, 1]),
+            CostOrigin::Fresh,
+        ];
+        let by_clone = m.remap(&origins);
+        let mut spare = Vec::new();
+        let mut in_place = m.clone();
+        in_place.remap_in_place(&origins, &mut spare);
+        assert_eq!(in_place.costs(), by_clone.costs());
+        assert_eq!(in_place.costs(), &[6.0, 3.0, 1.0]);
+        // The spare now holds the retired vector, ready for reuse.
+        assert_eq!(spare.len(), 3);
     }
 }

@@ -263,8 +263,7 @@ pub fn prioritize_sends(window: &Window) -> Window {
         .tasks
         .iter()
         .map(|list| {
-            let (sends, rest): (Vec<Task>, Vec<Task>) =
-                list.iter().partition(|t| t.is_send());
+            let (sends, rest): (Vec<Task>, Vec<Task>) = list.iter().partition(|t| t.is_send());
             sends.into_iter().chain(rest).collect()
         })
         .collect();
@@ -481,7 +480,11 @@ mod overlap_tests {
             tasks: vec![
                 vec![
                     Task::Compute { dur: 400 },
-                    Task::Send { msg: 0, dur: 1, latency: 5 },
+                    Task::Send {
+                        msg: 0,
+                        dur: 1,
+                        latency: 5,
+                    },
                 ],
                 vec![
                     Task::Compute { dur: 20 },
@@ -502,7 +505,11 @@ mod overlap_tests {
             tasks: vec![
                 vec![
                     Task::Compute { dur: 500 },
-                    Task::Send { msg: 0, dur: 1, latency: 5 },
+                    Task::Send {
+                        msg: 0,
+                        dur: 1,
+                        latency: 5,
+                    },
                 ],
                 vec![Task::Wait { msg: 0 }],
             ],
@@ -518,7 +525,11 @@ mod overlap_tests {
             tasks: vec![
                 vec![
                     Task::Compute { dur: 100 },
-                    Task::Send { msg: 0, dur: 1, latency: 5 },
+                    Task::Send {
+                        msg: 0,
+                        dur: 1,
+                        latency: 5,
+                    },
                 ],
                 vec![Task::Wait { msg: 0 }, Task::Compute { dur: 10_000 }],
             ],

@@ -27,6 +27,10 @@
 //! * [`cost`] — telemetry-driven per-block cost models (§V-A3: "we populate
 //!   the existing cost specification hooks with actual computation costs
 //!   measured via telemetry");
+//! * [`engine`] — the zero-allocation placement engine: the context-threaded
+//!   [`policies::PlacementPolicy::place_into`] API, reusable
+//!   [`engine::Scratch`] buffers, and incremental rebalance with migration
+//!   accounting ([`engine::PlacementEngine`]);
 //! * [`exact`] — a branch-and-bound exact makespan solver, standing in for
 //!   the paper's commercial ILP reference (§V-B);
 //! * [`critical_path`] — the §IV-D critical-path model of execution between
@@ -36,6 +40,7 @@
 pub mod assess;
 pub mod cost;
 pub mod critical_path;
+pub mod engine;
 pub mod exact;
 pub mod placement;
 pub mod policies;
@@ -44,8 +49,11 @@ pub mod traffic;
 pub mod trigger;
 
 pub use assess::{AssessmentInputs, PlacementAssessment};
-pub use cost::{CostModel, TelemetryCostModel};
+pub use cost::{CostModel, CostOrigin, TelemetryCostModel};
+pub use engine::{
+    MigrationStats, PlacementCtx, PlacementEngine, PlacementError, PlacementReport, Scratch,
+};
 pub use placement::{LocalityStats, Placement, RankId};
-pub use policies::{Baseline, Cdp, ChunkedCdp, Cplx, Lpt, MeshAwarePolicy, PlacementPolicy};
+pub use policies::{Baseline, Cdp, ChunkedCdp, Cplx, Lpt, PlacementPolicy};
 pub use traffic::TrafficMatrix;
 pub use trigger::RebalanceTrigger;

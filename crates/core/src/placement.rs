@@ -13,6 +13,7 @@
 //!   every neighbor relation as intra-rank (`memcpy`, invisible to MPI),
 //!   intra-node (shared memory) or remote (fabric), given the node topology.
 
+use crate::engine::PlacementError;
 use amr_mesh::{BlockSpec, Dim, NeighborGraph};
 use serde::{Deserialize, Serialize};
 
@@ -26,17 +27,54 @@ pub struct Placement {
     num_ranks: usize,
 }
 
+impl Default for Placement {
+    /// An empty placement over a single rank.
+    fn default() -> Placement {
+        Placement {
+            ranks: Vec::new(),
+            num_ranks: 1,
+        }
+    }
+}
+
 impl Placement {
     /// Build from an explicit assignment vector.
     ///
-    /// Panics if any rank is out of range.
+    /// Panics if any rank is out of range; see [`Placement::try_new`] for the
+    /// typed-error variant.
     pub fn new(ranks: Vec<RankId>, num_ranks: usize) -> Placement {
-        assert!(num_ranks > 0, "need at least one rank");
-        assert!(
-            ranks.iter().all(|&r| (r as usize) < num_ranks),
-            "rank out of range"
-        );
-        Placement { ranks, num_ranks }
+        Placement::try_new(ranks, num_ranks).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build from an explicit assignment vector, rejecting invalid inputs
+    /// with a typed [`PlacementError`].
+    pub fn try_new(ranks: Vec<RankId>, num_ranks: usize) -> Result<Placement, PlacementError> {
+        if num_ranks == 0 {
+            return Err(PlacementError::NoRanks);
+        }
+        if let Some((block, &rank)) = ranks
+            .iter()
+            .enumerate()
+            .find(|(_, &r)| (r as usize) >= num_ranks)
+        {
+            return Err(PlacementError::RankOutOfRange {
+                block,
+                rank,
+                num_ranks,
+            });
+        }
+        Ok(Placement { ranks, num_ranks })
+    }
+
+    /// Repoint this placement at `num_ranks` ranks and hand out the raw
+    /// assignment vector for in-place refill. The contents are *not*
+    /// cleared — single-pass writers clear-and-extend, rewriters (Blend,
+    /// CPLX) patch the existing assignment. Callers must leave every entry
+    /// `< num_ranks`; policies guarantee this by construction.
+    pub(crate) fn reset(&mut self, num_ranks: usize) -> &mut Vec<RankId> {
+        debug_assert!(num_ranks > 0, "need at least one rank");
+        self.num_ranks = num_ranks;
+        &mut self.ranks
     }
 
     /// Number of blocks placed.
@@ -94,9 +132,7 @@ impl Placement {
     /// Makespan: the maximum per-rank load. The straggler's load, which
     /// lower-bounds the time to the next synchronization point.
     pub fn makespan(&self, costs: &[f64]) -> f64 {
-        self.rank_loads(costs)
-            .into_iter()
-            .fold(0.0f64, f64::max)
+        self.rank_loads(costs).into_iter().fold(0.0f64, f64::max)
     }
 
     /// Imbalance factor: makespan / mean load. 1.0 is perfect balance.
@@ -107,7 +143,7 @@ impl Placement {
             return 1.0;
         }
         let mean = total / self.num_ranks as f64;
-        self.makespan(costs) / mean
+        loads.into_iter().fold(0.0f64, f64::max) / mean
     }
 
     /// Is the assignment contiguous in SFC order — does each rank own one
@@ -232,6 +268,20 @@ mod tests {
     #[should_panic(expected = "rank out of range")]
     fn rejects_out_of_range_rank() {
         Placement::new(vec![0, 3], 3);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        assert_eq!(Placement::try_new(vec![0], 0), Err(PlacementError::NoRanks));
+        assert_eq!(
+            Placement::try_new(vec![0, 3], 3),
+            Err(PlacementError::RankOutOfRange {
+                block: 1,
+                rank: 3,
+                num_ranks: 3
+            })
+        );
+        assert!(Placement::try_new(vec![0, 2], 3).is_ok());
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! *counts* (treating all blocks as equally expensive — the "cost = 1"
 //! default the paper found in practice) while co-locating spatial neighbors.
 
-use super::{validate_inputs, PlacementPolicy};
+use super::PlacementPolicy;
+use crate::engine::{PlacementCtx, PlacementError, PlacementReport};
 use crate::placement::Placement;
 
 /// Contiguous equal-count SFC placement.
@@ -17,18 +18,24 @@ impl PlacementPolicy for Baseline {
         "baseline".into()
     }
 
-    fn place(&self, costs: &[f64], num_ranks: usize) -> Placement {
-        validate_inputs(costs, num_ranks);
-        let n = costs.len();
-        let r = num_ranks;
+    fn place_into(
+        &self,
+        ctx: &PlacementCtx,
+        out: &mut Placement,
+    ) -> Result<PlacementReport, PlacementError> {
+        ctx.validate()?;
+        let n = ctx.costs().len();
+        let r = ctx.num_ranks();
         let base = n / r;
         let extra = n % r; // first `extra` ranks take one more block
-        let mut ranks = Vec::with_capacity(n);
+        let ranks = out.reset(r);
+        ranks.clear();
+        ranks.reserve(n);
         for rank in 0..r {
             let take = base + usize::from(rank < extra);
             ranks.extend(std::iter::repeat_n(rank as u32, take));
         }
-        Placement::new(ranks, num_ranks)
+        Ok(ctx.finish(out))
     }
 }
 

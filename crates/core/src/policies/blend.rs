@@ -19,9 +19,10 @@
 //! dominated tradeoff is why the paper abandoned blending for rank-based
 //! selective rebalancing.
 
-use super::chunked::ChunkedCdp;
-use super::lpt::Lpt;
-use super::{validate_inputs, PlacementPolicy};
+use super::chunked::{chunked_assign, ChunkedCdp};
+use super::lpt::{lpt_into, lpt_scratch};
+use super::PlacementPolicy;
+use crate::engine::{PlacementCtx, PlacementError, PlacementReport};
 use crate::placement::Placement;
 
 /// Naive cost-quantile blend of CDP and LPT. `w = 0` is CDP, `w = 1` is
@@ -51,29 +52,84 @@ impl PlacementPolicy for Blend {
         format!("blend{}", (self.heavy_fraction * 100.0).round() as u32)
     }
 
-    fn place(&self, costs: &[f64], num_ranks: usize) -> Placement {
-        validate_inputs(costs, num_ranks);
-        let base = self.chunking.place(costs, num_ranks);
+    fn place_into(
+        &self,
+        ctx: &PlacementCtx,
+        out: &mut Placement,
+    ) -> Result<PlacementReport, PlacementError> {
+        ctx.validate()?;
+        chunked_assign(&self.chunking, ctx, out);
+        let costs = ctx.costs();
+        let num_ranks = ctx.num_ranks();
         if self.heavy_fraction == 0.0 || costs.is_empty() {
-            return base;
+            return Ok(ctx.finish(out));
         }
-        let lpt = Lpt.place(costs, num_ranks);
+        let n = costs.len();
+
+        // Full LPT solution into a secondary assignment buffer.
+        let mut local_lpt = Vec::new();
+        let mut borrowed_lpt;
+        let lpt_ranks: &mut Vec<u32> = match ctx.scratch() {
+            Some(s) => {
+                borrowed_lpt = s.second_assignment.borrow_mut();
+                &mut borrowed_lpt
+            }
+            None => &mut local_lpt,
+        };
+        lpt_ranks.clear();
+        lpt_ranks.resize(n, 0);
+        match ctx.scratch() {
+            Some(s) => {
+                let mut blocks = s.block_ids.borrow_mut();
+                blocks.clear();
+                blocks.extend(0..n);
+                let mut rank_ids = s.rank_ids.borrow_mut();
+                rank_ids.clear();
+                rank_ids.extend(0..num_ranks as u32);
+                lpt_scratch(
+                    costs,
+                    &blocks,
+                    &rank_ids,
+                    lpt_ranks,
+                    &mut s.lpt_order.borrow_mut(),
+                    &mut s.lpt_slots.borrow_mut(),
+                );
+            }
+            None => {
+                let blocks: Vec<usize> = (0..n).collect();
+                let rank_ids: Vec<u32> = (0..num_ranks as u32).collect();
+                lpt_into(costs, &blocks, &rank_ids, lpt_ranks);
+            }
+        }
+
+        let assignment = out.reset(num_ranks);
         if self.heavy_fraction >= 1.0 {
-            return lpt;
+            assignment.copy_from_slice(lpt_ranks);
+            return Ok(ctx.finish(out));
         }
         // Pick the heaviest w-fraction of blocks, regardless of where they
         // live, and splice LPT's assignment for them into CDP's placement —
         // the design mistake: each solution's loads assumed it owned every
-        // block.
-        let k = ((costs.len() as f64 * self.heavy_fraction).round() as usize)
-            .clamp(1, costs.len());
-        let mut order: Vec<usize> = (0..costs.len()).collect();
-        order.sort_by(|&a, &b| costs[b].total_cmp(&costs[a]).then(a.cmp(&b)));
-        let mut ranks = base.as_slice().to_vec();
+        // block. (The LPT pass above is done with `lpt_order`, so reuse it
+        // for the heavy-block order; the comparator is a strict total order,
+        // so the unstable sort is deterministic.)
+        let k = ((n as f64 * self.heavy_fraction).round() as usize).clamp(1, n);
+        let mut local_order = Vec::new();
+        let mut borrowed_order;
+        let order: &mut Vec<usize> = match ctx.scratch() {
+            Some(s) => {
+                borrowed_order = s.lpt_order.borrow_mut();
+                &mut borrowed_order
+            }
+            None => &mut local_order,
+        };
+        order.clear();
+        order.extend(0..n);
+        order.sort_unstable_by(|&a, &b| costs[b].total_cmp(&costs[a]).then(a.cmp(&b)));
         for &b in &order[..k] {
-            ranks[b] = lpt.rank_of(b);
+            assignment[b] = lpt_ranks[b];
         }
-        Placement::new(ranks, num_ranks)
+        Ok(ctx.finish(out))
     }
 }
 
@@ -165,9 +221,7 @@ mod tests {
         let spec = mesh.config().spec;
         let ranks = 32;
         let base = Cplx::new(0).place(&costs, ranks);
-        let base_msgs = base
-            .locality_stats(&graph, 16, &spec, Dim::D3)
-            .mpi_msgs() as f64;
+        let base_msgs = base.locality_stats(&graph, 16, &spec, Dim::D3).mpi_msgs() as f64;
         let base_mk = base.makespan(&costs);
 
         let efficiency = |p: &crate::placement::Placement| {

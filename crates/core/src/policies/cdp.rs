@@ -17,6 +17,7 @@
 //!   determined — this is what makes the restricted DP fast.
 
 use super::{validate_inputs, PlacementPolicy};
+use crate::engine::{PlacementCtx, PlacementError, PlacementReport};
 use crate::placement::Placement;
 
 /// The paper's restricted contiguous DP: chunk sizes ⌊n/r⌋/⌈n/r⌉.
@@ -37,43 +38,116 @@ fn prefix_sums(costs: &[f64]) -> Vec<f64> {
 
 /// Expand per-rank segment lengths into a block→rank assignment.
 fn lengths_to_placement(lengths: &[usize], num_ranks: usize) -> Placement {
-    let n: usize = lengths.iter().sum();
-    let mut ranks = Vec::with_capacity(n);
+    let mut out = Placement::new(Vec::new(), num_ranks);
+    lengths_into(&mut out, lengths, num_ranks);
+    out
+}
+
+/// Expand per-rank segment lengths into `out`, reusing its storage.
+pub(crate) fn lengths_into(out: &mut Placement, lengths: &[usize], num_ranks: usize) {
+    let ranks = out.reset(num_ranks);
+    ranks.clear();
+    ranks.reserve(lengths.iter().sum());
     for (rank, &len) in lengths.iter().enumerate() {
         ranks.extend(std::iter::repeat_n(rank as u32, len));
     }
-    Placement::new(ranks, num_ranks)
+}
+
+/// The sequential restricted-CDP assignment shared by [`Cdp`] and
+/// [`super::ChunkedCdp`]'s small-rank path: solve into `out`, through the
+/// context's scratch when attached.
+pub(crate) fn cdp_assign(ctx: &PlacementCtx, out: &mut Placement) {
+    let r = ctx.num_ranks();
+    match ctx.scratch() {
+        Some(s) => {
+            let mut lengths = s.cdp_lengths.borrow_mut();
+            Cdp::solve_lengths_into(
+                ctx.costs(),
+                r,
+                &mut s.cdp_prefix.borrow_mut(),
+                &mut s.cdp_dp.borrow_mut(),
+                &mut s.cdp_next.borrow_mut(),
+                &mut s.cdp_parent.borrow_mut(),
+                &mut lengths,
+            );
+            lengths_into(out, &lengths, r);
+        }
+        None => {
+            let lengths = Cdp::solve_lengths(ctx.costs(), r);
+            lengths_into(out, &lengths, r);
+        }
+    }
 }
 
 impl Cdp {
     /// The restricted DP over chunk sizes `{L, L+1}`; returns per-rank
     /// segment lengths. Split out so [`super::ChunkedCdp`] can reuse it on
-    /// sub-ranges.
+    /// sub-ranges (its rayon path needs per-chunk owned output).
     pub(crate) fn solve_lengths(costs: &[f64], num_ranks: usize) -> Vec<usize> {
+        let mut lengths = Vec::new();
+        Cdp::solve_lengths_into(
+            costs,
+            num_ranks,
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut lengths,
+        );
+        lengths
+    }
+
+    /// [`Cdp::solve_lengths`] with caller-provided working memory: `w` holds
+    /// prefix sums, `dp`/`next` the rolling DP rows, `parent` the bit-packed
+    /// backtrack choices, and `lengths` receives the result. All buffers are
+    /// cleared and refilled; repeated solves at steady-state sizes allocate
+    /// nothing.
+    pub(crate) fn solve_lengths_into(
+        costs: &[f64],
+        num_ranks: usize,
+        w: &mut Vec<f64>,
+        dp: &mut Vec<f64>,
+        next: &mut Vec<f64>,
+        parent: &mut Vec<u64>,
+        lengths: &mut Vec<usize>,
+    ) {
         let n = costs.len();
         let r = num_ranks;
+        lengths.clear();
         if n == 0 {
-            return vec![0; r];
+            lengths.resize(r, 0);
+            return;
         }
         let low = n / r;
         let high_total = n % r; // number of (L+1)-sized chunks
         if high_total == 0 {
             // All segments have identical length: nothing to optimize.
-            return vec![low; r];
+            lengths.resize(r, low);
+            return;
         }
-        let w = prefix_sums(costs);
+        w.clear();
+        w.reserve(n + 1);
+        w.push(0.0);
+        let mut acc = 0.0;
+        for &c in costs {
+            acc += c;
+            w.push(acc);
+        }
 
         // DP over (k ranks used, h high-chunks used); prefix length is
         // k*low + h. Rolling 1-D array over h; parent bits for backtracking.
         let ht = high_total;
         let inf = f64::INFINITY;
-        let mut dp = vec![inf; ht + 1];
-        let mut next = vec![inf; ht + 1];
+        dp.clear();
+        dp.resize(ht + 1, inf);
+        next.clear();
+        next.resize(ht + 1, inf);
         // Bit-packed parent choices: parent(k, h) == true => rank k-1 took a
         // high (L+1) chunk.
         let stride = ht + 1;
-        let mut parent = vec![0u64; (r * stride).div_ceil(64)];
-        let set_parent = |buf: &mut Vec<u64>, k: usize, h: usize| {
+        parent.clear();
+        parent.resize((r * stride).div_ceil(64), 0);
+        let set_parent = |buf: &mut [u64], k: usize, h: usize| {
             let bit = (k - 1) * stride + h;
             buf[bit / 64] |= 1 << (bit % 64);
         };
@@ -91,7 +165,7 @@ impl Cdp {
             next.iter_mut().for_each(|v| *v = inf);
             for h in h_min..=h_max {
                 let i = k * low + h; // prefix length after k ranks
-                // Option A: rank k-1 takes a low chunk (length `low`).
+                                     // Option A: rank k-1 takes a low chunk (length `low`).
                 if h < k {
                     let prev = dp[h];
                     if prev < inf {
@@ -110,20 +184,20 @@ impl Cdp {
                         let val = prev.max(seg);
                         if val < next[h] {
                             next[h] = val;
-                            set_parent(&mut parent, k, h);
+                            set_parent(parent, k, h);
                         }
                     }
                 }
             }
-            std::mem::swap(&mut dp, &mut next);
+            std::mem::swap(dp, next);
         }
         debug_assert!(dp[ht] < inf, "restricted CDP found no feasible partition");
 
         // Backtrack.
-        let mut lengths = vec![0usize; r];
+        lengths.resize(r, 0);
         let mut h = ht;
         for k in (1..=r).rev() {
-            if get_parent(&parent, k, h) {
+            if get_parent(parent, k, h) {
                 lengths[k - 1] = low + 1;
                 h -= 1;
             } else {
@@ -131,7 +205,6 @@ impl Cdp {
             }
         }
         debug_assert_eq!(lengths.iter().sum::<usize>(), n);
-        lengths
     }
 }
 
@@ -140,10 +213,14 @@ impl PlacementPolicy for Cdp {
         "cdp".into()
     }
 
-    fn place(&self, costs: &[f64], num_ranks: usize) -> Placement {
-        validate_inputs(costs, num_ranks);
-        let lengths = Cdp::solve_lengths(costs, num_ranks);
-        lengths_to_placement(&lengths, num_ranks)
+    fn place_into(
+        &self,
+        ctx: &PlacementCtx,
+        out: &mut Placement,
+    ) -> Result<PlacementReport, PlacementError> {
+        ctx.validate()?;
+        cdp_assign(ctx, out);
+        Ok(ctx.finish(out))
     }
 }
 

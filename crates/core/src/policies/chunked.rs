@@ -11,8 +11,9 @@
 //! Parallelism uses rayon's `par_iter` over chunks, mirroring the paper's
 //! parallel implementation.
 
-use super::cdp::Cdp;
-use super::{validate_inputs, PlacementPolicy};
+use super::cdp::{cdp_assign, Cdp};
+use super::PlacementPolicy;
+use crate::engine::{PlacementCtx, PlacementError, PlacementReport};
 use crate::placement::Placement;
 use rayon::prelude::*;
 
@@ -89,36 +90,54 @@ impl ChunkedCdp {
     }
 }
 
+/// The chunked-CDP assignment shared by [`ChunkedCdp`], [`super::Cplx`] and
+/// [`super::Blend`] (which all seed from it): solve into `out` without
+/// computing a report. The small-rank path reuses the context's scratch; the
+/// parallel fan-out allocates per-chunk results (rayon workers cannot share
+/// the single-threaded scratch).
+pub(crate) fn chunked_assign(cfg: &ChunkedCdp, ctx: &PlacementCtx, out: &mut Placement) {
+    let costs = ctx.costs();
+    let num_ranks = ctx.num_ranks();
+    if num_ranks <= cfg.ranks_per_chunk {
+        cdp_assign(ctx, out);
+        return;
+    }
+    let splits = cfg.split(costs, num_ranks);
+    // Solve each chunk independently, in parallel.
+    let per_chunk: Vec<Vec<usize>> = splits
+        .par_iter()
+        .map(|(blocks, ranks)| Cdp::solve_lengths(&costs[blocks.clone()], ranks.len()))
+        .collect();
+    // Stitch: chunk k's rank-local lengths map onto its global rank range.
+    let ranks_out = out.reset(num_ranks);
+    ranks_out.clear();
+    ranks_out.resize(costs.len(), 0);
+    for ((blocks, rank_range), lengths) in splits.iter().zip(&per_chunk) {
+        let mut b = blocks.start;
+        for (local_rank, &len) in lengths.iter().enumerate() {
+            let rank = (rank_range.start + local_rank) as u32;
+            for _ in 0..len {
+                ranks_out[b] = rank;
+                b += 1;
+            }
+        }
+        debug_assert_eq!(b, blocks.end);
+    }
+}
+
 impl PlacementPolicy for ChunkedCdp {
     fn name(&self) -> String {
         format!("cdp-chunked{}", self.ranks_per_chunk)
     }
 
-    fn place(&self, costs: &[f64], num_ranks: usize) -> Placement {
-        validate_inputs(costs, num_ranks);
-        if num_ranks <= self.ranks_per_chunk {
-            return Cdp.place(costs, num_ranks);
-        }
-        let splits = self.split(costs, num_ranks);
-        // Solve each chunk independently, in parallel.
-        let per_chunk: Vec<Vec<usize>> = splits
-            .par_iter()
-            .map(|(blocks, ranks)| Cdp::solve_lengths(&costs[blocks.clone()], ranks.len()))
-            .collect();
-        // Stitch: chunk k's rank-local lengths map onto its global rank range.
-        let mut ranks_out = vec![0u32; costs.len()];
-        for ((blocks, rank_range), lengths) in splits.iter().zip(&per_chunk) {
-            let mut b = blocks.start;
-            for (local_rank, &len) in lengths.iter().enumerate() {
-                let rank = (rank_range.start + local_rank) as u32;
-                for _ in 0..len {
-                    ranks_out[b] = rank;
-                    b += 1;
-                }
-            }
-            debug_assert_eq!(b, blocks.end);
-        }
-        Placement::new(ranks_out, num_ranks)
+    fn place_into(
+        &self,
+        ctx: &PlacementCtx,
+        out: &mut Placement,
+    ) -> Result<PlacementReport, PlacementError> {
+        ctx.validate()?;
+        chunked_assign(self, ctx, out);
+        Ok(ctx.finish(out))
     }
 }
 

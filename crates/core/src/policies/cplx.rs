@@ -13,9 +13,10 @@
 //! `X = 0` (CPL0) reduces to CDP; `X = 100` (CPL100) rebalances every rank,
 //! i.e. pure LPT over the whole mesh.
 
-use super::chunked::ChunkedCdp;
-use super::lpt::lpt_into;
-use super::{validate_inputs, PlacementPolicy};
+use super::chunked::{chunked_assign, ChunkedCdp};
+use super::lpt::lpt_scratch;
+use super::PlacementPolicy;
+use crate::engine::{PlacementCtx, PlacementError, PlacementReport};
 use crate::placement::Placement;
 
 /// The CPLX hybrid policy with rebalancing fraction `X` (percent).
@@ -68,29 +69,45 @@ impl Cplx {
     }
 }
 
-impl PlacementPolicy for Cplx {
-    fn name(&self) -> String {
-        format!("cpl{}", self.x_percent)
-    }
-
-    fn place(&self, costs: &[f64], num_ranks: usize) -> Placement {
-        validate_inputs(costs, num_ranks);
-        let base = self.chunking.place(costs, num_ranks);
-        if self.x_percent == 0 || costs.is_empty() {
-            return base;
+impl Cplx {
+    /// The selective LPT pass over the CDP seed already sitting in `out`,
+    /// with caller-provided working memory (see [`crate::engine::Scratch`]).
+    #[allow(clippy::too_many_arguments)]
+    fn rebalance_selected(
+        &self,
+        costs: &[f64],
+        num_ranks: usize,
+        out: &mut Placement,
+        loads: &mut Vec<f64>,
+        order: &mut Vec<u32>,
+        selected: &mut Vec<u32>,
+        is_selected: &mut Vec<bool>,
+        blocks: &mut Vec<usize>,
+        lpt_order: &mut Vec<usize>,
+        lpt_slots: &mut Vec<super::Slot>,
+    ) {
+        // Sort ranks by load, descending; deterministic tie-break on id
+        // (strict total order, so the unstable sort is deterministic).
+        loads.clear();
+        loads.resize(num_ranks, 0.0);
+        for (b, &r) in out.as_slice().iter().enumerate() {
+            loads[r as usize] += costs[b];
         }
-
-        // Sort ranks by load, descending; deterministic tie-break on id.
-        let loads = base.rank_loads(costs);
-        let mut order: Vec<u32> = (0..num_ranks as u32).collect();
-        order.sort_by(|&a, &b| {
+        // Warm scratch keeps the previous call's rank permutation; sorting
+        // any permutation of `0..num_ranks` yields the same result (strict
+        // total order), and a nearly-sorted start makes the re-sort cheap.
+        if order.len() != num_ranks {
+            order.clear();
+            order.extend(0..num_ranks as u32);
+        }
+        order.sort_unstable_by(|&a, &b| {
             loads[b as usize]
                 .total_cmp(&loads[a as usize])
                 .then(a.cmp(&b))
         });
 
         let (top, bottom) = self.selection_sizes(num_ranks);
-        let mut selected: Vec<u32> = Vec::with_capacity(top + bottom);
+        selected.clear();
         selected.extend_from_slice(&order[..top]);
         selected.extend_from_slice(&order[num_ranks - bottom..]);
         selected.sort_unstable();
@@ -98,22 +115,69 @@ impl PlacementPolicy for Cplx {
 
         // Collect all blocks owned by selected ranks and re-place them via
         // LPT restricted to those ranks.
-        let is_selected = {
-            let mut v = vec![false; num_ranks];
-            for &r in &selected {
-                v[r as usize] = true;
-            }
-            v
-        };
-        let blocks: Vec<usize> = (0..costs.len())
-            .filter(|&b| is_selected[base.rank_of(b) as usize])
-            .collect();
-        if blocks.is_empty() {
-            return base;
+        is_selected.clear();
+        is_selected.resize(num_ranks, false);
+        for &r in selected.iter() {
+            is_selected[r as usize] = true;
         }
-        let mut ranks = base.as_slice().to_vec();
-        lpt_into(costs, &blocks, &selected, &mut ranks);
-        Placement::new(ranks, num_ranks)
+        blocks.clear();
+        for (b, &r) in out.as_slice().iter().enumerate() {
+            if is_selected[r as usize] {
+                blocks.push(b);
+            }
+        }
+        if blocks.is_empty() {
+            return;
+        }
+        let assignment = out.reset(num_ranks);
+        lpt_scratch(costs, blocks, selected, assignment, lpt_order, lpt_slots);
+    }
+}
+
+impl PlacementPolicy for Cplx {
+    fn name(&self) -> String {
+        format!("cpl{}", self.x_percent)
+    }
+
+    fn place_into(
+        &self,
+        ctx: &PlacementCtx,
+        out: &mut Placement,
+    ) -> Result<PlacementReport, PlacementError> {
+        ctx.validate()?;
+        chunked_assign(&self.chunking, ctx, out);
+        let costs = ctx.costs();
+        let num_ranks = ctx.num_ranks();
+        if self.x_percent == 0 || costs.is_empty() {
+            return Ok(ctx.finish(out));
+        }
+        match ctx.scratch() {
+            Some(s) => self.rebalance_selected(
+                costs,
+                num_ranks,
+                out,
+                &mut s.rank_loads.borrow_mut(),
+                &mut s.rank_order.borrow_mut(),
+                &mut s.selected.borrow_mut(),
+                &mut s.selected_mask.borrow_mut(),
+                &mut s.block_ids.borrow_mut(),
+                &mut s.lpt_order.borrow_mut(),
+                &mut s.lpt_slots.borrow_mut(),
+            ),
+            None => self.rebalance_selected(
+                costs,
+                num_ranks,
+                out,
+                &mut Vec::new(),
+                &mut Vec::new(),
+                &mut Vec::new(),
+                &mut Vec::new(),
+                &mut Vec::new(),
+                &mut Vec::new(),
+                &mut Vec::new(),
+            ),
+        }
+        Ok(ctx.finish(out))
     }
 }
 

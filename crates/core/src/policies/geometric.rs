@@ -8,31 +8,59 @@
 //! paper's point — optimizing geometric compactness is not the same as
 //! optimizing runtime.
 //!
-//! RCB needs block *positions*, so it implements [`MeshAwarePolicy`] rather
-//! than the cost-only [`super::PlacementPolicy`].
+//! RCB needs block *positions*, so its [`super::PlacementPolicy`] impl
+//! requires a mesh in the [`PlacementCtx`] and returns
+//! [`PlacementError::NeedsMesh`] without one. [`Rcb::place_on_mesh`] is the
+//! mesh-attaching convenience wrapper.
 
+use super::PlacementPolicy;
+use crate::engine::{PlacementCtx, PlacementError, PlacementReport};
 use crate::placement::Placement;
 use amr_mesh::AmrMesh;
-
-/// A policy that needs mesh geometry/topology in addition to costs.
-pub trait MeshAwarePolicy {
-    /// Short stable name for reports.
-    fn name(&self) -> String;
-    /// Compute a placement given the mesh snapshot and per-block costs.
-    fn place_on_mesh(&self, mesh: &AmrMesh, costs: &[f64], num_ranks: usize) -> Placement;
-}
 
 /// Recursive coordinate bisection over block centers.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Rcb;
 
-impl MeshAwarePolicy for Rcb {
+impl Rcb {
+    /// Convenience wrapper: build a mesh-attached context and place.
+    ///
+    /// Panics on invalid inputs; use
+    /// [`place_into`](PlacementPolicy::place_into) for typed errors.
+    pub fn place_on_mesh(&self, mesh: &AmrMesh, costs: &[f64], num_ranks: usize) -> Placement {
+        let ctx = PlacementCtx::new(costs, num_ranks).with_mesh(mesh);
+        let mut out = Placement::new(Vec::new(), 1);
+        match self.place_into(&ctx, &mut out) {
+            Ok(_) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+impl PlacementPolicy for Rcb {
     fn name(&self) -> String {
         "rcb".into()
     }
 
-    fn place_on_mesh(&self, mesh: &AmrMesh, costs: &[f64], num_ranks: usize) -> Placement {
-        assert_eq!(mesh.num_blocks(), costs.len());
+    fn place_into(
+        &self,
+        ctx: &PlacementCtx,
+        out: &mut Placement,
+    ) -> Result<PlacementReport, PlacementError> {
+        ctx.validate()?;
+        let mesh = ctx.mesh().ok_or_else(|| PlacementError::NeedsMesh {
+            policy: self.name(),
+        })?;
+        let costs = ctx.costs();
+        if mesh.num_blocks() != costs.len() {
+            return Err(PlacementError::BlockCountMismatch {
+                mesh_blocks: mesh.num_blocks(),
+                cost_blocks: costs.len(),
+            });
+        }
+        let num_ranks = ctx.num_ranks();
+        // The recursion allocates per-level sorted index sets; RCB is a
+        // comparison policy, not on the steady-state rebalance path.
         let centers: Vec<[f64; 3]> = mesh
             .blocks()
             .iter()
@@ -41,10 +69,12 @@ impl MeshAwarePolicy for Rcb {
                 [c.x, c.y, c.z]
             })
             .collect();
-        let mut assignment = vec![0u32; costs.len()];
+        let assignment = out.reset(num_ranks);
+        assignment.clear();
+        assignment.resize(costs.len(), 0);
         let blocks: Vec<usize> = (0..costs.len()).collect();
-        bisect(&centers, costs, &blocks, 0, num_ranks, &mut assignment);
-        Placement::new(assignment, num_ranks)
+        bisect(&centers, costs, &blocks, 0, num_ranks, assignment);
+        Ok(ctx.finish(out))
     }
 }
 

@@ -12,7 +12,8 @@
 //! single-block moves that reduce the weighted cut without violating the
 //! cap (a light Kernighan–Lin flavor).
 
-use super::geometric::MeshAwarePolicy;
+use super::PlacementPolicy;
+use crate::engine::{PlacementCtx, PlacementError, PlacementReport};
 use crate::placement::Placement;
 use amr_mesh::{AmrMesh, NeighborGraph};
 
@@ -37,11 +38,7 @@ impl Default for GreedyEdgeCut {
 /// Weighted edge cut of a placement: total bytes of neighbor relations whose
 /// endpoints live on different ranks (the objective graph partitioners
 /// minimize).
-pub fn edge_cut_bytes(
-    placement: &Placement,
-    graph: &NeighborGraph,
-    mesh: &AmrMesh,
-) -> u64 {
+pub fn edge_cut_bytes(placement: &Placement, graph: &NeighborGraph, mesh: &AmrMesh) -> u64 {
     let spec = mesh.config().spec;
     let dim = mesh.config().dim;
     let mut cut = 0u64;
@@ -56,18 +53,60 @@ pub fn edge_cut_bytes(
     cut / 2 * 2 // directed relations counted once each way; keep full volume
 }
 
-impl MeshAwarePolicy for GreedyEdgeCut {
+impl GreedyEdgeCut {
+    /// Convenience wrapper: build a mesh-attached context and place.
+    ///
+    /// Panics on invalid inputs; use
+    /// [`place_into`](PlacementPolicy::place_into) for typed errors.
+    pub fn place_on_mesh(&self, mesh: &AmrMesh, costs: &[f64], num_ranks: usize) -> Placement {
+        let ctx = PlacementCtx::new(costs, num_ranks).with_mesh(mesh);
+        let mut out = Placement::new(Vec::new(), 1);
+        match self.place_into(&ctx, &mut out) {
+            Ok(_) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+impl PlacementPolicy for GreedyEdgeCut {
     fn name(&self) -> String {
         "edge-cut".into()
     }
 
-    fn place_on_mesh(&self, mesh: &AmrMesh, costs: &[f64], num_ranks: usize) -> Placement {
+    fn place_into(
+        &self,
+        ctx: &PlacementCtx,
+        out: &mut Placement,
+    ) -> Result<PlacementReport, PlacementError> {
+        ctx.validate()?;
+        let mesh = ctx.mesh().ok_or_else(|| PlacementError::NeedsMesh {
+            policy: self.name(),
+        })?;
+        let costs = ctx.costs();
+        let num_ranks = ctx.num_ranks();
         let n = costs.len();
-        assert_eq!(mesh.num_blocks(), n);
-        if n == 0 {
-            return Placement::new(vec![], num_ranks);
+        if mesh.num_blocks() != n {
+            return Err(PlacementError::BlockCountMismatch {
+                mesh_blocks: mesh.num_blocks(),
+                cost_blocks: n,
+            });
         }
-        let graph = mesh.neighbor_graph();
+        let assignment = out.reset(num_ranks);
+        assignment.clear();
+        if n == 0 {
+            return Ok(ctx.finish(out));
+        }
+        // Use a caller-provided graph when available; build one otherwise.
+        // The greedy itself allocates (gain tables, seed order) — edge-cut is
+        // a comparison policy, not on the steady-state rebalance path.
+        let built;
+        let graph = match ctx.graph() {
+            Some(g) => g,
+            None => {
+                built = mesh.neighbor_graph();
+                &built
+            }
+        };
         let spec = mesh.config().spec;
         let dim = mesh.config().dim;
         let weight = |codim: u8| spec.message_bytes(dim, codim) as f64;
@@ -76,7 +115,8 @@ impl MeshAwarePolicy for GreedyEdgeCut {
         let cap = (total / num_ranks as f64) * self.balance_slack;
 
         const UNASSIGNED: u32 = u32::MAX;
-        let mut assign = vec![UNASSIGNED; n];
+        let assign = assignment;
+        assign.resize(n, UNASSIGNED);
         let mut loads = vec![0.0f64; num_ranks];
 
         // Seed order: descending cost, then id.
@@ -103,9 +143,7 @@ impl MeshAwarePolicy for GreedyEdgeCut {
                 best = match best {
                     None => Some(r),
                     Some(cur) => {
-                        if gain[r] > gain[cur]
-                            || (gain[r] == gain[cur] && loads[r] < loads[cur])
-                        {
+                        if gain[r] > gain[cur] || (gain[r] == gain[cur] && loads[r] < loads[cur]) {
                             Some(r)
                         } else {
                             Some(cur)
@@ -130,8 +168,7 @@ impl MeshAwarePolicy for GreedyEdgeCut {
                 let cur = assign[b] as usize;
                 let mut gain = std::collections::BTreeMap::<u32, f64>::new();
                 for nb in graph.neighbors(amr_mesh::BlockId(b as u32)) {
-                    *gain.entry(assign[nb.block.index()]).or_insert(0.0) +=
-                        weight(nb.kind.codim());
+                    *gain.entry(assign[nb.block.index()]).or_insert(0.0) += weight(nb.kind.codim());
                 }
                 let here = gain.get(&(cur as u32)).copied().unwrap_or(0.0);
                 if let Some((&target, &g)) = gain
@@ -139,10 +176,7 @@ impl MeshAwarePolicy for GreedyEdgeCut {
                     .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(a.0)))
                 {
                     let target = target as usize;
-                    if target != cur
-                        && g > here
-                        && loads[target] + costs[b] <= cap
-                    {
+                    if target != cur && g > here && loads[target] + costs[b] <= cap {
                         loads[cur] -= costs[b];
                         loads[target] += costs[b];
                         assign[b] = target as u32;
@@ -155,7 +189,7 @@ impl MeshAwarePolicy for GreedyEdgeCut {
             }
         }
 
-        Placement::new(assign, num_ranks)
+        Ok(ctx.finish(out))
     }
 }
 
@@ -202,7 +236,11 @@ mod tests {
         costs[0] = 4.0;
         let p = GreedyEdgeCut::default().place_on_mesh(&m, &costs, 8);
         // Imbalance bounded by slack plus one block granularity.
-        assert!(p.imbalance(&costs) < 1.6, "imbalance {}", p.imbalance(&costs));
+        assert!(
+            p.imbalance(&costs) < 1.6,
+            "imbalance {}",
+            p.imbalance(&costs)
+        );
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! LPT ignores communication locality entirely; it is the `X = 100` endpoint
 //! of the CPLX family.
 
-use super::{validate_inputs, PlacementPolicy};
+use super::PlacementPolicy;
+use crate::engine::{PlacementCtx, PlacementError, PlacementReport};
 use crate::placement::Placement;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -20,9 +21,10 @@ use std::collections::BinaryHeap;
 pub struct Lpt;
 
 /// Min-heap entry: least-loaded rank first; ties broken by rank id for
-/// determinism.
+/// determinism. Crate-visible so [`crate::engine::Scratch`] can keep the
+/// heap's backing storage alive between placements.
 #[derive(Debug, PartialEq)]
-struct Slot {
+pub(crate) struct Slot {
     load: f64,
     rank: u32,
 }
@@ -49,17 +51,79 @@ impl PartialOrd for Slot {
 /// by LPT, writing assignments into `out[block]`. Exposed for reuse by
 /// [`super::Cplx`], which runs LPT over a *subset* of ranks and blocks.
 pub fn lpt_into(costs: &[f64], blocks: &[usize], ranks: &[u32], out: &mut [u32]) {
-    assert!(!ranks.is_empty());
-    let mut order: Vec<usize> = blocks.to_vec();
-    // Sort by cost descending; index ascending tie-break for determinism.
-    order.sort_by(|&a, &b| costs[b].total_cmp(&costs[a]).then(a.cmp(&b)));
-    let mut heap: BinaryHeap<Slot> = ranks.iter().map(|&r| Slot { load: 0.0, rank: r }).collect();
-    for b in order {
+    lpt_scratch(costs, blocks, ranks, out, &mut Vec::new(), &mut Vec::new());
+}
+
+/// [`lpt_into`] with caller-provided scratch: `order` holds the sorted block
+/// order, `slots` the heap storage. Both are cleared and refilled; their
+/// capacity survives, so repeated calls at steady-state sizes allocate
+/// nothing.
+pub(crate) fn lpt_scratch(
+    costs: &[f64],
+    blocks: &[usize],
+    ranks: &[u32],
+    out: &mut [u32],
+    order: &mut Vec<usize>,
+    slots: &mut Vec<Slot>,
+) {
+    order.clear();
+    order.extend_from_slice(blocks);
+    lpt_core(costs, ranks, out, order, slots);
+}
+
+/// Full-set LPT (all blocks onto ranks `0..num_ranks`) with an
+/// *order-preserving* scratch buffer: when `order` already holds a
+/// permutation of `0..costs.len()` — the caller's invariant for a dedicated
+/// full-set buffer, see [`crate::engine::Scratch::lpt_full_order`] — it is
+/// re-sorted in place instead of being refilled from the identity. The
+/// comparator is a strict total order (index tie-break), so sorting any
+/// permutation of the same ids yields the identical result; starting from
+/// the previous placement's order makes the sort near-linear in the
+/// steady-state rebalance loop, where EWMA costs drift slowly between
+/// calls.
+pub(crate) fn lpt_full_scratch(
+    costs: &[f64],
+    num_ranks: usize,
+    out: &mut [u32],
+    order: &mut Vec<usize>,
+    slots: &mut Vec<Slot>,
+) {
+    if order.len() != costs.len() {
+        order.clear();
+        order.extend(0..costs.len());
+    }
+    slots.clear();
+    slots.extend((0..num_ranks as u32).map(|r| Slot { load: 0.0, rank: r }));
+    lpt_heap(costs, out, order, slots);
+}
+
+fn lpt_core(
+    costs: &[f64],
+    ranks: &[u32],
+    out: &mut [u32],
+    order: &mut [usize],
+    slots: &mut Vec<Slot>,
+) {
+    slots.clear();
+    slots.extend(ranks.iter().map(|&r| Slot { load: 0.0, rank: r }));
+    lpt_heap(costs, out, order, slots);
+}
+
+fn lpt_heap(costs: &[f64], out: &mut [u32], order: &mut [usize], slots: &mut Vec<Slot>) {
+    assert!(!slots.is_empty());
+    // Sort by cost descending; index ascending tie-break for determinism
+    // (the comparator is a strict total order, so the unstable in-place
+    // sort is deterministic and allocation-free).
+    order.sort_unstable_by(|&a, &b| costs[b].total_cmp(&costs[a]).then(a.cmp(&b)));
+    // Heapify in place; hand the storage back afterwards.
+    let mut heap = BinaryHeap::from(std::mem::take(slots));
+    for &b in order.iter() {
         let mut slot = heap.pop().expect("non-empty rank heap");
         out[b] = slot.rank;
         slot.load += costs[b];
         heap.push(slot);
     }
+    *slots = heap.into_vec();
 }
 
 impl PlacementPolicy for Lpt {
@@ -67,13 +131,29 @@ impl PlacementPolicy for Lpt {
         "lpt".into()
     }
 
-    fn place(&self, costs: &[f64], num_ranks: usize) -> Placement {
-        validate_inputs(costs, num_ranks);
-        let blocks: Vec<usize> = (0..costs.len()).collect();
-        let ranks: Vec<u32> = (0..num_ranks as u32).collect();
-        let mut out = vec![0u32; costs.len()];
-        lpt_into(costs, &blocks, &ranks, &mut out);
-        Placement::new(out, num_ranks)
+    fn place_into(
+        &self,
+        ctx: &PlacementCtx,
+        out: &mut Placement,
+    ) -> Result<PlacementReport, PlacementError> {
+        ctx.validate()?;
+        let costs = ctx.costs();
+        let n = costs.len();
+        let r = ctx.num_ranks();
+        let assignment = out.reset(r);
+        assignment.clear();
+        assignment.resize(n, 0);
+        match ctx.scratch() {
+            Some(s) => lpt_full_scratch(
+                costs,
+                r,
+                assignment,
+                &mut s.lpt_full_order.borrow_mut(),
+                &mut s.lpt_slots.borrow_mut(),
+            ),
+            None => lpt_full_scratch(costs, r, assignment, &mut Vec::new(), &mut Vec::new()),
+        }
+        Ok(ctx.finish(out))
     }
 }
 

@@ -1,9 +1,12 @@
 //! Placement policies (§V of the paper).
 //!
-//! All policies implement [`PlacementPolicy`]: given per-block costs in SFC
-//! order and a rank count, produce a [`Placement`]. Policies are pure
-//! functions of their inputs — determinism is part of the contract (the
-//! paper's redistribution step is executed identically on all ranks).
+//! All policies — cost-only and mesh-aware alike — implement
+//! [`PlacementPolicy`]: given a [`PlacementCtx`] (costs, rank count, and
+//! optionally the mesh, neighbor graph, previous placement and scratch
+//! buffers), fill a caller-owned [`Placement`] and return a
+//! [`PlacementReport`]. Policies are pure functions of their context —
+//! determinism is part of the contract (the paper's redistribution step is
+//! executed identically on all ranks).
 
 mod baseline;
 mod blend;
@@ -20,11 +23,14 @@ pub use blend::Blend;
 pub use cdp::{cdp_general, cdp_parametric, Cdp};
 pub use chunked::ChunkedCdp;
 pub use cplx::Cplx;
-pub use geometric::{MeshAwarePolicy, Rcb};
+pub use geometric::Rcb;
 pub use graph::{edge_cut_bytes, GreedyEdgeCut};
 pub use lpt::{lpt_into, Lpt};
 pub use zonal::Zonal;
 
+pub(crate) use lpt::Slot;
+
+use crate::engine::{PlacementCtx, PlacementError, PlacementReport};
 use crate::placement::Placement;
 
 /// A block-placement policy: maps SFC-ordered block costs to ranks.
@@ -32,20 +38,40 @@ pub trait PlacementPolicy {
     /// Short stable name for reports ("baseline", "lpt", "cpl50", ...).
     fn name(&self) -> String;
 
-    /// Compute a placement of `costs.len()` blocks onto `num_ranks` ranks.
+    /// Compute a placement of the context's blocks into `out`, reusing its
+    /// storage (and the context's [`Scratch`](crate::engine::Scratch), when
+    /// attached) so steady-state rebalancing allocates nothing.
     ///
-    /// `costs[i]` is the measured (or assumed) compute cost of the block
-    /// with `BlockId(i)`; costs must be finite and non-negative.
-    fn place(&self, costs: &[f64], num_ranks: usize) -> Placement;
+    /// `out`'s previous contents are irrelevant; on success it holds the new
+    /// assignment and the returned report describes it. On error `out` is
+    /// unspecified (but valid).
+    fn place_into(
+        &self,
+        ctx: &PlacementCtx,
+        out: &mut Placement,
+    ) -> Result<PlacementReport, PlacementError>;
+
+    /// Convenience wrapper: allocate a fresh [`Placement`] from bare costs.
+    ///
+    /// Panics with the [`PlacementError`] display message on invalid inputs
+    /// (e.g. zero ranks) or when the policy needs a mesh — use
+    /// [`place_into`](PlacementPolicy::place_into) for typed errors.
+    fn place(&self, costs: &[f64], num_ranks: usize) -> Placement {
+        let ctx = PlacementCtx::new(costs, num_ranks);
+        let mut out = Placement::new(Vec::new(), 1);
+        match self.place_into(&ctx, &mut out) {
+            Ok(_) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
 }
 
-/// Validate policy inputs; shared by all implementations.
+/// Panicking input validation for the free-function solvers (`cdp_general`,
+/// `cdp_parametric`) that predate the typed-error API.
 pub(crate) fn validate_inputs(costs: &[f64], num_ranks: usize) {
-    assert!(num_ranks > 0, "need at least one rank");
-    assert!(
-        costs.iter().all(|c| c.is_finite() && *c >= 0.0),
-        "block costs must be finite and non-negative"
-    );
+    if let Err(e) = crate::engine::validate(costs, num_ranks) {
+        panic!("{e}");
+    }
 }
 
 #[cfg(test)]

@@ -14,7 +14,8 @@
 //! little global balance for an `O(zones)` wall-time speedup and bounded
 //! migration distance.
 
-use super::{validate_inputs, PlacementPolicy};
+use super::PlacementPolicy;
+use crate::engine::{PlacementCtx, PlacementError, PlacementReport};
 use crate::placement::Placement;
 use rayon::prelude::*;
 
@@ -40,11 +41,19 @@ impl<P: PlacementPolicy + Sync> PlacementPolicy for Zonal<P> {
         format!("zonal{}-{}", self.zones, self.inner.name())
     }
 
-    fn place(&self, costs: &[f64], num_ranks: usize) -> Placement {
-        validate_inputs(costs, num_ranks);
+    fn place_into(
+        &self,
+        ctx: &PlacementCtx,
+        out: &mut Placement,
+    ) -> Result<PlacementReport, PlacementError> {
+        ctx.validate()?;
+        let costs = ctx.costs();
+        let num_ranks = ctx.num_ranks();
         let zones = self.zones.min(num_ranks);
         if zones == 1 {
-            return self.inner.place(costs, num_ranks);
+            // Identity wrapper: the inner policy sees the full context
+            // (scratch, prev, mesh) and its report stands as ours.
+            return self.inner.place_into(ctx, out);
         }
         let n = costs.len();
         let total: f64 = costs.iter().sum();
@@ -80,18 +89,22 @@ impl<P: PlacementPolicy + Sync> PlacementPolicy for Zonal<P> {
             block_start = block_end;
         }
 
+        // Per-zone solves run on rayon workers and cannot share the
+        // single-threaded scratch; they allocate their own placements.
         let zone_placements: Vec<Placement> = splits
             .par_iter()
             .map(|(blocks, ranks)| self.inner.place(&costs[blocks.clone()], ranks.len()))
             .collect();
 
-        let mut out = vec![0u32; n];
+        let assignment = out.reset(num_ranks);
+        assignment.clear();
+        assignment.resize(n, 0);
         for ((blocks, ranks), zp) in splits.iter().zip(&zone_placements) {
             for (local, global) in blocks.clone().enumerate() {
-                out[global] = ranks.start as u32 + zp.rank_of(local);
+                assignment[global] = ranks.start as u32 + zp.rank_of(local);
             }
         }
-        Placement::new(out, num_ranks)
+        Ok(ctx.finish(out))
     }
 }
 
@@ -125,7 +138,9 @@ mod tests {
     fn quality_close_to_global() {
         let costs = random_costs(2048, 3);
         let global = Cplx::new(50).place(&costs, 256).makespan(&costs);
-        let zonal = Zonal::new(8, Cplx::new(50)).place(&costs, 256).makespan(&costs);
+        let zonal = Zonal::new(8, Cplx::new(50))
+            .place(&costs, 256)
+            .makespan(&costs);
         assert!(
             zonal <= global * 1.5,
             "zonal {zonal} too far from global {global}"

@@ -1,0 +1,94 @@
+//! Proof of the engine's zero-allocation steady state: after a warm-up
+//! rebalance, repeated `PlacementEngine::rebalance` calls at the same
+//! problem size perform no heap allocation for any sequential policy.
+//!
+//! This file must stay a single-test binary: the counting allocator is
+//! process-global, so a concurrently running sibling test would pollute the
+//! measurement.
+
+use amr_core::engine::PlacementEngine;
+use amr_core::policies::{Baseline, Cdp, ChunkedCdp, Cplx, Lpt, PlacementPolicy};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_rebalance_is_allocation_free() {
+    // 160 blocks on 64 ranks: n % r = 32 > 0, so the restricted CDP runs its
+    // real DP (no divisible-case short circuit) and ChunkedCdp at 512
+    // ranks/chunk takes the sequential scratch path.
+    let num_ranks = 64;
+    let costs: Vec<f64> = (0..160).map(|i| 1.0 + (i % 13) as f64 * 0.37).collect();
+    let mut shifted = costs.clone();
+
+    let policies: Vec<Box<dyn PlacementPolicy>> = vec![
+        Box::new(Baseline),
+        Box::new(Lpt),
+        Box::new(Cdp),
+        Box::new(ChunkedCdp::default()),
+        Box::new(Cplx::new(50)),
+        Box::new(Cplx::new(100)),
+    ];
+
+    for policy in &policies {
+        let mut engine = PlacementEngine::new();
+        // Warm-up: size every scratch buffer, both placement buffers, and
+        // the migration-accounting flows (which need a prev placement).
+        for round in 0..3 {
+            shifted.rotate_right(1);
+            engine
+                .rebalance(policy.as_ref(), &shifted, num_ranks)
+                .unwrap_or_else(|e| panic!("{}: warm-up failed: {e}", policy.name()));
+            let _ = round;
+        }
+
+        // Measured steady state: rotate costs each round so placements keep
+        // changing (exercising migration accounting), same sizes throughout.
+        // Take the minimum delta over several rounds so unrelated background
+        // allocation (test-harness bookkeeping) cannot produce a false
+        // positive; the engine itself must hit zero.
+        let mut min_delta = u64::MAX;
+        for _ in 0..5 {
+            shifted.rotate_right(1);
+            let before = alloc_count();
+            let report = engine
+                .rebalance(policy.as_ref(), &shifted, num_ranks)
+                .unwrap_or_else(|e| panic!("{}: rebalance failed: {e}", policy.name()));
+            let delta = alloc_count() - before;
+            min_delta = min_delta.min(delta);
+            assert_eq!(report.num_blocks, shifted.len());
+        }
+        assert_eq!(
+            min_delta,
+            0,
+            "{}: steady-state rebalance allocated {min_delta} times",
+            policy.name()
+        );
+    }
+}

@@ -150,8 +150,7 @@ pub fn restore(mut buf: &[u8]) -> Result<AmrMesh, RestoreError> {
         max_level,
         periodic,
     };
-    let tree = Octree::from_leaves(dim, roots, leaves)
-        .map_err(RestoreError::InvalidMesh)?;
+    let tree = Octree::from_leaves(dim, roots, leaves).map_err(RestoreError::InvalidMesh)?;
     AmrMesh::from_parts(config, tree).map_err(RestoreError::InvalidMesh)
 }
 

@@ -152,10 +152,7 @@ mod tests {
         let mut t = Octree::uniform_roots(Dim::D3, (2, 2, 2));
         t.refine(&Octant::new(0, 0, 0, 0));
         t.refine(&Octant::new(1, 0, 0, 0));
-        let mut keys: Vec<u64> = t
-            .leaves()
-            .map(|o| hilbert_key(o, Dim::D3))
-            .collect();
+        let mut keys: Vec<u64> = t.leaves().map(|o| hilbert_key(o, Dim::D3)).collect();
         let n = keys.len();
         keys.sort();
         keys.dedup();
@@ -193,6 +190,9 @@ mod tests {
         let h = adj(&hil);
         let m = adj(&mor);
         assert_eq!(h, hil.len() - 1, "Hilbert must be a perfect walk");
-        assert!(m < h, "Z-order {m} should have fewer adjacent steps than Hilbert {h}");
+        assert!(
+            m < h,
+            "Z-order {m} should have fewer adjacent steps than Hilbert {h}"
+        );
     }
 }

@@ -39,7 +39,9 @@ impl MeshConfig {
         let spec = BlockSpec::default();
         let b = spec.cells_per_axis;
         assert!(
-            mesh_cells.0.is_multiple_of(b) && mesh_cells.1.is_multiple_of(b) && (dim == Dim::D2 || mesh_cells.2.is_multiple_of(b)),
+            mesh_cells.0.is_multiple_of(b)
+                && mesh_cells.1.is_multiple_of(b)
+                && (dim == Dim::D2 || mesh_cells.2.is_multiple_of(b)),
             "mesh cells must be a multiple of the block size"
         );
         MeshConfig {
@@ -237,8 +239,7 @@ impl AmrMesh {
         F: Fn(&MeshBlock) -> RefineTag,
     {
         let blocks_before = self.blocks.len();
-        let tags: Vec<(MeshBlock, RefineTag)> =
-            self.blocks.iter().map(|b| (*b, tag(b))).collect();
+        let tags: Vec<(MeshBlock, RefineTag)> = self.blocks.iter().map(|b| (*b, tag(b))).collect();
 
         let mut refined = 0usize;
         for (b, t) in &tags {
@@ -446,9 +447,7 @@ mod tests {
     fn periodic_mesh_has_full_neighborhoods() {
         // Every block of a uniform periodic 3D mesh has exactly 26 neighbors
         // (wrap-around removes the domain boundary).
-        let m = AmrMesh::new(
-            MeshConfig::from_cells(Dim::D3, (64, 64, 64), 1).with_periodic(),
-        );
+        let m = AmrMesh::new(MeshConfig::from_cells(Dim::D3, (64, 64, 64), 1).with_periodic());
         let g = m.neighbor_graph();
         g.check_symmetry().unwrap();
         for (_, nbs) in g.iter() {
@@ -460,9 +459,7 @@ mod tests {
     fn periodic_refinement_ripples_across_the_wrap() {
         // Deep refinement at the domain corner must ripple to the opposite
         // corner blocks through the periodic boundary.
-        let mut m = AmrMesh::new(
-            MeshConfig::from_cells(Dim::D3, (64, 64, 64), 2).with_periodic(),
-        );
+        let mut m = AmrMesh::new(MeshConfig::from_cells(Dim::D3, (64, 64, 64), 2).with_periodic());
         m.adapt(|b| {
             if b.octant == Octant::new(0, 0, 0, 0) {
                 RefineTag::Refine

@@ -161,9 +161,7 @@ impl NeighborGraph {
             for n in nbs {
                 let back = self.neighbors(n.block).iter().find(|m| m.block == a);
                 match back {
-                    None => {
-                        return Err(format!("{} lists {} but not vice versa", a, n.block))
-                    }
+                    None => return Err(format!("{} lists {} but not vice versa", a, n.block)),
                     Some(m) => {
                         if m.kind != n.kind || m.level_delta != -n.level_delta {
                             return Err(format!(
@@ -224,9 +222,7 @@ mod tests {
         let (idx, _) = leaves
             .iter()
             .enumerate()
-            .find(|(_, o)| {
-                (1..3).contains(&o.x) && (1..3).contains(&o.y) && (1..3).contains(&o.z)
-            })
+            .find(|(_, o)| (1..3).contains(&o.x) && (1..3).contains(&o.y) && (1..3).contains(&o.z))
             .unwrap();
         assert_eq!(g.neighbors(BlockId(idx as u32)).len(), 26);
     }
@@ -270,7 +266,10 @@ mod tests {
         let nbs = g.neighbors(BlockId(idx as u32));
         let faces = nbs.iter().filter(|n| n.kind == NeighborKind::Face).count();
         let edges = nbs.iter().filter(|n| n.kind == NeighborKind::Edge).count();
-        let verts = nbs.iter().filter(|n| n.kind == NeighborKind::Vertex).count();
+        let verts = nbs
+            .iter()
+            .filter(|n| n.kind == NeighborKind::Vertex)
+            .count();
         assert_eq!((faces, edges, verts), (6, 12, 8));
     }
 

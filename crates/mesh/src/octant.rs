@@ -172,12 +172,7 @@ impl Octant {
 
     /// The same-level lattice neighbor in direction `dir`, if it lies within
     /// a lattice of `roots_per_axis * 2^level` octants per axis.
-    pub fn neighbor(
-        &self,
-        dir: Direction,
-        roots: (u32, u32, u32),
-        dim: Dim,
-    ) -> Option<Octant> {
+    pub fn neighbor(&self, dir: Direction, roots: (u32, u32, u32), dim: Dim) -> Option<Octant> {
         let n = 1u64 << self.level;
         let (nx, ny, nz) = (
             roots.0 as u64 * n,
@@ -203,12 +198,7 @@ impl Octant {
 
     /// The same-level lattice neighbor in direction `dir` with periodic
     /// wrap-around at the domain faces (always exists).
-    pub fn neighbor_periodic(
-        &self,
-        dir: Direction,
-        roots: (u32, u32, u32),
-        dim: Dim,
-    ) -> Octant {
+    pub fn neighbor_periodic(&self, dir: Direction, roots: (u32, u32, u32), dim: Dim) -> Octant {
         let n = 1i64 << self.level;
         let nx = roots.0 as i64 * n;
         let ny = roots.1 as i64 * n;
@@ -318,7 +308,9 @@ mod tests {
         assert_eq!(right, Some(Octant::new(1, 1, 0, 0)));
         // At level 1 a single root gives a 2^1 lattice; x=1 is the last cell.
         let o2 = Octant::new(1, 1, 0, 0);
-        assert!(o2.neighbor(Direction::new(1, 0, 0), (1, 1, 1), Dim::D3).is_none());
+        assert!(o2
+            .neighbor(Direction::new(1, 0, 0), (1, 1, 1), Dim::D3)
+            .is_none());
         // With 2 roots per axis the lattice is 4 wide, so x=2 exists.
         assert_eq!(
             o2.neighbor(Direction::new(1, 0, 0), (2, 2, 2), Dim::D3),

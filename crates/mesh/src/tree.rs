@@ -219,8 +219,8 @@ impl Octree {
     /// Is the cell's coordinate within the lattice at its level?
     pub fn in_lattice(&self, cell: &Octant) -> bool {
         let n = 1u64 << cell.level;
-        let within = (cell.x as u64) < self.roots.0 as u64 * n
-            && (cell.y as u64) < self.roots.1 as u64 * n;
+        let within =
+            (cell.x as u64) < self.roots.0 as u64 * n && (cell.y as u64) < self.roots.1 as u64 * n;
         match self.dim {
             Dim::D2 => within && cell.z == 0,
             Dim::D3 => within && (cell.z as u64) < self.roots.2 as u64 * n,
@@ -390,9 +390,7 @@ impl Octree {
                     match self.coverage(&nb) {
                         Coverage::CoveredBy(c) => {
                             if leaf.level > c.level + 1 {
-                                return Err(format!(
-                                    "balance violation: {leaf:?} touches {c:?}"
-                                ));
+                                return Err(format!("balance violation: {leaf:?} touches {c:?}"));
                             }
                         }
                         Coverage::Subdivided => {
@@ -507,10 +505,7 @@ mod tests {
         t.refine(&root);
         assert_eq!(t.coverage(&root), Coverage::Subdivided);
         assert_eq!(t.coverage(&child), Coverage::Leaf);
-        assert_eq!(
-            t.coverage(&Octant::new(0, 5, 0, 0)),
-            Coverage::Outside
-        );
+        assert_eq!(t.coverage(&Octant::new(0, 5, 0, 0)), Coverage::Outside);
     }
 
     #[test]

@@ -62,7 +62,12 @@ pub fn barrier(arrivals_ns: &[u64], hop_ns: u64) -> CollectiveResult {
 
 /// Execute a blocking allreduce: a barrier plus a reduction payload moved at
 /// every level (small vectors in AMR codes — timestep control values).
-pub fn allreduce(arrivals_ns: &[u64], hop_ns: u64, payload_bytes: u64, bytes_per_ns: f64) -> CollectiveResult {
+pub fn allreduce(
+    arrivals_ns: &[u64],
+    hop_ns: u64,
+    payload_bytes: u64,
+    bytes_per_ns: f64,
+) -> CollectiveResult {
     let payload_ns = (payload_bytes as f64 / bytes_per_ns) as u64;
     barrier(arrivals_ns, hop_ns + payload_ns)
 }
@@ -104,7 +109,10 @@ mod tests {
         // Same arrival spread, more ranks -> deeper tree, and with random
         // stragglers the expected max grows; here just check tree term.
         let small = barrier(&[0, 100], 10);
-        let large = barrier(&vec![0; 1023].into_iter().chain([100]).collect::<Vec<_>>(), 10);
+        let large = barrier(
+            &vec![0; 1023].into_iter().chain([100]).collect::<Vec<_>>(),
+            10,
+        );
         assert!(large.completion_ns > small.completion_ns);
     }
 

@@ -14,8 +14,10 @@
 //! 3. **Synchronization** — a binomial-tree barrier over per-rank finish
 //!    times ([`crate::collectives`]): stragglers charge everyone;
 //! 4. **Redistribution** — when the trigger fires, the placement policy runs
-//!    (wall-clock measured against the paper's 50 ms budget) and block
-//!    migration is charged at fabric bandwidth.
+//!    through a reused [`amr_core::engine::PlacementEngine`] (wall-clock
+//!    measured against the paper's 50 ms budget, allocation-free in steady
+//!    state) and the engine's migration accounting is charged at fabric
+//!    bandwidth.
 //!
 //! Per-block compute telemetry feeds an EWMA cost model
 //! ([`amr_core::cost::TelemetryCostModel`]) which in turn feeds the policy —
@@ -27,6 +29,7 @@ use crate::network::NetworkConfig;
 use crate::report::{MessageTotals, PhaseBreakdown};
 use crate::topology::Topology;
 use amr_core::cost::{CostModel, CostOrigin, TelemetryCostModel};
+use amr_core::engine::PlacementEngine;
 use amr_core::policies::PlacementPolicy;
 use amr_core::trigger::{RebalanceTrigger, TriggerContext};
 use amr_core::Placement;
@@ -193,6 +196,10 @@ struct CommEpoch {
 pub struct MacroSim {
     config: SimConfig,
     rng: StdRng,
+    /// Placement engine reused across rebalances (and runs): its scratch and
+    /// double-buffered placements make the steady-state rebalance loop
+    /// allocation-free for the sequential policies.
+    engine: PlacementEngine,
 }
 
 impl MacroSim {
@@ -202,6 +209,7 @@ impl MacroSim {
         MacroSim {
             config,
             rng: StdRng::seed_from_u64(seed),
+            engine: PlacementEngine::new(),
         }
     }
 
@@ -218,10 +226,30 @@ impl MacroSim {
         let mut collector = Collector::with_sampling(cfg.telemetry_sampling);
 
         let initial_blocks = workload.mesh().num_blocks();
-        let mut cost_model =
-            TelemetryCostModel::new(initial_blocks, cfg.cost_alpha, 1.0e6);
-        let mut placement = Self::initial_placement(policy, &cost_model, &cfg, initial_blocks, r);
-        let mut epoch = self.build_epoch(workload.mesh(), &placement);
+        let mut cost_model = TelemetryCostModel::new(initial_blocks, cfg.cost_alpha, 1.0e6);
+
+        // Scratch reused across steps and rebalances.
+        let mut uniform: Vec<f64> = Vec::new();
+        let mut cost_spare: Vec<f64> = Vec::new();
+
+        self.engine.reset();
+        {
+            let costs: &[f64] = if cfg.use_measured_costs {
+                cost_model.costs()
+            } else {
+                uniform.resize(initial_blocks, 1.0);
+                &uniform
+            };
+            self.engine
+                .rebalance_with(policy, costs, r, Some(workload.mesh()), None)
+                .unwrap_or_else(|e| panic!("initial placement failed: {e}"));
+        }
+        let mut epoch = self.build_epoch(
+            workload.mesh(),
+            self.engine
+                .placement()
+                .expect("initial placement primed the engine"),
+        );
 
         let mut phases = PhaseBreakdown::default();
         let mut total_ns = 0.0f64;
@@ -236,6 +264,9 @@ impl MacroSim {
         let mut compute = vec![0.0f64; r];
         let mut ready = vec![0.0f64; r];
         let mut finish = vec![0.0f64; r];
+        let mut rank_mult = vec![0.0f64; r];
+        let mut measured: Vec<f64> = Vec::new();
+        let mut arrivals: Vec<u64> = Vec::with_capacity(r);
 
         for step in 0..steps {
             collector.begin_step(step as u32);
@@ -243,106 +274,120 @@ impl MacroSim {
 
             // --- Redistribution (placement + migration) -------------------
             let mut redist_per_rank = 0.0f64;
+            let mut redist_moved = 0u64;
+            let mut redist_bytes = 0u64;
             if ws.mesh_changed {
                 mesh_change_steps += 1;
                 if let Some(origins) = &ws.origins {
-                    cost_model = cost_model.remap(origins);
+                    // Warm remap: children inherit the parent's estimate,
+                    // merges average — staged in the reused spare buffer.
+                    cost_model.remap_in_place(origins, &mut cost_spare);
                 } else {
-                    cost_model =
-                        TelemetryCostModel::new(workload.mesh().num_blocks(), cfg.cost_alpha, 1.0e6);
+                    cost_model = TelemetryCostModel::new(
+                        workload.mesh().num_blocks(),
+                        cfg.cost_alpha,
+                        1.0e6,
+                    );
                 }
             }
-            let imbalance = if placement.num_blocks() == cost_model.len() {
-                placement.imbalance(cost_model.costs())
-            } else {
-                f64::INFINITY
+            let imbalance = match self.engine.placement() {
+                Some(p) if p.num_blocks() == cost_model.len() => p.imbalance(cost_model.costs()),
+                _ => f64::INFINITY,
             };
             let ctx = TriggerContext {
                 step,
                 mesh_changed: ws.mesh_changed,
                 imbalance,
             };
-            if trigger.should_rebalance(&ctx) || placement.num_blocks() != cost_model.len() {
+            let count_mismatch = self
+                .engine
+                .placement()
+                .is_none_or(|p| p.num_blocks() != cost_model.len());
+            if trigger.should_rebalance(&ctx) || count_mismatch {
                 lb_invocations += 1;
                 let n = workload.mesh().num_blocks();
-                let uniform;
                 let costs: &[f64] = if cfg.use_measured_costs {
                     cost_model.costs()
                 } else {
-                    uniform = vec![1.0f64; n];
+                    uniform.clear();
+                    uniform.resize(n, 1.0);
                     &uniform
                 };
                 let t0 = Instant::now();
-                let new_placement = policy.place(costs, r);
+                let report = self
+                    .engine
+                    .rebalance_with(
+                        policy,
+                        costs,
+                        r,
+                        Some(workload.mesh()),
+                        ws.origins.as_deref(),
+                    )
+                    .unwrap_or_else(|e| panic!("{e}"));
                 let wall = t0.elapsed().as_nanos() as u64;
                 placement_wall_total += wall;
                 placement_wall_max = placement_wall_max.max(wall);
 
                 let spec = workload.mesh().config().spec;
                 let dim = workload.mesh().config().dim;
-                let block_bytes = spec.cells(dim)
-                    * spec.num_vars as u64
-                    * spec.bytes_per_value as u64;
+                let block_bytes =
+                    spec.cells(dim) * spec.num_vars as u64 * spec.bytes_per_value as u64;
                 // Migration is an all-to-all of moved blocks: each rank's
                 // cost is bounded by the larger of its outgoing and incoming
                 // volume over the fabric, and the phase ends with the
-                // slowest rank (it precedes a synchronization).
-                let migration_ns = if new_placement.num_blocks() == placement.num_blocks() {
-                    let mut out_blocks = vec![0u64; r];
-                    let mut in_blocks = vec![0u64; r];
-                    let mut moved = 0u64;
-                    for b in 0..placement.num_blocks() {
-                        let from = placement.rank_of(b) as usize;
-                        let to = new_placement.rank_of(b) as usize;
-                        if from != to {
-                            moved += 1;
-                            out_blocks[from] += 1;
-                            in_blocks[to] += 1;
-                        }
+                // slowest rank (it precedes a synchronization). The engine
+                // charges it — diffed against the previous placement, or
+                // flowed through the cost-origin remap across block-count
+                // changes.
+                let migration_ns = match report.migration {
+                    Some(m) => {
+                        redist_moved = m.moved as u64;
+                        m.max_rank_flow as f64 * block_bytes as f64
+                            / cfg.network.fabric.bytes_per_ns
                     }
-                    blocks_migrated += moved;
-                    let max_vol = (0..r)
-                        .map(|rank| out_blocks[rank].max(in_blocks[rank]))
-                        .max()
-                        .unwrap_or(0);
-                    max_vol as f64 * block_bytes as f64 / cfg.network.fabric.bytes_per_ns
-                } else {
-                    // Block count changed: every block's payload is rebuilt
-                    // and shipped once; approximate by the mean per-rank
-                    // volume.
-                    let moved = new_placement.num_blocks() as u64;
-                    blocks_migrated += moved;
-                    moved as f64 * block_bytes as f64
-                        / cfg.network.fabric.bytes_per_ns
-                        / r as f64
+                    None => {
+                        // No comparable history (block count changed without
+                        // origin tracking): every payload is rebuilt and
+                        // shipped once; approximate by the mean per-rank
+                        // volume.
+                        redist_moved = report.num_blocks as u64;
+                        redist_moved as f64 * block_bytes as f64
+                            / cfg.network.fabric.bytes_per_ns
+                            / r as f64
+                    }
                 };
+                blocks_migrated += redist_moved;
+                redist_bytes = redist_moved * block_bytes;
                 redist_per_rank = wall as f64 + migration_ns;
 
-                placement = new_placement;
-                epoch = self.build_epoch(workload.mesh(), &placement);
+                epoch = self.build_epoch(
+                    workload.mesh(),
+                    self.engine
+                        .placement()
+                        .expect("rebalance primed the engine"),
+                );
             }
 
             // --- Compute phase --------------------------------------------
             let block_ns = workload.block_compute_ns();
+            let placement = self.engine.placement().expect("engine holds a placement");
             debug_assert_eq!(block_ns.len(), placement.num_blocks());
             compute.iter_mut().for_each(|c| *c = 0.0);
+            measured.clear();
+            measured.resize(block_ns.len(), 0.0);
             // Per-rank multiplier for this step (node fault + jitter).
-            let mut measured = vec![0.0f64; block_ns.len()];
-            {
-                let mut rank_mult = vec![0.0f64; r];
-                for (rank, m) in rank_mult.iter_mut().enumerate() {
-                    *m = cfg
-                        .faults
-                        .compute_multiplier(cfg.topology.node_of(rank), &mut self.rng);
-                }
-                for (b, &base) in block_ns.iter().enumerate() {
-                    let rank = placement.rank_of(b) as usize;
-                    let t = base * rank_mult[rank];
-                    compute[rank] += t;
-                    measured[b] = t;
-                    if cfg.per_block_telemetry {
-                        collector.record_block(rank as u32, b as u32, Phase::Compute, t as u64);
-                    }
+            for (rank, m) in rank_mult.iter_mut().enumerate() {
+                *m = cfg
+                    .faults
+                    .compute_multiplier(cfg.topology.node_of(rank), &mut self.rng);
+            }
+            for (b, &base) in block_ns.iter().enumerate() {
+                let rank = placement.rank_of(b) as usize;
+                let t = base * rank_mult[rank];
+                compute[rank] += t;
+                measured[b] = t;
+                if cfg.per_block_telemetry {
+                    collector.record_block(rank as u32, b as u32, Phase::Compute, t as u64);
                 }
             }
             cost_model.observe_all(&measured);
@@ -375,15 +420,15 @@ impl MacroSim {
                 let raw_wait = (arrival - ready[rank]).max(0.0);
                 let nb = epoch.blocks_per_rank[rank].max(1) as f64;
                 let masking = cfg.overlap_efficiency * (1.0 - 1.0 / nb);
-                let f = ready[rank] + raw_wait * (1.0 - masking)
-                    + xs * epoch.service_ns[rank];
+                let f = ready[rank] + raw_wait * (1.0 - masking) + xs * epoch.service_ns[rank];
                 finish[rank] = f;
             }
 
             // --- Synchronization ------------------------------------------
             // Timestep control is a blocking allreduce over a small vector
             // (dt and CFL diagnostics), not a bare barrier (§II-B).
-            let arrivals: Vec<u64> = finish.iter().map(|&f| f as u64).collect();
+            arrivals.clear();
+            arrivals.extend(finish.iter().map(|&f| f as u64));
             let coll = collectives::allreduce(
                 &arrivals,
                 cfg.network.fabric.latency_ns,
@@ -420,7 +465,15 @@ impl MacroSim {
             }
             step_phases.redist_ns = redist_per_rank * r as f64;
             if redist_per_rank > 0.0 {
-                collector.record_rank(0, Phase::Redistribution, (redist_per_rank * r as f64) as u64);
+                // The placement report's migration accounting rides along:
+                // moved blocks as the message count, shipped payload as bytes.
+                collector.record_comm_rank(
+                    0,
+                    Phase::Redistribution,
+                    (redist_per_rank * r as f64) as u64,
+                    redist_moved.min(u32::MAX as u64) as u32,
+                    redist_bytes,
+                );
             }
             phases.accumulate(&step_phases.scaled(1.0 / r as f64));
 
@@ -445,23 +498,6 @@ impl MacroSim {
             placement_wall_max_ns: placement_wall_max,
             telemetry: collector.finish(),
         }
-    }
-
-    fn initial_placement(
-        policy: &dyn PlacementPolicy,
-        cost_model: &TelemetryCostModel,
-        cfg: &SimConfig,
-        num_blocks: usize,
-        num_ranks: usize,
-    ) -> Placement {
-        let uniform;
-        let costs: &[f64] = if cfg.use_measured_costs {
-            cost_model.costs()
-        } else {
-            uniform = vec![1.0f64; num_blocks];
-            &uniform
-        };
-        policy.place(costs, num_ranks)
     }
 
     /// Build per-rank communication aggregates for a (mesh, placement) epoch.

@@ -19,9 +19,9 @@
 //! * **ACK-loss recovery**: remote sends occasionally stall the *sender*
 //!   unless the drain-queue mitigation is active.
 
+use crate::collectives;
 use crate::network::NetworkConfig;
 use crate::topology::Topology;
-use crate::collectives;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -311,10 +311,26 @@ mod tests {
             num_ranks: 4,
             compute_ns: vec![0; 4],
             messages: vec![
-                Message { src: 0, dst: 0, bytes: 10 }, // intra-rank
-                Message { src: 0, dst: 1, bytes: 10 }, // same node
-                Message { src: 0, dst: 2, bytes: 10 }, // remote
-                Message { src: 3, dst: 2, bytes: 10 }, // same node
+                Message {
+                    src: 0,
+                    dst: 0,
+                    bytes: 10,
+                }, // intra-rank
+                Message {
+                    src: 0,
+                    dst: 1,
+                    bytes: 10,
+                }, // same node
+                Message {
+                    src: 0,
+                    dst: 2,
+                    bytes: 10,
+                }, // remote
+                Message {
+                    src: 3,
+                    dst: 2,
+                    bytes: 10,
+                }, // same node
             ],
             order: TaskOrder::SendsFirst,
         };
@@ -339,7 +355,11 @@ mod tests {
         let spec = RoundSpec {
             num_ranks: 2,
             compute_ns: vec![0; 2],
-            messages: vec![Message { src: 0, dst: 1, bytes: 100 }],
+            messages: vec![Message {
+                src: 0,
+                dst: 1,
+                bytes: 100,
+            }],
             order: TaskOrder::SendsFirst,
         };
         let mut sim_f = MicroSim::new(topo, faulty, 4);
@@ -365,7 +385,11 @@ mod tests {
             num_ranks: 18,
             compute_ns: vec![0; 18],
             messages: (1..18u32)
-                .map(|s| Message { src: s, dst: 0, bytes: 100 })
+                .map(|s| Message {
+                    src: s,
+                    dst: 0,
+                    bytes: 100,
+                })
                 .collect(),
             order: TaskOrder::SendsFirst,
         };
@@ -389,7 +413,11 @@ mod tests {
             num_ranks: 32,
             compute_ns: vec![0; 32],
             messages: (1..32u32)
-                .map(|s| Message { src: s, dst: 0, bytes: 20_480 })
+                .map(|s| Message {
+                    src: s,
+                    dst: 0,
+                    bytes: 20_480,
+                })
                 .collect(),
             order: TaskOrder::SendsFirst,
         };

@@ -391,7 +391,11 @@ mod tests {
         let progs = vec![
             vec![
                 Op::Compute(1_000_000),
-                Op::Isend { dst: 1, tag: 7, bytes: 100 },
+                Op::Isend {
+                    dst: 1,
+                    tag: 7,
+                    bytes: 100,
+                },
             ],
             vec![Op::Irecv { src: 0, tag: 7 }, Op::WaitAll],
         ];
@@ -407,8 +411,16 @@ mod tests {
         let world = MpiWorld::new(Topology::new(2, 1), quiet());
         let progs = vec![
             vec![
-                Op::Isend { dst: 1, tag: 3, bytes: 10 },
-                Op::Isend { dst: 1, tag: 3, bytes: 10 },
+                Op::Isend {
+                    dst: 1,
+                    tag: 3,
+                    bytes: 10,
+                },
+                Op::Isend {
+                    dst: 1,
+                    tag: 3,
+                    bytes: 10,
+                },
             ],
             vec![
                 Op::Compute(10_000_000), // let the messages land first
@@ -449,7 +461,13 @@ mod tests {
     fn barrier_synchronizes_clocks() {
         let world = MpiWorld::new(Topology::paper(4), quiet());
         let progs = (0..4)
-            .map(|i| vec![Op::Compute(100 * (i as u64 + 1)), Op::Barrier, Op::Compute(10)])
+            .map(|i| {
+                vec![
+                    Op::Compute(100 * (i as u64 + 1)),
+                    Op::Barrier,
+                    Op::Compute(10),
+                ]
+            })
             .collect();
         let res = world.run(progs).unwrap();
         // All ranks leave the barrier together; finishes within tree slack.
@@ -465,8 +483,16 @@ mod tests {
         let world = MpiWorld::new(Topology::new(2, 1), quiet());
         let progs = vec![
             vec![
-                Op::Isend { dst: 1, tag: 2, bytes: 10 },
-                Op::Isend { dst: 1, tag: 1, bytes: 10 },
+                Op::Isend {
+                    dst: 1,
+                    tag: 2,
+                    bytes: 10,
+                },
+                Op::Isend {
+                    dst: 1,
+                    tag: 1,
+                    bytes: 10,
+                },
             ],
             vec![
                 Op::Irecv { src: 0, tag: 1 },
@@ -486,8 +512,15 @@ mod tests {
         let sends_first: Vec<Vec<Op>> = (0..8u32)
             .map(|i| {
                 vec![
-                    Op::Irecv { src: (i + 7) % 8, tag: 0 },
-                    Op::Isend { dst: (i + 1) % 8, tag: 0, bytes: 20_480 },
+                    Op::Irecv {
+                        src: (i + 7) % 8,
+                        tag: 0,
+                    },
+                    Op::Isend {
+                        dst: (i + 1) % 8,
+                        tag: 0,
+                        bytes: 20_480,
+                    },
                     Op::Compute(1_000_000),
                     Op::WaitAll,
                 ]
@@ -496,9 +529,16 @@ mod tests {
         let compute_first: Vec<Vec<Op>> = (0..8u32)
             .map(|i| {
                 vec![
-                    Op::Irecv { src: (i + 7) % 8, tag: 0 },
+                    Op::Irecv {
+                        src: (i + 7) % 8,
+                        tag: 0,
+                    },
                     Op::Compute(1_000_000),
-                    Op::Isend { dst: (i + 1) % 8, tag: 0, bytes: 20_480 },
+                    Op::Isend {
+                        dst: (i + 1) % 8,
+                        tag: 0,
+                        bytes: 20_480,
+                    },
                     Op::WaitAll,
                 ]
             })

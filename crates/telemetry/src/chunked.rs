@@ -101,8 +101,11 @@ impl Predicate {
 
     /// Does a single row match?
     pub fn matches(&self, r: &EventRecord) -> bool {
-        self.step.is_none_or(|(lo, hi)| r.step >= lo && r.step <= hi)
-            && self.rank.is_none_or(|(lo, hi)| r.rank >= lo && r.rank <= hi)
+        self.step
+            .is_none_or(|(lo, hi)| r.step >= lo && r.step <= hi)
+            && self
+                .rank
+                .is_none_or(|(lo, hi)| r.rank >= lo && r.rank <= hi)
             && self.min_duration_ns.is_none_or(|m| r.duration_ns >= m)
             && self.phase.is_none_or(|p| r.phase == p)
     }
@@ -310,7 +313,9 @@ mod tests {
         assert!(res.rows.iter().all(|r| r.phase == Phase::Redistribution));
         assert_eq!(
             res.rows.len(),
-            t.iter().filter(|r| r.phase == Phase::Redistribution).count()
+            t.iter()
+                .filter(|r| r.phase == Phase::Redistribution)
+                .count()
         );
     }
 

@@ -89,8 +89,12 @@ impl Collector {
     /// Record a rank-level phase duration (no block attribution).
     pub fn record_rank(&mut self, rank: u32, phase: Phase, duration_ns: u64) {
         if self.sampled() {
-            self.table
-                .push(EventRecord::rank_phase(self.current_step, rank, phase, duration_ns));
+            self.table.push(EventRecord::rank_phase(
+                self.current_step,
+                rank,
+                phase,
+                duration_ns,
+            ));
         }
     }
 

@@ -205,7 +205,12 @@ mod tests {
         let mut t = EventTable::new();
         for step in 0..3u32 {
             for rank in 0..4u32 {
-                t.push(EventRecord::compute(step, rank, rank, 100 * (rank as u64 + 1)));
+                t.push(EventRecord::compute(
+                    step,
+                    rank,
+                    rank,
+                    100 * (rank as u64 + 1),
+                ));
                 t.push(EventRecord {
                     step,
                     rank,
@@ -223,7 +228,10 @@ mod tests {
     #[test]
     fn filters_compose() {
         let t = table();
-        let q = Query::new(&t).phase(Phase::Compute).rank(2).step_range(1, 3);
+        let q = Query::new(&t)
+            .phase(Phase::Compute)
+            .rank(2)
+            .step_range(1, 3);
         assert_eq!(q.count(), 2);
         assert_eq!(q.total_duration_ns(), 600);
     }

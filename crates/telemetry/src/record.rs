@@ -136,8 +136,7 @@ mod tests {
 
     #[test]
     fn phase_labels_unique() {
-        let labels: std::collections::HashSet<_> =
-            Phase::ALL.iter().map(|p| p.label()).collect();
+        let labels: std::collections::HashSet<_> = Phase::ALL.iter().map(|p| p.label()).collect();
         assert_eq!(labels.len(), Phase::ALL.len());
     }
 

@@ -42,7 +42,10 @@ pub fn coeff_of_variation(xs: &[f64]) -> f64 {
 
 /// Maximum value; 0.0 for empty input.
 pub fn max(xs: &[f64]) -> f64 {
-    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(0.0)
+    xs.iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(0.0)
 }
 
 /// Minimum value; 0.0 for empty input.

@@ -154,9 +154,7 @@ impl EventTable {
     /// Keep only rows matching the predicate (row-index based, used by
     /// maintenance tasks; ad hoc filtering should go through [`crate::Query`]).
     pub fn retain<F: Fn(&EventRecord) -> bool>(&mut self, pred: F) {
-        let keep: Vec<usize> = (0..self.len())
-            .filter(|&i| pred(&self.row(i)))
-            .collect();
+        let keep: Vec<usize> = (0..self.len()).filter(|&i| pred(&self.row(i))).collect();
         self.permute(&keep);
     }
 }

@@ -45,8 +45,7 @@ pub fn stragglers_by_step(table: &EventTable) -> Vec<StragglerEntry> {
         .filter(|(_, ranks)| !ranks.is_empty())
         .map(|(step, ranks)| {
             let (&rank, &max) = ranks.iter().max_by_key(|(r, d)| (**d, **r)).unwrap();
-            let mean =
-                ranks.values().map(|&d| d as f64).sum::<f64>() / ranks.len() as f64;
+            let mean = ranks.values().map(|&d| d as f64).sum::<f64>() / ranks.len() as f64;
             StragglerEntry {
                 step,
                 rank,
@@ -123,7 +122,10 @@ pub fn imbalance_series(table: &EventTable) -> Vec<(u32, f64)> {
 
 /// Summary of the imbalance series: mean and p95 imbalance across steps.
 pub fn imbalance_summary(table: &EventTable) -> (f64, f64) {
-    let series: Vec<f64> = imbalance_series(table).into_iter().map(|(_, x)| x).collect();
+    let series: Vec<f64> = imbalance_series(table)
+        .into_iter()
+        .map(|(_, x)| x)
+        .collect();
     (stats::mean(&series), stats::percentile(&series, 0.95))
 }
 
@@ -161,7 +163,12 @@ mod tests {
                 // Rank 2 is always the straggler; imbalance 2.0 vs mean.
                 let dur = if rank == 2 { 400 } else { 100 };
                 t.push(EventRecord::compute(step, rank, rank, dur));
-                t.push(EventRecord::rank_phase(step, rank, Phase::Synchronization, 50));
+                t.push(EventRecord::rank_phase(
+                    step,
+                    rank,
+                    Phase::Synchronization,
+                    50,
+                ));
             }
         }
         t

@@ -3,10 +3,45 @@
 //! for the event-driven engine, and cost-origin tracking across adaptation.
 
 use amr_core::cost::CostOrigin;
+use amr_core::engine::{PlacementCtx, PlacementError, PlacementReport};
+use amr_core::policies::PlacementPolicy;
 use amr_core::Placement;
 use amr_mesh::{AmrMesh, Octant};
 use amr_sim::Message;
 use std::collections::HashMap;
+
+/// Build a [`PlacementCtx`] for a mesh-backed placement problem: per-block
+/// costs in SFC order plus the mesh snapshot, so locality-aware policies
+/// (RCB, edge-cut) and cost-only policies run through one context. Chain
+/// further `with_*` builders for a prebuilt neighbor graph, topology hints,
+/// or a previous placement.
+pub fn placement_ctx<'a>(
+    mesh: &'a AmrMesh,
+    costs: &'a [f64],
+    num_ranks: usize,
+) -> PlacementCtx<'a> {
+    assert_eq!(
+        mesh.num_blocks(),
+        costs.len(),
+        "cost vector must cover every mesh block"
+    );
+    PlacementCtx::new(costs, num_ranks).with_mesh(mesh)
+}
+
+/// Place the blocks of `mesh` with any unified policy, returning the
+/// placement and its [`PlacementReport`] (makespan, imbalance, migration
+/// accounting when the context carries a previous placement).
+pub fn place_on_mesh(
+    policy: &dyn PlacementPolicy,
+    mesh: &AmrMesh,
+    costs: &[f64],
+    num_ranks: usize,
+) -> Result<(Placement, PlacementReport), PlacementError> {
+    let ctx = placement_ctx(mesh, costs, num_ranks);
+    let mut out = Placement::default();
+    let report = policy.place_into(&ctx, &mut out)?;
+    Ok((out, report))
+}
 
 /// Build the boundary-exchange message list for one round: every directed
 /// neighbor relation becomes a message sized by its surface class
@@ -53,7 +88,10 @@ pub fn cost_origins(old: &HashMap<Octant, usize>, mesh: &AmrMesh) -> Vec<CostOri
                 }
             }
             let children = b.octant.children(dim);
-            let merged: Vec<usize> = children.iter().filter_map(|c| old.get(c).copied()).collect();
+            let merged: Vec<usize> = children
+                .iter()
+                .filter_map(|c| old.get(c).copied())
+                .collect();
             if merged.len() == children.len() {
                 CostOrigin::MergedFrom(merged)
             } else {
@@ -100,10 +138,7 @@ pub fn build_mpi_programs(
                 tag: block.0,
                 bytes,
             });
-            recvs[dst as usize].push(Op::Irecv {
-                src,
-                tag: block.0,
-            });
+            recvs[dst as usize].push(Op::Irecv { src, tag: block.0 });
         }
     }
 
@@ -166,6 +201,26 @@ mod tests {
         let self_spread = msgs_spread.iter().filter(|m| m.src == m.dst).count();
         assert_eq!(self_one, msgs_one.len());
         assert!(self_spread < msgs_spread.len());
+    }
+
+    #[test]
+    fn place_on_mesh_unifies_cost_only_and_mesh_aware_policies() {
+        use amr_core::engine::PlacementError;
+        use amr_core::policies::{Lpt, Rcb};
+        let m = mesh();
+        let costs = vec![1.0; m.num_blocks()];
+
+        // Cost-only and mesh-aware policies run through the same call.
+        let (p_lpt, rep_lpt) = place_on_mesh(&Lpt, &m, &costs, 8).unwrap();
+        let (p_rcb, rep_rcb) = place_on_mesh(&Rcb, &m, &costs, 8).unwrap();
+        assert_eq!(p_lpt.num_blocks(), m.num_blocks());
+        assert_eq!(p_rcb.num_blocks(), m.num_blocks());
+        assert!(rep_lpt.makespan > 0.0);
+        assert!(rep_rcb.imbalance >= 1.0);
+
+        // Errors surface typed instead of panicking.
+        let err = place_on_mesh(&Lpt, &m, &costs, 0).unwrap_err();
+        assert!(matches!(err, PlacementError::NoRanks));
     }
 
     #[test]
@@ -269,7 +324,11 @@ pub fn build_block_programs(
             let dst = placement.rank_of(n.block.index());
             if dst != src {
                 let bytes = spec.message_bytes(dim, n.kind.codim());
-                sends.push(Op::Isend { dst, tag: block.0, bytes });
+                sends.push(Op::Isend {
+                    dst,
+                    tag: block.0,
+                    bytes,
+                });
                 boundary_recvs[dst as usize].push(Op::Irecv { src, tag: block.0 });
             }
             // Flux correction: fine -> coarse across faces only. Use a
@@ -412,17 +471,12 @@ mod block_program_tests {
 /// variables) from its old rank to its new one. Feed to the
 /// micro-simulator to price a migration at message granularity (the macro
 /// simulator prices the same set analytically).
-pub fn build_migration_messages(
-    mesh: &AmrMesh,
-    old: &Placement,
-    new: &Placement,
-) -> Vec<Message> {
+pub fn build_migration_messages(mesh: &AmrMesh, old: &Placement, new: &Placement) -> Vec<Message> {
     assert_eq!(old.num_blocks(), new.num_blocks());
     assert_eq!(mesh.num_blocks(), new.num_blocks());
     let spec = mesh.config().spec;
     let dim = mesh.config().dim;
-    let block_bytes =
-        spec.cells(dim) * spec.num_vars as u64 * spec.bytes_per_value as u64;
+    let block_bytes = spec.cells(dim) * spec.num_vars as u64 * spec.bytes_per_value as u64;
     (0..old.num_blocks())
         .filter(|&b| old.rank_of(b) != new.rank_of(b))
         .map(|b| Message {
@@ -442,7 +496,9 @@ mod migration_tests {
     #[test]
     fn migration_list_matches_diff() {
         let mesh = AmrMesh::new(MeshConfig::from_cells(Dim::D3, (64, 64, 64), 1));
-        let costs: Vec<f64> = (0..mesh.num_blocks()).map(|i| 1.0 + (i % 3) as f64).collect();
+        let costs: Vec<f64> = (0..mesh.num_blocks())
+            .map(|i| 1.0 + (i % 3) as f64)
+            .collect();
         let old = Baseline.place(&costs, 8);
         let new = Lpt.place(&costs, 8);
         let msgs = build_migration_messages(&mesh, &old, &new);

@@ -88,9 +88,8 @@ impl InterfaceWorkload {
         let amp = cfg.final_amplitude * t;
         cfg.y0
             + amp
-                * (2.0 * std::f64::consts::PI * cfg.wavenumber as f64 * x
-                    + cfg.omega * step as f64)
-                .sin()
+                * (2.0 * std::f64::consts::PI * cfg.wavenumber as f64 * x + cfg.omega * step as f64)
+                    .sin()
     }
 
     /// Signed distance from a y-coordinate to the interface at `x`.

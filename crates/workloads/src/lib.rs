@@ -26,8 +26,8 @@ pub mod scenarios;
 pub mod sedov;
 
 pub use cooling::CoolingWorkload;
-pub use interface::{InterfaceConfig, InterfaceWorkload};
 pub use distributions::CostDistribution;
+pub use interface::{InterfaceConfig, InterfaceWorkload};
 pub use meshgen::random_refined_mesh;
 pub use scenarios::SedovScenario;
 pub use sedov::{SedovConfig, SedovWorkload};

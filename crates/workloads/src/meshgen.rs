@@ -26,20 +26,12 @@ fn cube_factors(total: usize) -> (u32, u32, u32) {
 /// blocks per rank (1.0–2.0 is the paper's commbench regime).
 ///
 /// Deterministic in `seed`.
-pub fn random_refined_mesh(
-    ranks: usize,
-    target_blocks_per_rank: f64,
-    seed: u64,
-) -> AmrMesh {
+pub fn random_refined_mesh(ranks: usize, target_blocks_per_rank: f64, seed: u64) -> AmrMesh {
     assert!(ranks >= 8, "need at least 8 ranks");
     assert!(target_blocks_per_rank >= 0.5);
     // Roots ≈ ranks/2 so that refining ~10% of blocks reaches 1–2x ranks.
     let roots = cube_factors(ranks / 2);
-    let mut config = MeshConfig::from_cells(
-        Dim::D3,
-        (roots.0 * 16, roots.1 * 16, roots.2 * 16),
-        2,
-    );
+    let mut config = MeshConfig::from_cells(Dim::D3, (roots.0 * 16, roots.1 * 16, roots.2 * 16), 2);
     config.max_level = 2;
     let mut mesh = AmrMesh::new(config);
     let target = (ranks as f64 * target_blocks_per_rank) as usize;

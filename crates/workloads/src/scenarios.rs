@@ -115,8 +115,7 @@ mod tests {
         assert_eq!(TABLE1[3].t_total, 53_459);
         // Mesh cells / 16³ blocks = one initial block per rank.
         for r in TABLE1 {
-            let blocks =
-                (r.mesh_cells.0 / 16) * (r.mesh_cells.1 / 16) * (r.mesh_cells.2 / 16);
+            let blocks = (r.mesh_cells.0 / 16) * (r.mesh_cells.1 / 16) * (r.mesh_cells.2 / 16);
             assert_eq!(blocks as usize, r.ranks);
             assert_eq!(r.n_initial, r.ranks);
         }

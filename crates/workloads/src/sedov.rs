@@ -138,10 +138,8 @@ impl SedovWorkload {
     /// Deterministic lognormal noise for an octant: identical across
     /// policies, runs and refinement histories.
     fn octant_noise(&self, o: &amr_mesh::Octant) -> f64 {
-        let key = ((o.level as u64) << 60)
-            ^ ((o.x as u64) << 40)
-            ^ ((o.y as u64) << 20)
-            ^ (o.z as u64);
+        let key =
+            ((o.level as u64) << 60) ^ ((o.x as u64) << 40) ^ ((o.y as u64) << 20) ^ (o.z as u64);
         lognormal_hash(key, self.config.noise_sigma)
     }
 
@@ -169,7 +167,11 @@ impl SedovWorkload {
                 let d_center = b.bounds.center().distance(&self.center);
                 let d_shell = (d_center - r).abs();
                 let shell_term = cfg.gradient_amp * (-(d_shell / w) * (d_shell / w)).exp();
-                let post_term = if d_center < r { cfg.post_shock_boost } else { 0.0 };
+                let post_term = if d_center < r {
+                    cfg.post_shock_boost
+                } else {
+                    0.0
+                };
                 cfg.base_cost_ns
                     * self.octant_noise(&b.octant)
                     * self.step_noise(&b.octant, step)

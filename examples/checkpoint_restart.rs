@@ -32,13 +32,22 @@ fn main() {
 
     // Checkpoint to bytes (a real run would write this to disk).
     let bytes = checkpoint::save(mesh);
-    println!("checkpoint: {} bytes ({} B/block)", bytes.len(), bytes.len() / mesh.num_blocks());
+    println!(
+        "checkpoint: {} bytes ({} B/block)",
+        bytes.len(),
+        bytes.len() / mesh.num_blocks()
+    );
 
     // Restore and validate.
     let restored = checkpoint::restore(&bytes).expect("valid checkpoint");
-    restored.check_invariants().expect("restored mesh invariants");
+    restored
+        .check_invariants()
+        .expect("restored mesh invariants");
     assert_eq!(restored.num_blocks(), mesh.num_blocks());
-    println!("restored: {} blocks, invariants verified", restored.num_blocks());
+    println!(
+        "restored: {} blocks, invariants verified",
+        restored.num_blocks()
+    );
 
     // Placement over the restored mesh matches the original exactly.
     let costs = workload.block_compute_ns().to_vec();

@@ -34,7 +34,11 @@ fn main() {
         tasks: vec![
             vec![
                 Task::Compute { dur: 10 },
-                Task::Send { msg: 0, dur: 1, latency: 5 },
+                Task::Send {
+                    msg: 0,
+                    dur: 1,
+                    latency: 5,
+                },
             ],
             vec![Task::Compute { dur: 500 }, Task::Wait { msg: 0 }],
         ],
@@ -46,7 +50,11 @@ fn main() {
         tasks: vec![
             vec![
                 Task::Compute { dur: 400 },
-                Task::Send { msg: 0, dur: 1, latency: 5 },
+                Task::Send {
+                    msg: 0,
+                    dur: 1,
+                    latency: 5,
+                },
             ],
             vec![Task::Compute { dur: 20 }, Task::Wait { msg: 0 }],
         ],

@@ -52,8 +52,24 @@ fn main() {
 
     // 2. Deadlock detection: a circular wait with no sends in flight.
     let deadlock = vec![
-        vec![Op::Irecv { src: 1, tag: 0 }, Op::WaitAll, Op::Isend { dst: 1, tag: 0, bytes: 8 }],
-        vec![Op::Irecv { src: 0, tag: 0 }, Op::WaitAll, Op::Isend { dst: 0, tag: 0, bytes: 8 }],
+        vec![
+            Op::Irecv { src: 1, tag: 0 },
+            Op::WaitAll,
+            Op::Isend {
+                dst: 1,
+                tag: 0,
+                bytes: 8,
+            },
+        ],
+        vec![
+            Op::Irecv { src: 0, tag: 0 },
+            Op::WaitAll,
+            Op::Isend {
+                dst: 0,
+                tag: 0,
+                bytes: 8,
+            },
+        ],
     ];
     let small = MpiWorld::new(
         Topology::new(2, 1),
@@ -64,7 +80,9 @@ fn main() {
     );
     match small.run(deadlock) {
         Err(MpiError::Deadlock { stuck_ranks }) => {
-            println!("\ncircular wait detected: ranks {stuck_ranks:?} blocked forever (as expected)")
+            println!(
+                "\ncircular wait detected: ranks {stuck_ranks:?} blocked forever (as expected)"
+            )
         }
         other => unreachable!("expected deadlock, got {other:?}"),
     }

@@ -95,10 +95,7 @@ fn main() {
         wall_ns: None,
     };
     let cpl50 = Cplx::new(50);
-    let assessment = PlacementAssessment::assess(
-        cpl50.name(),
-        &cpl50.place(&costs, ranks),
-        &inputs,
-    );
+    let assessment =
+        PlacementAssessment::assess(cpl50.name(), &cpl50.place(&costs, ranks), &inputs);
     print!("{}", assessment.render());
 }

@@ -8,11 +8,11 @@
 //! refines along it, redistribution fires on every mesh change, and the
 //! phase decomposition shows the load–locality tradeoff as X varies.
 
+use amr_tools::mesh::{Dim, MeshConfig};
 use amr_tools::placement::policies::{Baseline, Cplx, PlacementPolicy};
 use amr_tools::placement::trigger::RebalanceTrigger;
 use amr_tools::sim::{MacroSim, SimConfig};
 use amr_tools::workloads::{SedovConfig, SedovWorkload};
-use amr_tools::mesh::{Dim, MeshConfig};
 
 fn main() {
     let ranks = 64;
@@ -39,7 +39,11 @@ fn main() {
         let mut cfg = SimConfig::tuned(ranks);
         cfg.telemetry_sampling = 8;
         let mut sim = MacroSim::new(cfg);
-        let rep = sim.run(&mut workload, policy.as_ref(), RebalanceTrigger::OnMeshChange);
+        let rep = sim.run(
+            &mut workload,
+            policy.as_ref(),
+            RebalanceTrigger::OnMeshChange,
+        );
         let base = *base_total.get_or_insert(rep.total_ns);
         println!(
             "{:<10} {:>8.2}s {:>8.2}s {:>8.2}s {:>8.2}s {:>8.2}s {:>+6.1}%",

@@ -1,0 +1,70 @@
+//! Offline shim for the subset of `rayon` this workspace uses.
+//!
+//! The build environment has no crates.io access. Callers only use
+//! `prelude::*` with `.par_iter()` on slices/Vecs, so this shim maps
+//! parallel iteration onto ordinary sequential iterators. Results are
+//! identical to rayon's (same ordering via collect), minus the
+//! parallel speedup.
+
+pub mod prelude {
+    /// Sequential stand-in for rayon's `IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator type returned by [`par_iter`](Self::par_iter).
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type yielded by the iterator.
+        type Item: 'data;
+
+        /// Sequential "parallel" iteration: plain `iter()`.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = core::slice::Iter<'data, T>;
+        type Item = &'data T;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = core::slice::Iter<'data, T>;
+        type Item = &'data T;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// Sequential stand-in for rayon's `IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// The iterator type returned by [`into_par_iter`](Self::into_par_iter).
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type yielded by the iterator.
+        type Item;
+
+        /// Sequential "parallel" iteration: plain `into_iter()`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+}

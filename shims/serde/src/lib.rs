@@ -1,0 +1,8 @@
+//! Offline shim for the subset of `serde` this workspace uses.
+//!
+//! Every use site is `use serde::{Deserialize, Serialize};` feeding a
+//! `#[derive(...)]` attribute; no code calls serializer APIs. The derives
+//! re-exported here expand to nothing (see the `serde_derive` shim), so the
+//! annotations compile without crates.io access.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -70,19 +70,13 @@ fn telemetry_phases_cover_runtime() {
     let rep = sedov_run(&Baseline, 32, 100, 1);
     let t = &rep.telemetry;
     for phase in [Phase::Compute, Phase::BoundaryComm, Phase::Synchronization] {
-        assert!(
-            Query::new(t).phase(phase).count() > 0,
-            "no {phase} records"
-        );
+        assert!(Query::new(t).phase(phase).count() > 0, "no {phase} records");
     }
     // Per-rank compute from telemetry matches the report's phase totals
     // (sampled steps only, so compare per-step means).
     let sampled_steps = (0..100).step_by(4).count() as f64;
-    let per_step_telemetry = Query::new(t)
-        .phase(Phase::Compute)
-        .total_duration_ns() as f64
-        / sampled_steps
-        / 32.0;
+    let per_step_telemetry =
+        Query::new(t).phase(Phase::Compute).total_duration_ns() as f64 / sampled_steps / 32.0;
     let per_step_report = rep.phases.compute_ns / 100.0;
     let ratio = per_step_telemetry / per_step_report;
     assert!(
@@ -101,11 +95,8 @@ fn throttled_run_slower_and_diagnosable_from_telemetry() {
     let faulty = MacroSim::new(cfg).run(&mut w, &Baseline, RebalanceTrigger::OnMeshChange);
 
     let mut w2 = SedovWorkload::new(SedovConfig::new(mesh, 100));
-    let healthy = MacroSim::new(SimConfig::tuned(64)).run(
-        &mut w2,
-        &Baseline,
-        RebalanceTrigger::OnMeshChange,
-    );
+    let healthy =
+        MacroSim::new(SimConfig::tuned(64)).run(&mut w2, &Baseline, RebalanceTrigger::OnMeshChange);
     assert!(faulty.total_ns > 1.5 * healthy.total_ns);
 
     let per_rank = Query::new(&faulty.telemetry)
@@ -137,12 +128,12 @@ fn two_dimensional_pipeline_works_end_to_end() {
     let mut workload = SedovWorkload::new(SedovConfig::new(mesh, 150));
     let mut cfg = SimConfig::tuned(32);
     cfg.telemetry_sampling = 8;
-    let base = MacroSim::new(cfg.clone()).run(
-        &mut workload,
-        &Baseline,
-        RebalanceTrigger::OnMeshChange,
+    let base =
+        MacroSim::new(cfg.clone()).run(&mut workload, &Baseline, RebalanceTrigger::OnMeshChange);
+    assert!(
+        base.final_blocks > base.initial_blocks,
+        "2D mesh never refined"
     );
-    assert!(base.final_blocks > base.initial_blocks, "2D mesh never refined");
     assert!(base.mesh_change_steps > 0);
 
     let mesh = MeshConfig::from_cells(Dim::D2, (128, 128, 0), 1);

@@ -5,14 +5,29 @@
 //! space and its locality preservation (§V-C), and the CPLX endpoints
 //! (X=0 ≡ CDP, X=100 ≡ LPT; §V-D).
 
+use amr_tools::placement::engine::{PlacementCtx, PlacementEngine};
 use amr_tools::placement::exact::solve_exact;
 use amr_tools::placement::policies::{
-    cdp_general, Baseline, Cdp, ChunkedCdp, Cplx, Lpt, PlacementPolicy,
+    cdp_general, Baseline, Blend, Cdp, ChunkedCdp, Cplx, Lpt, PlacementPolicy, Zonal,
 };
+use amr_tools::placement::Placement;
 use proptest::prelude::*;
 
 fn costs_strategy(max_n: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(0.01f64..10.0, 1..=max_n)
+}
+
+/// Every cost-only policy of the unified `place_into` API, one roster.
+fn cost_only_roster() -> Vec<Box<dyn PlacementPolicy>> {
+    vec![
+        Box::new(Baseline),
+        Box::new(Lpt),
+        Box::new(Cdp),
+        Box::new(ChunkedCdp::new(8)),
+        Box::new(Cplx::with_chunking(50, 8)),
+        Box::new(Blend::new(0.25)),
+        Box::new(Zonal::new(4, Cplx::with_chunking(50, 8))),
+    ]
 }
 
 fn lower_bound(costs: &[f64], ranks: usize) -> f64 {
@@ -24,13 +39,7 @@ fn lower_bound(costs: &[f64], ranks: usize) -> f64 {
 proptest! {
     #[test]
     fn every_policy_assigns_every_block(costs in costs_strategy(200), ranks in 1usize..32) {
-        let policies: Vec<Box<dyn PlacementPolicy>> = vec![
-            Box::new(Baseline),
-            Box::new(Lpt),
-            Box::new(Cdp),
-            Box::new(ChunkedCdp::new(8)),
-            Box::new(Cplx::with_chunking(50, 8)),
-        ];
+        let policies = cost_only_roster();
         for p in &policies {
             let placement = p.place(&costs, ranks);
             prop_assert_eq!(placement.num_blocks(), costs.len());
@@ -142,5 +151,89 @@ proptest! {
         prop_assert_eq!(base.migration_count(&Cplx::new(0).place(&costs, ranks)), 0);
         let p = Cplx::new(50).place(&costs, ranks);
         prop_assert!(p.migration_count(&base) <= costs.len());
+    }
+
+    #[test]
+    fn place_into_agrees_with_place(costs in costs_strategy(160), ranks in 1usize..24) {
+        // The convenience wrapper and the context-threaded API must be the
+        // same computation, with or without scratch attached.
+        let engine = PlacementEngine::new();
+        for p in &cost_only_roster() {
+            let via_place = p.place(&costs, ranks);
+
+            let cold_ctx = PlacementCtx::new(&costs, ranks);
+            let mut cold = Placement::default();
+            let cold_report = p.place_into(&cold_ctx, &mut cold).unwrap();
+            prop_assert_eq!(&cold, &via_place, "{} cold place_into differs", p.name());
+            prop_assert!((cold_report.makespan - via_place.makespan(&costs)).abs() < 1e-9);
+
+            let warm_ctx = PlacementCtx::new(&costs, ranks).with_scratch(engine.scratch());
+            let mut warm = Placement::default();
+            p.place_into(&warm_ctx, &mut warm).unwrap();
+            prop_assert_eq!(&warm, &via_place, "{} warm place_into differs", p.name());
+        }
+    }
+
+    #[test]
+    fn rebalance_is_stable_when_costs_are_unchanged(
+        costs in costs_strategy(160),
+        ranks in 1usize..24,
+    ) {
+        // Deterministic policies on identical inputs reproduce the same
+        // placement, so the engine's migration accounting must report zero
+        // moved blocks on a same-costs rebalance.
+        for p in &cost_only_roster() {
+            let mut engine = PlacementEngine::new();
+            engine.rebalance(p.as_ref(), &costs, ranks).unwrap();
+            let prev = engine.placement().unwrap().clone();
+            let report = engine.rebalance(p.as_ref(), &costs, ranks).unwrap();
+            let migration = report.migration.expect("prev placement attached");
+            prop_assert_eq!(migration.moved, 0, "{} moved blocks on unchanged costs", p.name());
+            prop_assert_eq!(migration.max_rank_flow, 0);
+            prop_assert_eq!(engine.placement().unwrap().migration_count(&prev), 0);
+        }
+    }
+}
+
+/// Mesh-aware policies go through the same `place_into` API: attach the mesh
+/// to the context and every invariant of the cost-only roster holds.
+#[test]
+fn mesh_aware_policies_run_through_the_unified_api() {
+    use amr_tools::mesh::{Dim, MeshConfig};
+    use amr_tools::placement::engine::PlacementError;
+    use amr_tools::placement::policies::{GreedyEdgeCut, Rcb};
+
+    let mesh = amr_tools::mesh::AmrMesh::new(MeshConfig::from_cells(Dim::D3, (64, 64, 64), 1));
+    let n = mesh.num_blocks();
+    let costs: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+    let ranks = 8;
+
+    let policies: Vec<Box<dyn PlacementPolicy>> =
+        vec![Box::new(Rcb), Box::new(GreedyEdgeCut::default())];
+    for p in &policies {
+        // Without a mesh the context is incomplete: a typed error, no panic.
+        let bare = PlacementCtx::new(&costs, ranks);
+        let mut out = Placement::default();
+        assert!(matches!(
+            p.place_into(&bare, &mut out),
+            Err(PlacementError::NeedsMesh { .. })
+        ));
+
+        let ctx = PlacementCtx::new(&costs, ranks).with_mesh(&mesh);
+        let report = p.place_into(&ctx, &mut out).unwrap();
+        assert_eq!(out.num_blocks(), n);
+        assert!(out.as_slice().iter().all(|&r| (r as usize) < ranks));
+        assert_eq!(report.num_blocks, n);
+        assert!(report.makespan > 0.0);
+
+        // And through the engine, with migration accounting on repeat.
+        let mut engine = PlacementEngine::new();
+        engine
+            .rebalance_on_mesh(p.as_ref(), &costs, ranks, &mesh)
+            .unwrap();
+        let again = engine
+            .rebalance_on_mesh(p.as_ref(), &costs, ranks, &mesh)
+            .unwrap();
+        assert_eq!(again.migration.expect("prev attached").moved, 0);
     }
 }

@@ -15,10 +15,8 @@ fn quiet_net() -> NetworkConfig {
 fn round_strategy(max_ranks: usize) -> impl Strategy<Value = RoundSpec> {
     (2usize..=max_ranks)
         .prop_flat_map(|ranks| {
-            let msgs = prop::collection::vec(
-                (0..ranks as u32, 0..ranks as u32, 1u64..100_000),
-                0..64,
-            );
+            let msgs =
+                prop::collection::vec((0..ranks as u32, 0..ranks as u32, 1u64..100_000), 0..64);
             let compute = prop::collection::vec(0u64..2_000_000, ranks..=ranks);
             (Just(ranks), compute, msgs)
         })

@@ -106,8 +106,7 @@ proptest! {
 #[test]
 fn periodic_and_bounded_meshes_differ_only_at_the_boundary() {
     let bounded = AmrMesh::new(MeshConfig::from_cells(Dim::D3, (64, 64, 64), 1));
-    let periodic =
-        AmrMesh::new(MeshConfig::from_cells(Dim::D3, (64, 64, 64), 1).with_periodic());
+    let periodic = AmrMesh::new(MeshConfig::from_cells(Dim::D3, (64, 64, 64), 1).with_periodic());
     let gb = bounded.neighbor_graph();
     let gp = periodic.neighbor_graph();
     // Periodic adds exactly the wrap relations: every block reaches 26.

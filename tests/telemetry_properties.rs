@@ -13,8 +13,8 @@ fn record_strategy() -> impl Strategy<Value = EventRecord> {
         0u32..100,
         0u64..(1 << 30),
     )
-        .prop_map(|(step, rank, block, phase, duration_ns, msg_count, msg_bytes)| {
-            EventRecord {
+        .prop_map(
+            |(step, rank, block, phase, duration_ns, msg_count, msg_bytes)| EventRecord {
                 step,
                 rank,
                 block,
@@ -22,8 +22,8 @@ fn record_strategy() -> impl Strategy<Value = EventRecord> {
                 duration_ns,
                 msg_count,
                 msg_bytes,
-            }
-        })
+            },
+        )
 }
 
 proptest! {

@@ -6,9 +6,7 @@ use amr_tools::placement::policies::{Baseline, Cplx, PlacementPolicy};
 use amr_tools::placement::trigger::RebalanceTrigger;
 use amr_tools::sim::{MacroSim, RunReport, SimConfig, Workload};
 use amr_tools::workloads::cooling::{CoolingConfig, CoolingWorkload};
-use amr_tools::workloads::{
-    InterfaceConfig, InterfaceWorkload, SedovConfig, SedovWorkload,
-};
+use amr_tools::workloads::{InterfaceConfig, InterfaceWorkload, SedovConfig, SedovWorkload};
 
 const RANKS: usize = 64;
 const STEPS: u64 = 150;
@@ -20,7 +18,11 @@ fn run(workload: &mut dyn Workload, policy: &dyn PlacementPolicy, seed: u64) -> 
     // Slowly adapting workloads (the interface sheet) can go many steps
     // without a mesh change; an imbalance-aware trigger keeps the placement
     // tracking measured costs (see `ablation_trigger`).
-    MacroSim::new(cfg).run(workload, policy, RebalanceTrigger::MeshChangeOrImbalance(1.3))
+    MacroSim::new(cfg).run(
+        workload,
+        policy,
+        RebalanceTrigger::MeshChangeOrImbalance(1.3),
+    )
 }
 
 fn mesh() -> MeshConfig {
@@ -109,16 +111,10 @@ fn telemetry_volume_scales_with_sampling() {
     cfg_dense.telemetry_sampling = 1;
     let mut cfg_sparse = SimConfig::tuned(RANKS);
     cfg_sparse.telemetry_sampling = 16;
-    let dense = MacroSim::new(cfg_dense).run(
-        dense_w.as_mut(),
-        &Baseline,
-        RebalanceTrigger::OnMeshChange,
-    );
-    let sparse = MacroSim::new(cfg_sparse).run(
-        sparse_w.as_mut(),
-        &Baseline,
-        RebalanceTrigger::OnMeshChange,
-    );
+    let dense =
+        MacroSim::new(cfg_dense).run(dense_w.as_mut(), &Baseline, RebalanceTrigger::OnMeshChange);
+    let sparse =
+        MacroSim::new(cfg_sparse).run(sparse_w.as_mut(), &Baseline, RebalanceTrigger::OnMeshChange);
     // Sampling-1 vs sampling-16 should differ by roughly 16x in rows while
     // leaving virtual results identical.
     let ratio = dense.telemetry.len() as f64 / sparse.telemetry.len() as f64;

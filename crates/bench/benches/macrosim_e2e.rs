@@ -1,0 +1,27 @@
+//! End-to-end pipeline benchmark: mesh build → neighbor graph → CPLX-50
+//! rebalance → macro-simulated steps, at the paper's 1k/4k/16k rank scales.
+//!
+//! This is the loop whose cost bounds how many policy/scale configurations a
+//! placement study can afford to sweep; `perf_trajectory` records the same
+//! pipeline's stage breakdown into `BENCH_macrosim.json`.
+
+use amr_bench::e2e::run_pipeline;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_macrosim_e2e(c: &mut Criterion) {
+    let mut group = c.benchmark_group("macrosim_e2e");
+    group.sample_size(5);
+    for ranks in [1024usize, 4096, 16384] {
+        // ~1.6 blocks/rank: throughput in blocks/s tracks the real unit of
+        // work even as the mesh realization varies slightly with scale.
+        let blocks = run_pipeline(ranks, 2, 1).blocks;
+        group.throughput(Throughput::Elements(blocks as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            b.iter(|| std::hint::black_box(run_pipeline(ranks, 2, 1).e2e_ns))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_macrosim_e2e);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! The end-to-end pipeline shared by the `macrosim_e2e` Criterion bench and
+//! the `perf_trajectory` runner: mesh build → neighbor graph → placement
+//! rebalance → macro-simulated steps, at a given rank count.
+//!
+//! This is the paper's whole methodology in one pass — the loop that must be
+//! cheap for placement sweeps to be affordable — so its wall time is the
+//! number the perf trajectory (`BENCH_macrosim.json`) tracks across PRs.
+
+use amr_core::engine::PlacementEngine;
+use amr_core::policies::Cplx;
+use amr_core::trigger::RebalanceTrigger;
+use amr_mesh::AmrMesh;
+use amr_sim::{MacroSim, SimConfig, Workload, WorkloadStep};
+use amr_workloads::random_refined_mesh;
+use std::time::Instant;
+
+/// Static workload over a prebuilt mesh with deterministic skewed costs:
+/// exercises the full macrosim step (compute, exchange, sync) without mesh
+/// adaptation noise, so step cost is comparable across runs.
+pub struct StaticPipelineWorkload {
+    mesh: AmrMesh,
+    costs: Vec<f64>,
+    steps: u64,
+}
+
+impl StaticPipelineWorkload {
+    /// Wrap `mesh` with `steps` timesteps of skewed per-block costs.
+    pub fn new(mesh: AmrMesh, steps: u64) -> StaticPipelineWorkload {
+        let costs = skewed_costs(mesh.num_blocks());
+        StaticPipelineWorkload { mesh, costs, steps }
+    }
+}
+
+impl Workload for StaticPipelineWorkload {
+    fn mesh(&self) -> &AmrMesh {
+        &self.mesh
+    }
+    fn advance(&mut self, _step: u64) -> WorkloadStep {
+        WorkloadStep::default()
+    }
+    fn block_compute_ns(&self) -> &[f64] {
+        &self.costs
+    }
+    fn total_steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+/// Deterministic mildly skewed per-block cost vector (same shape as the
+/// zero-alloc test fixtures).
+pub fn skewed_costs(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| 1.0e6 * (1.0 + 0.37 * (i % 13) as f64))
+        .collect()
+}
+
+/// Stage timings of one pipeline pass (all nanoseconds of host wall clock).
+#[derive(Debug, Clone, Copy)]
+pub struct E2eTimings {
+    pub ranks: usize,
+    pub blocks: usize,
+    /// Directed neighbor relations in the built graph.
+    pub relations: usize,
+    pub mesh_build_ns: u64,
+    pub graph_build_ns: u64,
+    pub rebalance_ns: u64,
+    /// Macro-simulated steps (includes the simulator's own epoch builds).
+    pub sim_ns: u64,
+    /// Whole pass, end to end.
+    pub e2e_ns: u64,
+}
+
+/// Run one full pipeline pass at `ranks` ranks: build a random refined mesh
+/// (~1.6 blocks/rank, the paper's commbench regime), build its neighbor
+/// graph, compute a CPLX-50 placement, then macro-simulate `steps` steps.
+pub fn run_pipeline(ranks: usize, steps: u64, seed: u64) -> E2eTimings {
+    let policy = Cplx::new(50);
+    let t_total = Instant::now();
+
+    let t = Instant::now();
+    let mesh = random_refined_mesh(ranks, 1.6, seed);
+    let mesh_build_ns = t.elapsed().as_nanos() as u64;
+    let blocks = mesh.num_blocks();
+
+    let t = Instant::now();
+    let graph = mesh.neighbor_graph();
+    let graph_build_ns = t.elapsed().as_nanos() as u64;
+    let relations = graph.total_relations();
+    drop(graph);
+
+    let costs = skewed_costs(blocks);
+    let mut engine = PlacementEngine::new();
+    let t = Instant::now();
+    engine
+        .rebalance_with(&policy, &costs, ranks, Some(&mesh), None)
+        .expect("pipeline rebalance failed");
+    let rebalance_ns = t.elapsed().as_nanos() as u64;
+
+    let mut cfg = SimConfig::tuned(ranks);
+    cfg.telemetry_sampling = 1_000_000; // telemetry off: measure the engine
+    let mut sim = MacroSim::new(cfg);
+    let mut workload = StaticPipelineWorkload::new(mesh, steps);
+    let t = Instant::now();
+    let report = sim.run(&mut workload, &policy, RebalanceTrigger::OnMeshChange);
+    let sim_ns = t.elapsed().as_nanos() as u64;
+    assert_eq!(report.steps, steps);
+
+    E2eTimings {
+        ranks,
+        blocks,
+        relations,
+        mesh_build_ns,
+        graph_build_ns,
+        rebalance_ns,
+        sim_ns,
+        e2e_ns: t_total.elapsed().as_nanos() as u64,
+    }
+}

@@ -39,6 +39,8 @@
 use amr_core::policies::{Baseline, Cplx, PlacementPolicy};
 use std::collections::HashMap;
 
+pub mod e2e;
+
 /// Parse `--key value` (and bare `--flag`) command-line arguments.
 ///
 /// ```

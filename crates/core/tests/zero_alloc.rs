@@ -1,13 +1,19 @@
-//! Proof of the engine's zero-allocation steady state: after a warm-up
-//! rebalance, repeated `PlacementEngine::rebalance` calls at the same
-//! problem size perform no heap allocation for any sequential policy.
+//! Proof of the zero-allocation steady states: after warm-up,
+//!
+//! 1. repeated `PlacementEngine::rebalance` calls at the same problem size
+//!    perform no heap allocation for any sequential policy, and
+//! 2. repeated `MpiWorld::run_into` executions of the same programs perform
+//!    no heap allocation — the calendar queue, event arena, mailboxes and
+//!    rank records are all pooled.
 //!
 //! This file must stay a single-test binary: the counting allocator is
 //! process-global, so a concurrently running sibling test would pollute the
-//! measurement.
+//! measurement. (Both steady states therefore live in the one test fn.)
 
 use amr_core::engine::PlacementEngine;
 use amr_core::policies::{Baseline, Cdp, ChunkedCdp, Cplx, Lpt, PlacementPolicy};
+use amr_sim::mpi::{Op, RankStats};
+use amr_sim::{MpiWorld, NetworkConfig, Topology};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -91,4 +97,57 @@ fn steady_state_rebalance_is_allocation_free() {
             policy.name()
         );
     }
+
+    // ---- Simulator steady state -------------------------------------------
+    // A warm MpiWorld re-running the same ring-exchange programs must not
+    // allocate: events recycle through the arena, queue buckets and
+    // mailboxes keep their capacity, and stats land in a reused buffer.
+    let ranks = 32;
+    let mut world = MpiWorld::new(
+        Topology::paper(ranks),
+        NetworkConfig {
+            ack_loss_prob: 0.0,
+            ..NetworkConfig::tuned()
+        },
+    );
+    let programs: Vec<Vec<Op>> = (0..ranks as u32)
+        .map(|i| {
+            vec![
+                Op::Irecv {
+                    src: (i + ranks as u32 - 1) % ranks as u32,
+                    tag: 0,
+                },
+                Op::Isend {
+                    dst: (i + 1) % ranks as u32,
+                    tag: 0,
+                    bytes: 20_480,
+                },
+                Op::Compute(250_000 + i as u64 * 11_000),
+                Op::WaitAll,
+                Op::Barrier,
+            ]
+        })
+        .collect();
+    let mut stats: Vec<RankStats> = Vec::new();
+    for _ in 0..3 {
+        world
+            .run_into(&programs, &mut stats)
+            .expect("warm-up run completes");
+    }
+    let reference = stats.clone();
+    let mut min_delta = u64::MAX;
+    for _ in 0..5 {
+        let before = alloc_count();
+        let makespan = world
+            .run_into(&programs, &mut stats)
+            .expect("steady-state run completes");
+        let delta = alloc_count() - before;
+        min_delta = min_delta.min(delta);
+        assert!(makespan > 0);
+    }
+    assert_eq!(
+        min_delta, 0,
+        "steady-state simulator step allocated {min_delta} times"
+    );
+    assert_eq!(stats, reference, "warm runs must stay deterministic");
 }

@@ -5,9 +5,26 @@
 //! level away; a coarse block can face up to four fine blocks across one
 //! face. The neighbor graph drives both boundary-exchange simulation and the
 //! locality accounting of placement policies.
+//!
+//! ## Storage and construction
+//!
+//! The graph is stored in CSR (compressed sparse row) form: one packed
+//! [`Neighbor`] array plus per-block offsets. This keeps every adjacency
+//! query a slice borrow, every full-graph sweep a linear scan over one
+//! contiguous allocation, and (because rows are sorted by block id) reverse
+//! edges a binary search — the flat, pointer-free adjacency that lets
+//! extreme-scale BAMR frameworks traverse neighborhoods at memory bandwidth.
+//!
+//! Construction does not hash: leaves arrive in SFC (ascending Morton key)
+//! order, so coverage classification of a candidate cell is one binary
+//! search over the leaf key array. Large meshes build rows in parallel with
+//! scoped threads over contiguous leaf chunks and merge the per-chunk rows
+//! into the CSR arrays with a prefix sum.
 
 use crate::block::BlockId;
+use crate::geom::Dim;
 use crate::octant::{Direction, Octant};
+use crate::sfc::sfc_key;
 use crate::tree::{Coverage, Octree};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -61,18 +78,171 @@ pub struct Neighbor {
     pub level_delta: i8,
 }
 
-/// The full neighbor graph of a mesh snapshot: `adj[i]` lists the neighbors
-/// of the block with `BlockId(i)`. Relations are symmetric as sets of block
+/// Meshes at or above this leaf count build their rows on multiple threads.
+const PARALLEL_BUILD_MIN_LEAVES: usize = 8192;
+
+/// The full neighbor graph of a mesh snapshot in CSR form: the neighbors of
+/// the block with `BlockId(i)` are `entries[offsets[i]..offsets[i+1]]`,
+/// sorted by neighbor block id. Relations are symmetric as sets of block
 /// pairs (kinds match; level deltas are negated).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct NeighborGraph {
-    adj: Vec<Vec<Neighbor>>,
+    /// Row boundaries; `offsets.len() == num_blocks + 1` (empty graph: `[0]`
+    /// or empty).
+    offsets: Vec<u32>,
+    /// Packed neighbor entries, rows sorted by `block`.
+    entries: Vec<Neighbor>,
+}
+
+/// Where a same-level candidate cell sits relative to the (SFC-sorted) leaf
+/// array — the binary-search replacement for `Octree::coverage` plus the
+/// `HashMap<Octant, BlockId>` id lookup.
+enum Cover {
+    /// The cell is leaf number `i` (same level).
+    Leaf(u32),
+    /// The cell is interior to coarser leaf number `i`.
+    CoveredBy(u32),
+    /// The cell is subdivided into finer leaves.
+    Subdivided,
+}
+
+/// Sorted Morton-key index over the leaf array.
+struct LeafIndex<'a> {
+    leaves: &'a [Octant],
+    keys: Vec<u64>,
+    dim: Dim,
+}
+
+impl<'a> LeafIndex<'a> {
+    fn new(leaves: &'a [Octant], dim: Dim) -> LeafIndex<'a> {
+        let keys: Vec<u64> = leaves.iter().map(|o| sfc_key(o, dim)).collect();
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "leaves must arrive in strict SFC order"
+        );
+        LeafIndex { leaves, keys, dim }
+    }
+
+    /// Classify an in-lattice cell. Correctness of the `Err` arm: leaves
+    /// tile the domain, so if `cell`'s key is absent the leaf with the
+    /// greatest smaller key is the (unique) coarser leaf whose key range
+    /// contains it; if the key is present at a coarser level, that leaf's
+    /// lower corner coincides with `cell`'s, making it an ancestor.
+    #[inline]
+    fn classify(&self, cell: &Octant) -> Cover {
+        match self.keys.binary_search(&sfc_key(cell, self.dim)) {
+            Ok(i) => {
+                let found = self.leaves[i].level;
+                if found == cell.level {
+                    Cover::Leaf(i as u32)
+                } else if found < cell.level {
+                    Cover::CoveredBy(i as u32)
+                } else {
+                    Cover::Subdivided
+                }
+            }
+            Err(pos) => {
+                debug_assert!(pos > 0, "in-lattice cell below every leaf key");
+                let i = pos - 1;
+                debug_assert!(
+                    cell.level > self.leaves[i].level
+                        && cell.ancestor_at(self.leaves[i].level) == self.leaves[i],
+                    "Err(pos) must land inside a coarser covering leaf"
+                );
+                Cover::CoveredBy(i as u32)
+            }
+        }
+    }
 }
 
 impl NeighborGraph {
     /// Build the neighbor graph for all leaves of `tree`, with `leaves`
-    /// given in SFC order (defining the `BlockId` of each leaf).
+    /// given in SFC order (defining the `BlockId` of each leaf). Dispatches
+    /// to the parallel row builder for large meshes.
     pub fn build(tree: &Octree, leaves: &[Octant]) -> NeighborGraph {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if leaves.len() >= PARALLEL_BUILD_MIN_LEAVES && threads > 1 {
+            NeighborGraph::build_parallel(tree, leaves, threads.min(8))
+        } else {
+            NeighborGraph::build_serial(tree, leaves)
+        }
+    }
+
+    /// Single-threaded CSR build.
+    pub fn build_serial(tree: &Octree, leaves: &[Octant]) -> NeighborGraph {
+        let index = LeafIndex::new(leaves, tree.dim());
+        let dirs = Direction::all(tree.dim());
+        let mut offsets = Vec::with_capacity(leaves.len() + 1);
+        offsets.push(0u32);
+        let mut entries = Vec::with_capacity(leaves.len() * dirs.len());
+        let mut row: Vec<Neighbor> = Vec::with_capacity(32);
+        for leaf in leaves {
+            build_row(tree, &index, &dirs, leaf, &mut row);
+            entries.extend_from_slice(&row);
+            offsets.push(entries.len() as u32);
+        }
+        NeighborGraph { offsets, entries }
+    }
+
+    /// Parallel CSR build: scoped threads each build the rows of one
+    /// contiguous leaf chunk; chunks concatenate into the final CSR arrays
+    /// (rows are independent, so no synchronization beyond the join).
+    pub fn build_parallel(tree: &Octree, leaves: &[Octant], threads: usize) -> NeighborGraph {
+        let n = leaves.len();
+        let threads = threads.clamp(1, n.max(1));
+        let chunk = n.div_ceil(threads);
+        let index = LeafIndex::new(leaves, tree.dim());
+        let dirs = Direction::all(tree.dim());
+
+        let mut parts: Vec<(Vec<u32>, Vec<Neighbor>)> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                if lo >= hi {
+                    break;
+                }
+                let index = &index;
+                let dirs = &dirs;
+                handles.push(scope.spawn(move || {
+                    let mut counts = Vec::with_capacity(hi - lo);
+                    let mut entries = Vec::with_capacity((hi - lo) * dirs.len());
+                    let mut row: Vec<Neighbor> = Vec::with_capacity(32);
+                    for leaf in &leaves[lo..hi] {
+                        build_row(tree, index, dirs, leaf, &mut row);
+                        entries.extend_from_slice(&row);
+                        counts.push(row.len() as u32);
+                    }
+                    (counts, entries)
+                }));
+            }
+            for h in handles {
+                parts.push(h.join().expect("neighbor-graph worker panicked"));
+            }
+        });
+
+        let total: usize = parts.iter().map(|(_, e)| e.len()).sum();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut entries = Vec::with_capacity(total);
+        for (counts, part_entries) in parts {
+            for c in counts {
+                offsets.push(offsets.last().unwrap() + c);
+            }
+            entries.extend_from_slice(&part_entries);
+        }
+        NeighborGraph { offsets, entries }
+    }
+
+    /// Reference builder: the original hash-based algorithm
+    /// (`HashMap<Octant, BlockId>` id lookup, per-leaf `HashMap` dedup,
+    /// `Octree::coverage` classification). Kept as the oracle for the
+    /// CSR/legacy equivalence property tests and for before/after
+    /// benchmarking; production code paths use [`NeighborGraph::build`].
+    pub fn build_legacy(tree: &Octree, leaves: &[Octant]) -> NeighborGraph {
         let dim = tree.dim();
         let id_of: HashMap<Octant, BlockId> = leaves
             .iter()
@@ -80,7 +250,9 @@ impl NeighborGraph {
             .map(|(i, o)| (*o, BlockId(i as u32)))
             .collect();
         let dirs = Direction::all(dim);
-        let mut adj = Vec::with_capacity(leaves.len());
+        let mut offsets = Vec::with_capacity(leaves.len() + 1);
+        offsets.push(0u32);
+        let mut entries = Vec::new();
         for leaf in leaves {
             let mut seen: HashMap<BlockId, Neighbor> = HashMap::new();
             for dir in &dirs {
@@ -122,47 +294,54 @@ impl NeighborGraph {
             }
             let mut list: Vec<Neighbor> = seen.into_values().collect();
             list.sort_by_key(|n| n.block);
-            adj.push(list);
+            entries.extend_from_slice(&list);
+            offsets.push(entries.len() as u32);
         }
-        NeighborGraph { adj }
+        NeighborGraph { offsets, entries }
     }
 
     /// Number of blocks in the graph.
     #[inline]
     pub fn num_blocks(&self) -> usize {
-        self.adj.len()
+        self.offsets.len().saturating_sub(1)
     }
 
-    /// Neighbors of a block.
+    /// Neighbors of a block, sorted by neighbor block id.
     #[inline]
     pub fn neighbors(&self, b: BlockId) -> &[Neighbor] {
-        &self.adj[b.index()]
+        let i = b.index();
+        &self.entries[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
     /// Iterate over `(block, neighbors)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (BlockId, &[Neighbor])> {
-        self.adj
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (BlockId(i as u32), v.as_slice()))
+        self.offsets.windows(2).enumerate().map(|(i, w)| {
+            (
+                BlockId(i as u32),
+                &self.entries[w[0] as usize..w[1] as usize],
+            )
+        })
     }
 
     /// Total number of directed neighbor relations (messages per exchange
     /// round, before placement-dependent local/remote classification).
+    #[inline]
     pub fn total_relations(&self) -> usize {
-        self.adj.iter().map(|v| v.len()).sum()
+        self.entries.len()
     }
 
     /// Verify symmetry: if `a` lists `b`, then `b` lists `a` with the same
     /// kind and negated level delta. Returns a description of the first
-    /// violation found.
+    /// violation found. Rows are sorted by block id, so each back-edge
+    /// lookup is a binary search — O(E log deg) overall, not O(E · deg).
     pub fn check_symmetry(&self) -> Result<(), String> {
         for (a, nbs) in self.iter() {
             for n in nbs {
-                let back = self.neighbors(n.block).iter().find(|m| m.block == a);
-                match back {
-                    None => return Err(format!("{} lists {} but not vice versa", a, n.block)),
-                    Some(m) => {
+                let row = self.neighbors(n.block);
+                match row.binary_search_by_key(&a, |m| m.block) {
+                    Err(_) => return Err(format!("{} lists {} but not vice versa", a, n.block)),
+                    Ok(j) => {
+                        let m = &row[j];
                         if m.kind != n.kind || m.level_delta != -n.level_delta {
                             return Err(format!(
                                 "asymmetric relation {}<->{}: {:?} vs {:?}",
@@ -177,8 +356,94 @@ impl NeighborGraph {
     }
 }
 
+/// Assemble one block's neighbor row into `row` (cleared first): probe all
+/// directions, then sort by block id and keep the first entry per block —
+/// directions are enumerated faces-first, so ties resolve to the lowest
+/// codimension (largest message), matching the legacy builder's
+/// first-insertion-wins dedup.
+fn build_row(
+    tree: &Octree,
+    index: &LeafIndex<'_>,
+    dirs: &[Direction],
+    leaf: &Octant,
+    row: &mut Vec<Neighbor>,
+) {
+    row.clear();
+    for dir in dirs {
+        let Some(nb_cell) = tree.lattice_neighbor(leaf, *dir) else {
+            continue;
+        };
+        let kind = NeighborKind::from_codim(dir.codim());
+        match index.classify(&nb_cell) {
+            Cover::Leaf(i) => row.push(Neighbor {
+                block: BlockId(i),
+                kind,
+                level_delta: 0,
+            }),
+            Cover::CoveredBy(i) => row.push(Neighbor {
+                block: BlockId(i),
+                kind,
+                level_delta: index.leaves[i as usize].level as i8 - leaf.level as i8,
+            }),
+            Cover::Subdivided => {
+                collect_touching_fine(index, &nb_cell, *dir, kind, leaf.level, row)
+            }
+        }
+    }
+    row.sort_by_key(|n| n.block); // stable: keeps the lowest-codim duplicate first
+    row.dedup_by_key(|n| n.block); // dedup_by_key keeps the first of each run
+}
+
+/// Push the fine leaves inside subdivided `cell` that touch the boundary
+/// shared with the cell the direction came from (the near side w.r.t.
+/// `dir`). Under corner-inclusive 2:1 balance these are direct children,
+/// but the recursion mirrors the legacy builder for defense in depth.
+fn collect_touching_fine(
+    index: &LeafIndex<'_>,
+    cell: &Octant,
+    dir: Direction,
+    kind: NeighborKind,
+    base_level: u8,
+    row: &mut Vec<Neighbor>,
+) {
+    let l = cell.level + 1;
+    let (bx, by, bz) = (cell.x << 1, cell.y << 1, cell.z << 1);
+    let zrange: u32 = match index.dim {
+        Dim::D2 => 1,
+        Dim::D3 => 2,
+    };
+    for cz in 0..zrange {
+        if dir.dz != 0 && (dir.dz > 0) != (cz == 0) {
+            continue;
+        }
+        for cy in 0..2u32 {
+            if dir.dy != 0 && (dir.dy > 0) != (cy == 0) {
+                continue;
+            }
+            for cx in 0..2u32 {
+                if dir.dx != 0 && (dir.dx > 0) != (cx == 0) {
+                    continue;
+                }
+                let child = Octant::new(l, bx + cx, by + cy, bz + cz);
+                match index.classify(&child) {
+                    Cover::Leaf(i) => row.push(Neighbor {
+                        block: BlockId(i),
+                        kind,
+                        level_delta: index.leaves[i as usize].level as i8 - base_level as i8,
+                    }),
+                    Cover::Subdivided => {
+                        collect_touching_fine(index, &child, dir, kind, base_level, row)
+                    }
+                    Cover::CoveredBy(_) => {}
+                }
+            }
+        }
+    }
+}
+
 /// Leaves that are descendants of `cell` and touch the boundary shared with
 /// the cell the direction came from (i.e. on the near side w.r.t. `dir`).
+/// Used by the legacy reference builder only.
 fn touching_descendant_leaves(tree: &Octree, cell: &Octant, dir: Direction) -> Vec<Octant> {
     let mut out = Vec::new();
     collect(tree, cell, dir, &mut out);
@@ -321,5 +586,53 @@ mod tests {
         let g = graph_of(&tree);
         // Directed relations pair up.
         assert_eq!(g.total_relations() % 2, 0);
+    }
+
+    #[test]
+    fn csr_matches_legacy_on_refined_trees() {
+        for dim in [Dim::D2, Dim::D3] {
+            let mut tree = Octree::uniform_roots(dim, (2, 2, 2));
+            tree.refine(&Octant::new(0, 0, 0, 0));
+            tree.refine(&Octant::new(0, 1, 1, 0));
+            let leaves = tree.leaves_sorted();
+            let csr = NeighborGraph::build_serial(&tree, &leaves);
+            let legacy = NeighborGraph::build_legacy(&tree, &leaves);
+            assert_eq!(csr, legacy, "dim {dim:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let mut tree = Octree::uniform_roots(Dim::D3, (4, 4, 4));
+        tree.refine(&Octant::new(0, 1, 1, 1));
+        tree.refine(&Octant::new(0, 2, 2, 2));
+        let leaves = tree.leaves_sorted();
+        let serial = NeighborGraph::build_serial(&tree, &leaves);
+        for threads in [1, 2, 3, 7] {
+            let par = NeighborGraph::build_parallel(&tree, &leaves, threads);
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn periodic_wrap_handled_by_csr_builder() {
+        let mut tree = Octree::uniform_roots_periodic(Dim::D3, (2, 2, 2));
+        tree.refine(&Octant::new(0, 0, 0, 0));
+        let leaves = tree.leaves_sorted();
+        let csr = NeighborGraph::build_serial(&tree, &leaves);
+        let legacy = NeighborGraph::build_legacy(&tree, &leaves);
+        assert_eq!(csr, legacy);
+        csr.check_symmetry().unwrap();
+    }
+
+    #[test]
+    fn empty_and_single_leaf_graphs() {
+        let g = NeighborGraph::default();
+        assert_eq!(g.num_blocks(), 0);
+        assert_eq!(g.total_relations(), 0);
+        let tree = Octree::uniform_roots(Dim::D3, (1, 1, 1));
+        let g = graph_of(&tree);
+        assert_eq!(g.num_blocks(), 1);
+        assert_eq!(g.neighbors(BlockId(0)), &[]);
     }
 }

@@ -45,19 +45,26 @@ pub fn tree_depth(num_ranks: usize) -> u32 {
 /// `hop_ns` is the per-tree-level message cost (fabric latency for small
 /// control messages).
 pub fn barrier(arrivals_ns: &[u64], hop_ns: u64) -> CollectiveResult {
+    let mut wait = Vec::new();
+    let completion = barrier_into(arrivals_ns, hop_ns, &mut wait);
+    CollectiveResult {
+        completion_ns: completion,
+        wait_ns: wait,
+    }
+}
+
+/// Allocation-free barrier: writes per-rank waits into `wait_out` (cleared
+/// first, capacity reused) and returns the completion time. The per-step
+/// collective of [`crate::macrosim`] calls this with a pooled buffer.
+pub fn barrier_into(arrivals_ns: &[u64], hop_ns: u64, wait_out: &mut Vec<u64>) -> u64 {
     let r = arrivals_ns.len();
     assert!(r > 0);
     let last = arrivals_ns.iter().copied().max().unwrap();
     let depth = tree_depth(r) as u64;
     let completion = last + depth * hop_ns;
-    let wait = arrivals_ns
-        .iter()
-        .map(|&a| completion - a.min(completion))
-        .collect();
-    CollectiveResult {
-        completion_ns: completion,
-        wait_ns: wait,
-    }
+    wait_out.clear();
+    wait_out.extend(arrivals_ns.iter().map(|&a| completion - a.min(completion)));
+    completion
 }
 
 /// Execute a blocking allreduce: a barrier plus a reduction payload moved at
@@ -70,6 +77,18 @@ pub fn allreduce(
 ) -> CollectiveResult {
     let payload_ns = (payload_bytes as f64 / bytes_per_ns) as u64;
     barrier(arrivals_ns, hop_ns + payload_ns)
+}
+
+/// Allocation-free counterpart of [`allreduce`]; see [`barrier_into`].
+pub fn allreduce_into(
+    arrivals_ns: &[u64],
+    hop_ns: u64,
+    payload_bytes: u64,
+    bytes_per_ns: f64,
+    wait_out: &mut Vec<u64>,
+) -> u64 {
+    let payload_ns = (payload_bytes as f64 / bytes_per_ns) as u64;
+    barrier_into(arrivals_ns, hop_ns + payload_ns, wait_out)
 }
 
 #[cfg(test)]
@@ -127,5 +146,19 @@ mod tests {
     fn total_wait_sums() {
         let r = barrier(&[0, 50], 0);
         assert_eq!(r.total_wait_ns(), 50);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ones() {
+        let arrivals = [10u64, 20, 1000, 30];
+        let mut wait = vec![99; 1]; // stale content must be cleared
+        let c = barrier_into(&arrivals, 5, &mut wait);
+        let reference = barrier(&arrivals, 5);
+        assert_eq!(c, reference.completion_ns);
+        assert_eq!(wait, reference.wait_ns);
+        let c = allreduce_into(&arrivals, 5, 64, 2.0, &mut wait);
+        let reference = allreduce(&arrivals, 5, 64, 2.0);
+        assert_eq!(c, reference.completion_ns);
+        assert_eq!(wait, reference.wait_ns);
     }
 }

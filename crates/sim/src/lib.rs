@@ -28,6 +28,7 @@
 //! identical configs reproduce identical runs.
 
 pub mod collectives;
+pub mod events;
 pub mod faults;
 pub mod health;
 pub mod macrosim;

@@ -192,6 +192,35 @@ struct CommEpoch {
     blocks_per_rank: Vec<u32>,
 }
 
+impl CommEpoch {
+    /// Clear all aggregates and size the per-rank vectors for `r` ranks,
+    /// keeping every buffer's capacity (epochs are refilled in place; the
+    /// nested `senders` rows likewise keep theirs).
+    fn reset(&mut self, r: usize) {
+        for v in [
+            &mut self.dispatch_ns,
+            &mut self.service_ns,
+            &mut self.memcpy_ns,
+            &mut self.flux_ns,
+            &mut self.transfer_tail_ns,
+        ] {
+            v.clear();
+            v.resize(r, 0.0);
+        }
+        self.blocks_per_rank.clear();
+        self.blocks_per_rank.resize(r, 0);
+        self.senders.resize_with(r, Vec::new);
+        self.senders.truncate(r);
+        for s in &mut self.senders {
+            s.clear();
+        }
+        self.intra_msgs = 0;
+        self.local_msgs = 0;
+        self.remote_msgs = 0;
+        self.flux_msgs = 0;
+    }
+}
+
 /// The step-level simulator.
 pub struct MacroSim {
     config: SimConfig,
@@ -231,6 +260,7 @@ impl MacroSim {
         // Scratch reused across steps and rebalances.
         let mut uniform: Vec<f64> = Vec::new();
         let mut cost_spare: Vec<f64> = Vec::new();
+        let mut shm_in: Vec<usize> = Vec::new();
 
         self.engine.reset();
         {
@@ -244,12 +274,19 @@ impl MacroSim {
                 .rebalance_with(policy, costs, r, Some(workload.mesh()), None)
                 .unwrap_or_else(|e| panic!("initial placement failed: {e}"));
         }
-        let mut epoch = self.build_epoch(
-            workload.mesh(),
-            self.engine
+        // The neighbor graph depends only on the mesh, not the placement:
+        // cache it across epochs and rebuild only when the mesh changes
+        // (placement-only rebalances — e.g. a periodic trigger — refill the
+        // epoch from the cached graph).
+        let mut graph = workload.mesh().neighbor_graph();
+        let mut epoch = CommEpoch::default();
+        {
+            let placement = self
+                .engine
                 .placement()
-                .expect("initial placement primed the engine"),
-        );
+                .expect("initial placement primed the engine");
+            self.fill_epoch(workload.mesh(), placement, &graph, &mut epoch, &mut shm_in);
+        }
 
         let mut phases = PhaseBreakdown::default();
         let mut total_ns = 0.0f64;
@@ -267,6 +304,7 @@ impl MacroSim {
         let mut rank_mult = vec![0.0f64; r];
         let mut measured: Vec<f64> = Vec::new();
         let mut arrivals: Vec<u64> = Vec::with_capacity(r);
+        let mut coll_wait: Vec<u64> = Vec::with_capacity(r);
 
         for step in 0..steps {
             collector.begin_step(step as u32);
@@ -278,6 +316,7 @@ impl MacroSim {
             let mut redist_bytes = 0u64;
             if ws.mesh_changed {
                 mesh_change_steps += 1;
+                graph = workload.mesh().neighbor_graph();
                 if let Some(origins) = &ws.origins {
                     // Warm remap: children inherit the parent's estimate,
                     // merges average — staged in the reused spare buffer.
@@ -360,12 +399,11 @@ impl MacroSim {
                 redist_bytes = redist_moved * block_bytes;
                 redist_per_rank = wall as f64 + migration_ns;
 
-                epoch = self.build_epoch(
-                    workload.mesh(),
-                    self.engine
-                        .placement()
-                        .expect("rebalance primed the engine"),
-                );
+                let placement = self
+                    .engine
+                    .placement()
+                    .expect("rebalance primed the engine");
+                self.fill_epoch(workload.mesh(), placement, &graph, &mut epoch, &mut shm_in);
             }
 
             // --- Compute phase --------------------------------------------
@@ -429,20 +467,21 @@ impl MacroSim {
             // (dt and CFL diagnostics), not a bare barrier (§II-B).
             arrivals.clear();
             arrivals.extend(finish.iter().map(|&f| f as u64));
-            let coll = collectives::allreduce(
+            let completion_ns = collectives::allreduce_into(
                 &arrivals,
                 cfg.network.fabric.latency_ns,
                 64,
                 cfg.network.fabric.bytes_per_ns,
+                &mut coll_wait,
             );
-            let step_total = coll.completion_ns as f64 + redist_per_rank;
+            let step_total = completion_ns as f64 + redist_per_rank;
             total_ns += step_total;
 
             // --- Accounting ------------------------------------------------
             let mut step_phases = PhaseBreakdown::default();
             for rank in 0..r {
                 let comm = finish[rank] - compute[rank];
-                let sync = coll.wait_ns[rank] as f64;
+                let sync = coll_wait[rank] as f64;
                 step_phases.compute_ns += compute[rank];
                 step_phases.comm_ns += comm;
                 step_phases.sync_ns += sync;
@@ -500,30 +539,29 @@ impl MacroSim {
         }
     }
 
-    /// Build per-rank communication aggregates for a (mesh, placement) epoch.
-    fn build_epoch(&self, mesh: &AmrMesh, placement: &Placement) -> CommEpoch {
+    /// Fill per-rank communication aggregates for a (mesh, placement) epoch
+    /// into the reused `e` (all buffers recycled, no allocation once warm).
+    /// `graph` is the cached neighbor graph of `mesh`; `shm_in` is a pooled
+    /// per-rank counter buffer.
+    fn fill_epoch(
+        &self,
+        mesh: &AmrMesh,
+        placement: &Placement,
+        graph: &amr_mesh::NeighborGraph,
+        e: &mut CommEpoch,
+        shm_in: &mut Vec<usize>,
+    ) {
         let cfg = &self.config;
         let r = cfg.topology.num_ranks;
-        let graph = mesh.neighbor_graph();
         let spec = mesh.config().spec;
         let dim = mesh.config().dim;
 
-        let mut e = CommEpoch {
-            dispatch_ns: vec![0.0; r],
-            service_ns: vec![0.0; r],
-            memcpy_ns: vec![0.0; r],
-            senders: vec![Vec::new(); r],
-            transfer_tail_ns: vec![0.0; r],
-            blocks_per_rank: vec![0; r],
-            flux_ns: vec![0.0; r],
-            ..CommEpoch::default()
-        };
+        e.reset(r);
         for b in 0..placement.num_blocks() {
             e.blocks_per_rank[placement.rank_of(b) as usize] += 1;
         }
-        let mut shm_in = vec![0usize; r];
-        let mut sender_sets: Vec<std::collections::BTreeSet<u32>> =
-            vec![std::collections::BTreeSet::new(); r];
+        shm_in.clear();
+        shm_in.resize(r, 0);
 
         for (block, nbs) in graph.iter() {
             let src = placement.rank_of(block.index()) as usize;
@@ -549,7 +587,9 @@ impl MacroSim {
                 if tail > e.transfer_tail_ns[dst] {
                     e.transfer_tail_ns[dst] = tail;
                 }
-                sender_sets[dst].insert(src as u32);
+                // Duplicates resolved by a sort+dedup pass below (the hot
+                // loop stays branch-light; no per-rank hash/tree set).
+                e.senders[dst].push(src as u32);
             }
         }
         // Flux correction: every fine block sends conserved-flux data for
@@ -579,11 +619,12 @@ impl MacroSim {
                 }
             }
         }
-        for dst in 0..r {
-            e.service_ns[dst] += cfg.network.shm_contention_ns(shm_in[dst]) as f64;
-            e.senders[dst] = sender_sets[dst].iter().copied().collect();
+        for (dst, &shm) in shm_in.iter().enumerate().take(r) {
+            e.service_ns[dst] += cfg.network.shm_contention_ns(shm) as f64;
+            let s = &mut e.senders[dst];
+            s.sort_unstable();
+            s.dedup();
         }
-        e
     }
 }
 

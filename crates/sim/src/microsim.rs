@@ -58,7 +58,7 @@ pub struct RoundSpec {
 }
 
 /// Outcome of one simulated round.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct RoundResult {
     /// When each rank finished its *own* tasks (compute + dispatches).
     pub local_finish_ns: Vec<u64>,
@@ -100,6 +100,21 @@ pub struct MicroSim {
     pub topology: Topology,
     pub network: NetworkConfig,
     rng: StdRng,
+    scratch: RoundScratch,
+}
+
+/// Pooled per-round working memory, recycled by [`MicroSim::run_round_into`]
+/// so warm rounds allocate nothing.
+#[derive(Debug, Clone, Default)]
+struct RoundScratch {
+    dispatch_finish: Vec<u64>,
+    /// Message indices grouped by source rank, preserving input order.
+    by_src: Vec<Vec<usize>>,
+    pending_stall: Vec<u64>,
+    /// (arrival_time, service_time) per inbound message, per receiver.
+    arrivals: Vec<Vec<(u64, u64)>>,
+    shm_count: Vec<usize>,
+    barrier_wait: Vec<u64>,
 }
 
 impl MicroSim {
@@ -109,30 +124,47 @@ impl MicroSim {
             topology,
             network,
             rng: StdRng::seed_from_u64(seed),
+            scratch: RoundScratch::default(),
         }
     }
 
     /// Simulate one round.
     pub fn run_round(&mut self, spec: &RoundSpec) -> RoundResult {
+        let mut out = RoundResult::default();
+        self.run_round_into(spec, &mut out);
+        out
+    }
+
+    /// Simulate one round into a reused result (its vectors are cleared and
+    /// refilled). With a warm `self` and `out`, this allocates nothing.
+    pub fn run_round_into(&mut self, spec: &RoundSpec, out: &mut RoundResult) {
         let r = spec.num_ranks;
         assert_eq!(spec.compute_ns.len(), r);
         let net = &self.network;
+        let topo = &self.topology;
+        let s = &mut self.scratch;
 
         // ---- Phase 1: sender-side dispatch ------------------------------
         // Per-rank ordered dispatch of messages; compute before or after.
-        let mut dispatch_finish: Vec<u64> = vec![0; spec.messages.len()];
-        let mut local_finish = vec![0u64; r];
-        let mut comm = vec![0u64; r];
-        let mut pending_stall = vec![0u64; r];
-        let mut intra_msgs = 0u64;
-        let mut local_msgs = 0u64;
-        let mut remote_msgs = 0u64;
-        let mut ack_stalls = 0u32;
+        s.dispatch_finish.clear();
+        s.dispatch_finish.resize(spec.messages.len(), 0);
+        out.local_finish_ns.clear();
+        out.local_finish_ns.resize(r, 0);
+        out.comm_ns.clear();
+        out.comm_ns.resize(r, 0);
+        s.pending_stall.clear();
+        s.pending_stall.resize(r, 0);
+        out.intra_msgs = 0;
+        out.local_msgs = 0;
+        out.remote_msgs = 0;
+        out.ack_stalls = 0;
 
-        // Messages grouped by source, preserving input order.
-        let mut by_src: Vec<Vec<usize>> = vec![Vec::new(); r];
+        s.by_src.resize_with(r, Vec::new);
+        for v in &mut s.by_src {
+            v.clear();
+        }
         for (i, m) in spec.messages.iter().enumerate() {
-            by_src[m.src as usize].push(i);
+            s.by_src[m.src as usize].push(i);
         }
 
         for rank in 0..r {
@@ -140,40 +172,40 @@ impl MicroSim {
             if spec.order == TaskOrder::ComputeFirst {
                 t += spec.compute_ns[rank];
             }
-            for &mi in &by_src[rank] {
+            for &mi in &s.by_src[rank] {
                 let m = &spec.messages[mi];
                 if m.src == m.dst {
-                    intra_msgs += 1;
+                    out.intra_msgs += 1;
                     // Intra-rank ghost exchange: a memcpy at shared-memory
                     // bandwidth, no MPI involvement.
                     let d = (m.bytes as f64 / net.shm.bytes_per_ns) as u64;
                     t += d;
-                    comm[rank] += d;
+                    out.comm_ns[rank] += d;
                     continue;
                 }
-                let local = self.topology.same_node(m.src as usize, m.dst as usize);
+                let local = topo.same_node(m.src as usize, m.dst as usize);
                 if local {
-                    local_msgs += 1;
+                    out.local_msgs += 1;
                 } else {
-                    remote_msgs += 1;
+                    out.remote_msgs += 1;
                 }
                 let d = net.dispatch_ns(m.bytes);
                 t += d;
-                comm[rank] += d;
-                dispatch_finish[mi] = t;
+                out.comm_ns[rank] += d;
+                s.dispatch_finish[mi] = t;
                 // ACK-loss recovery: remote only; blocks the sender at its
                 // MPI_Wait unless the drain queue absorbs it.
                 if !local && self.rng.gen_bool(net.ack_loss_prob) {
-                    ack_stalls += 1;
+                    out.ack_stalls += 1;
                     if !net.drain_queue {
-                        pending_stall[rank] += net.ack_recovery_ns;
+                        s.pending_stall[rank] += net.ack_recovery_ns;
                     }
                 }
             }
             if spec.order == TaskOrder::SendsFirst {
                 t += spec.compute_ns[rank];
             }
-            local_finish[rank] = t;
+            out.local_finish_ns[rank] = t;
         }
 
         // ---- Phase 2: receiver-side arrival + service --------------------
@@ -183,55 +215,50 @@ impl MicroSim {
         // Fig. 7a sweep far outside the paper's ±0.5 ms band. The per-rank
         // busy-server below keeps the receiver-hotspot mechanism without
         // that distortion.)
-        let mut arrivals: Vec<Vec<(u64, u64)>> = vec![Vec::new(); r];
-        let mut shm_count = vec![0usize; r];
+        s.arrivals.resize_with(r, Vec::new);
+        for v in &mut s.arrivals {
+            v.clear();
+        }
+        s.shm_count.clear();
+        s.shm_count.resize(r, 0);
         for (i, m) in spec.messages.iter().enumerate() {
             if m.src == m.dst {
                 continue;
             }
-            let local = self.topology.same_node(m.src as usize, m.dst as usize);
+            let local = topo.same_node(m.src as usize, m.dst as usize);
             if local {
-                shm_count[m.dst as usize] += 1;
+                s.shm_count[m.dst as usize] += 1;
             }
-            let arr = dispatch_finish[i] + net.transfer_ns(m.bytes, local);
-            arrivals[m.dst as usize].push((arr, net.service_ns(m.bytes, local)));
+            let arr = s.dispatch_finish[i] + net.transfer_ns(m.bytes, local);
+            s.arrivals[m.dst as usize].push((arr, net.service_ns(m.bytes, local)));
         }
 
-        let mut finish = vec![0u64; r];
-        let mut wait = vec![0u64; r];
+        out.finish_ns.clear();
+        out.finish_ns.resize(r, 0);
+        out.wait_ns.clear();
+        out.wait_ns.resize(r, 0);
         for rank in 0..r {
-            arrivals[rank].sort_unstable();
+            s.arrivals[rank].sort_unstable();
             // Busy-server model: MPI progress serves inbound messages in
             // arrival order.
             let mut server = 0u64;
-            for &(arr, svc) in &arrivals[rank] {
+            for &(arr, svc) in &s.arrivals[rank] {
                 server = server.max(arr) + svc;
-                comm[rank] += svc;
+                out.comm_ns[rank] += svc;
             }
             // Shared-memory queue overflow penalties land on the receiver.
-            let contention = net.shm_contention_ns(shm_count[rank]);
-            comm[rank] += contention;
-            let done = local_finish[rank]
+            let contention = net.shm_contention_ns(s.shm_count[rank]);
+            out.comm_ns[rank] += contention;
+            let done = out.local_finish_ns[rank]
                 .max(server + contention)
-                .max(local_finish[rank] + pending_stall[rank]);
-            finish[rank] = done;
-            wait[rank] = done - local_finish[rank];
+                .max(out.local_finish_ns[rank] + s.pending_stall[rank]);
+            out.finish_ns[rank] = done;
+            out.wait_ns[rank] = done - out.local_finish_ns[rank];
         }
 
         // ---- Phase 3: closing barrier ------------------------------------
-        let b = collectives::barrier(&finish, net.fabric.latency_ns);
-
-        RoundResult {
-            local_finish_ns: local_finish,
-            finish_ns: finish,
-            wait_ns: wait,
-            comm_ns: comm,
-            round_latency_ns: b.completion_ns,
-            intra_msgs,
-            local_msgs,
-            remote_msgs,
-            ack_stalls,
-        }
+        out.round_latency_ns =
+            collectives::barrier_into(&out.finish_ns, net.fabric.latency_ns, &mut s.barrier_wait);
     }
 }
 
@@ -434,5 +461,28 @@ mod tests {
         let b = MicroSim::new(Topology::paper(16), NetworkConfig::untuned(), 9).run_round(&spec);
         assert_eq!(a.finish_ns, b.finish_ns);
         assert_eq!(a.round_latency_ns, b.round_latency_ns);
+    }
+
+    #[test]
+    fn run_round_into_reuses_result_correctly() {
+        // A warm (sim, out) pair must produce the same numbers as a cold
+        // run_round — including after a larger round shrank back down.
+        let big = ring_spec(16, 1000, TaskOrder::SendsFirst, 500);
+        let small = ring_spec(8, 2000, TaskOrder::ComputeFirst, 100);
+        let mut warm = MicroSim::new(Topology::paper(16), quiet_net(), 9);
+        let mut out = RoundResult::default();
+        warm.run_round_into(&big, &mut out);
+        let small16 = RoundSpec {
+            num_ranks: 16,
+            compute_ns: vec![100; 16],
+            messages: small.messages.clone(),
+            order: small.order,
+        };
+        warm.run_round_into(&small16, &mut out);
+        let cold = MicroSim::new(Topology::paper(16), quiet_net(), 9).run_round(&small16);
+        assert_eq!(out.finish_ns, cold.finish_ns);
+        assert_eq!(out.wait_ns, cold.wait_ns);
+        assert_eq!(out.comm_ns, cold.comm_ns);
+        assert_eq!(out.round_latency_ns, cold.round_latency_ns);
     }
 }

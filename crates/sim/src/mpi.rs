@@ -11,8 +11,22 @@
 //!
 //! Use it when per-message causality matters (critical-path studies,
 //! validating the analytic models); use `microsim`/`macrosim` for sweeps.
+//!
+//! ## Engine internals
+//!
+//! The scheduler is a [`CalendarQueue`] over `(time, seq)` keys with event
+//! payloads in an [`EventArena`] slab — O(1) expected push/pop and recycled
+//! ids, replacing the original `BinaryHeap` + `HashMap<u32, Event>` pair
+//! (kept as [`MpiWorld::run_heap_reference`], the property-test oracle).
+//! Unexpected messages live in a flat `Vec` indexed `src * nranks + dst`
+//! (O(ranks²) cells, sized once at construction — this engine runs at the
+//! hundreds-of-ranks microbenchmark scale, not the macrosim scale), and all
+//! per-run state — rank records, queue buckets, arena slots, mailboxes —
+//! is pooled in [`MpiWorld`] and recycled, so a warm [`MpiWorld::run_into`]
+//! allocates nothing in steady state.
 
 use crate::collectives::tree_depth;
+use crate::events::{CalendarQueue, EventArena, EventId};
 use crate::network::NetworkConfig;
 use crate::topology::Topology;
 use serde::{Deserialize, Serialize};
@@ -38,7 +52,7 @@ pub enum Op {
 }
 
 /// Per-rank outcome of a program run.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RankStats {
     /// Time the rank finished its program.
     pub finish_ns: SimTime,
@@ -91,51 +105,325 @@ enum Block {
     Done,
 }
 
+/// Per-rank execution record. Pooled across runs; [`RankState::reset`]
+/// clears logical state while `pending_recvs` keeps its capacity.
 #[derive(Debug)]
 struct RankState {
-    program: Vec<Op>,
     pc: usize,
     clock: SimTime,
     block: Block,
     /// Outstanding receive requests: (src, tag) not yet completed.
-    pending_recvs: Vec<(u32, u32)>,
     /// Matched-but-not-yet-waited receives do not block; only pending ones.
+    pending_recvs: Vec<(u32, u32)>,
     stats: RankStats,
     blocked_since: SimTime,
 }
 
-/// Pending arrivals at a receiver, keyed by (src, tag).
+impl Default for RankState {
+    fn default() -> RankState {
+        RankState {
+            pc: 0,
+            clock: 0,
+            block: Block::None,
+            pending_recvs: Vec::new(),
+            stats: RankStats::default(),
+            blocked_since: 0,
+        }
+    }
+}
+
+impl RankState {
+    fn reset(&mut self) {
+        self.pc = 0;
+        self.clock = 0;
+        self.block = Block::None;
+        self.pending_recvs.clear();
+        self.stats = RankStats::default();
+        self.blocked_since = 0;
+    }
+}
+
+/// Payload of a scheduled arrival: message from (src, tag) becomes visible
+/// at `dst` at the event's time.
+#[derive(Debug, Clone, Copy)]
+struct Arrival {
+    dst: u32,
+    src: u32,
+    tag: u32,
+}
+
+/// All pooled per-run state: recycled by [`MpiWorld::run_into`] so warm
+/// runs allocate nothing.
 #[derive(Debug, Default)]
-struct Mailbox {
-    /// Arrived messages not yet matched to a posted receive.
-    unexpected: HashMap<(u32, u32), VecDeque<SimTime>>,
+struct WorldScratch {
+    ranks: Vec<RankState>,
+    /// Unexpected-message queues, flat-indexed `src * nranks + dst`; each
+    /// entry is (tag, arrival time) in arrival order, so a scan for the
+    /// first matching tag preserves per-(src, tag) FIFO.
+    unexpected: Vec<VecDeque<(u32, SimTime)>>,
+    /// Flat indices of `unexpected` cells touched this run (cheap targeted
+    /// reset instead of an O(ranks²) sweep).
+    dirty_cells: Vec<u32>,
+    queue: CalendarQueue,
+    arena: EventArena<Arrival>,
+    seq: u64,
+    barrier_entered: Vec<Option<SimTime>>,
+    barrier_count: usize,
+    runnable: VecDeque<usize>,
 }
 
 /// The event-driven MPI world.
 pub struct MpiWorld {
     topology: Topology,
     network: NetworkConfig,
-}
-
-#[derive(Debug, PartialEq, Eq)]
-enum Event {
-    /// Message from (src, tag) becomes visible at `dst`.
-    Arrival { dst: u32, src: u32, tag: u32 },
+    scratch: WorldScratch,
 }
 
 impl MpiWorld {
     /// Create a world over the given topology and network model.
     pub fn new(topology: Topology, network: NetworkConfig) -> MpiWorld {
-        MpiWorld { topology, network }
+        let r = topology.num_ranks;
+        let mut scratch = WorldScratch::default();
+        scratch.unexpected.resize_with(r * r, VecDeque::new);
+        MpiWorld {
+            topology,
+            network,
+            scratch,
+        }
     }
 
     /// Execute one program per rank to completion.
-    pub fn run(&self, programs: Vec<Vec<Op>>) -> Result<WorldResult, MpiError> {
+    pub fn run(&mut self, programs: Vec<Vec<Op>>) -> Result<WorldResult, MpiError> {
+        let mut stats = Vec::new();
+        let makespan_ns = self.run_into(&programs, &mut stats)?;
+        Ok(WorldResult {
+            ranks: stats,
+            makespan_ns,
+        })
+    }
+
+    /// Execute one program per rank, writing per-rank stats into `out`
+    /// (cleared first). Allocation-free once warm: all engine state is
+    /// pooled in `self` and `out`'s capacity is reused.
+    pub fn run_into(
+        &mut self,
+        programs: &[Vec<Op>],
+        out: &mut Vec<RankStats>,
+    ) -> Result<SimTime, MpiError> {
         let r = programs.len();
         assert_eq!(r, self.topology.num_ranks, "one program per rank");
-        let mut ranks: Vec<RankState> = programs
+        let MpiWorld {
+            topology,
+            network,
+            scratch: s,
+        } = self;
+
+        // Recycle pooled state.
+        s.ranks.resize_with(r, RankState::default);
+        for rank in &mut s.ranks {
+            rank.reset();
+        }
+        debug_assert_eq!(s.unexpected.len(), r * r);
+        for &cell in &s.dirty_cells {
+            s.unexpected[cell as usize].clear();
+        }
+        s.dirty_cells.clear();
+        s.queue.clear();
+        s.arena.clear();
+        s.seq = 0;
+        s.barrier_entered.clear();
+        s.barrier_entered.resize(r, None);
+        s.barrier_count = 0;
+        s.runnable.clear();
+        s.runnable.extend(0..r);
+
+        // Run every rank as far as it can go; repeat on each event.
+        loop {
+            while let Some(ri) = s.runnable.pop_front() {
+                advance(topology, network, ri, programs, s);
+            }
+            // Barrier release: everyone in?
+            if s.barrier_count == r {
+                let last = s.barrier_entered.iter().map(|t| t.unwrap()).max().unwrap();
+                let release = last + tree_depth(r) as u64 * network.fabric.latency_ns;
+                for (ri, rank) in s.ranks.iter_mut().enumerate() {
+                    debug_assert_eq!(rank.block, Block::Barrier);
+                    rank.stats.barrier_ns += release - s.barrier_entered[ri].unwrap();
+                    rank.clock = release;
+                    rank.block = Block::None;
+                    s.runnable.push_back(ri);
+                }
+                s.barrier_entered.iter_mut().for_each(|t| *t = None);
+                s.barrier_count = 0;
+                continue;
+            }
+            // Deliver the next event.
+            match s.queue.pop() {
+                Some((time, _, eid)) => {
+                    let Arrival { dst, src, tag } = s.arena.remove(eid);
+                    let rank = &mut s.ranks[dst as usize];
+                    // Match against a pending receive, else park as
+                    // unexpected.
+                    if let Some(pos) = rank
+                        .pending_recvs
+                        .iter()
+                        .position(|&(sr, t)| sr == src && t == tag)
+                    {
+                        rank.pending_recvs.swap_remove(pos);
+                        rank.stats.received += 1;
+                        // Receive completion costs service time at the head.
+                        let done = time + network.recv_overhead_ns;
+                        rank.clock = rank.clock.max(done);
+                        if rank.block == Block::WaitAll && rank.pending_recvs.is_empty() {
+                            rank.stats.wait_ns += rank.clock - rank.blocked_since;
+                            rank.block = Block::None;
+                            s.runnable.push_back(dst as usize);
+                        }
+                    } else {
+                        let cell = src as usize * r + dst as usize;
+                        if s.unexpected[cell].is_empty() {
+                            s.dirty_cells.push(cell as u32);
+                        }
+                        s.unexpected[cell].push_back((tag, time));
+                    }
+                }
+                None => break, // no events left
+            }
+        }
+
+        // Completion / error analysis. Deadlocked (WaitAll-stuck) ranks take
+        // precedence: a rank parked at a barrier while others are deadlocked
+        // is a symptom, not the cause.
+        let mut stuck = Vec::new();
+        let mut at_barrier = false;
+        for (ri, rank) in s.ranks.iter().enumerate() {
+            match rank.block {
+                Block::Done => {}
+                Block::Barrier => at_barrier = true,
+                _ => stuck.push(ri as u32),
+            }
+        }
+        if !stuck.is_empty() {
+            return Err(MpiError::Deadlock { stuck_ranks: stuck });
+        }
+        if at_barrier {
+            return Err(MpiError::BarrierMismatch);
+        }
+
+        out.clear();
+        out.extend(s.ranks.iter().map(|r| r.stats));
+        Ok(out.iter().map(|r| r.finish_ns).max().unwrap_or(0))
+    }
+}
+
+/// Run rank `ri` until it blocks or finishes, scheduling arrivals for its
+/// sends and completing receives already satisfied from the mailbox.
+fn advance(
+    topology: &Topology,
+    network: &NetworkConfig,
+    ri: usize,
+    programs: &[Vec<Op>],
+    s: &mut WorldScratch,
+) {
+    let r = programs.len();
+    loop {
+        let rank = &mut s.ranks[ri];
+        if rank.block != Block::None {
+            return;
+        }
+        if rank.pc >= programs[ri].len() {
+            rank.block = Block::Done;
+            rank.stats.finish_ns = rank.clock;
+            return;
+        }
+        let op = programs[ri][rank.pc];
+        rank.pc += 1;
+        match op {
+            Op::Compute(dur) => {
+                rank.clock += dur;
+            }
+            Op::Isend { dst, tag, bytes } => {
+                rank.clock += network.dispatch_ns(bytes);
+                rank.stats.sent += 1;
+                let local = topology.same_node(ri, dst as usize);
+                let arrive = rank.clock + network.transfer_ns(bytes, local);
+                let eid = s.arena.insert(Arrival {
+                    dst,
+                    src: ri as u32,
+                    tag,
+                });
+                s.queue.push(arrive, s.seq, eid);
+                s.seq += 1;
+            }
+            Op::Irecv { src, tag } => {
+                // Unexpected message already here? Complete immediately
+                // (first matching tag in the per-(src, dst) queue = FIFO
+                // per (src, tag)).
+                let cell = &mut s.unexpected[src as usize * r + ri];
+                if let Some(pos) = cell.iter().position(|&(t, _)| t == tag) {
+                    let (_, arrival) = cell.remove(pos).unwrap();
+                    rank.stats.received += 1;
+                    rank.clock = rank.clock.max(arrival + network.recv_overhead_ns);
+                } else {
+                    rank.pending_recvs.push((src, tag));
+                }
+            }
+            Op::WaitAll => {
+                if !rank.pending_recvs.is_empty() {
+                    rank.block = Block::WaitAll;
+                    rank.blocked_since = rank.clock;
+                    return;
+                }
+            }
+            Op::Barrier => {
+                rank.block = Block::Barrier;
+                s.barrier_entered[ri] = Some(rank.clock);
+                s.barrier_count += 1;
+                return;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Heap-based reference engine (the original implementation), retained as the
+// oracle for the calendar-queue engine's equivalence property tests.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct HeapRankState {
+    program: Vec<Op>,
+    pc: usize,
+    clock: SimTime,
+    block: Block,
+    pending_recvs: Vec<(u32, u32)>,
+    stats: RankStats,
+    blocked_since: SimTime,
+}
+
+/// Pending arrivals at a receiver, keyed by (src, tag).
+#[derive(Debug, Default)]
+struct HeapMailbox {
+    unexpected: HashMap<(u32, u32), VecDeque<SimTime>>,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum HeapEvent {
+    Arrival { dst: u32, src: u32, tag: u32 },
+}
+
+impl MpiWorld {
+    /// Reference scheduler: `BinaryHeap<Reverse<(time, seq, id)>>` +
+    /// `HashMap` event store and hash-keyed unexpected queues. Semantically
+    /// identical to [`MpiWorld::run_into`] (same `(time, seq)` delivery
+    /// order); allocates freely. Kept for equivalence testing and
+    /// before/after benchmarking only.
+    pub fn run_heap_reference(&self, programs: Vec<Vec<Op>>) -> Result<WorldResult, MpiError> {
+        let r = programs.len();
+        assert_eq!(r, self.topology.num_ranks, "one program per rank");
+        let mut ranks: Vec<HeapRankState> = programs
             .into_iter()
-            .map(|program| RankState {
+            .map(|program| HeapRankState {
                 program,
                 pc: 0,
                 clock: 0,
@@ -145,21 +433,19 @@ impl MpiWorld {
                 blocked_since: 0,
             })
             .collect();
-        let mut mailboxes: Vec<Mailbox> = (0..r).map(|_| Mailbox::default()).collect();
+        let mut mailboxes: Vec<HeapMailbox> = (0..r).map(|_| HeapMailbox::default()).collect();
         // Event queue ordered by (time, seq) for determinism.
-        let mut queue: BinaryHeap<Reverse<(SimTime, u64, u32)>> = BinaryHeap::new();
-        let mut events: HashMap<u32, Event> = HashMap::new();
+        let mut queue: BinaryHeap<Reverse<(SimTime, u64, EventId)>> = BinaryHeap::new();
+        let mut events: HashMap<EventId, HeapEvent> = HashMap::new();
         let mut seq = 0u64;
 
-        // Barrier bookkeeping.
         let mut barrier_entered: Vec<Option<SimTime>> = vec![None; r];
         let mut barrier_count = 0usize;
 
-        // Run every rank as far as it can go; repeat on each event.
         let mut runnable: VecDeque<usize> = (0..r).collect();
         loop {
             while let Some(ri) = runnable.pop_front() {
-                self.advance(
+                self.advance_heap(
                     ri,
                     &mut ranks,
                     &mut mailboxes,
@@ -168,10 +454,8 @@ impl MpiWorld {
                     &mut seq,
                     &mut barrier_entered,
                     &mut barrier_count,
-                    &mut runnable,
                 );
             }
-            // Barrier release: everyone in?
             if barrier_count == r {
                 let last = barrier_entered.iter().map(|t| t.unwrap()).max().unwrap();
                 let release = last + tree_depth(r) as u64 * self.network.fabric.latency_ns;
@@ -186,31 +470,23 @@ impl MpiWorld {
                 barrier_count = 0;
                 continue;
             }
-            // Deliver the next event.
             match queue.pop() {
                 Some(Reverse((time, _, eid))) => {
-                    let Event::Arrival { dst, src, tag } = events.remove(&eid).expect("event");
+                    let HeapEvent::Arrival { dst, src, tag } = events.remove(&eid).expect("event");
                     let rank = &mut ranks[dst as usize];
-                    // Match against a pending receive, else park as
-                    // unexpected.
                     if let Some(pos) = rank
                         .pending_recvs
                         .iter()
-                        .position(|&(s, t)| s == src && t == tag)
+                        .position(|&(sr, t)| sr == src && t == tag)
                     {
                         rank.pending_recvs.swap_remove(pos);
                         rank.stats.received += 1;
-                        // Receive completion costs service time at the head.
                         let done = time + self.network.recv_overhead_ns;
-                        if rank.block == Block::WaitAll {
-                            rank.clock = rank.clock.max(done);
-                            if rank.pending_recvs.is_empty() {
-                                rank.stats.wait_ns += rank.clock - rank.blocked_since;
-                                rank.block = Block::None;
-                                runnable.push_back(dst as usize);
-                            }
-                        } else {
-                            rank.clock = rank.clock.max(done);
+                        rank.clock = rank.clock.max(done);
+                        if rank.block == Block::WaitAll && rank.pending_recvs.is_empty() {
+                            rank.stats.wait_ns += rank.clock - rank.blocked_since;
+                            rank.block = Block::None;
+                            runnable.push_back(dst as usize);
                         }
                     } else {
                         mailboxes[dst as usize]
@@ -220,13 +496,10 @@ impl MpiWorld {
                             .push_back(time);
                     }
                 }
-                None => break, // no events left
+                None => break,
             }
         }
 
-        // Completion / error analysis. Deadlocked (WaitAll-stuck) ranks take
-        // precedence: a rank parked at a barrier while others are deadlocked
-        // is a symptom, not the cause.
         let mut stuck = Vec::new();
         let mut at_barrier = false;
         for (ri, rank) in ranks.iter().enumerate() {
@@ -251,17 +524,16 @@ impl MpiWorld {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn advance(
+    fn advance_heap(
         &self,
         ri: usize,
-        ranks: &mut [RankState],
-        mailboxes: &mut [Mailbox],
-        queue: &mut BinaryHeap<Reverse<(SimTime, u64, u32)>>,
-        events: &mut HashMap<u32, Event>,
+        ranks: &mut [HeapRankState],
+        mailboxes: &mut [HeapMailbox],
+        queue: &mut BinaryHeap<Reverse<(SimTime, u64, EventId)>>,
+        events: &mut HashMap<EventId, HeapEvent>,
         seq: &mut u64,
         barrier_entered: &mut [Option<SimTime>],
         barrier_count: &mut usize,
-        _runnable: &mut VecDeque<usize>,
     ) {
         loop {
             let rank = &mut ranks[ri];
@@ -284,10 +556,10 @@ impl MpiWorld {
                     rank.stats.sent += 1;
                     let local = self.topology.same_node(ri, dst as usize);
                     let arrive = rank.clock + self.network.transfer_ns(bytes, local);
-                    let eid = *seq as u32;
+                    let eid = *seq as EventId;
                     events.insert(
                         eid,
-                        Event::Arrival {
+                        HeapEvent::Arrival {
                             dst,
                             src: ri as u32,
                             tag,
@@ -297,7 +569,6 @@ impl MpiWorld {
                     *seq += 1;
                 }
                 Op::Irecv { src, tag } => {
-                    // Unexpected message already here? Complete immediately.
                     let mb = &mut mailboxes[ri];
                     let done = mb
                         .unexpected
@@ -363,7 +634,7 @@ mod tests {
 
     #[test]
     fn ring_exchange_completes() {
-        let world = MpiWorld::new(Topology::paper(8), quiet());
+        let mut world = MpiWorld::new(Topology::paper(8), quiet());
         let res = world.run(ring_programs(8, 4096, 100_000)).unwrap();
         assert_eq!(res.ranks.len(), 8);
         for s in &res.ranks {
@@ -376,7 +647,7 @@ mod tests {
 
     #[test]
     fn compute_only_program() {
-        let world = MpiWorld::new(Topology::paper(4), quiet());
+        let mut world = MpiWorld::new(Topology::paper(4), quiet());
         let progs = (0..4).map(|i| vec![Op::Compute(100 * (i + 1))]).collect();
         let res = world.run(progs).unwrap();
         assert_eq!(res.makespan_ns, 400);
@@ -387,7 +658,7 @@ mod tests {
     #[test]
     fn late_send_charges_wait() {
         // Rank 0 computes long then sends; rank 1 waits.
-        let world = MpiWorld::new(Topology::new(2, 1), quiet());
+        let mut world = MpiWorld::new(Topology::new(2, 1), quiet());
         let progs = vec![
             vec![
                 Op::Compute(1_000_000),
@@ -408,7 +679,7 @@ mod tests {
     fn unexpected_message_queue_matches_fifo() {
         // Two sends with the same (src, tag) arrive before the receives are
         // posted; both must match.
-        let world = MpiWorld::new(Topology::new(2, 1), quiet());
+        let mut world = MpiWorld::new(Topology::new(2, 1), quiet());
         let progs = vec![
             vec![
                 Op::Isend {
@@ -437,7 +708,7 @@ mod tests {
     #[test]
     fn deadlock_detected() {
         // Both ranks wait for a message that is never sent.
-        let world = MpiWorld::new(Topology::new(2, 1), quiet());
+        let mut world = MpiWorld::new(Topology::new(2, 1), quiet());
         let progs = vec![
             vec![Op::Irecv { src: 1, tag: 0 }, Op::WaitAll],
             vec![Op::Irecv { src: 0, tag: 0 }, Op::WaitAll],
@@ -452,14 +723,14 @@ mod tests {
 
     #[test]
     fn barrier_mismatch_detected() {
-        let world = MpiWorld::new(Topology::new(2, 1), quiet());
+        let mut world = MpiWorld::new(Topology::new(2, 1), quiet());
         let progs = vec![vec![Op::Barrier], vec![Op::Compute(5)]];
         assert_eq!(world.run(progs).unwrap_err(), MpiError::BarrierMismatch);
     }
 
     #[test]
     fn barrier_synchronizes_clocks() {
-        let world = MpiWorld::new(Topology::paper(4), quiet());
+        let mut world = MpiWorld::new(Topology::paper(4), quiet());
         let progs = (0..4)
             .map(|i| {
                 vec![
@@ -480,7 +751,7 @@ mod tests {
     #[test]
     fn tags_disambiguate_messages() {
         // Receiver posts tag 1 then tag 2; sender sends tag 2 then tag 1.
-        let world = MpiWorld::new(Topology::new(2, 1), quiet());
+        let mut world = MpiWorld::new(Topology::new(2, 1), quiet());
         let progs = vec![
             vec![
                 Op::Isend {
@@ -508,7 +779,7 @@ mod tests {
     fn agrees_with_microsim_on_ordering_effects() {
         // Qualitative cross-validation: a late send (compute-first) must
         // produce more wait than sends-first in both engines.
-        let world = MpiWorld::new(Topology::paper(8), quiet());
+        let mut world = MpiWorld::new(Topology::paper(8), quiet());
         let sends_first: Vec<Vec<Op>> = (0..8u32)
             .map(|i| {
                 vec![
@@ -549,5 +820,60 @@ mod tests {
         let cf_wait: u64 = cf.ranks.iter().map(|s| s.wait_ns).sum();
         assert!(sf_wait < cf_wait);
         assert!(sf.makespan_ns <= cf.makespan_ns);
+    }
+
+    #[test]
+    fn calendar_engine_matches_heap_reference_on_ring() {
+        let mut world = MpiWorld::new(Topology::paper(16), quiet());
+        let progs = ring_programs(16, 20_480, 250_000);
+        let new = world.run(progs.clone()).unwrap();
+        let old = world.run_heap_reference(progs).unwrap();
+        assert_eq!(new.makespan_ns, old.makespan_ns);
+        assert_eq!(new.ranks, old.ranks);
+    }
+
+    #[test]
+    fn warm_rerun_is_deterministic() {
+        // Pooled scratch must not leak state between runs.
+        let mut world = MpiWorld::new(Topology::paper(8), quiet());
+        let progs = ring_programs(8, 4096, 50_000);
+        let mut out1 = Vec::new();
+        let mut out2 = Vec::new();
+        let m1 = world.run_into(&progs, &mut out1).unwrap();
+        let m2 = world.run_into(&progs, &mut out2).unwrap();
+        assert_eq!(m1, m2);
+        assert_eq!(out1, out2);
+        // ...including after an erroring run.
+        let bad = vec![vec![Op::Irecv { src: 1, tag: 0 }, Op::WaitAll]; 2];
+        let mut small = MpiWorld::new(Topology::new(2, 1), quiet());
+        let mut o = Vec::new();
+        assert!(small.run_into(&bad, &mut o).is_err());
+        let good = vec![vec![Op::Compute(10)]; 2];
+        assert_eq!(small.run_into(&good, &mut o).unwrap(), 10);
+    }
+
+    #[test]
+    fn unmatched_sends_cleared_between_runs() {
+        // A run leaving unexpected messages parked must not pollute the next.
+        let mut world = MpiWorld::new(Topology::new(2, 1), quiet());
+        let send_only = vec![
+            vec![Op::Isend {
+                dst: 1,
+                tag: 9,
+                bytes: 10,
+            }],
+            vec![Op::Compute(1)],
+        ];
+        world.run(send_only).unwrap();
+        // Next run posts a receive for that (src, tag); it must NOT match a
+        // stale message from the previous run.
+        let recv_late = vec![
+            vec![Op::Compute(1)],
+            vec![Op::Irecv { src: 0, tag: 9 }, Op::WaitAll],
+        ];
+        match world.run(recv_late) {
+            Err(MpiError::Deadlock { stuck_ranks }) => assert_eq!(stuck_ranks, vec![1]),
+            other => panic!("stale mailbox leaked into new run: {other:?}"),
+        }
     }
 }

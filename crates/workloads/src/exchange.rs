@@ -404,7 +404,7 @@ mod block_program_tests {
         let costs = vec![50_000.0; mesh.num_blocks()];
         let placement = Baseline.place(&vec![1.0; mesh.num_blocks()], ranks);
         let programs = build_block_programs(&mesh, &placement, &costs, true);
-        let world = MpiWorld::new(Topology::paper(ranks), quiet());
+        let mut world = MpiWorld::new(Topology::paper(ranks), quiet());
         let res = world.run(programs).expect("block-level exchange completes");
         let sent: u32 = res.ranks.iter().map(|s| s.sent).sum();
         let recv: u32 = res.ranks.iter().map(|s| s.received).sum();
@@ -444,7 +444,7 @@ mod block_program_tests {
             *c = 2_000_000.0;
         }
         let placement = Baseline.place(&vec![1.0; n], ranks);
-        let world = MpiWorld::new(Topology::paper(ranks), quiet());
+        let mut world = MpiWorld::new(Topology::paper(ranks), quiet());
 
         let block_level = world
             .run(build_block_programs(&mesh, &placement, &costs, true))

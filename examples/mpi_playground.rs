@@ -21,7 +21,7 @@ fn main() {
         ack_loss_prob: 0.0,
         ..NetworkConfig::tuned()
     };
-    let world = MpiWorld::new(Topology::paper(ranks), net);
+    let mut world = MpiWorld::new(Topology::paper(ranks), net);
 
     // 1. A real boundary exchange: mesh -> placement -> per-rank programs.
     let mesh = random_refined_mesh(ranks, 1.6, 21);
@@ -71,7 +71,7 @@ fn main() {
             },
         ],
     ];
-    let small = MpiWorld::new(
+    let mut small = MpiWorld::new(
         Topology::new(2, 1),
         NetworkConfig {
             ack_loss_prob: 0.0,

@@ -27,7 +27,7 @@ fn mpi_world_and_microsim_agree_on_message_counts() {
     let mpi_msgs = messages.iter().filter(|m| m.src != m.dst).count();
 
     let programs = build_mpi_programs(&mesh, &placement, &vec![0; ranks], true);
-    let world = MpiWorld::new(Topology::paper(ranks), quiet());
+    let mut world = MpiWorld::new(Topology::paper(ranks), quiet());
     let res = world.run(programs).expect("exchange completes");
     let sent: u32 = res.ranks.iter().map(|s| s.sent).sum();
     let received: u32 = res.ranks.iter().map(|s| s.received).sum();
@@ -44,7 +44,7 @@ fn both_engines_rank_task_orderings_identically() {
     let compute: Vec<u64> = (0..ranks as u64).map(|r| 200_000 + r * 31_000).collect();
 
     // Event-driven engine.
-    let world = MpiWorld::new(Topology::paper(ranks), quiet());
+    let mut world = MpiWorld::new(Topology::paper(ranks), quiet());
     let sf = world
         .run(build_mpi_programs(&mesh, &placement, &compute, true))
         .unwrap();
@@ -80,7 +80,7 @@ fn engines_agree_on_locality_monotonicity() {
     let ranks = 32;
     let mesh = random_refined_mesh(ranks, 1.6, 11);
     let costs = vec![1.0; mesh.num_blocks()];
-    let world = MpiWorld::new(Topology::paper(ranks), quiet());
+    let mut world = MpiWorld::new(Topology::paper(ranks), quiet());
     let mut prev_mpi = 0u32;
     let mut prev_micro = 0u64;
     for x in [0u32, 50, 100] {
@@ -117,7 +117,7 @@ fn round_latencies_within_model_tolerance() {
     let placement = Baseline.place(&costs, ranks);
     let compute = vec![500_000u64; ranks];
 
-    let world = MpiWorld::new(Topology::paper(ranks), quiet());
+    let mut world = MpiWorld::new(Topology::paper(ranks), quiet());
     let mpi = world
         .run(build_mpi_programs(&mesh, &placement, &compute, true))
         .unwrap();

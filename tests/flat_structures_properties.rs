@@ -1,0 +1,121 @@
+//! Equivalence proofs for the flattened hot-path data structures.
+//!
+//! PR "flatten the hot paths" replaced two nested/hashed structures with
+//! flat ones, keeping the old implementations around as oracles:
+//!
+//! 1. The CSR neighbor graph (`build_serial` / `build_parallel`, which
+//!    classify probe octants by binary search over the Morton-sorted leaf
+//!    array) must equal `build_legacy` (per-block `Vec<Vec<Neighbor>>` with
+//!    `HashMap` dedup) on random 2:1-balanced 2D and 3D trees.
+//! 2. The calendar-queue + event-arena MPI engine (`MpiWorld::run`) must
+//!    replay random message traces to the exact same per-rank stats and
+//!    makespan as `run_heap_reference` (the old `BinaryHeap` + `HashMap`
+//!    scheduler).
+
+use amr_tools::mesh::{AmrMesh, Dim, MeshConfig, NeighborGraph, RefineTag};
+use amr_tools::sim::mpi::Op;
+use amr_tools::sim::{MpiWorld, NetworkConfig, Topology};
+use proptest::prelude::*;
+
+/// Grow a mesh with hash-salted refine/coarsen rounds (same idiom as
+/// `mesh_properties.rs`): deterministic in `(dim, steps, salt)` yet varied
+/// enough to produce irregular level interfaces, the hard case for the
+/// binary-search cover classification.
+fn random_mesh(dim_3d: bool, steps: usize, salt: u64) -> AmrMesh {
+    let dim = if dim_3d { Dim::D3 } else { Dim::D2 };
+    let cells = if dim_3d { (32, 32, 32) } else { (64, 64, 64) };
+    let mut mesh = AmrMesh::new(MeshConfig::from_cells(dim, cells, 2));
+    for step in 0..steps {
+        let key = salt.wrapping_add(step as u64);
+        mesh.adapt(|b| {
+            let h = (b.id.index() as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(key);
+            match h % 5 {
+                0 => RefineTag::Refine,
+                1 => RefineTag::Coarsen,
+                _ => RefineTag::Keep,
+            }
+        });
+    }
+    mesh
+}
+
+/// Splitmix-style step for deriving trace parameters from a proptest salt.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+proptest! {
+    /// CSR builders (serial and every thread count, including counts that
+    /// leave ragged final chunks) reproduce the legacy adjacency exactly.
+    #[test]
+    fn csr_builders_match_legacy_on_random_trees(
+        dim_3d: bool,
+        steps in 1usize..4,
+        salt in 0u64..1000,
+        threads in 1usize..6,
+    ) {
+        let mesh = random_mesh(dim_3d, steps, salt);
+        let leaves = mesh.tree().leaves_sorted();
+        let legacy = NeighborGraph::build_legacy(mesh.tree(), &leaves);
+        let serial = NeighborGraph::build_serial(mesh.tree(), &leaves);
+        prop_assert_eq!(&serial, &legacy);
+        let parallel = NeighborGraph::build_parallel(mesh.tree(), &leaves, threads);
+        prop_assert_eq!(&parallel, &serial);
+        prop_assert!(serial.check_symmetry().is_ok());
+    }
+
+    /// The calendar-queue engine replays random deadlock-free traces —
+    /// arbitrary point-to-point messages (duplicate tags allowed, so FIFO
+    /// matching order matters), per-rank compute skew, and an optional
+    /// closing barrier — to bit-identical results of the heap oracle.
+    #[test]
+    fn calendar_engine_matches_heap_reference_on_random_traces(
+        nranks in 2usize..9,
+        nmsgs in 0usize..48,
+        salt: u64,
+        barrier: bool,
+    ) {
+        let mut rng = salt;
+        // Each message gets exactly one Isend and one matching Irecv, all
+        // nonblocking and posted before the WaitAll, so no trace deadlocks.
+        let mut msgs = Vec::new();
+        for _ in 0..nmsgs {
+            let src = (next(&mut rng) as usize) % nranks;
+            let dst_raw = (next(&mut rng) as usize) % nranks;
+            let dst = if dst_raw == src { (dst_raw + 1) % nranks } else { dst_raw };
+            let tag = (next(&mut rng) % 4) as u32;
+            let bytes = 1 + next(&mut rng) % 65_536;
+            msgs.push((src as u32, dst as u32, tag, bytes));
+        }
+        let mut programs: Vec<Vec<Op>> = vec![Vec::new(); nranks];
+        for &(src, dst, tag, _) in &msgs {
+            programs[dst as usize].push(Op::Irecv { src, tag });
+        }
+        for prog in &mut programs {
+            prog.push(Op::Compute(next(&mut rng) % 500_000));
+        }
+        for &(src, dst, tag, bytes) in &msgs {
+            programs[src as usize].push(Op::Isend { dst, tag, bytes });
+        }
+        for prog in &mut programs {
+            prog.push(Op::WaitAll);
+            if barrier {
+                prog.push(Op::Barrier);
+            }
+        }
+
+        let mut world = MpiWorld::new(Topology::paper(nranks), NetworkConfig::tuned());
+        let fast = world.run(programs.clone()).expect("calendar engine completes");
+        let oracle = world
+            .run_heap_reference(programs)
+            .expect("heap oracle completes");
+        prop_assert_eq!(fast.makespan_ns, oracle.makespan_ns);
+        prop_assert_eq!(fast.ranks, oracle.ranks);
+    }
+}

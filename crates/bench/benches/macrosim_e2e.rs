@@ -5,7 +5,7 @@
 //! placement study can afford to sweep; `perf_trajectory` records the same
 //! pipeline's stage breakdown into `BENCH_macrosim.json`.
 
-use amr_bench::e2e::run_pipeline;
+use amr_bench::e2e::{run_evolving, run_pipeline};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_macrosim_e2e(c: &mut Criterion) {
@@ -23,5 +23,27 @@ fn bench_macrosim_e2e(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_macrosim_e2e);
+/// Evolving-mesh trajectory: a tilted front sweeps the domain, changing a
+/// few percent of blocks per step; compare incremental maintenance (index
+/// splice + CSR patch + delta-origin rebalance) against the full-rebuild
+/// path on the identical tag sequence.
+fn bench_evolving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("macrosim_evolving");
+    group.sample_size(5);
+    for ranks in [1024usize, 4096] {
+        let blocks = run_evolving(ranks, 10, false).blocks;
+        group.throughput(Throughput::Elements(blocks as u64));
+        group.bench_with_input(
+            BenchmarkId::new("incremental", ranks),
+            &ranks,
+            |b, &ranks| b.iter(|| std::hint::black_box(run_evolving(ranks, 10, false).e2e_ns)),
+        );
+        group.bench_with_input(BenchmarkId::new("full", ranks), &ranks, |b, &ranks| {
+            b.iter(|| std::hint::black_box(run_evolving(ranks, 10, true).e2e_ns))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_macrosim_e2e, bench_evolving);
 criterion_main!(benches);

@@ -1,7 +1,8 @@
 //! Perf-trajectory runner: measure the end-to-end macrosim pipeline (mesh
-//! build → neighbor graph → rebalance → simulated steps) at several rank
-//! counts and emit `BENCH_macrosim.json` — the committed baseline future PRs
-//! regress against.
+//! build → neighbor graph → rebalance → simulated steps) and the
+//! evolving-mesh trajectory (incremental vs full-rebuild remeshing) at
+//! several rank counts, and emit `BENCH_macrosim.json` — the committed
+//! baseline future PRs regress against.
 //!
 //! ```text
 //! cargo run --release -p amr-bench --bin perf_trajectory            # full
@@ -10,9 +11,16 @@
 //!
 //! Flags: `--smoke` (small scale, 1 rep, for CI), `--reps N` (default 3,
 //! min-of-N per scale), `--steps N` (simulated steps, default 3),
+//! `--evolve-steps N` (evolving-trajectory steps, default 40),
 //! `--out PATH` (default `BENCH_macrosim.json`).
+//!
+//! The run also enforces the no-op-adapt guard: an all-`Keep` adapt must
+//! take the identity fast path (identity delta, far cheaper than a full
+//! index rebuild) or the process panics — CI fails on regression.
 
-use amr_bench::e2e::{run_pipeline, E2eTimings};
+use amr_bench::e2e::{
+    assert_noop_adapt_fast, run_evolving, run_pipeline, E2eTimings, EvolvingTimings,
+};
 use amr_bench::Args;
 use std::fmt::Write as _;
 
@@ -21,12 +29,22 @@ fn main() {
     let smoke = args.flag("smoke");
     let reps = args.get_usize("reps", if smoke { 1 } else { 3 });
     let steps = args.get_u64("steps", 3);
+    let evolve_steps = args.get_u64("evolve-steps", 40);
     let out_path = args.get("out", "BENCH_macrosim.json").to_string();
     let scales: Vec<usize> = if smoke {
         vec![256]
     } else {
         vec![1024, 4096, 16384]
     };
+
+    // Fast-path guard first: cheap, and everything else is meaningless if
+    // no-op adapts silently pay for full rebuilds.
+    let (noop_ns, full_ns) = assert_noop_adapt_fast(if smoke { 256 } else { 4096 });
+    eprintln!(
+        "no-op adapt fast path: {:.3} ms vs full rebuild {:.3} ms",
+        noop_ns as f64 / 1e6,
+        full_ns as f64 / 1e6
+    );
 
     let mut rows: Vec<E2eTimings> = Vec::new();
     for &ranks in &scales {
@@ -53,14 +71,51 @@ fn main() {
         rows.push(best.expect("at least one rep"));
     }
 
-    let json = render_json(&rows, steps, reps, smoke);
+    let mut evolving: Vec<(EvolvingTimings, EvolvingTimings)> = Vec::new();
+    for &ranks in &scales {
+        let mut best: Option<(EvolvingTimings, EvolvingTimings)> = None;
+        for rep in 0..reps {
+            let inc = run_evolving(ranks, evolve_steps, false);
+            let full = run_evolving(ranks, evolve_steps, true);
+            assert_eq!(
+                inc.blocks, full.blocks,
+                "evolving arms diverged: identical tag sequences must yield identical meshes"
+            );
+            eprintln!(
+                "evolve {:>6} rep {}: blocks {:>6} chg {:>5.1}%/step | inc remesh+graph {:>8.3} ms e2e {:>8.3} ms | full remesh+graph {:>8.3} ms e2e {:>8.3} ms",
+                ranks,
+                rep,
+                inc.blocks,
+                100.0 * inc.changed_blocks as f64
+                    / (inc.changed_steps.max(1) * inc.blocks as u64) as f64,
+                (inc.remesh_ns + inc.graph_ns) as f64 / 1e6,
+                inc.e2e_ns as f64 / 1e6,
+                (full.remesh_ns + full.graph_ns) as f64 / 1e6,
+                full.e2e_ns as f64 / 1e6,
+            );
+            best = Some(match best {
+                Some(b) if b.0.e2e_ns <= inc.e2e_ns => b,
+                _ => (inc, full),
+            });
+        }
+        evolving.push(best.expect("at least one rep"));
+    }
+
+    let json = render_json(&rows, &evolving, steps, evolve_steps, reps, smoke);
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("{json}");
     eprintln!("wrote {out_path}");
 }
 
 /// Hand-rolled JSON (the workspace has no serde_json; the schema is flat).
-fn render_json(rows: &[E2eTimings], steps: u64, reps: usize, smoke: bool) -> String {
+fn render_json(
+    rows: &[E2eTimings],
+    evolving: &[(EvolvingTimings, EvolvingTimings)],
+    steps: u64,
+    evolve_steps: u64,
+    reps: usize,
+    smoke: bool,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"bench\": \"macrosim_e2e\",");
@@ -84,6 +139,37 @@ fn render_json(rows: &[E2eTimings], steps: u64, reps: usize, smoke: bool) -> Str
             t.sim_ns,
             t.e2e_ns,
             if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    s.push_str("  ],\n");
+    let _ = writeln!(
+        s,
+        "  \"evolving_pipeline\": \"tilted front sweep, {evolve_steps} steps, per changed step: adapt -> graph maintenance -> lpt rebalance; incremental (splice + CSR patch + delta origins) vs full (index rebuild + graph build + cold order)\","
+    );
+    s.push_str("  \"evolving\": [\n");
+    for (i, (inc, full)) in evolving.iter().enumerate() {
+        let arm = |t: &EvolvingTimings| {
+            format!(
+                "{{\"remesh_ns\": {}, \"graph_ns\": {}, \"place_ns\": {}, \"e2e_ns\": {}}}",
+                t.remesh_ns, t.graph_ns, t.place_ns, t.e2e_ns
+            )
+        };
+        let rg_speedup =
+            (full.remesh_ns + full.graph_ns) as f64 / (inc.remesh_ns + inc.graph_ns).max(1) as f64;
+        let e2e_speedup = full.e2e_ns as f64 / inc.e2e_ns.max(1) as f64;
+        let _ = writeln!(
+            s,
+            "    {{\"ranks\": {}, \"blocks\": {}, \"steps\": {}, \"changed_steps\": {}, \"changed_blocks\": {}, \"incremental\": {}, \"full\": {}, \"remesh_graph_speedup\": {:.2}, \"e2e_speedup\": {:.2}}}{}",
+            inc.ranks,
+            inc.blocks,
+            inc.steps,
+            inc.changed_steps,
+            inc.changed_blocks,
+            arm(inc),
+            arm(full),
+            rg_speedup,
+            e2e_speedup,
+            if i + 1 == evolving.len() { "" } else { "," }
         );
     }
     s.push_str("  ]\n}\n");

@@ -6,10 +6,11 @@
 //! cheap for placement sweeps to be affordable — so its wall time is the
 //! number the perf trajectory (`BENCH_macrosim.json`) tracks across PRs.
 
+use amr_core::cost::origins_from_delta;
 use amr_core::engine::PlacementEngine;
-use amr_core::policies::Cplx;
+use amr_core::policies::{Cplx, Lpt};
 use amr_core::trigger::RebalanceTrigger;
-use amr_mesh::AmrMesh;
+use amr_mesh::{AmrMesh, BlockFate, Dim, MeshBlock, MeshConfig, PatchScratch, RefineTag};
 use amr_sim::{MacroSim, SimConfig, Workload, WorkloadStep};
 use amr_workloads::random_refined_mesh;
 use std::time::Instant;
@@ -115,4 +116,179 @@ pub fn run_pipeline(ranks: usize, steps: u64, seed: u64) -> E2eTimings {
         sim_ns,
         e2e_ns: t_total.elapsed().as_nanos() as u64,
     }
+}
+
+/// Stage totals of one evolving-mesh trajectory (nanoseconds of host wall
+/// clock, summed over all steps).
+#[derive(Debug, Clone, Copy)]
+pub struct EvolvingTimings {
+    pub ranks: usize,
+    pub steps: u64,
+    /// Block count after the trajectory's last step.
+    pub blocks: usize,
+    /// Steps on which the mesh actually changed.
+    pub changed_steps: u64,
+    /// Old blocks whose fate was not `Same`, summed over all adapts.
+    pub changed_blocks: u64,
+    /// adapt() (+ forced full index rebuild in the full-rebuild arm).
+    pub remesh_ns: u64,
+    /// Neighbor-graph maintenance: CSR patch vs full build.
+    pub graph_ns: u64,
+    /// Placement rebalance (delta origins let the warm LPT order survive).
+    pub place_ns: u64,
+    /// Whole trajectory, end to end.
+    pub e2e_ns: u64,
+}
+
+/// Tag function of the front-sweep trajectory: a tilted planar front at
+/// `x = s + slope·y` (extruded in z) refines every block it crosses (within
+/// margin `w`) and coarsens everything it has left behind. The tilt spreads
+/// root-boundary crossings across steps, so a small per-step advance of `s`
+/// changes only a few percent of the blocks — the steady remeshing regime of
+/// a propagating AMR feature (shock/ionization front).
+fn front_tag(b: &MeshBlock, s: f64, slope: f64, w: f64, max_level: u8) -> RefineTag {
+    let f_lo = s + slope * b.bounds.lo.y;
+    let f_hi = s + slope * b.bounds.hi.y;
+    let crosses = f_hi >= b.bounds.lo.x - w && f_lo <= b.bounds.hi.x + w;
+    if crosses && b.level() < max_level {
+        RefineTag::Refine
+    } else if !crosses && b.level() > 0 {
+        RefineTag::Coarsen
+    } else {
+        RefineTag::Keep
+    }
+}
+
+/// Run one evolving-mesh trajectory at `ranks` ranks: a tilted front sweeps
+/// across a root grid of ~1 block/rank for `steps` steps, refining ahead and
+/// coarsening behind (~2–5 % of blocks change per step). Every changed step
+/// does remesh → neighbor-graph maintenance → LPT rebalance.
+///
+/// The two arms share the identical tag sequence and differ only in how the
+/// derived state is maintained:
+/// * `full_rebuild = false` — incremental: the adapt splices the block index,
+///   [`AmrMesh::patch_neighbor_graph`] repairs only affected CSR rows, and
+///   delta-derived [`CostOrigin`](amr_core::cost::CostOrigin)s carry the
+///   engine's warm LPT order across the remesh.
+/// * `full_rebuild = true` — the legacy path: every change pays a full
+///   index rebuild ([`AmrMesh::force_full_rebuild`]), a from-scratch
+///   [`AmrMesh::neighbor_graph`] build, and an origin-less rebalance (cold
+///   LPT order).
+pub fn run_evolving(ranks: usize, steps: u64, full_rebuild: bool) -> EvolvingTimings {
+    let policy = Lpt;
+    let roots_axis = (ranks as f64).cbrt().round().max(2.0) as u32;
+    let cells = roots_axis * 16;
+    let mut mesh = AmrMesh::new(MeshConfig::from_cells(Dim::D3, (cells, cells, cells), 1));
+    let slope = 0.3;
+    let w = 0.01;
+    let s0 = 0.3;
+    // One-sixteenth of a root width per step: the tilted front crosses a few
+    // root boundaries each step instead of a whole column at once.
+    let ds = 1.0 / (16.0 * roots_axis as f64);
+
+    // Establish the initial band and warm every buffer outside the timed loop.
+    mesh.adapt(|b| front_tag(b, s0, slope, w, 1));
+    let mut graph = mesh.neighbor_graph();
+    let mut patch_scratch = PatchScratch::default();
+    let mut origins = Vec::new();
+    let mut costs = skewed_costs(mesh.num_blocks());
+    let mut engine = PlacementEngine::new();
+    engine
+        .rebalance_with(&policy, &costs, ranks, None, None)
+        .expect("initial evolving rebalance failed");
+
+    let mut out = EvolvingTimings {
+        ranks,
+        steps,
+        blocks: mesh.num_blocks(),
+        changed_steps: 0,
+        changed_blocks: 0,
+        remesh_ns: 0,
+        graph_ns: 0,
+        place_ns: 0,
+        e2e_ns: 0,
+    };
+    let t_total = Instant::now();
+    for step in 0..steps {
+        let s = s0 + ds * (step + 1) as f64;
+
+        let t = Instant::now();
+        let changed = mesh.adapt(|b| front_tag(b, s, slope, w, 1)).changed();
+        if full_rebuild && changed {
+            mesh.force_full_rebuild();
+        }
+        out.remesh_ns += t.elapsed().as_nanos() as u64;
+        if !changed {
+            continue;
+        }
+        out.changed_steps += 1;
+        out.changed_blocks += mesh
+            .last_delta()
+            .remap
+            .iter()
+            .filter(|f| !matches!(f, BlockFate::Same(_)))
+            .count() as u64;
+
+        let t = Instant::now();
+        if full_rebuild {
+            graph = mesh.neighbor_graph();
+        } else {
+            mesh.patch_neighbor_graph(&mut graph, &mut patch_scratch);
+        }
+        out.graph_ns += t.elapsed().as_nanos() as u64;
+        std::hint::black_box(graph.num_blocks());
+
+        // Refresh costs for the new block count (identical in both arms,
+        // deliberately outside the placement timer).
+        let n = mesh.num_blocks();
+        costs.clear();
+        costs.extend((0..n).map(|i| 1.0e6 * (1.0 + 0.37 * (i % 13) as f64)));
+
+        let t = Instant::now();
+        if full_rebuild {
+            engine
+                .rebalance_with(&policy, &costs, ranks, None, None)
+                .expect("full-arm rebalance failed");
+        } else {
+            origins_from_delta(mesh.last_delta(), &mut origins);
+            engine
+                .rebalance_with(&policy, &costs, ranks, None, Some(&origins))
+                .expect("incremental-arm rebalance failed");
+        }
+        out.place_ns += t.elapsed().as_nanos() as u64;
+    }
+    out.e2e_ns = t_total.elapsed().as_nanos() as u64;
+    out.blocks = mesh.num_blocks();
+    out
+}
+
+/// CI guard for the no-op-adapt fast path: an all-`Keep` adapt must report
+/// an identity delta and cost far less than a forced full index rebuild.
+/// Returns `(noop_adapt_ns, full_rebuild_ns)` (min over a few reps); panics
+/// if the fast path has regressed onto the full-rebuild path.
+pub fn assert_noop_adapt_fast(ranks: usize) -> (u64, u64) {
+    let mut mesh = random_refined_mesh(ranks, 1.6, 1);
+    // Warm both paths (page faults, allocator) before timing.
+    mesh.adapt(|_| RefineTag::Keep);
+    mesh.force_full_rebuild();
+
+    let mut noop = u64::MAX;
+    for _ in 0..5 {
+        let t = Instant::now();
+        let d = mesh.adapt(|_| RefineTag::Keep);
+        assert!(d.is_identity(), "no-op adapt must report an identity delta");
+        noop = noop.min(t.elapsed().as_nanos() as u64);
+    }
+    let mut full = u64::MAX;
+    for _ in 0..5 {
+        let t = Instant::now();
+        mesh.force_full_rebuild();
+        full = full.min(t.elapsed().as_nanos() as u64);
+    }
+    assert!(
+        noop * 2 < full,
+        "no-op adapt ({noop} ns) must be far cheaper than a full index \
+         rebuild ({full} ns): the identity fast path regressed"
+    );
+    (noop, full)
 }

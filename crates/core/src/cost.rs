@@ -9,6 +9,7 @@
 //! the parent's cost; merged parents average their children — block cell
 //! counts are level-invariant, so cost carries over directly).
 
+use amr_mesh::{BlockFate, RefinementDelta};
 use serde::{Deserialize, Serialize};
 
 /// A source of per-block costs in SFC order, consumed by placement policies.
@@ -50,6 +51,41 @@ pub enum CostOrigin {
     MergedFrom(Vec<usize>),
     /// No ancestry (initial mesh).
     Fresh,
+}
+
+/// Derive the per-new-block [`CostOrigin`] vector straight from an adapt
+/// changeset ([`RefinementDelta::remap`]) — O(blocks) with no hashing,
+/// replacing the per-adapt `HashMap<Octant, BlockId>` snapshot workloads
+/// used to build. `out` is cleared and refilled (pool it per workload).
+///
+/// An identity delta (no-op adapt) yields all-`Same` origins. Unlike the
+/// octant-matching oracle (`amr_workloads::exchange::cost_origins`), blocks
+/// multiple levels below a refined leaf still resolve to `SplitFrom` of the
+/// old ancestor rather than `Fresh`, because the fate table tracks regions,
+/// not immediate parents — strictly more ancestry, never less.
+pub fn origins_from_delta(delta: &RefinementDelta, out: &mut Vec<CostOrigin>) {
+    out.clear();
+    if delta.remap.is_empty() {
+        // Identity: every block keeps its index.
+        out.extend((0..delta.blocks_after).map(CostOrigin::Same));
+        return;
+    }
+    debug_assert_eq!(delta.remap.len(), delta.blocks_before);
+    out.resize(delta.blocks_after, CostOrigin::Fresh);
+    for (old, fate) in delta.remap.iter().enumerate() {
+        match *fate {
+            BlockFate::Same(new) => out[new.index()] = CostOrigin::Same(old),
+            BlockFate::Refined { first, count } => {
+                for slot in &mut out[first.index()..first.index() + count as usize] {
+                    *slot = CostOrigin::SplitFrom(old);
+                }
+            }
+            BlockFate::Coarsened(new) => match &mut out[new.index()] {
+                CostOrigin::MergedFrom(parts) => parts.push(old),
+                slot => *slot = CostOrigin::MergedFrom(vec![old]),
+            },
+        }
+    }
 }
 
 /// EWMA estimator of per-block compute cost from telemetry.
@@ -200,6 +236,60 @@ mod tests {
     #[should_panic(expected = "alpha must be in")]
     fn rejects_bad_alpha() {
         TelemetryCostModel::new(1, 0.0, 1.0);
+    }
+
+    #[test]
+    fn origins_from_delta_covers_all_fates() {
+        use amr_mesh::BlockId;
+        // Old mesh: 6 blocks. Old 0 stays; old 1 refines into new 1..=4;
+        // old 2..=5 coarsen into new 5.
+        let delta = RefinementDelta {
+            refined: 1,
+            coarsened: 1,
+            blocks_before: 6,
+            blocks_after: 6,
+            remap: vec![
+                BlockFate::Same(BlockId(0)),
+                BlockFate::Refined {
+                    first: BlockId(1),
+                    count: 4,
+                },
+                BlockFate::Coarsened(BlockId(5)),
+                BlockFate::Coarsened(BlockId(5)),
+                BlockFate::Coarsened(BlockId(5)),
+                BlockFate::Coarsened(BlockId(5)),
+            ],
+            ..RefinementDelta::default()
+        };
+        let mut out = vec![CostOrigin::Fresh; 99]; // stale pooled buffer
+        origins_from_delta(&delta, &mut out);
+        assert_eq!(
+            out,
+            vec![
+                CostOrigin::Same(0),
+                CostOrigin::SplitFrom(1),
+                CostOrigin::SplitFrom(1),
+                CostOrigin::SplitFrom(1),
+                CostOrigin::SplitFrom(1),
+                CostOrigin::MergedFrom(vec![2, 3, 4, 5]),
+            ]
+        );
+
+        // Identity delta (no-op adapt): every block keeps its index.
+        let identity = RefinementDelta {
+            blocks_before: 3,
+            blocks_after: 3,
+            ..RefinementDelta::default()
+        };
+        origins_from_delta(&identity, &mut out);
+        assert_eq!(
+            out,
+            vec![
+                CostOrigin::Same(0),
+                CostOrigin::Same(1),
+                CostOrigin::Same(2)
+            ]
+        );
     }
 
     #[test]

@@ -185,12 +185,87 @@ pub struct Scratch {
     pub(crate) flow_out: RefCell<Vec<u32>>,
     /// Per-rank incoming block counts (migration accounting).
     pub(crate) flow_in: RefCell<Vec<u32>>,
+    /// Inverse permutation of `lpt_full_order` (old block → order position);
+    /// staging for carrying the warm order across a remesh.
+    pub(crate) order_pos: RefCell<Vec<u32>>,
+    /// Bucket cursors for the counting sort that redistributes the order.
+    pub(crate) order_starts: RefCell<Vec<u32>>,
+    /// Staged remapped full order (swapped with `lpt_full_order`).
+    pub(crate) order_stage: RefCell<Vec<usize>>,
 }
 
 impl Scratch {
     /// Fresh, empty scratch. Buffers grow on first use and are then reused.
     pub fn new() -> Scratch {
         Scratch::default()
+    }
+
+    /// Carry [`lpt_full_order`](Scratch::lpt_full_order) across a remesh.
+    ///
+    /// `origins` gives each *new* block's ancestry in old-index space; the
+    /// previous sorted order is rewritten so every new block takes its
+    /// (first) old ancestor's position — children stay grouped where the
+    /// parent sat, merged parents take their first part's slot, fresh blocks
+    /// append at the end. The result is again a permutation of
+    /// `0..origins.len()`, and since per-block cost estimates carry across
+    /// refinement the same way (children inherit, merges average), the order
+    /// stays nearly sorted and LPT's seeded sort stays near-linear through
+    /// mesh changes instead of resetting to a cold identity order. The whole
+    /// rewrite is one counting sort: O(old + new), allocation-free once the
+    /// three staging buffers are warm.
+    ///
+    /// Any inconsistency (stale order length, out-of-range ancestor) clears
+    /// the order instead — LPT then performs one cold reset, which is always
+    /// correct, just slower.
+    pub(crate) fn remap_lpt_full_order(&self, origins: &[CostOrigin], old_n: usize) {
+        let mut order = self.lpt_full_order.borrow_mut();
+        if order.is_empty() {
+            return; // no warm order to carry (non-LPT policy or first step)
+        }
+        if order.len() != old_n {
+            order.clear();
+            return;
+        }
+        let first_old = |o: &CostOrigin| match o {
+            CostOrigin::Same(i) | CostOrigin::SplitFrom(i) => Some(*i),
+            CostOrigin::MergedFrom(parts) => parts.first().copied(),
+            CostOrigin::Fresh => None,
+        };
+        if origins
+            .iter()
+            .any(|o| first_old(o).is_some_and(|i| i >= old_n))
+        {
+            order.clear(); // origins don't describe this order's mesh
+            return;
+        }
+        let mut pos = self.order_pos.borrow_mut();
+        let mut starts = self.order_starts.borrow_mut();
+        let mut stage = self.order_stage.borrow_mut();
+        pos.clear();
+        pos.resize(old_n, 0);
+        for (p, &b) in order.iter().enumerate() {
+            pos[b] = p as u32;
+        }
+        // Counting sort by old-order position (+1 tail bucket for Fresh),
+        // stable in new-block id so sibling children stay in SFC order.
+        starts.clear();
+        starts.resize(old_n + 2, 0);
+        for o in origins {
+            let bucket = first_old(o).map_or(old_n, |i| pos[i] as usize);
+            starts[bucket + 1] += 1;
+        }
+        for i in 1..=old_n + 1 {
+            starts[i] += starts[i - 1];
+        }
+        stage.clear();
+        stage.resize(origins.len(), 0);
+        for (b, o) in origins.iter().enumerate() {
+            let bucket = first_old(o).map_or(old_n, |i| pos[i] as usize);
+            let slot = &mut starts[bucket];
+            stage[*slot as usize] = b;
+            *slot += 1;
+        }
+        std::mem::swap(&mut *order, &mut *stage);
     }
 }
 
@@ -530,6 +605,11 @@ impl PlacementEngine {
         }
         if self.primed {
             ctx = ctx.with_prev(cur);
+            // A remesh happened: carry LPT's warm sorted order into the new
+            // index space so incremental rebalance survives the adapt.
+            if let Some(o) = origins {
+                self.scratch.remap_lpt_full_order(o, cur.num_blocks());
+            }
         }
         let report = policy.place_into(&ctx, next)?;
         self.current ^= 1;
@@ -685,5 +765,72 @@ mod tests {
         let p = engine.placement().unwrap();
         assert!((report.imbalance - p.imbalance(&c)).abs() < 1e-12);
         assert_eq!(report.makespan, p.makespan(&c));
+    }
+
+    #[test]
+    fn remap_lpt_full_order_buckets_by_old_position() {
+        let s = Scratch::new();
+        // Previous sorted order visits old blocks 2, 0, 1.
+        *s.lpt_full_order.borrow_mut() = vec![2, 0, 1];
+        // Old 0 splits into new 0,1; old 1 -> new 2; old 2 -> new 3; new 4
+        // is fresh. New blocks inherit their ancestor's order position:
+        // old 2 was first, old 0's children second, old 1 third, fresh last.
+        let origins = vec![
+            CostOrigin::SplitFrom(0),
+            CostOrigin::SplitFrom(0),
+            CostOrigin::Same(1),
+            CostOrigin::Same(2),
+            CostOrigin::Fresh,
+        ];
+        s.remap_lpt_full_order(&origins, 3);
+        assert_eq!(&*s.lpt_full_order.borrow(), &[3, 0, 1, 2, 4]);
+
+        // Merged parents take their first part's slot.
+        *s.lpt_full_order.borrow_mut() = vec![3, 1, 0, 2];
+        let merged = vec![CostOrigin::MergedFrom(vec![0, 1, 2, 3]), CostOrigin::Fresh];
+        s.remap_lpt_full_order(&merged, 4);
+        assert_eq!(&*s.lpt_full_order.borrow(), &[0, 1]);
+
+        // Stale order (wrong length) is cleared, not misused.
+        *s.lpt_full_order.borrow_mut() = vec![0, 1];
+        s.remap_lpt_full_order(&origins, 3);
+        assert!(s.lpt_full_order.borrow().is_empty());
+
+        // Out-of-range ancestry clears too.
+        *s.lpt_full_order.borrow_mut() = vec![0, 1, 2];
+        s.remap_lpt_full_order(&[CostOrigin::Same(9)], 3);
+        assert!(s.lpt_full_order.borrow().is_empty());
+    }
+
+    #[test]
+    fn warm_lpt_order_survives_block_count_change() {
+        let c1 = costs(64);
+        let mut engine = PlacementEngine::new();
+        engine.rebalance(&Lpt, &c1, 4).unwrap();
+        assert_eq!(engine.scratch().lpt_full_order.borrow().len(), 64);
+
+        // "Refine" block 3 into 8 children; everything else carries over.
+        let mut origins = Vec::new();
+        let mut c2 = Vec::new();
+        for (i, &c) in c1.iter().enumerate() {
+            if i == 3 {
+                for _ in 0..8 {
+                    origins.push(CostOrigin::SplitFrom(3));
+                    c2.push(c / 8.0);
+                }
+            } else {
+                origins.push(CostOrigin::Same(i));
+                c2.push(c);
+            }
+        }
+        let warm = engine
+            .rebalance_with(&Lpt, &c2, 4, None, Some(&origins))
+            .unwrap();
+        // The carried order is a valid permutation of the new index space…
+        let mut sorted = engine.scratch().lpt_full_order.borrow().clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..c2.len()).collect::<Vec<_>>());
+        // …and the warm solve matches a cold LPT exactly.
+        assert_eq!(warm.makespan, Lpt.place(&c2, 4).makespan(&c2));
     }
 }

@@ -49,7 +49,7 @@ pub mod traffic;
 pub mod trigger;
 
 pub use assess::{AssessmentInputs, PlacementAssessment};
-pub use cost::{CostModel, CostOrigin, TelemetryCostModel};
+pub use cost::{origins_from_delta, CostModel, CostOrigin, TelemetryCostModel};
 pub use engine::{
     MigrationStats, PlacementCtx, PlacementEngine, PlacementError, PlacementReport, Scratch,
 };

@@ -1,10 +1,13 @@
 //! Proof of the zero-allocation steady states: after warm-up,
 //!
 //! 1. repeated `PlacementEngine::rebalance` calls at the same problem size
-//!    perform no heap allocation for any sequential policy, and
+//!    perform no heap allocation for any sequential policy,
 //! 2. repeated `MpiWorld::run_into` executions of the same programs perform
 //!    no heap allocation — the calendar queue, event arena, mailboxes and
-//!    rank records are all pooled.
+//!    rank records are all pooled, and
+//! 3. a no-op `AmrMesh::adapt` pass (all blocks tagged `Keep`) performs no
+//!    heap allocation — tag staging and coarsen grouping are pooled, and the
+//!    identity fast path never touches the block index.
 //!
 //! This file must stay a single-test binary: the counting allocator is
 //! process-global, so a concurrently running sibling test would pollute the
@@ -150,4 +153,35 @@ fn steady_state_rebalance_is_allocation_free() {
         "steady-state simulator step allocated {min_delta} times"
     );
     assert_eq!(stats, reference, "warm runs must stay deterministic");
+
+    // ---- Mesh no-op adapt steady state --------------------------------------
+    // Tagging every block `Keep` must cost nothing on the heap: the per-block
+    // tag staging and coarsen-candidate buffers are pooled in the mesh, and
+    // the identity fast path skips the block-index splice entirely.
+    use amr_mesh::{AmrMesh, Dim, MeshConfig, RefineTag};
+    let mut mesh = AmrMesh::new(MeshConfig::from_cells(Dim::D3, (64, 64, 64), 2));
+    // Refine a sprinkle of blocks so the no-op pass walks a non-trivial,
+    // multi-level mesh; then warm the pools with one no-op round.
+    mesh.adapt(|b| {
+        if b.id.index() % 9 == 0 {
+            RefineTag::Refine
+        } else {
+            RefineTag::Keep
+        }
+    });
+    mesh.adapt(|_| RefineTag::Keep);
+    let blocks_before = mesh.num_blocks();
+    let mut min_delta = u64::MAX;
+    for _ in 0..5 {
+        let before = alloc_count();
+        let identity = mesh.adapt(|_| RefineTag::Keep).is_identity();
+        let delta = alloc_count() - before;
+        assert!(identity, "all-Keep adapt must report an identity delta");
+        min_delta = min_delta.min(delta);
+    }
+    assert_eq!(
+        min_delta, 0,
+        "no-op adapt allocated {min_delta} times after warm-up"
+    );
+    assert_eq!(mesh.num_blocks(), blocks_before);
 }

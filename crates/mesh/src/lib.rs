@@ -34,9 +34,9 @@ pub mod tree;
 pub use block::{BlockId, BlockSpec, MeshBlock};
 pub use geom::{Aabb, Dim, Point};
 pub use hilbert::{hilbert_index, hilbert_key};
-pub use mesh::{AmrMesh, MeshConfig, RefineTag, RefinementDelta};
+pub use mesh::{AmrMesh, BlockFate, MeshConfig, RefineTag, RefinementDelta};
 pub use morton::{morton_decode2, morton_decode3, morton_encode2, morton_encode3};
-pub use neighbors::{Neighbor, NeighborGraph, NeighborKind};
+pub use neighbors::{Neighbor, NeighborGraph, NeighborKind, PatchScratch};
 pub use octant::{Direction, Octant, MAX_LEVEL};
 pub use sfc::sfc_key;
 pub use tree::Octree;

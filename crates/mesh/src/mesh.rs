@@ -7,14 +7,26 @@
 //! pipeline of §V-A: *assign block IDs via Z-order SFC → compute placement →
 //! migrate*), and placement policies read the SFC-ordered cost vector plus
 //! the neighbor graph.
+//!
+//! ## Incremental remeshing
+//!
+//! A real AMR step changes only a few percent of blocks near the front, so
+//! [`AmrMesh::adapt`] is O(changed blocks), not O(mesh): block IDs live in a
+//! Morton-sorted array where every refine/coarsen edits a contiguous span
+//! (children are consecutive on the curve), so the post-adapt index is a
+//! single merge walk that copies surviving blocks and splices changed spans.
+//! The walk also fills [`RefinementDelta::remap`] — the old→new [`BlockId`]
+//! fate of every pre-adapt block — which downstream consumers use to patch
+//! the neighbor graph ([`NeighborGraph::patch`]) and remap placement state
+//! instead of rebuilding from scratch.
 
 use crate::block::{BlockId, BlockSpec, MeshBlock};
 use crate::geom::{Aabb, Dim};
-use crate::neighbors::NeighborGraph;
+use crate::neighbors::{NeighborGraph, PatchScratch};
 use crate::octant::Octant;
-use crate::tree::{Octree, NORM_LEVEL};
+use crate::sfc::sfc_key;
+use crate::tree::{Coverage, Octree, NORM_LEVEL};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Static configuration of an AMR mesh.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -77,7 +89,28 @@ pub enum RefineTag {
     Keep,
 }
 
-/// Summary of one adaptation step.
+/// The fate of one pre-adapt block across an adaptation step, indexed by its
+/// old [`BlockId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockFate {
+    /// The octant survived; this is its post-adapt id.
+    Same(BlockId),
+    /// The octant was subdivided; its region is now covered by `count` new
+    /// leaves at contiguous ids `first .. first + count` (children are
+    /// consecutive on the SFC, so the span covers ripple re-refinement too).
+    Refined { first: BlockId, count: u32 },
+    /// The octant merged with its siblings; the parent leaf has this
+    /// post-adapt id (all `2^d` siblings map to the same id).
+    Coarsened(BlockId),
+}
+
+/// Changeset of one adaptation step: summary counters plus the full old→new
+/// block remap that incremental consumers (graph patching, placement-state
+/// remapping) key off.
+///
+/// The changeset is pooled inside the mesh — [`AmrMesh::adapt`] returns a
+/// borrow and [`AmrMesh::last_delta`] re-exposes it — so a steady-state adapt
+/// allocates nothing.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RefinementDelta {
     /// Leaves refined (including balance-induced ripples).
@@ -88,12 +121,47 @@ pub struct RefinementDelta {
     pub blocks_before: usize,
     /// Block count after adaptation.
     pub blocks_after: usize,
+    /// Fate of every pre-adapt block, indexed by old [`BlockId`]. Empty when
+    /// the adapt was a no-op (`!changed()`): the identity remap is implied
+    /// and nothing is materialized.
+    pub remap: Vec<BlockFate>,
+    /// Pre-adapt leaves that were subdivided (in old SFC order).
+    pub refined_parents: Vec<Octant>,
+    /// Parent leaves created by merging complete families (in SFC order).
+    pub coarsened_parents: Vec<Octant>,
 }
 
 impl RefinementDelta {
     /// Did the mesh change (requiring redistribution)?
     pub fn changed(&self) -> bool {
         self.refined > 0 || self.coarsened > 0
+    }
+
+    /// True when the adapt took the no-op fast path: nothing changed and no
+    /// remap was materialized (identity implied).
+    pub fn is_identity(&self) -> bool {
+        !self.changed() && self.remap.is_empty()
+    }
+
+    /// Number of pre-adapt blocks whose fate is not [`BlockFate::Same`].
+    pub fn changed_old_blocks(&self) -> usize {
+        self.remap
+            .iter()
+            .filter(|f| !matches!(f, BlockFate::Same(_)))
+            .count()
+    }
+
+    /// Post-adapt ids of blocks created by refinement, ascending.
+    pub fn new_child_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.remap.iter().flat_map(|f| {
+            let span = match f {
+                BlockFate::Refined { first, count } => {
+                    first.index()..first.index() + *count as usize
+                }
+                _ => 0..0,
+            };
+            span.map(|i| BlockId(i as u32))
+        })
     }
 }
 
@@ -115,7 +183,17 @@ pub struct AmrMesh {
     config: MeshConfig,
     tree: Octree,
     blocks: Vec<MeshBlock>,
-    id_of: HashMap<Octant, BlockId>,
+    /// SFC key of each block, parallel to `blocks` and strictly ascending;
+    /// `id_of` is a binary search over this array (no per-leaf hash map).
+    keys: Vec<u64>,
+    /// Last adapt's changeset (pooled; see [`AmrMesh::last_delta`]).
+    delta: RefinementDelta,
+    // Pooled scratch so steady-state adapts allocate nothing.
+    tags_scratch: Vec<(MeshBlock, RefineTag)>,
+    coarsen_scratch: Vec<(Octant, u32)>,
+    blocks_spare: Vec<MeshBlock>,
+    keys_spare: Vec<u64>,
+    leaves_scratch: Vec<Octant>,
 }
 
 impl AmrMesh {
@@ -124,12 +202,7 @@ impl AmrMesh {
         assert!(config.max_level <= NORM_LEVEL);
         let mut tree = Octree::uniform_roots(config.dim, config.roots);
         tree.set_periodic(config.periodic);
-        let mut mesh = AmrMesh {
-            config,
-            tree,
-            blocks: Vec::new(),
-            id_of: HashMap::new(),
-        };
+        let mut mesh = AmrMesh::empty(config, tree);
         mesh.rebuild_index();
         mesh
     }
@@ -158,14 +231,24 @@ impl AmrMesh {
         if config.periodic {
             tree.check_invariants()?;
         }
-        let mut mesh = AmrMesh {
+        let mut mesh = AmrMesh::empty(config, tree);
+        mesh.rebuild_index();
+        Ok(mesh)
+    }
+
+    fn empty(config: MeshConfig, tree: Octree) -> AmrMesh {
+        AmrMesh {
             config,
             tree,
             blocks: Vec::new(),
-            id_of: HashMap::new(),
-        };
-        mesh.rebuild_index();
-        Ok(mesh)
+            keys: Vec::new(),
+            delta: RefinementDelta::default(),
+            tags_scratch: Vec::new(),
+            coarsen_scratch: Vec::new(),
+            blocks_spare: Vec::new(),
+            keys_spare: Vec::new(),
+            leaves_scratch: Vec::new(),
+        }
     }
 
     /// Mesh configuration.
@@ -192,25 +275,55 @@ impl AmrMesh {
         &self.blocks
     }
 
+    /// SFC key of each block, parallel to [`AmrMesh::blocks`] and strictly
+    /// ascending.
+    #[inline]
+    pub fn sfc_keys(&self) -> &[u64] {
+        &self.keys
+    }
+
     /// Look up a block by ID.
     #[inline]
     pub fn block(&self, id: BlockId) -> &MeshBlock {
         &self.blocks[id.index()]
     }
 
-    /// The `BlockId` of a leaf octant, if it is a current leaf.
+    /// The changeset of the most recent [`AmrMesh::adapt`] call. Default
+    /// (identity) before any adapt or after a full index rebuild.
+    #[inline]
+    pub fn last_delta(&self) -> &RefinementDelta {
+        &self.delta
+    }
+
+    /// The `BlockId` of a leaf octant, if it is a current leaf: a binary
+    /// search over the sorted key array (an ancestor or descendant of a leaf
+    /// can share the leaf's key, hence the octant equality check).
     pub fn id_of(&self, o: &Octant) -> Option<BlockId> {
-        self.id_of.get(o).copied()
+        match self.keys.binary_search(&sfc_key(o, self.config.dim)) {
+            Ok(i) if self.blocks[i].octant == *o => Some(BlockId(i as u32)),
+            _ => None,
+        }
     }
 
     /// Blocks whose bounds intersect `region` (positive-measure overlap),
     /// in SFC order. Used by diagnostics and region-of-interest tooling.
     pub fn blocks_in_region(&self, region: &Aabb) -> Vec<BlockId> {
-        self.blocks
-            .iter()
-            .filter(|b| b.bounds.intersects(region))
-            .map(|b| b.id)
-            .collect()
+        let mut out = Vec::new();
+        self.blocks_in_region_into(region, &mut out);
+        out
+    }
+
+    /// Allocation-reusing variant of [`AmrMesh::blocks_in_region`]: clears
+    /// `out` and fills it with the intersecting block ids in SFC (ascending)
+    /// order. Per-step callers keep `out` pooled.
+    pub fn blocks_in_region_into(&self, region: &Aabb, out: &mut Vec<BlockId>) {
+        out.clear();
+        out.extend(
+            self.blocks
+                .iter()
+                .filter(|b| b.bounds.intersects(region))
+                .map(|b| b.id),
+        );
     }
 
     /// The block containing a physical point, if the point lies inside the
@@ -228,18 +341,48 @@ impl AmrMesh {
         NeighborGraph::build(&self.tree, &leaves)
     }
 
+    /// Bring `graph` (the neighbor graph of the *pre-adapt* mesh) up to date
+    /// with the mesh after the most recent [`AmrMesh::adapt`], repairing only
+    /// the CSR rows whose neighborhoods touch changed octants. Falls back to
+    /// a full [`AmrMesh::neighbor_graph`] build when the stored delta cannot
+    /// vouch for `graph` (identity delta, stale delta, or a block-count
+    /// mismatch). Returns `true` iff the incremental patch path ran.
+    pub fn patch_neighbor_graph(
+        &self,
+        graph: &mut NeighborGraph,
+        scratch: &mut PatchScratch,
+    ) -> bool {
+        let d = &self.delta;
+        if d.remap.len() == d.blocks_before
+            && !d.remap.is_empty()
+            && graph.num_blocks() == d.blocks_before
+            && self.blocks.len() == d.blocks_after
+        {
+            graph.patch(&self.tree, &self.blocks, &self.keys, d, scratch);
+            true
+        } else {
+            *graph = self.neighbor_graph();
+            false
+        }
+    }
+
     /// Apply one adaptation step driven by a per-block tagging criterion.
     ///
     /// Refinement is capped at `config.max_level` and triggers 2:1 ripple
     /// refinement; coarsening requires all `2^d` siblings tagged `Coarsen`
     /// and balance to permit the merge. Block IDs are re-assigned in SFC
-    /// order afterwards.
-    pub fn adapt<F>(&mut self, tag: F) -> RefinementDelta
+    /// order by splicing the changed spans into the sorted block array —
+    /// O(changed blocks), not O(mesh) — and the returned changeset records
+    /// every pre-adapt block's fate. A no-op adapt (nothing refined or
+    /// coarsened) leaves the index untouched and allocates nothing.
+    pub fn adapt<F>(&mut self, tag: F) -> &RefinementDelta
     where
         F: Fn(&MeshBlock) -> RefineTag,
     {
         let blocks_before = self.blocks.len();
-        let tags: Vec<(MeshBlock, RefineTag)> = self.blocks.iter().map(|b| (*b, tag(b))).collect();
+        let mut tags = std::mem::take(&mut self.tags_scratch);
+        tags.clear();
+        tags.extend(self.blocks.iter().map(|b| (*b, tag(b))));
 
         let mut refined = 0usize;
         for (b, t) in &tags {
@@ -248,48 +391,144 @@ impl AmrMesh {
             }
         }
 
-        // Group coarsen tags by parent; merge only complete, willing families.
-        let mut coarsened = 0usize;
-        let mut by_parent: HashMap<Octant, usize> = HashMap::new();
+        // Group coarsen tags by parent without hashing: blocks arrive in SFC
+        // order, and a complete sibling family is always one contiguous run
+        // of `2^d` Coarsen tags (siblings are consecutive on the curve; any
+        // interloper between two siblings is a descendant of a refined
+        // sibling, which already disqualifies the family). Count run lengths.
+        let mut cands = std::mem::take(&mut self.coarsen_scratch);
+        cands.clear();
         for (b, t) in &tags {
             if *t == RefineTag::Coarsen {
                 if let Some(p) = b.octant.parent() {
-                    *by_parent.entry(p).or_insert(0) += 1;
+                    match cands.last_mut() {
+                        Some((q, c)) if *q == p => *c += 1,
+                        _ => cands.push((p, 1)),
+                    }
                 }
             }
         }
-        let family = self.config.dim.children_per_octant();
-        let mut parents: Vec<Octant> = by_parent
-            .iter()
-            .filter(|(_, &c)| c == family)
-            .map(|(p, _)| *p)
-            .collect();
-        // Deterministic order for reproducibility.
-        parents.sort();
-        for p in parents {
+        let family = self.config.dim.children_per_octant() as u32;
+        let mut coarsened = 0usize;
+        for (p, c) in &cands {
             // A sibling may have been refined by a balance ripple above; the
             // can_coarsen check inside coarsen() guards that.
-            if self.tree.coarsen(&p) {
+            if *c == family && self.tree.coarsen(p) {
                 coarsened += 1;
             }
         }
+        cands.clear();
+        self.coarsen_scratch = cands;
+        tags.clear();
+        self.tags_scratch = tags;
 
-        self.rebuild_index();
-        RefinementDelta {
-            refined,
-            coarsened,
-            blocks_before,
-            blocks_after: self.blocks.len(),
+        self.delta.refined = refined;
+        self.delta.coarsened = coarsened;
+        self.delta.blocks_before = blocks_before;
+        if refined == 0 && coarsened == 0 {
+            // No-op fast path: the index is already current; the empty remap
+            // means identity.
+            self.delta.remap.clear();
+            self.delta.refined_parents.clear();
+            self.delta.coarsened_parents.clear();
+        } else {
+            self.splice_index();
         }
+        self.delta.blocks_after = self.blocks.len();
+        &self.delta
     }
 
-    /// Recompute SFC-ordered block IDs and physical bounds after any tree
-    /// mutation.
+    /// Incremental index update: one merge walk over the pre-adapt block
+    /// array. Surviving leaves are copied (bounds reused); a subdivided
+    /// block's slot expands into the leaves now within it (recursion covers
+    /// ripples that re-refined same-pass children); a coarsened family's
+    /// `2^d` contiguous slots collapse into one parent emitted at the first
+    /// child. Children are consecutive on the SFC, so the output stays
+    /// sorted without re-sorting, and the walk doubles as the fate recorder.
+    fn splice_index(&mut self) {
+        std::mem::swap(&mut self.blocks, &mut self.blocks_spare);
+        std::mem::swap(&mut self.keys, &mut self.keys_spare);
+        // `blocks_spare`/`keys_spare` now hold the pre-adapt index; the new
+        // index builds into the (cleared) pooled arrays.
+        self.blocks.clear();
+        self.keys.clear();
+        self.delta.remap.clear();
+        self.delta.refined_parents.clear();
+        self.delta.coarsened_parents.clear();
+        let domain = &self.config.domain;
+        let roots = self.tree.roots();
+        let dim = self.config.dim;
+        let mut within = std::mem::take(&mut self.leaves_scratch);
+        for (i, b) in self.blocks_spare.iter().enumerate() {
+            if self.tree.is_leaf(&b.octant) {
+                let id = BlockId(self.blocks.len() as u32);
+                self.delta.remap.push(BlockFate::Same(id));
+                self.keys.push(self.keys_spare[i]);
+                self.blocks.push(MeshBlock {
+                    id,
+                    octant: b.octant,
+                    bounds: b.bounds,
+                });
+                continue;
+            }
+            match self.tree.coverage(&b.octant) {
+                Coverage::Subdivided => {
+                    within.clear();
+                    self.tree.collect_leaves_within(&b.octant, &mut within);
+                    let first = BlockId(self.blocks.len() as u32);
+                    self.delta.remap.push(BlockFate::Refined {
+                        first,
+                        count: within.len() as u32,
+                    });
+                    self.delta.refined_parents.push(b.octant);
+                    for o in &within {
+                        let id = BlockId(self.blocks.len() as u32);
+                        self.keys.push(sfc_key(o, dim));
+                        self.blocks.push(MeshBlock {
+                            id,
+                            octant: *o,
+                            bounds: o.bounds(domain, roots, dim),
+                        });
+                    }
+                }
+                Coverage::CoveredBy(p) => {
+                    debug_assert_eq!(b.octant.parent(), Some(p), "multi-level collapse");
+                    match self.blocks.last() {
+                        Some(last) if last.octant == p => {
+                            // Later sibling of an already-emitted parent.
+                            self.delta.remap.push(BlockFate::Coarsened(last.id));
+                        }
+                        _ => {
+                            let id = BlockId(self.blocks.len() as u32);
+                            self.delta.remap.push(BlockFate::Coarsened(id));
+                            self.delta.coarsened_parents.push(p);
+                            self.keys.push(sfc_key(&p, dim));
+                            self.blocks.push(MeshBlock {
+                                id,
+                                octant: p,
+                                bounds: p.bounds(domain, roots, dim),
+                            });
+                        }
+                    }
+                }
+                Coverage::Leaf | Coverage::Outside => {
+                    unreachable!("pre-adapt block neither survived nor changed")
+                }
+            }
+        }
+        self.leaves_scratch = within;
+        debug_assert_eq!(self.blocks.len(), self.tree.num_leaves());
+        debug_assert!(self.keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Recompute SFC-ordered block IDs and physical bounds from scratch
+    /// (initial construction and checkpoint restore).
     fn rebuild_index(&mut self) {
         let leaves = self.tree.leaves_sorted();
         self.blocks.clear();
-        self.id_of.clear();
+        self.keys.clear();
         self.blocks.reserve(leaves.len());
+        self.keys.reserve(leaves.len());
         for (i, o) in leaves.iter().enumerate() {
             let id = BlockId(i as u32);
             self.blocks.push(MeshBlock {
@@ -297,8 +536,22 @@ impl AmrMesh {
                 octant: *o,
                 bounds: o.bounds(&self.config.domain, self.tree.roots(), self.config.dim),
             });
-            self.id_of.insert(*o, id);
+            self.keys.push(sfc_key(o, self.config.dim));
         }
+    }
+
+    /// Rebuild the block index from scratch, discarding the incremental
+    /// state. The stored delta is invalidated (reset to identity) so
+    /// [`AmrMesh::patch_neighbor_graph`] falls back to a full build. Kept as
+    /// the oracle for the incremental-vs-full equivalence tests and the
+    /// full-rebuild arm of the evolving-mesh benchmarks.
+    pub fn force_full_rebuild(&mut self) {
+        self.rebuild_index();
+        self.delta = RefinementDelta {
+            blocks_before: self.blocks.len(),
+            blocks_after: self.blocks.len(),
+            ..RefinementDelta::default()
+        };
     }
 
     /// Validate structural invariants (tiling, balance, index coherence).
@@ -307,12 +560,21 @@ impl AmrMesh {
         if self.blocks.len() != self.tree.num_leaves() {
             return Err("block index out of sync with tree".into());
         }
+        if self.keys.len() != self.blocks.len() {
+            return Err("key array out of sync with blocks".into());
+        }
         for (i, b) in self.blocks.iter().enumerate() {
             if b.id.index() != i {
                 return Err(format!("block {i} has id {}", b.id));
             }
-            if self.id_of.get(&b.octant) != Some(&b.id) {
-                return Err(format!("octant map out of sync for {}", b.id));
+            if !self.tree.is_leaf(&b.octant) {
+                return Err(format!("block {} is not a tree leaf", b.id));
+            }
+            if self.keys[i] != sfc_key(&b.octant, self.config.dim) {
+                return Err(format!("stale SFC key for block {}", b.id));
+            }
+            if i > 0 && self.keys[i - 1] >= self.keys[i] {
+                return Err(format!("keys not strictly ascending at block {i}"));
             }
         }
         Ok(())
@@ -426,6 +688,121 @@ mod tests {
             .map(|b| crate::sfc::sfc_key(&b.octant, Dim::D3))
             .collect();
         assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(keys, m.sfc_keys());
+    }
+
+    #[test]
+    fn incremental_index_matches_full_rebuild() {
+        let mut m = AmrMesh::new(cfg(2, 2));
+        // Refine, then coarsen part of it back, then refine elsewhere: every
+        // splice case (copy, expand, collapse) in play.
+        m.adapt(|b| {
+            if b.octant.x == 0 {
+                RefineTag::Refine
+            } else {
+                RefineTag::Keep
+            }
+        });
+        m.adapt(|b| {
+            if b.level() == 1 && b.octant.y < 2 {
+                RefineTag::Coarsen
+            } else if b.level() == 0 {
+                RefineTag::Refine
+            } else {
+                RefineTag::Keep
+            }
+        });
+        m.check_invariants().unwrap();
+        let mut full = m.clone();
+        full.force_full_rebuild();
+        assert_eq!(m.blocks(), full.blocks());
+        assert_eq!(m.sfc_keys(), full.sfc_keys());
+    }
+
+    #[test]
+    fn remap_tracks_every_old_block() {
+        let mut m = AmrMesh::new(cfg(2, 2));
+        m.adapt(|b| {
+            if b.octant == Octant::new(0, 0, 0, 0) {
+                RefineTag::Refine
+            } else {
+                RefineTag::Keep
+            }
+        });
+        let old_blocks: Vec<MeshBlock> = m.blocks().to_vec();
+        let delta = m
+            .adapt(|b| {
+                if b.level() == 1 && b.octant.x < 2 && b.octant.y < 2 && b.octant.z < 2 {
+                    RefineTag::Coarsen
+                } else if b.octant == Octant::new(0, 1, 1, 1) {
+                    RefineTag::Refine
+                } else {
+                    RefineTag::Keep
+                }
+            })
+            .clone();
+        assert_eq!(delta.remap.len(), old_blocks.len());
+        assert!(delta.refined >= 1 && delta.coarsened == 1);
+        for (old, fate) in delta.remap.iter().enumerate() {
+            let o = old_blocks[old].octant;
+            match *fate {
+                BlockFate::Same(new) => {
+                    // Every surviving octant maps to its new id.
+                    assert_eq!(m.block(new).octant, o);
+                    assert_eq!(m.id_of(&o), Some(new));
+                }
+                BlockFate::Refined { first, count } => {
+                    // The span covers exactly the leaves now within the old
+                    // block, in SFC order.
+                    let within = m.tree().leaves_within(&o);
+                    assert_eq!(within.len(), count as usize);
+                    for (k, w) in within.iter().enumerate() {
+                        assert_eq!(m.block(BlockId((first.index() + k) as u32)).octant, *w);
+                    }
+                }
+                BlockFate::Coarsened(new) => {
+                    // Every coarsened child maps to its parent's new id.
+                    assert_eq!(m.block(new).octant, o.parent().unwrap());
+                }
+            }
+        }
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn noop_adapt_is_identity_and_preserves_index() {
+        let mut m = AmrMesh::new(cfg(2, 2));
+        m.adapt(|b| {
+            if b.octant.x == 0 {
+                RefineTag::Refine
+            } else {
+                RefineTag::Keep
+            }
+        });
+        let before: Vec<MeshBlock> = m.blocks().to_vec();
+        let d = m.adapt(|_| RefineTag::Keep);
+        assert!(d.is_identity());
+        assert_eq!(d.blocks_before, d.blocks_after);
+        assert_eq!(m.blocks(), &before[..]);
+    }
+
+    #[test]
+    fn id_of_binary_search_matches_leaves() {
+        let mut m = AmrMesh::new(cfg(2, 2));
+        m.adapt(|b| {
+            if b.octant.x == 0 && b.octant.y == 0 {
+                RefineTag::Refine
+            } else {
+                RefineTag::Keep
+            }
+        });
+        for b in m.blocks() {
+            assert_eq!(m.id_of(&b.octant), Some(b.id));
+        }
+        // Non-leaves: refined parent (shares first child's key) and a
+        // descendant of a leaf (shares the leaf's key) both miss.
+        assert_eq!(m.id_of(&Octant::new(0, 0, 0, 0)), None);
+        assert_eq!(m.id_of(&Octant::new(3, 15, 15, 15)), None);
     }
 
     #[test]
@@ -441,6 +818,40 @@ mod tests {
         let g = m.neighbor_graph();
         assert_eq!(g.num_blocks(), m.num_blocks());
         g.check_symmetry().unwrap();
+    }
+
+    #[test]
+    fn patch_neighbor_graph_matches_full_build() {
+        let mut m = AmrMesh::new(cfg(2, 2));
+        let mut g = m.neighbor_graph();
+        let mut scratch = PatchScratch::default();
+        // Refine -> mixed refine/coarsen -> no-op: patch must track each.
+        type TagFn = Box<dyn Fn(&MeshBlock) -> RefineTag>;
+        let tags: Vec<TagFn> = vec![
+            Box::new(|b: &MeshBlock| {
+                if b.octant.x == 0 {
+                    RefineTag::Refine
+                } else {
+                    RefineTag::Keep
+                }
+            }),
+            Box::new(|b: &MeshBlock| {
+                if b.level() == 1 && b.octant.y < 2 {
+                    RefineTag::Coarsen
+                } else if b.level() == 0 && b.octant.x == 1 {
+                    RefineTag::Refine
+                } else {
+                    RefineTag::Keep
+                }
+            }),
+            Box::new(|_: &MeshBlock| RefineTag::Keep),
+        ];
+        for tag in &tags {
+            m.adapt(|b| tag(b));
+            m.patch_neighbor_graph(&mut g, &mut scratch);
+            assert_eq!(g, m.neighbor_graph());
+            g.check_symmetry().unwrap();
+        }
     }
 
     #[test]
@@ -467,13 +878,15 @@ mod tests {
                 RefineTag::Keep
             }
         });
-        let d2 = m.adapt(|b| {
-            if b.octant == Octant::new(1, 0, 0, 0) {
-                RefineTag::Refine
-            } else {
-                RefineTag::Keep
-            }
-        });
+        let d2 = m
+            .adapt(|b| {
+                if b.octant == Octant::new(1, 0, 0, 0) {
+                    RefineTag::Refine
+                } else {
+                    RefineTag::Keep
+                }
+            })
+            .clone();
         // The level-2 corner leaf touches the far corner root (3,3,3) across
         // the wrap; that root must have been ripple-refined.
         assert!(d2.refined > 1, "no periodic ripple: {d2:?}");
@@ -491,6 +904,13 @@ mod tests {
         // A thin slab returns one layer of the 4x4x4 grid.
         let slab = Aabb::new(Point::new(0.0, 0.0, 0.3), Point::new(1.0, 1.0, 0.4));
         assert_eq!(m.blocks_in_region(&slab).len(), 16);
+        // The pooled variant returns the same ids and reuses the buffer.
+        let mut buf = Vec::new();
+        m.blocks_in_region_into(&slab, &mut buf);
+        assert_eq!(buf, m.blocks_in_region(&slab));
+        let cap = buf.capacity();
+        m.blocks_in_region_into(&slab, &mut buf);
+        assert_eq!(buf.capacity(), cap);
         // Point lookup is unique and consistent with bounds.
         let p = Point::new(0.6, 0.1, 0.9);
         let id = m.block_at(&p).unwrap();

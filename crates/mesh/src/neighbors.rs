@@ -21,8 +21,9 @@
 //! scoped threads over contiguous leaf chunks and merge the per-chunk rows
 //! into the CSR arrays with a prefix sum.
 
-use crate::block::BlockId;
+use crate::block::{BlockId, MeshBlock};
 use crate::geom::Dim;
+use crate::mesh::{BlockFate, RefinementDelta};
 use crate::octant::{Direction, Octant};
 use crate::sfc::sfc_key;
 use crate::tree::{Coverage, Octree};
@@ -106,7 +107,47 @@ enum Cover {
     Subdivided,
 }
 
-/// Sorted Morton-key index over the leaf array.
+/// Binary-search cover classification over a strictly ascending SFC key
+/// array — the shared core of the leaf-slice builder ([`LeafIndex`]) and the
+/// block-array patcher ([`BlockIndex`]).
+trait CoverIndex {
+    fn keys(&self) -> &[u64];
+    fn octant(&self, i: u32) -> Octant;
+    fn dim(&self) -> Dim;
+
+    /// Classify an in-lattice cell. Correctness of the `Err` arm: leaves
+    /// tile the domain, so if `cell`'s key is absent the leaf with the
+    /// greatest smaller key is the (unique) coarser leaf whose key range
+    /// contains it; if the key is present at a coarser level, that leaf's
+    /// lower corner coincides with `cell`'s, making it an ancestor.
+    #[inline]
+    fn classify(&self, cell: &Octant) -> Cover {
+        match self.keys().binary_search(&sfc_key(cell, self.dim())) {
+            Ok(i) => {
+                let found = self.octant(i as u32).level;
+                if found == cell.level {
+                    Cover::Leaf(i as u32)
+                } else if found < cell.level {
+                    Cover::CoveredBy(i as u32)
+                } else {
+                    Cover::Subdivided
+                }
+            }
+            Err(pos) => {
+                debug_assert!(pos > 0, "in-lattice cell below every leaf key");
+                let i = (pos - 1) as u32;
+                debug_assert!(
+                    cell.level > self.octant(i).level
+                        && cell.ancestor_at(self.octant(i).level) == self.octant(i),
+                    "Err(pos) must land inside a coarser covering leaf"
+                );
+                Cover::CoveredBy(i)
+            }
+        }
+    }
+}
+
+/// Sorted Morton-key index over the leaf array (keys computed on build).
 struct LeafIndex<'a> {
     leaves: &'a [Octant],
     keys: Vec<u64>,
@@ -122,37 +163,56 @@ impl<'a> LeafIndex<'a> {
         );
         LeafIndex { leaves, keys, dim }
     }
+}
 
-    /// Classify an in-lattice cell. Correctness of the `Err` arm: leaves
-    /// tile the domain, so if `cell`'s key is absent the leaf with the
-    /// greatest smaller key is the (unique) coarser leaf whose key range
-    /// contains it; if the key is present at a coarser level, that leaf's
-    /// lower corner coincides with `cell`'s, making it an ancestor.
+impl CoverIndex for LeafIndex<'_> {
     #[inline]
-    fn classify(&self, cell: &Octant) -> Cover {
-        match self.keys.binary_search(&sfc_key(cell, self.dim)) {
-            Ok(i) => {
-                let found = self.leaves[i].level;
-                if found == cell.level {
-                    Cover::Leaf(i as u32)
-                } else if found < cell.level {
-                    Cover::CoveredBy(i as u32)
-                } else {
-                    Cover::Subdivided
-                }
-            }
-            Err(pos) => {
-                debug_assert!(pos > 0, "in-lattice cell below every leaf key");
-                let i = pos - 1;
-                debug_assert!(
-                    cell.level > self.leaves[i].level
-                        && cell.ancestor_at(self.leaves[i].level) == self.leaves[i],
-                    "Err(pos) must land inside a coarser covering leaf"
-                );
-                Cover::CoveredBy(i as u32)
-            }
-        }
+    fn keys(&self) -> &[u64] {
+        &self.keys
     }
+    #[inline]
+    fn octant(&self, i: u32) -> Octant {
+        self.leaves[i as usize]
+    }
+    #[inline]
+    fn dim(&self) -> Dim {
+        self.dim
+    }
+}
+
+/// Cover index borrowing a mesh's maintained block array and key array
+/// (no per-call key computation) — the patch path's view of the new mesh.
+struct BlockIndex<'a> {
+    blocks: &'a [MeshBlock],
+    keys: &'a [u64],
+    dim: Dim,
+}
+
+impl CoverIndex for BlockIndex<'_> {
+    #[inline]
+    fn keys(&self) -> &[u64] {
+        self.keys
+    }
+    #[inline]
+    fn octant(&self, i: u32) -> Octant {
+        self.blocks[i as usize].octant
+    }
+    #[inline]
+    fn dim(&self) -> Dim {
+        self.dim
+    }
+}
+
+/// Pooled scratch for [`NeighborGraph::patch`]: the staging CSR arrays swap
+/// with the graph's own on every patch, so after the first call both sides
+/// run allocation-free at steady state.
+#[derive(Debug, Clone, Default)]
+pub struct PatchScratch {
+    /// Per-new-block flag: row must be rebuilt (vs copied + renumbered).
+    affected: Vec<bool>,
+    offsets: Vec<u32>,
+    entries: Vec<Neighbor>,
+    row: Vec<Neighbor>,
 }
 
 impl NeighborGraph {
@@ -354,6 +414,139 @@ impl NeighborGraph {
         }
         Ok(())
     }
+
+    /// Repair `self` — the graph of the *pre-adapt* mesh — into the graph of
+    /// the post-adapt mesh described by (`tree`, `blocks`, `keys`, `delta`),
+    /// rebuilding only the rows whose neighborhoods touch changed octants.
+    ///
+    /// Affected rows are (a) every new block inside a changed region and
+    /// (b) the surviving old neighbors of every changed old block. That set
+    /// is complete: a block touches a new child only if it touches the
+    /// parent's region (so it was a neighbor of the refined parent), and a
+    /// coarsened parent occupies exactly its children's union (so its
+    /// neighbors were neighbors of some child) — both already recorded in
+    /// the old symmetric graph. Every other row is byte-copied with its
+    /// neighbor ids renumbered through the fate table, which preserves the
+    /// per-row sort because the surviving-block renumbering is monotonic.
+    ///
+    /// Cost: O(blocks + copied entries) memcpy plus full row builds only for
+    /// the O(changed × degree) affected set. The staging arrays in `scratch`
+    /// swap with the graph's own, so steady-state patching allocates
+    /// nothing. [`NeighborGraph::build`] is the oracle; callers unsure the
+    /// graph matches `delta.blocks_before` should use
+    /// `AmrMesh::patch_neighbor_graph`, which falls back to it.
+    pub fn patch(
+        &mut self,
+        tree: &Octree,
+        blocks: &[MeshBlock],
+        keys: &[u64],
+        delta: &RefinementDelta,
+        scratch: &mut PatchScratch,
+    ) {
+        assert_eq!(
+            self.num_blocks(),
+            delta.blocks_before,
+            "patch: graph does not match the pre-adapt mesh"
+        );
+        assert_eq!(delta.remap.len(), delta.blocks_before, "patch: stale delta");
+        assert_eq!(blocks.len(), delta.blocks_after, "patch: stale block array");
+        let n_new = blocks.len();
+        let index = BlockIndex {
+            blocks,
+            keys,
+            dim: tree.dim(),
+        };
+        let dirs = Direction::all(tree.dim());
+
+        // Phase 1: mark affected new rows.
+        scratch.affected.clear();
+        scratch.affected.resize(n_new, false);
+        for (old, fate) in delta.remap.iter().enumerate() {
+            let changed = match *fate {
+                BlockFate::Same(_) => false,
+                BlockFate::Refined { first, count } => {
+                    scratch.affected[first.index()..first.index() + count as usize].fill(true);
+                    true
+                }
+                BlockFate::Coarsened(new) => {
+                    scratch.affected[new.index()] = true;
+                    true
+                }
+            };
+            if changed {
+                let r = self.offsets[old] as usize..self.offsets[old + 1] as usize;
+                for e in &self.entries[r] {
+                    if let BlockFate::Same(new) = delta.remap[e.block.index()] {
+                        scratch.affected[new.index()] = true;
+                    }
+                }
+            }
+        }
+
+        // Phase 2: emit the new CSR arrays into the staging buffers, walking
+        // old ids; the fate table yields new ids in ascending order.
+        scratch.offsets.clear();
+        scratch.offsets.push(0);
+        scratch.entries.clear();
+        let mut emitted = 0usize;
+        for (old, fate) in delta.remap.iter().enumerate() {
+            match *fate {
+                BlockFate::Same(new) => {
+                    debug_assert_eq!(new.index(), emitted);
+                    if scratch.affected[new.index()] {
+                        build_row(
+                            tree,
+                            &index,
+                            &dirs,
+                            &blocks[new.index()].octant,
+                            &mut scratch.row,
+                        );
+                        scratch.entries.extend_from_slice(&scratch.row);
+                    } else {
+                        let r = self.offsets[old] as usize..self.offsets[old + 1] as usize;
+                        for e in &self.entries[r] {
+                            let BlockFate::Same(nb) = delta.remap[e.block.index()] else {
+                                unreachable!("unaffected row references a changed block");
+                            };
+                            scratch.entries.push(Neighbor { block: nb, ..*e });
+                        }
+                    }
+                    scratch.offsets.push(scratch.entries.len() as u32);
+                    emitted += 1;
+                }
+                BlockFate::Refined { first, count } => {
+                    debug_assert_eq!(first.index(), emitted);
+                    for child in &blocks[first.index()..first.index() + count as usize] {
+                        build_row(tree, &index, &dirs, &child.octant, &mut scratch.row);
+                        scratch.entries.extend_from_slice(&scratch.row);
+                        scratch.offsets.push(scratch.entries.len() as u32);
+                    }
+                    emitted += count as usize;
+                }
+                BlockFate::Coarsened(new) => {
+                    // Only the first sibling emits the parent's row.
+                    if new.index() == emitted {
+                        build_row(
+                            tree,
+                            &index,
+                            &dirs,
+                            &blocks[new.index()].octant,
+                            &mut scratch.row,
+                        );
+                        scratch.entries.extend_from_slice(&scratch.row);
+                        scratch.offsets.push(scratch.entries.len() as u32);
+                        emitted += 1;
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(emitted, n_new);
+
+        // Phase 3: swap the staging arrays in; the displaced arrays become
+        // the next patch's staging storage.
+        std::mem::swap(&mut self.offsets, &mut scratch.offsets);
+        std::mem::swap(&mut self.entries, &mut scratch.entries);
+    }
 }
 
 /// Assemble one block's neighbor row into `row` (cleared first): probe all
@@ -361,9 +554,9 @@ impl NeighborGraph {
 /// directions are enumerated faces-first, so ties resolve to the lowest
 /// codimension (largest message), matching the legacy builder's
 /// first-insertion-wins dedup.
-fn build_row(
+fn build_row<I: CoverIndex>(
     tree: &Octree,
-    index: &LeafIndex<'_>,
+    index: &I,
     dirs: &[Direction],
     leaf: &Octant,
     row: &mut Vec<Neighbor>,
@@ -383,7 +576,7 @@ fn build_row(
             Cover::CoveredBy(i) => row.push(Neighbor {
                 block: BlockId(i),
                 kind,
-                level_delta: index.leaves[i as usize].level as i8 - leaf.level as i8,
+                level_delta: index.octant(i).level as i8 - leaf.level as i8,
             }),
             Cover::Subdivided => {
                 collect_touching_fine(index, &nb_cell, *dir, kind, leaf.level, row)
@@ -398,8 +591,8 @@ fn build_row(
 /// shared with the cell the direction came from (the near side w.r.t.
 /// `dir`). Under corner-inclusive 2:1 balance these are direct children,
 /// but the recursion mirrors the legacy builder for defense in depth.
-fn collect_touching_fine(
-    index: &LeafIndex<'_>,
+fn collect_touching_fine<I: CoverIndex>(
+    index: &I,
     cell: &Octant,
     dir: Direction,
     kind: NeighborKind,
@@ -408,7 +601,7 @@ fn collect_touching_fine(
 ) {
     let l = cell.level + 1;
     let (bx, by, bz) = (cell.x << 1, cell.y << 1, cell.z << 1);
-    let zrange: u32 = match index.dim {
+    let zrange: u32 = match index.dim() {
         Dim::D2 => 1,
         Dim::D3 => 2,
     };
@@ -429,7 +622,7 @@ fn collect_touching_fine(
                     Cover::Leaf(i) => row.push(Neighbor {
                         block: BlockId(i),
                         kind,
-                        level_delta: index.leaves[i as usize].level as i8 - base_level as i8,
+                        level_delta: index.octant(i).level as i8 - base_level as i8,
                     }),
                     Cover::Subdivided => {
                         collect_touching_fine(index, &child, dir, kind, base_level, row)

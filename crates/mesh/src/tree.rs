@@ -235,7 +235,11 @@ impl Octree {
         out
     }
 
-    fn collect_leaves_within(&self, cell: &Octant, out: &mut Vec<Octant>) {
+    /// Append the leaves within `cell` to `out` in SFC (children-recursive
+    /// Morton) order — the allocation-reusing core of
+    /// [`Octree::leaves_within`], also used by the incremental block-index
+    /// splice.
+    pub(crate) fn collect_leaves_within(&self, cell: &Octant, out: &mut Vec<Octant>) {
         match self.coverage(cell) {
             Coverage::Leaf => out.push(*cell),
             Coverage::Subdivided => {

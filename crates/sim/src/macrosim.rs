@@ -33,7 +33,7 @@ use amr_core::engine::PlacementEngine;
 use amr_core::policies::PlacementPolicy;
 use amr_core::trigger::{RebalanceTrigger, TriggerContext};
 use amr_core::Placement;
-use amr_mesh::AmrMesh;
+use amr_mesh::{AmrMesh, PatchScratch};
 use amr_telemetry::{Collector, EventTable, Phase};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -229,6 +229,9 @@ pub struct MacroSim {
     /// double-buffered placements make the steady-state rebalance loop
     /// allocation-free for the sequential policies.
     engine: PlacementEngine,
+    /// Staging buffers for incremental neighbor-graph repair on mesh change
+    /// (reused across adapts and runs).
+    patch_scratch: PatchScratch,
 }
 
 impl MacroSim {
@@ -239,6 +242,7 @@ impl MacroSim {
             config,
             rng: StdRng::seed_from_u64(seed),
             engine: PlacementEngine::new(),
+            patch_scratch: PatchScratch::default(),
         }
     }
 
@@ -316,7 +320,12 @@ impl MacroSim {
             let mut redist_bytes = 0u64;
             if ws.mesh_changed {
                 mesh_change_steps += 1;
-                graph = workload.mesh().neighbor_graph();
+                // Incremental repair: only CSR rows touching changed octants
+                // are rebuilt (falls back to a full build when the workload's
+                // last delta doesn't describe this graph's mesh).
+                workload
+                    .mesh()
+                    .patch_neighbor_graph(&mut graph, &mut self.patch_scratch);
                 if let Some(origins) = &ws.origins {
                     // Warm remap: children inherit the parent's estimate,
                     // merges average — staged in the reused spare buffer.

@@ -284,6 +284,45 @@ mod tests {
             .count();
         assert_eq!(merged, 1);
     }
+
+    /// The O(n) delta-derived origins must agree with this octant-matching
+    /// oracle everywhere the oracle has an answer. The single allowed
+    /// divergence: blocks created multiple levels below an old leaf in one
+    /// adapt pass (ripple cascades), where the oracle cannot see past the
+    /// immediate parent and reports `Fresh` while the fate table still
+    /// knows the old ancestor (`SplitFrom`) — strictly more ancestry.
+    #[test]
+    fn delta_origins_match_octant_oracle() {
+        use amr_core::cost::origins_from_delta;
+        let mut m = mesh();
+        let mut from_delta = Vec::new();
+        for salt in 0..8u64 {
+            let old: HashMap<Octant, usize> = m
+                .blocks()
+                .iter()
+                .map(|b| (b.octant, b.id.index()))
+                .collect();
+            m.adapt(|b| {
+                let h = (b.id.index() as u64)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(salt);
+                match h % 4 {
+                    0 => RefineTag::Refine,
+                    1 => RefineTag::Coarsen,
+                    _ => RefineTag::Keep,
+                }
+            });
+            let oracle = cost_origins(&old, &m);
+            origins_from_delta(m.last_delta(), &mut from_delta);
+            assert_eq!(oracle.len(), from_delta.len());
+            for (i, (d, o)) in from_delta.iter().zip(&oracle).enumerate() {
+                match (d, o) {
+                    (CostOrigin::SplitFrom(_), CostOrigin::Fresh) => {}
+                    _ => assert_eq!(d, o, "origin mismatch at new block {i}"),
+                }
+            }
+        }
+    }
 }
 
 /// Compile a *per-block* task schedule into MPI programs: for every rank,

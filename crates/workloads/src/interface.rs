@@ -11,9 +11,8 @@
 //! blocks crossed by it refine, blocks whose cells straddle the shear layer
 //! cost more to integrate.
 
-use crate::exchange::cost_origins;
-use amr_core::cost::CostOrigin;
-use amr_mesh::{AmrMesh, MeshConfig, RefineTag};
+use amr_core::cost::{origins_from_delta, CostOrigin};
+use amr_mesh::{Aabb, AmrMesh, BlockId, MeshConfig, Point, RefineTag};
 use amr_sim::{Workload, WorkloadStep};
 use serde::{Deserialize, Serialize};
 
@@ -65,6 +64,9 @@ pub struct InterfaceWorkload {
     mesh: AmrMesh,
     costs: Vec<f64>,
     step: u64,
+    /// Pooled id list of blocks intersecting the perturbation slab (spatial
+    /// prefilter for tagging: blocks outside it cannot be crossed).
+    slab_ids: Vec<BlockId>,
 }
 
 impl InterfaceWorkload {
@@ -76,6 +78,7 @@ impl InterfaceWorkload {
             mesh,
             costs: Vec::new(),
             step: 0,
+            slab_ids: Vec::new(),
         };
         w.recompute_costs();
         w
@@ -116,12 +119,6 @@ impl InterfaceWorkload {
     fn adapt_mesh(&mut self) -> Option<Vec<CostOrigin>> {
         let step = self.step;
         let max_level = self.config.mesh.max_level;
-        let old: std::collections::HashMap<amr_mesh::Octant, usize> = self
-            .mesh
-            .blocks()
-            .iter()
-            .map(|b| (b.octant, b.id.index()))
-            .collect();
         // Capture the interface function without borrowing `self`, so the
         // closure can coexist with the mutable mesh borrow below.
         let cfg = self.config.clone();
@@ -153,17 +150,44 @@ impl InterfaceWorkload {
             }
             above && below
         };
-        let delta = self.mesh.adapt(|b| {
-            if crosses(b) && b.level() < max_level {
-                RefineTag::Refine
-            } else if !crosses(b) && b.level() > 0 {
-                RefineTag::Coarsen
-            } else {
-                RefineTag::Keep
-            }
-        });
-        if delta.changed() {
-            Some(cost_origins(&old, &self.mesh))
+        // Spatial prefilter: the interface height lives in the slab
+        // y ∈ [y0 − A(t), y0 + A(t)] (extruded in x and z). A block disjoint
+        // from the slab can never satisfy `crosses`, so it coarsens (or
+        // keeps at level 0) without sampling the interface at all.
+        let t = (step + 1) as f64 / cfg.total_steps as f64;
+        let amp = cfg.final_amplitude * t;
+        let domain = self.mesh.config().domain;
+        let region = Aabb::new(
+            Point::new(domain.lo.x, cfg.y0 - amp, domain.lo.z),
+            Point::new(domain.hi.x, cfg.y0 + amp, domain.hi.z),
+        );
+        self.mesh.blocks_in_region_into(&region, &mut self.slab_ids);
+        let slab = &self.slab_ids;
+        let changed = self
+            .mesh
+            .adapt(|b| {
+                if slab.binary_search(&b.id).is_err() {
+                    return if b.level() > 0 {
+                        RefineTag::Coarsen
+                    } else {
+                        RefineTag::Keep
+                    };
+                }
+                if crosses(b) && b.level() < max_level {
+                    RefineTag::Refine
+                } else if !crosses(b) && b.level() > 0 {
+                    RefineTag::Coarsen
+                } else {
+                    RefineTag::Keep
+                }
+            })
+            .changed();
+        if changed {
+            // Origins fall straight out of the adapt changeset — no
+            // octant→id HashMap snapshot, no per-block hashing.
+            let mut origins = Vec::new();
+            origins_from_delta(self.mesh.last_delta(), &mut origins);
+            Some(origins)
         } else {
             None
         }

@@ -21,9 +21,8 @@
 //! holds by construction), `d(b)` is the block center's distance to the
 //! shock surface, and `post` is a milder post-shock (interior) boost.
 
-use crate::exchange::cost_origins;
-use amr_core::cost::CostOrigin;
-use amr_mesh::{AmrMesh, MeshConfig, Point, RefineTag};
+use amr_core::cost::{origins_from_delta, CostOrigin};
+use amr_mesh::{Aabb, AmrMesh, BlockId, MeshConfig, Point, RefineTag};
 use amr_sim::{Workload, WorkloadStep};
 use serde::{Deserialize, Serialize};
 
@@ -105,6 +104,9 @@ pub struct SedovWorkload {
     center: Point,
     current_radius: f64,
     current_step: u64,
+    /// Pooled id list of blocks near the shock (spatial prefilter for
+    /// tagging: everything else coarsens without per-block distance work).
+    active_ids: Vec<BlockId>,
 }
 
 impl SedovWorkload {
@@ -119,6 +121,7 @@ impl SedovWorkload {
             center,
             current_radius: 0.0,
             current_step: 0,
+            active_ids: Vec::new(),
         };
         w.recompute_costs();
         w
@@ -187,32 +190,53 @@ impl SedovWorkload {
         let w = self.config.refine_margin;
         let center = self.center;
         let max_level = self.config.mesh.max_level;
-        let old: std::collections::HashMap<amr_mesh::Octant, usize> = self
+        // Spatial prefilter: only blocks inside the cube circumscribing the
+        // outer hysteresis shell (radius r + 2w) need distance tests. A block
+        // disjoint from that cube is disjoint from the inscribed ball, so its
+        // dmin exceeds r + 2w — not on the shell AND clearly ahead of it —
+        // which tags Coarsen (or Keep at level 0) without any geometry.
+        let reach = r + 2.0 * w;
+        let region = Aabb::new(
+            Point::new(center.x - reach, center.y - reach, center.z - reach),
+            Point::new(center.x + reach, center.y + reach, center.z + reach),
+        );
+        self.mesh
+            .blocks_in_region_into(&region, &mut self.active_ids);
+        let active = &self.active_ids;
+        let changed = self
             .mesh
-            .blocks()
-            .iter()
-            .map(|b| (b.octant, b.id.index()))
-            .collect();
-        let delta = self.mesh.adapt(|b| {
-            let dmin = b.bounds.distance_to_point(&center);
-            let dmax = b.bounds.max_distance_to_point(&center);
-            let intersects_shell = dmin <= r + w && dmax >= r - w;
-            if intersects_shell && b.level() < max_level {
-                RefineTag::Refine
-            } else if !intersects_shell && b.level() > 0 {
-                // Hysteresis: only coarsen when clearly away from the shell.
-                let clear = dmin > r + 2.0 * w || dmax < r - 2.0 * w;
-                if clear {
-                    RefineTag::Coarsen
+            .adapt(|b| {
+                if active.binary_search(&b.id).is_err() {
+                    return if b.level() > 0 {
+                        RefineTag::Coarsen
+                    } else {
+                        RefineTag::Keep
+                    };
+                }
+                let dmin = b.bounds.distance_to_point(&center);
+                let dmax = b.bounds.max_distance_to_point(&center);
+                let intersects_shell = dmin <= r + w && dmax >= r - w;
+                if intersects_shell && b.level() < max_level {
+                    RefineTag::Refine
+                } else if !intersects_shell && b.level() > 0 {
+                    // Hysteresis: only coarsen when clearly away from the shell.
+                    let clear = dmin > r + 2.0 * w || dmax < r - 2.0 * w;
+                    if clear {
+                        RefineTag::Coarsen
+                    } else {
+                        RefineTag::Keep
+                    }
                 } else {
                     RefineTag::Keep
                 }
-            } else {
-                RefineTag::Keep
-            }
-        });
-        if delta.changed() {
-            Some(cost_origins(&old, &self.mesh))
+            })
+            .changed();
+        if changed {
+            // Origins fall straight out of the adapt changeset — no
+            // octant→id HashMap snapshot, no per-block hashing.
+            let mut origins = Vec::new();
+            origins_from_delta(self.mesh.last_delta(), &mut origins);
+            Some(origins)
         } else {
             None
         }

@@ -23,17 +23,19 @@ fn main() {
     // 2. Refine the blocks near a hot spot; ripple refinement keeps the
     //    tree 2:1 balanced and block IDs follow the Z-order SFC.
     let hot = Point::new(0.3, 0.3, 0.3);
-    let delta = mesh.adapt(|b| {
-        if b.bounds.distance_to_point(&hot) < 0.15 {
-            RefineTag::Refine
-        } else {
-            RefineTag::Keep
-        }
-    });
+    let refined = mesh
+        .adapt(|b| {
+            if b.bounds.distance_to_point(&hot) < 0.15 {
+                RefineTag::Refine
+            } else {
+                RefineTag::Keep
+            }
+        })
+        .refined;
     println!(
         "after refinement: {} blocks ({} refined)",
         mesh.num_blocks(),
-        delta.refined
+        refined
     );
     mesh.check_invariants().expect("mesh invariants");
 

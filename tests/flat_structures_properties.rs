@@ -11,8 +11,17 @@
 //!    replay random message traces to the exact same per-rank stats and
 //!    makespan as `run_heap_reference` (the old `BinaryHeap` + `HashMap`
 //!    scheduler).
+//!
+//! PR "O(changed blocks) remeshing" added incremental maintenance of both
+//! derived structures, with the from-scratch builders kept as oracles:
+//!
+//! 3. `AmrMesh::patch_neighbor_graph` (CSR row repair driven by the
+//!    `RefinementDelta`) must equal a fresh `AmrMesh::neighbor_graph` build
+//!    after every adapt of a random 2D/3D refinement sequence.
+//! 4. The incrementally spliced block index (sorted blocks + SFC keys) must
+//!    equal a forced full DFS rebuild after every adapt.
 
-use amr_tools::mesh::{AmrMesh, Dim, MeshConfig, NeighborGraph, RefineTag};
+use amr_tools::mesh::{AmrMesh, Dim, MeshConfig, NeighborGraph, PatchScratch, RefineTag};
 use amr_tools::sim::mpi::Op;
 use amr_tools::sim::{MpiWorld, NetworkConfig, Topology};
 use proptest::prelude::*;
@@ -117,5 +126,72 @@ proptest! {
             .expect("heap oracle completes");
         prop_assert_eq!(fast.makespan_ns, oracle.makespan_ns);
         prop_assert_eq!(fast.ranks, oracle.ranks);
+    }
+
+    /// A neighbor graph maintained purely by CSR patching across a random
+    /// adapt sequence equals a from-scratch build after every step — the
+    /// patch repairs exactly the affected rows and nothing else drifts.
+    #[test]
+    fn patched_graph_matches_full_build_on_random_sequences(
+        dim_3d: bool,
+        steps in 1usize..5,
+        salt in 0u64..1000,
+    ) {
+        let dim = if dim_3d { Dim::D3 } else { Dim::D2 };
+        let cells = if dim_3d { (32, 32, 32) } else { (64, 64, 64) };
+        let mut mesh = AmrMesh::new(MeshConfig::from_cells(dim, cells, 2));
+        let mut graph = mesh.neighbor_graph();
+        let mut scratch = PatchScratch::default();
+        for step in 0..steps {
+            let key = salt.wrapping_add(step as u64);
+            mesh.adapt(|b| {
+                let h = (b.id.index() as u64)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(key);
+                match h % 5 {
+                    0 => RefineTag::Refine,
+                    1 => RefineTag::Coarsen,
+                    _ => RefineTag::Keep,
+                }
+            });
+            mesh.patch_neighbor_graph(&mut graph, &mut scratch);
+            let full = mesh.neighbor_graph();
+            prop_assert_eq!(&graph, &full);
+            prop_assert!(graph.check_symmetry().is_ok());
+        }
+    }
+
+    /// The incrementally spliced block index (Morton-sorted blocks and their
+    /// SFC keys) equals a forced full DFS rebuild after every adapt of a
+    /// random refinement sequence: splicing never reorders, drops, or
+    /// miscomputes a block.
+    #[test]
+    fn spliced_index_matches_full_rebuild_on_random_sequences(
+        dim_3d: bool,
+        steps in 1usize..5,
+        salt in 0u64..1000,
+    ) {
+        let mut mesh = AmrMesh::new(MeshConfig::from_cells(
+            if dim_3d { Dim::D3 } else { Dim::D2 },
+            if dim_3d { (32, 32, 32) } else { (64, 64, 64) },
+            2,
+        ));
+        for step in 0..steps {
+            let key = salt.wrapping_add(step as u64);
+            mesh.adapt(|b| {
+                let h = (b.id.index() as u64)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(key);
+                match h % 5 {
+                    0 => RefineTag::Refine,
+                    1 => RefineTag::Coarsen,
+                    _ => RefineTag::Keep,
+                }
+            });
+            let mut oracle = mesh.clone();
+            oracle.force_full_rebuild();
+            prop_assert_eq!(mesh.blocks(), oracle.blocks());
+            prop_assert_eq!(mesh.sfc_keys(), oracle.sfc_keys());
+        }
     }
 }

@@ -78,13 +78,15 @@ proptest! {
     fn adapt_reports_consistent_delta(salt in 0u64..1000) {
         let mut mesh = AmrMesh::new(MeshConfig::from_cells(Dim::D3, (32, 32, 32), 2));
         let before = mesh.num_blocks();
-        let delta = mesh.adapt(|b| {
-            if (b.id.index() as u64).wrapping_mul(salt + 1).is_multiple_of(7) {
-                RefineTag::Refine
-            } else {
-                RefineTag::Keep
-            }
-        });
+        let delta = mesh
+            .adapt(|b| {
+                if (b.id.index() as u64).wrapping_mul(salt + 1).is_multiple_of(7) {
+                    RefineTag::Refine
+                } else {
+                    RefineTag::Keep
+                }
+            })
+            .clone();
         prop_assert_eq!(delta.blocks_before, before);
         prop_assert_eq!(delta.blocks_after, mesh.num_blocks());
         // Refining k leaves in 3D nets exactly 7k extra blocks.

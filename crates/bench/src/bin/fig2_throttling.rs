@@ -44,7 +44,7 @@ fn main() {
     // Use a Sedov run when the rank count matches Table I, else cooling.
     let run = |faults: FaultConfig, label: &str| {
         let mut cfg = SimConfig::tuned(ranks);
-        cfg.faults = faults;
+        cfg.faults = faults.into();
         cfg.seed = seed;
         cfg.telemetry_sampling = 1;
         let mut sim = MacroSim::new(cfg);
@@ -84,8 +84,7 @@ fn main() {
         rep.inflation
     );
     assert_eq!(
-        rep.throttled_nodes,
-        throttled.iter().map(|&n| n as u32).collect::<Vec<_>>(),
+        rep.throttled_nodes, throttled,
         "detector must find exactly the injected nodes"
     );
 

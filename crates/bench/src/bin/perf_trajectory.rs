@@ -12,14 +12,21 @@
 //! Flags: `--smoke` (small scale, 1 rep, for CI), `--reps N` (default 3,
 //! min-of-N per scale), `--steps N` (simulated steps, default 3),
 //! `--evolve-steps N` (evolving-trajectory steps, default 40),
-//! `--out PATH` (default `BENCH_macrosim.json`).
+//! `--faults` (run the faulty trajectory even under `--smoke`; full runs
+//! always include it), `--fault-steps N` (faulty-trajectory steps, default
+//! 60), `--out PATH` (default `BENCH_macrosim.json`).
 //!
 //! The run also enforces the no-op-adapt guard: an all-`Keep` adapt must
 //! take the identity fast path (identity delta, far cheaper than a full
-//! index rebuild) or the process panics — CI fails on regression.
+//! index rebuild) or the process panics — CI fails on regression. The
+//! faulty trajectory likewise guards the closed fault loop: detect-and-
+//! reweight must beat fault-oblivious, detect-and-prune must beat both, and
+//! at full scale reweighting must recover at least 40% of the fault-induced
+//! slowdown.
 
 use amr_bench::e2e::{
-    assert_noop_adapt_fast, run_evolving, run_pipeline, E2eTimings, EvolvingTimings,
+    assert_noop_adapt_fast, run_evolving, run_faulty, run_pipeline, E2eTimings, EvolvingTimings,
+    FaultyArm, FaultyTimings,
 };
 use amr_bench::Args;
 use std::fmt::Write as _;
@@ -30,6 +37,9 @@ fn main() {
     let reps = args.get_usize("reps", if smoke { 1 } else { 3 });
     let steps = args.get_u64("steps", 3);
     let evolve_steps = args.get_u64("evolve-steps", 40);
+    let fault_steps = args.get_u64("fault-steps", 60);
+    let fault_ranks = args.get_usize("fault-ranks", if smoke { 256 } else { 4096 });
+    let with_faults = args.flag("faults") || !smoke;
     let out_path = args.get("out", "BENCH_macrosim.json").to_string();
     let scales: Vec<usize> = if smoke {
         vec![256]
@@ -101,7 +111,55 @@ fn main() {
         evolving.push(best.expect("at least one rep"));
     }
 
-    let json = render_json(&rows, &evolving, steps, evolve_steps, reps, smoke);
+    let faulty = with_faults.then(|| {
+        let ranks = fault_ranks;
+        let f = run_faulty(ranks, fault_steps, 1);
+        let rec_rew = f.recovery(&f.reweight);
+        let rec_prune = f.recovery(&f.prune);
+        eprintln!(
+            "faulty {:>6}: oblivious {:>9.3} ms | reweight {:>9.3} ms (rec {:>5.1}%) | prune {:>9.3} ms (rec {:>5.1}%) | healthy {:>9.3} ms",
+            ranks,
+            f.oblivious.total_ns / 1e6,
+            f.reweight.total_ns / 1e6,
+            rec_rew * 100.0,
+            f.prune.total_ns / 1e6,
+            rec_prune * 100.0,
+            f.healthy.total_ns / 1e6,
+        );
+        // The closed-loop guards (CI fails if the loop stops paying off).
+        assert!(
+            f.reweight.total_ns < f.oblivious.total_ns,
+            "detect-and-reweight must beat fault-oblivious ({} !< {})",
+            f.reweight.total_ns,
+            f.oblivious.total_ns
+        );
+        assert!(
+            f.prune.total_ns < f.reweight.total_ns,
+            "detect-and-prune escapes the degraded NIC too and must beat \
+             reweighting ({} !< {})",
+            f.prune.total_ns,
+            f.reweight.total_ns
+        );
+        assert_eq!(f.prune.nodes_pruned, 1, "prune arm never re-hosted");
+        if !smoke {
+            assert!(
+                rec_rew >= 0.4,
+                "reweight recovered only {:.1}% of the slowdown at full scale",
+                rec_rew * 100.0
+            );
+        }
+        f
+    });
+
+    let json = render_json(
+        &rows,
+        &evolving,
+        faulty.as_ref(),
+        steps,
+        evolve_steps,
+        reps,
+        smoke,
+    );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("{json}");
     eprintln!("wrote {out_path}");
@@ -111,6 +169,7 @@ fn main() {
 fn render_json(
     rows: &[E2eTimings],
     evolving: &[(EvolvingTimings, EvolvingTimings)],
+    faulty: Option<&FaultyTimings>,
     steps: u64,
     evolve_steps: u64,
     reps: usize,
@@ -172,6 +231,44 @@ fn render_json(
             if i + 1 == evolving.len() { "" } else { "," }
         );
     }
-    s.push_str("  ]\n}\n");
+    if let Some(f) = faulty {
+        s.push_str("  ],\n");
+        let _ = writeln!(
+            s,
+            "  \"faulty_pipeline\": \"static mesh, lpt, {} steps; node 1 throttled 4x + NIC renegotiated to 1/10 rate on steps [{}, {}); arms share workload/seed and differ only in fault response\",",
+            f.steps, f.onset_step, f.recovery_step
+        );
+        let arm = |a: &FaultyArm| {
+            format!(
+                "{{\"total_ns\": {:.0}, \"sync_ns\": {:.0}, \"lb_invocations\": {}, \"capacity_updates\": {}, \"nodes_pruned\": {}, \"blocks_migrated\": {}, \"wall_ns\": {}}}",
+                a.total_ns,
+                a.sync_ns,
+                a.lb_invocations,
+                a.capacity_updates,
+                a.nodes_pruned,
+                a.blocks_migrated,
+                a.wall_ns
+            )
+        };
+        s.push_str("  \"faulty\": {\n");
+        let _ = writeln!(
+            s,
+            "    \"ranks\": {}, \"blocks\": {}, \"steps\": {},",
+            f.ranks, f.blocks, f.steps
+        );
+        let _ = writeln!(s, "    \"healthy\": {},", arm(&f.healthy));
+        let _ = writeln!(s, "    \"oblivious\": {},", arm(&f.oblivious));
+        let _ = writeln!(s, "    \"reweight\": {},", arm(&f.reweight));
+        let _ = writeln!(s, "    \"prune\": {},", arm(&f.prune));
+        let _ = writeln!(
+            s,
+            "    \"reweight_recovery\": {:.3}, \"prune_recovery\": {:.3}",
+            f.recovery(&f.reweight),
+            f.recovery(&f.prune)
+        );
+        s.push_str("  }\n}\n");
+    } else {
+        s.push_str("  ]\n}\n");
+    }
     s
 }

@@ -11,7 +11,9 @@ use amr_core::engine::PlacementEngine;
 use amr_core::policies::{Cplx, Lpt};
 use amr_core::trigger::RebalanceTrigger;
 use amr_mesh::{AmrMesh, BlockFate, Dim, MeshBlock, MeshConfig, PatchScratch, RefineTag};
-use amr_sim::{MacroSim, SimConfig, Workload, WorkloadStep};
+use amr_sim::{
+    FaultEpisode, FaultResponse, FaultTimeline, MacroSim, SimConfig, Workload, WorkloadStep,
+};
 use amr_workloads::random_refined_mesh;
 use std::time::Instant;
 
@@ -115,6 +117,115 @@ pub fn run_pipeline(ranks: usize, steps: u64, seed: u64) -> E2eTimings {
         rebalance_ns,
         sim_ns,
         e2e_ns: t_total.elapsed().as_nanos() as u64,
+    }
+}
+
+/// One arm of the faulty trajectory (virtual nanoseconds from the report,
+/// host wall clock for the pass).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultyArm {
+    /// Virtual end-to-end run time.
+    pub total_ns: f64,
+    /// Mean-per-rank synchronization total (where straggling lands).
+    pub sync_ns: f64,
+    pub lb_invocations: u64,
+    pub capacity_updates: u64,
+    pub nodes_pruned: u64,
+    pub blocks_migrated: u64,
+    /// Host wall clock of the whole simulated pass.
+    pub wall_ns: u64,
+}
+
+/// Four-arm mid-run-fault comparison on identical workloads: healthy,
+/// fault-oblivious, detect-and-reweight, detect-and-prune.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultyTimings {
+    pub ranks: usize,
+    pub steps: u64,
+    pub blocks: usize,
+    /// Episode bounds (onset at `steps/3`, recovery at `2·steps/3`).
+    pub onset_step: u64,
+    pub recovery_step: u64,
+    pub healthy: FaultyArm,
+    pub oblivious: FaultyArm,
+    pub reweight: FaultyArm,
+    pub prune: FaultyArm,
+}
+
+impl FaultyTimings {
+    /// Fraction of the fault-induced e2e slowdown (`oblivious − healthy`)
+    /// recovered by `arm`. 1.0 = fully recovered, 0.0 = no better than
+    /// ignoring the fault.
+    pub fn recovery(&self, arm: &FaultyArm) -> f64 {
+        let hurt = self.oblivious.total_ns - self.healthy.total_ns;
+        if hurt <= 0.0 {
+            return 1.0;
+        }
+        (self.oblivious.total_ns - arm.total_ns) / hurt
+    }
+}
+
+/// Run the canned faulty trajectory at `ranks` ranks: a static random
+/// refined mesh (~1.6 blocks/rank) simulated for `steps` steps under LPT,
+/// with one node throttled 4× — and its NIC halved — from `steps/3` to
+/// `2·steps/3` (the paper's §IV-A fail-slow signature, appearing and
+/// recovering mid-run). All four arms see the identical workload, costs,
+/// and jitter seed; they differ only in the fault response:
+///
+/// * **healthy** — no episode at all (the recovery ceiling);
+/// * **oblivious** — episode injected, detector off: every step waits out
+///   the straggler in synchronization;
+/// * **reweight** — online detector + capacity-aware LPT: the slow node
+///   keeps ~1/inflation of its fair share while the episode lasts;
+/// * **prune** — online detector + blacklist-and-migrate onto one spare
+///   machine: escapes both the compute throttle and the degraded NIC at
+///   the price of a one-shot state migration.
+pub fn run_faulty(ranks: usize, steps: u64, seed: u64) -> FaultyTimings {
+    let policy = Lpt;
+    let mesh = random_refined_mesh(ranks, 1.6, seed);
+    let blocks = mesh.num_blocks();
+    let onset = steps / 3;
+    let recovery = 2 * steps / 3;
+    // 4× compute throttle plus a link renegotiated down an order of
+    // magnitude (the 100G→10G fallback failure mode): capacity reweighting
+    // compensates the compute share, but the slow NIC still gates the
+    // per-step collective for everyone — only pruning escapes both.
+    let episode = FaultEpisode::throttle(onset, recovery, [1], 4.0).with_nic_degradation(0.1);
+
+    let arm = |faulty: bool, response: FaultResponse, spares: usize| -> FaultyArm {
+        let mut cfg = SimConfig::tuned(ranks);
+        cfg.telemetry_sampling = 1_000_000; // telemetry off: measure the loop
+        cfg.seed = seed ^ 0x5EED;
+        if faulty {
+            cfg.faults = FaultTimeline::with_episode(episode.clone());
+        }
+        cfg.fault_response = response;
+        cfg.spare_nodes = spares;
+        let mut w = StaticPipelineWorkload::new(mesh.clone(), steps);
+        let mut sim = MacroSim::new(cfg);
+        let t = Instant::now();
+        let rep = sim.run(&mut w, &policy, RebalanceTrigger::OnMeshChange);
+        FaultyArm {
+            total_ns: rep.total_ns,
+            sync_ns: rep.phases.sync_ns,
+            lb_invocations: rep.lb_invocations,
+            capacity_updates: rep.capacity_updates,
+            nodes_pruned: rep.nodes_pruned,
+            blocks_migrated: rep.blocks_migrated,
+            wall_ns: t.elapsed().as_nanos() as u64,
+        }
+    };
+
+    FaultyTimings {
+        ranks,
+        steps,
+        blocks,
+        onset_step: onset,
+        recovery_step: recovery,
+        healthy: arm(false, FaultResponse::Oblivious, 0),
+        oblivious: arm(true, FaultResponse::Oblivious, 0),
+        reweight: arm(true, FaultResponse::Reweight, 0),
+        prune: arm(true, FaultResponse::PruneAndMigrate, 1),
     }
 }
 

@@ -125,6 +125,27 @@ impl TelemetryCostModel {
         }
     }
 
+    /// Fold one timestep's measurements with **capacity normalization**:
+    /// each block's measured time is scaled by its hosting rank's relative
+    /// speed (`capacities[assignment[b]]`), recovering the block's intrinsic
+    /// cost on a nominal rank. Without this, a 4×-throttled node inflates
+    /// its blocks' estimates 4×, and a capacity-aware policy then *also*
+    /// discounts the rank — double-counting the fault and oscillating the
+    /// placement. With all capacities at 1.0 this is bit-identical to
+    /// [`observe_all`](TelemetryCostModel::observe_all) (`x * 1.0 == x`).
+    pub fn observe_all_deflated(
+        &mut self,
+        measured: &[f64],
+        assignment: &[u32],
+        capacities: &[f64],
+    ) {
+        assert_eq!(measured.len(), self.costs.len());
+        assert_eq!(assignment.len(), self.costs.len());
+        for (b, &m) in measured.iter().enumerate() {
+            self.observe(b, m * capacities[assignment[b] as usize]);
+        }
+    }
+
     /// Rebuild the model for a new mesh described by per-new-block origins.
     pub fn remap(&self, origins: &[CostOrigin]) -> TelemetryCostModel {
         let mut out = self.clone();
@@ -236,6 +257,31 @@ mod tests {
     #[should_panic(expected = "alpha must be in")]
     fn rejects_bad_alpha() {
         TelemetryCostModel::new(1, 0.0, 1.0);
+    }
+
+    #[test]
+    fn deflated_observation_recovers_intrinsic_cost() {
+        // Blocks 0,1 on rank 0 (healthy), block 2 on rank 1 (4x slow,
+        // capacity 0.25). Measured times carry the fault inflation; the
+        // deflated fold must converge to the intrinsic costs.
+        let mut m = TelemetryCostModel::new(3, 0.5, 1.0);
+        let assignment = [0u32, 0, 1];
+        let caps = [1.0, 0.25];
+        for _ in 0..40 {
+            m.observe_all_deflated(&[2.0, 3.0, 20.0], &assignment, &caps);
+        }
+        assert!((m.costs()[0] - 2.0).abs() < 1e-9);
+        assert!((m.costs()[1] - 3.0).abs() < 1e-9);
+        assert!((m.costs()[2] - 5.0).abs() < 1e-9);
+
+        // Unit capacities: bit-identical to the plain fold.
+        let mut a = TelemetryCostModel::new(3, 0.3, 1.0);
+        let mut b = a.clone();
+        a.observe_all(&[1.7, 0.3, 9.1]);
+        b.observe_all_deflated(&[1.7, 0.3, 9.1], &assignment, &[1.0, 1.0]);
+        for (x, y) in a.costs().iter().zip(b.costs()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     #[test]

@@ -63,6 +63,20 @@ pub enum PlacementError {
         /// Name of the policy that required the mesh.
         policy: String,
     },
+    /// A rank capacity is NaN, infinite, zero, or negative.
+    BadCapacity {
+        /// Offending rank.
+        rank: usize,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The capacity vector's length does not match the rank count.
+    CapacityCountMismatch {
+        /// Ranks being placed onto.
+        num_ranks: usize,
+        /// Capacities supplied.
+        capacities: usize,
+    },
 }
 
 impl fmt::Display for PlacementError {
@@ -91,6 +105,17 @@ impl fmt::Display for PlacementError {
             PlacementError::NeedsMesh { policy } => {
                 write!(f, "policy {policy:?} needs a mesh in the PlacementCtx")
             }
+            PlacementError::BadCapacity { rank, value } => write!(
+                f,
+                "rank capacities must be finite and positive (rank {rank} = {value})"
+            ),
+            PlacementError::CapacityCountMismatch {
+                num_ranks,
+                capacities,
+            } => write!(
+                f,
+                "capacity vector covers {capacities} ranks but {num_ranks} are being placed"
+            ),
         }
     }
 }
@@ -296,6 +321,7 @@ pub struct PlacementCtx<'a> {
     prev: Option<&'a Placement>,
     origins: Option<&'a [CostOrigin]>,
     scratch: Option<&'a Scratch>,
+    capacities: Option<&'a [f64]>,
 }
 
 impl<'a> PlacementCtx<'a> {
@@ -310,6 +336,7 @@ impl<'a> PlacementCtx<'a> {
             prev: None,
             origins: None,
             scratch: None,
+            capacities: None,
         }
     }
 
@@ -348,6 +375,17 @@ impl<'a> PlacementCtx<'a> {
     /// Attach reusable scratch buffers.
     pub fn with_scratch(mut self, scratch: &'a Scratch) -> Self {
         self.scratch = Some(scratch);
+        self
+    }
+
+    /// Attach per-rank capacities: relative speeds (1.0 = nominal, 0.25 = a
+    /// 4×-throttled rank). Capacity-aware policies (the LPT/CPLX family)
+    /// weight per-rank load by capacity so a slow rank receives
+    /// proportionally less work; [`finish`](PlacementCtx::finish) then
+    /// reports makespan/imbalance in *time* units (`load / capacity`).
+    /// Policies that ignore capacities still get honest reports.
+    pub fn with_capacities(mut self, capacities: &'a [f64]) -> Self {
+        self.capacities = Some(capacities);
         self
     }
 
@@ -391,9 +429,28 @@ impl<'a> PlacementCtx<'a> {
         self.scratch
     }
 
-    /// Validate costs and rank count.
+    /// Per-rank capacities, if attached.
+    pub fn capacities(&self) -> Option<&'a [f64]> {
+        self.capacities
+    }
+
+    /// Validate costs, rank count, and (when attached) capacities.
     pub fn validate(&self) -> Result<(), PlacementError> {
-        validate(self.costs, self.num_ranks)
+        validate(self.costs, self.num_ranks)?;
+        if let Some(caps) = self.capacities {
+            if caps.len() != self.num_ranks {
+                return Err(PlacementError::CapacityCountMismatch {
+                    num_ranks: self.num_ranks,
+                    capacities: caps.len(),
+                });
+            }
+            for (rank, &value) in caps.iter().enumerate() {
+                if !(value.is_finite() && value > 0.0) {
+                    return Err(PlacementError::BadCapacity { rank, value });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Build the report for a finished assignment: balance metrics plus
@@ -419,17 +476,30 @@ impl<'a> PlacementCtx<'a> {
         for (b, &r) in out.as_slice().iter().enumerate() {
             loads[r as usize] += self.costs[b];
         }
+        // With capacities, per-rank completion time is load/capacity and the
+        // ideal makespan is total work over total speed; without, the two
+        // formulations coincide (all capacities 1).
         let mut makespan = 0.0f64;
         let mut total = 0.0f64;
-        for &l in loads.iter() {
-            makespan = makespan.max(l);
-            total += l;
+        match self.capacities {
+            Some(caps) => {
+                for (r, &l) in loads.iter().enumerate() {
+                    makespan = makespan.max(l / caps[r]);
+                    total += l;
+                }
+            }
+            None => {
+                for &l in loads.iter() {
+                    makespan = makespan.max(l);
+                    total += l;
+                }
+            }
         }
-        let imbalance = if total == 0.0 {
-            1.0
-        } else {
-            makespan / (total / self.num_ranks as f64)
+        let ideal = match self.capacities {
+            Some(caps) => total / caps.iter().sum::<f64>(),
+            None => total / self.num_ranks as f64,
         };
+        let imbalance = if total == 0.0 { 1.0 } else { makespan / ideal };
 
         PlacementReport {
             num_blocks: out.num_blocks(),
@@ -534,6 +604,9 @@ pub struct PlacementEngine {
     buffers: [Placement; 2],
     current: usize,
     primed: bool,
+    /// Per-rank capacities applied to every rebalance until cleared; empty
+    /// means the homogeneous (capacity-less) fast path.
+    capacities: Vec<f64>,
 }
 
 impl PlacementEngine {
@@ -553,9 +626,30 @@ impl PlacementEngine {
     }
 
     /// Forget the current placement (e.g. when starting a new run); buffers
-    /// and scratch keep their capacity.
+    /// and scratch keep their capacity. Capacities are cleared too — a new
+    /// run starts from the homogeneous assumption.
     pub fn reset(&mut self) {
         self.primed = false;
+        self.capacities.clear();
+    }
+
+    /// Apply per-rank capacities (relative speeds; see
+    /// [`PlacementCtx::with_capacities`]) to every subsequent rebalance.
+    /// The slice is copied into an engine-owned buffer so callers don't
+    /// fight the borrow on `rebalance_with`. Reuses its allocation.
+    pub fn set_capacities(&mut self, capacities: &[f64]) {
+        self.capacities.clear();
+        self.capacities.extend_from_slice(capacities);
+    }
+
+    /// Return to homogeneous (capacity-less) placement.
+    pub fn clear_capacities(&mut self) {
+        self.capacities.clear();
+    }
+
+    /// Capacities currently applied, if any.
+    pub fn capacities(&self) -> Option<&[f64]> {
+        (!self.capacities.is_empty()).then_some(&self.capacities[..])
     }
 
     /// Rebalance with costs only.
@@ -597,6 +691,9 @@ impl PlacementEngine {
             (&tail[0], &mut head[0])
         };
         let mut ctx = PlacementCtx::new(costs, num_ranks).with_scratch(&self.scratch);
+        if !self.capacities.is_empty() {
+            ctx = ctx.with_capacities(&self.capacities);
+        }
         if let Some(m) = mesh {
             ctx = ctx.with_mesh(m);
         }

@@ -14,7 +14,7 @@
 //! i.e. pure LPT over the whole mesh.
 
 use super::chunked::{chunked_assign, ChunkedCdp};
-use super::lpt::lpt_scratch;
+use super::lpt::{lpt_capacity_scratch, lpt_scratch};
 use super::PlacementPolicy;
 use crate::engine::{PlacementCtx, PlacementError, PlacementReport};
 use crate::placement::Placement;
@@ -72,11 +72,15 @@ impl Cplx {
 impl Cplx {
     /// The selective LPT pass over the CDP seed already sitting in `out`,
     /// with caller-provided working memory (see [`crate::engine::Scratch`]).
+    /// With `capacities`, ranks are sorted by *normalized* load (time), so a
+    /// slow node's ranks surface in the overloaded selection even at average
+    /// raw load, and the subset re-place is capacity-aware LPT.
     #[allow(clippy::too_many_arguments)]
     fn rebalance_selected(
         &self,
         costs: &[f64],
         num_ranks: usize,
+        capacities: Option<&[f64]>,
         out: &mut Placement,
         loads: &mut Vec<f64>,
         order: &mut Vec<u32>,
@@ -92,6 +96,11 @@ impl Cplx {
         loads.resize(num_ranks, 0.0);
         for (b, &r) in out.as_slice().iter().enumerate() {
             loads[r as usize] += costs[b];
+        }
+        if let Some(caps) = capacities {
+            for (r, l) in loads.iter_mut().enumerate() {
+                *l /= caps[r];
+            }
         }
         // Warm scratch keeps the previous call's rank permutation; sorting
         // any permutation of `0..num_ranks` yields the same result (strict
@@ -130,7 +139,12 @@ impl Cplx {
             return;
         }
         let assignment = out.reset(num_ranks);
-        lpt_scratch(costs, blocks, selected, assignment, lpt_order, lpt_slots);
+        match capacities {
+            Some(caps) => lpt_capacity_scratch(
+                costs, caps, blocks, selected, assignment, lpt_order, lpt_slots,
+            ),
+            None => lpt_scratch(costs, blocks, selected, assignment, lpt_order, lpt_slots),
+        }
     }
 }
 
@@ -155,6 +169,7 @@ impl PlacementPolicy for Cplx {
             Some(s) => self.rebalance_selected(
                 costs,
                 num_ranks,
+                ctx.capacities(),
                 out,
                 &mut s.rank_loads.borrow_mut(),
                 &mut s.rank_order.borrow_mut(),
@@ -167,6 +182,7 @@ impl PlacementPolicy for Cplx {
             None => self.rebalance_selected(
                 costs,
                 num_ranks,
+                ctx.capacities(),
                 out,
                 &mut Vec::new(),
                 &mut Vec::new(),
@@ -293,5 +309,50 @@ mod tests {
             Cplx::new(50).place(&costs, 128),
             Cplx::new(50).place(&costs, 128)
         );
+    }
+
+    use crate::engine::PlacementCtx;
+    use crate::Placement;
+
+    #[test]
+    fn capacity_aware_cplx_relieves_slow_node() {
+        // 32 ranks, ranks 8..12 at quarter speed (one throttled "node").
+        let costs = random_costs(256, 21);
+        let mut caps = vec![1.0; 32];
+        for c in caps.iter_mut().take(12).skip(8) {
+            *c = 0.25;
+        }
+        let completion = |p: &Placement| {
+            let mut loads = vec![0.0; 32];
+            for (b, &r) in p.as_slice().iter().enumerate() {
+                loads[r as usize] += costs[b];
+            }
+            loads
+                .iter()
+                .zip(&caps)
+                .map(|(&l, &c)| l / c)
+                .fold(0.0, f64::max)
+        };
+        let oblivious = Cplx::new(50).place(&costs, 32);
+        let ctx = PlacementCtx::new(&costs, 32).with_capacities(&caps);
+        let mut aware = Placement::new(Vec::new(), 1);
+        Cplx::new(50).place_into(&ctx, &mut aware).unwrap();
+        assert!(
+            completion(&aware) < 0.5 * completion(&oblivious),
+            "aware {} vs oblivious {}",
+            completion(&aware),
+            completion(&oblivious)
+        );
+    }
+
+    #[test]
+    fn uniform_capacities_match_plain_cplx() {
+        let costs = random_costs(256, 22);
+        let caps = vec![1.0; 32];
+        let plain = Cplx::new(50).place(&costs, 32);
+        let ctx = PlacementCtx::new(&costs, 32).with_capacities(&caps);
+        let mut capped = Placement::new(Vec::new(), 1);
+        Cplx::new(50).place_into(&ctx, &mut capped).unwrap();
+        assert_eq!(plain, capped);
     }
 }

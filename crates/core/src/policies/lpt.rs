@@ -109,6 +109,108 @@ fn lpt_core(
     lpt_heap(costs, out, order, slots);
 }
 
+/// Capacity-aware LPT for *uniform machines* (ranks with heterogeneous
+/// speeds): blocks in descending cost order, each assigned to the rank whose
+/// normalized completion time `(load + cost) / capacity` is smallest.
+///
+/// A single min-heap over normalized loads would be wrong here: an idle slow
+/// rank sorts first and greedily receives the *largest* block at its
+/// inflated cost, exactly the straggler the capacities describe. Instead
+/// ranks are grouped into **capacity classes** (one min-load heap per
+/// distinct capacity value — with fault-derived capacities there are only a
+/// handful); per block, the classes' best completion times are compared and
+/// the winning class's least-loaded rank takes the block. With all
+/// capacities equal this degenerates to one class and reproduces plain LPT
+/// assignments exactly.
+///
+/// Deterministic: classes are ordered by capacity descending (ties between
+/// classes go to the faster one), ranks within a class tie-break on id via
+/// [`Slot`]'s ordering. `blocks`/`ranks` select a subset (CPLX); `order` and
+/// `slots` are reusable scratch.
+pub(crate) fn lpt_capacity_scratch(
+    costs: &[f64],
+    capacities: &[f64],
+    blocks: &[usize],
+    ranks: &[u32],
+    out: &mut [u32],
+    order: &mut Vec<usize>,
+    slots: &mut Vec<Slot>,
+) {
+    order.clear();
+    order.extend_from_slice(blocks);
+    slots.clear();
+    slots.extend(ranks.iter().map(|&r| Slot { load: 0.0, rank: r }));
+    lpt_capacity_heap(costs, capacities, out, order, slots);
+}
+
+/// Full-set capacity-aware LPT with the same order-preserving warm scratch
+/// as [`lpt_full_scratch`]: a stale `order` is reset to the identity,
+/// otherwise the previous permutation seeds a near-linear re-sort.
+pub(crate) fn lpt_capacity_full_scratch(
+    costs: &[f64],
+    capacities: &[f64],
+    num_ranks: usize,
+    out: &mut [u32],
+    order: &mut Vec<usize>,
+    slots: &mut Vec<Slot>,
+) {
+    if order.len() != costs.len() {
+        order.clear();
+        order.extend(0..costs.len());
+    }
+    slots.clear();
+    slots.extend((0..num_ranks as u32).map(|r| Slot { load: 0.0, rank: r }));
+    lpt_capacity_heap(costs, capacities, out, order, slots);
+}
+
+fn lpt_capacity_heap(
+    costs: &[f64],
+    capacities: &[f64],
+    out: &mut [u32],
+    order: &mut [usize],
+    slots: &mut Vec<Slot>,
+) {
+    assert!(!slots.is_empty());
+    order.sort_unstable_by(|&a, &b| costs[b].total_cmp(&costs[a]).then(a.cmp(&b)));
+
+    // Group ranks into capacity classes: sort (capacity desc, rank asc),
+    // then split runs of bit-equal capacities.
+    slots.sort_unstable_by(|a, b| {
+        capacities[b.rank as usize]
+            .total_cmp(&capacities[a.rank as usize])
+            .then(a.rank.cmp(&b.rank))
+    });
+    let mut classes: Vec<(f64, std::collections::BinaryHeap<Slot>)> = Vec::new();
+    for s in slots.drain(..) {
+        let cap = capacities[s.rank as usize];
+        match classes.last_mut() {
+            Some((c, heap)) if *c == cap => heap.push(s),
+            _ => classes.push((cap, std::collections::BinaryHeap::from(vec![s]))),
+        }
+    }
+
+    // Slot loads are stored *normalized* (time units): within a class the
+    // capacity is constant so the heap order is unaffected, and classes
+    // compare directly in completion time.
+    for &b in order.iter() {
+        let c = costs[b];
+        let mut best = 0usize;
+        let mut best_t = f64::INFINITY;
+        for (i, (cap, heap)) in classes.iter().enumerate() {
+            let t = heap.peek().expect("classes are never emptied").load + c / cap;
+            if t < best_t {
+                best_t = t;
+                best = i;
+            }
+        }
+        let (cap, heap) = &mut classes[best];
+        let mut slot = heap.pop().expect("chosen class is non-empty");
+        out[b] = slot.rank;
+        slot.load += c / *cap;
+        heap.push(slot);
+    }
+}
+
 fn lpt_heap(costs: &[f64], out: &mut [u32], order: &mut [usize], slots: &mut Vec<Slot>) {
     assert!(!slots.is_empty());
     // Sort by cost descending; index ascending tie-break for determinism
@@ -143,15 +245,33 @@ impl PlacementPolicy for Lpt {
         let assignment = out.reset(r);
         assignment.clear();
         assignment.resize(n, 0);
-        match ctx.scratch() {
-            Some(s) => lpt_full_scratch(
+        match (ctx.capacities(), ctx.scratch()) {
+            (None, Some(s)) => lpt_full_scratch(
                 costs,
                 r,
                 assignment,
                 &mut s.lpt_full_order.borrow_mut(),
                 &mut s.lpt_slots.borrow_mut(),
             ),
-            None => lpt_full_scratch(costs, r, assignment, &mut Vec::new(), &mut Vec::new()),
+            (None, None) => {
+                lpt_full_scratch(costs, r, assignment, &mut Vec::new(), &mut Vec::new())
+            }
+            (Some(caps), Some(s)) => lpt_capacity_full_scratch(
+                costs,
+                caps,
+                r,
+                assignment,
+                &mut s.lpt_full_order.borrow_mut(),
+                &mut s.lpt_slots.borrow_mut(),
+            ),
+            (Some(caps), None) => lpt_capacity_full_scratch(
+                costs,
+                caps,
+                r,
+                assignment,
+                &mut Vec::new(),
+                &mut Vec::new(),
+            ),
         }
         Ok(ctx.finish(out))
     }
@@ -233,5 +353,116 @@ mod tests {
         let costs = [0.0, 0.0, 3.0];
         let p = Lpt.place(&costs, 2);
         assert_eq!(p.makespan(&costs), 3.0);
+    }
+
+    use crate::engine::PlacementCtx;
+    use crate::Placement;
+
+    fn place_with_caps(costs: &[f64], r: usize, caps: &[f64]) -> Placement {
+        let ctx = PlacementCtx::new(costs, r).with_capacities(caps);
+        let mut out = Placement::new(Vec::new(), 1);
+        Lpt.place_into(&ctx, &mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn uniform_capacities_match_plain_lpt() {
+        let costs = random_costs(200, 7);
+        let plain = Lpt.place(&costs, 16);
+        let caps = vec![1.0; 16];
+        let capped = place_with_caps(&costs, 16, &caps);
+        assert_eq!(plain, capped);
+        // Any uniform value, not just 1.0: class structure is identical.
+        let caps = vec![0.25; 16];
+        assert_eq!(plain, place_with_caps(&costs, 16, &caps));
+    }
+
+    #[test]
+    fn slow_ranks_receive_proportionally_less_load() {
+        // 2 of 8 ranks at quarter speed, uniform blocks.
+        let costs = vec![1.0; 240];
+        let mut caps = vec![1.0; 8];
+        caps[2] = 0.25;
+        caps[5] = 0.25;
+        let p = place_with_caps(&costs, 8, &caps);
+        let mut loads = [0.0; 8];
+        for (b, &r) in p.as_slice().iter().enumerate() {
+            loads[r as usize] += costs[b];
+        }
+        // Ideal: fast ranks 240/6.5 ≈ 36.9, slow ranks ≈ 9.2.
+        for r in 0..8 {
+            let t = loads[r] / caps[r];
+            assert!(
+                (t - 240.0 / 6.5).abs() < 2.0,
+                "rank {r}: time {t} far from ideal"
+            );
+        }
+        assert!(loads[2] < loads[0] / 3.0);
+    }
+
+    #[test]
+    fn capacity_makespan_beats_oblivious_on_stragglers() {
+        // Skewed costs + one slow rank: capacity-aware LPT must beat
+        // capacity-oblivious LPT in completion time.
+        let costs = random_costs(128, 9);
+        let mut caps = vec![1.0; 8];
+        caps[3] = 0.25;
+        let aware = place_with_caps(&costs, 8, &caps);
+        let oblivious = Lpt.place(&costs, 8);
+        let time = |p: &Placement| {
+            let mut loads = [0.0; 8];
+            for (b, &r) in p.as_slice().iter().enumerate() {
+                loads[r as usize] += costs[b];
+            }
+            loads
+                .iter()
+                .zip(&caps)
+                .map(|(&l, &c)| l / c)
+                .fold(0.0, f64::max)
+        };
+        assert!(
+            time(&aware) < 0.5 * time(&oblivious),
+            "aware {} vs oblivious {}",
+            time(&aware),
+            time(&oblivious)
+        );
+    }
+
+    #[test]
+    fn capacity_path_deterministic_and_warm_matches_cold() {
+        let costs = random_costs(300, 11);
+        let mut caps = vec![1.0; 12];
+        for c in caps.iter_mut().skip(8) {
+            *c = 0.5;
+        }
+        let cold = place_with_caps(&costs, 12, &caps);
+        // Warm: reuse an order buffer seeded by a previous (different) sort.
+        let mut order: Vec<usize> = (0..costs.len()).rev().collect();
+        let mut slots = Vec::new();
+        let mut out = vec![0u32; costs.len()];
+        lpt_capacity_full_scratch(&costs, &caps, 12, &mut out, &mut order, &mut slots);
+        assert_eq!(out, cold.as_slice());
+    }
+
+    #[test]
+    fn capacity_subset_leaves_unselected_blocks() {
+        let costs = [5.0, 1.0, 4.0, 2.0];
+        let caps = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.5];
+        let mut out = vec![99u32; 4];
+        lpt_capacity_scratch(
+            &costs,
+            &caps,
+            &[0, 2],
+            &[7, 9],
+            &mut out,
+            &mut Vec::new(),
+            &mut Vec::new(),
+        );
+        assert_eq!(out[1], 99);
+        assert_eq!(out[3], 99);
+        // Rank 9 is half speed: 5.0 -> rank 7 (time 5), 4.0 -> rank 9 would
+        // be 8 vs rank 7 at 9 -> rank 9.
+        assert_eq!(out[0], 7);
+        assert_eq!(out[2], 9);
     }
 }

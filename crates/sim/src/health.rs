@@ -8,8 +8,8 @@
 //! spares from the overprovisioned pool, which in simulation terms means
 //! clearing their fault entries.
 
-use crate::faults::FaultConfig;
-use crate::topology::Topology;
+use crate::faults::{FaultConfig, FaultTimeline};
+use crate::topology::{NodeMap, Topology};
 use amr_telemetry::anomaly::{detect_throttling, ThrottleReport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -46,15 +46,52 @@ pub fn run_health_check(
     HealthCheck { probe_ns, report }
 }
 
+/// Mid-run re-check against a dynamic [`FaultTimeline`]: probe the fault
+/// state as it stands at `step` (base faults plus whatever episodes are
+/// active), through the node map — a logical node re-hosted on a healthy
+/// spare probes healthy even while its original machine's episode persists.
+pub fn run_health_check_at(
+    topology: &Topology,
+    timeline: &FaultTimeline,
+    map: &NodeMap,
+    step: u64,
+    probe_base_ns: f64,
+    seed: u64,
+) -> HealthCheck {
+    let mut rng = StdRng::seed_from_u64(seed ^ step);
+    let probe_ns: Vec<f64> = (0..topology.num_ranks)
+        .map(|rank| {
+            let phys = map.physical(topology.node_of(rank));
+            probe_base_ns * timeline.compute_multiplier(step, phys, &mut rng)
+        })
+        .collect();
+    let report = detect_throttling(&probe_ns, topology.ranks_per_node, 2.0, 0.75);
+    HealthCheck { probe_ns, report }
+}
+
 /// Prune the nodes flagged by a health check: in simulation, the ranks are
 /// re-hosted on healthy spares, i.e. the throttle entries disappear.
 /// Returns the cleaned fault config and the list of blacklisted nodes.
-pub fn prune_faulty_nodes(faults: &FaultConfig, check: &HealthCheck) -> (FaultConfig, Vec<u32>) {
+/// (Node ids are `usize` end to end — no lossy casts against
+/// `FaultConfig`/`Topology`.)
+pub fn prune_faulty_nodes(faults: &FaultConfig, check: &HealthCheck) -> (FaultConfig, Vec<usize>) {
     let mut cleaned = faults.clone();
     for node in &check.report.throttled_nodes {
-        cleaned.throttled_nodes.remove(&(*node as usize));
+        cleaned.throttled_nodes.remove(node);
     }
     (cleaned, check.report.throttled_nodes.clone())
+}
+
+/// Blacklist the flagged nodes and re-host each on a spare machine from the
+/// overprovisioned pool. Returns `(logical node, spare machine)` pairs for
+/// the nodes that actually moved; nodes that couldn't move (pool exhausted,
+/// or already on a spare) are skipped — the caller should fall back to
+/// capacity reweighting for those.
+pub fn blacklist_and_rehost(map: &mut NodeMap, flagged: &[usize]) -> Vec<(usize, usize)> {
+    flagged
+        .iter()
+        .filter_map(|&node| map.rehost(node).map(|spare| (node, spare)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -92,5 +129,38 @@ mod tests {
         assert_eq!(check.report.throttled_nodes, vec![1, 5, 6]);
         let (cleaned, _) = prune_faulty_nodes(&faults, &check);
         assert!(cleaned.throttled_nodes.is_empty());
+    }
+
+    #[test]
+    fn midrun_check_tracks_episode_bounds() {
+        use crate::faults::FaultEpisode;
+        let topo = Topology::paper(64); // 4 nodes
+        let tl = FaultTimeline::with_episode(FaultEpisode::throttle(10, 20, [1], 4.0));
+        let map = NodeMap::identity(topo.num_nodes());
+        let before = run_health_check_at(&topo, &tl, &map, 5, 1.0e6, 7);
+        assert!(before.all_healthy());
+        let during = run_health_check_at(&topo, &tl, &map, 15, 1.0e6, 7);
+        assert_eq!(during.report.throttled_nodes, vec![1]);
+        let after = run_health_check_at(&topo, &tl, &map, 25, 1.0e6, 7);
+        assert!(after.all_healthy());
+    }
+
+    #[test]
+    fn rehosted_node_probes_healthy_midrun() {
+        use crate::faults::FaultEpisode;
+        let topo = Topology::paper(64);
+        let tl = FaultTimeline::with_episode(FaultEpisode::throttle(0, u64::MAX, [2], 4.0));
+        let mut map = NodeMap::with_spares(topo.num_nodes(), 1);
+        let flagged = run_health_check_at(&topo, &tl, &map, 3, 1.0e6, 9)
+            .report
+            .throttled_nodes;
+        assert_eq!(flagged, vec![2]);
+        let moved = blacklist_and_rehost(&mut map, &flagged);
+        assert_eq!(moved, vec![(2, 4)]);
+        // The logical node now probes through the healthy spare machine.
+        let recheck = run_health_check_at(&topo, &tl, &map, 4, 1.0e6, 9);
+        assert!(recheck.all_healthy());
+        // Flagging again with the pool drained moves nothing.
+        assert!(blacklist_and_rehost(&mut map, &[2, 3]).is_empty() || map.spares_left() == 0);
     }
 }

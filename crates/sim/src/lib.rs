@@ -38,10 +38,11 @@ pub mod network;
 pub mod report;
 pub mod topology;
 
-pub use faults::FaultConfig;
+pub use faults::{FaultConfig, FaultEpisode, FaultResponse, FaultTimeline};
+pub use health::{blacklist_and_rehost, run_health_check, run_health_check_at, HealthCheck};
 pub use macrosim::{MacroSim, RunReport, SimConfig, Workload, WorkloadStep};
 pub use microsim::{Message, MicroSim, RoundResult, RoundSpec, TaskOrder};
 pub use mpi::{MpiWorld, Op};
 pub use network::NetworkConfig;
 pub use report::PhaseBreakdown;
-pub use topology::Topology;
+pub use topology::{NodeMap, Topology};

@@ -24,16 +24,18 @@
 //! the full telemetry-driven placement loop of the paper.
 
 use crate::collectives;
-use crate::faults::FaultConfig;
+use crate::faults::{FaultResponse, FaultTimeline};
+use crate::health::blacklist_and_rehost;
 use crate::network::NetworkConfig;
 use crate::report::{MessageTotals, PhaseBreakdown};
-use crate::topology::Topology;
+use crate::topology::{NodeMap, Topology};
 use amr_core::cost::{CostModel, CostOrigin, TelemetryCostModel};
 use amr_core::engine::PlacementEngine;
 use amr_core::policies::PlacementPolicy;
 use amr_core::trigger::{RebalanceTrigger, TriggerContext};
 use amr_core::Placement;
 use amr_mesh::{AmrMesh, PatchScratch};
+use amr_telemetry::anomaly::{OnlineDetectorConfig, OnlineThrottleDetector};
 use amr_telemetry::{Collector, EventTable, Phase};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -71,7 +73,18 @@ pub trait Workload {
 pub struct SimConfig {
     pub topology: Topology,
     pub network: NetworkConfig,
-    pub faults: FaultConfig,
+    /// Dynamic fault schedule (a plain [`crate::faults::FaultConfig`]
+    /// converts via `.into()` for whole-run static faults).
+    pub faults: FaultTimeline,
+    /// How the run reacts when the online detector flags a node: ignore it,
+    /// reweight placement capacities, or blacklist-and-migrate to spares.
+    pub fault_response: FaultResponse,
+    /// Tuning for the online throttle detector (only consulted when
+    /// `fault_response` is not [`FaultResponse::Oblivious`]).
+    pub detector: OnlineDetectorConfig,
+    /// Spare machines overprovisioned for [`FaultResponse::PruneAndMigrate`]
+    /// (the paper's §IV-A launch workflow).
+    pub spare_nodes: usize,
     /// RNG seed for jitter.
     pub seed: u64,
     /// Record telemetry every `n`-th step (1 = all).
@@ -114,7 +127,10 @@ impl SimConfig {
         SimConfig {
             topology: Topology::paper(num_ranks),
             network: NetworkConfig::tuned(),
-            faults: FaultConfig::healthy(),
+            faults: FaultTimeline::healthy(),
+            fault_response: FaultResponse::Oblivious,
+            detector: OnlineDetectorConfig::default(),
+            spare_nodes: 0,
             seed: 0xA17,
             telemetry_sampling: 1,
             per_block_telemetry: false,
@@ -154,6 +170,11 @@ pub struct RunReport {
     /// invocation) — checked against the paper's 50 ms budget.
     pub placement_wall_total_ns: u64,
     pub placement_wall_max_ns: u64,
+    /// Nodes blacklisted and re-hosted onto spares by the online loop.
+    pub nodes_pruned: u64,
+    /// Times the detector's verdict changed the capacity vector handed to
+    /// the placement engine (onsets and recoveries both count).
+    pub capacity_updates: u64,
     /// Collected telemetry.
     pub telemetry: EventTable,
 }
@@ -258,8 +279,43 @@ impl MacroSim {
         let steps = workload.total_steps();
         let mut collector = Collector::with_sampling(cfg.telemetry_sampling);
 
+        // The closed fault loop: the collector's per-step compute series
+        // feeds an online throttle detector; its verdicts feed back as
+        // placement capacities (Reweight) or node blacklisting
+        // (PruneAndMigrate). Oblivious runs skip all of it.
+        let respond = cfg.fault_response != FaultResponse::Oblivious;
+        let mut detector = if respond {
+            collector.track_step_compute(r);
+            Some(OnlineThrottleDetector::new(
+                r,
+                cfg.topology.ranks_per_node,
+                cfg.detector,
+            ))
+        } else {
+            None
+        };
+        let mut node_map = NodeMap::with_spares(cfg.topology.num_nodes(), cfg.spare_nodes);
+        // Capacity vector currently applied to the engine (empty ⇔ inactive).
+        let mut caps: Vec<f64> = Vec::new();
+        let mut caps_active = false;
+        let mut det_signal = vec![0.0f64; r];
+        let mut force_rebalance = false;
+        let mut pending_migration_ns = 0.0f64;
+        let mut nodes_pruned = 0u64;
+        let mut capacity_updates = 0u64;
+        // Per-rank NIC slowdowns stay pinned at 1.0 on compute-only
+        // timelines; multiplying by 1.0 is bit-exact, so the healthy path's
+        // arithmetic is unchanged.
+        let nic_dynamic = cfg.faults.any_nic_degradation();
+        let mut nic_slow = vec![1.0f64; r];
+        let mut nic_hop_mult = 1.0f64;
+
         let initial_blocks = workload.mesh().num_blocks();
         let mut cost_model = TelemetryCostModel::new(initial_blocks, cfg.cost_alpha, 1.0e6);
+        let spec = workload.mesh().config().spec;
+        let block_bytes = spec.cells(workload.mesh().config().dim)
+            * spec.num_vars as u64
+            * spec.bytes_per_value as u64;
 
         // Scratch reused across steps and rebalances.
         let mut uniform: Vec<f64> = Vec::new();
@@ -315,7 +371,10 @@ impl MacroSim {
             let ws = workload.advance(step);
 
             // --- Redistribution (placement + migration) -------------------
-            let mut redist_per_rank = 0.0f64;
+            // Pruning decided at the end of the previous step charges its
+            // state migration here, at the top of the step it takes effect.
+            let mut redist_per_rank = pending_migration_ns;
+            pending_migration_ns = 0.0;
             let mut redist_moved = 0u64;
             let mut redist_bytes = 0u64;
             if ws.mesh_changed {
@@ -351,7 +410,8 @@ impl MacroSim {
                 .engine
                 .placement()
                 .is_none_or(|p| p.num_blocks() != cost_model.len());
-            if trigger.should_rebalance(&ctx) || count_mismatch {
+            if trigger.should_rebalance(&ctx) || count_mismatch || force_rebalance {
+                force_rebalance = false;
                 lb_invocations += 1;
                 let n = workload.mesh().num_blocks();
                 let costs: &[f64] = if cfg.use_measured_costs {
@@ -376,10 +436,6 @@ impl MacroSim {
                 placement_wall_total += wall;
                 placement_wall_max = placement_wall_max.max(wall);
 
-                let spec = workload.mesh().config().spec;
-                let dim = workload.mesh().config().dim;
-                let block_bytes =
-                    spec.cells(dim) * spec.num_vars as u64 * spec.bytes_per_value as u64;
                 // Migration is an all-to-all of moved blocks: each rank's
                 // cost is bounded by the larger of its outgoing and incoming
                 // volume over the fabric, and the phase ends with the
@@ -406,7 +462,7 @@ impl MacroSim {
                 };
                 blocks_migrated += redist_moved;
                 redist_bytes = redist_moved * block_bytes;
-                redist_per_rank = wall as f64 + migration_ns;
+                redist_per_rank += wall as f64 + migration_ns;
 
                 let placement = self
                     .engine
@@ -422,11 +478,22 @@ impl MacroSim {
             compute.iter_mut().for_each(|c| *c = 0.0);
             measured.clear();
             measured.resize(block_ns.len(), 0.0);
-            // Per-rank multiplier for this step (node fault + jitter).
+            // Per-rank multiplier for this step (node fault + jitter),
+            // sampled from the timeline at the node's *physical* machine —
+            // a pruned node re-hosted on a spare escapes its episode.
             for (rank, m) in rank_mult.iter_mut().enumerate() {
-                *m = cfg
-                    .faults
-                    .compute_multiplier(cfg.topology.node_of(rank), &mut self.rng);
+                let phys = node_map.physical(cfg.topology.node_of(rank));
+                *m = cfg.faults.compute_multiplier(step, phys, &mut self.rng);
+            }
+            if nic_dynamic {
+                nic_hop_mult = 1.0;
+                for (rank, s) in nic_slow.iter_mut().enumerate() {
+                    let phys = node_map.physical(cfg.topology.node_of(rank));
+                    *s = cfg.faults.nic_slowdown(step, phys);
+                    if *s > nic_hop_mult {
+                        nic_hop_mult = *s;
+                    }
+                }
             }
             for (b, &base) in block_ns.iter().enumerate() {
                 let rank = placement.rank_of(b) as usize;
@@ -437,15 +504,26 @@ impl MacroSim {
                     collector.record_block(rank as u32, b as u32, Phase::Compute, t as u64);
                 }
             }
-            cost_model.observe_all(&measured);
+            // With capacities applied, deflate observations back to
+            // intrinsic block cost — otherwise the fault inflation would be
+            // counted twice (once in the cost estimate, once in the
+            // capacity) and placement would oscillate.
+            if caps_active {
+                cost_model.observe_all_deflated(&measured, placement.as_slice(), &caps);
+            } else {
+                cost_model.observe_all(&measured);
+            }
 
             // --- Boundary exchange ----------------------------------------
             // ready = compute + dispatch + memcpy; arrival-constrained finish.
+            // Per-rank NIC slowdowns (1.0 on healthy timelines — multiplying
+            // by 1.0 is bit-exact) stretch the fabric-facing terms: dispatch,
+            // service, flux, and the transfer tail. Memcpys don't ride the NIC.
             let xs = cfg.exchanges_per_step as f64;
             for rank in 0..r {
                 ready[rank] = compute[rank]
-                    + xs * (epoch.dispatch_ns[rank] + epoch.memcpy_ns[rank])
-                    + epoch.flux_ns[rank];
+                    + xs * (epoch.dispatch_ns[rank] * nic_slow[rank] + epoch.memcpy_ns[rank])
+                    + epoch.flux_ns[rank] * nic_slow[rank];
             }
             for rank in 0..r {
                 // Last inbound message ~ slowest sender's dispatch + tail.
@@ -454,20 +532,22 @@ impl MacroSim {
                 let mut arrival = 0.0f64;
                 for &s in &epoch.senders[rank] {
                     let a = cfg.send_coupling * compute[s as usize]
-                        + xs * epoch.dispatch_ns[s as usize];
+                        + xs * epoch.dispatch_ns[s as usize] * nic_slow[s as usize];
                     if a > arrival {
                         arrival = a;
                     }
                 }
                 if !epoch.senders[rank].is_empty() {
-                    arrival += epoch.transfer_tail_ns[rank];
+                    arrival += epoch.transfer_tail_ns[rank] * nic_slow[rank];
                 }
                 // Async masking: independent work from co-resident blocks
                 // hides part of the arrival wait (§IV-D).
                 let raw_wait = (arrival - ready[rank]).max(0.0);
                 let nb = epoch.blocks_per_rank[rank].max(1) as f64;
                 let masking = cfg.overlap_efficiency * (1.0 - 1.0 / nb);
-                let f = ready[rank] + raw_wait * (1.0 - masking) + xs * epoch.service_ns[rank];
+                let f = ready[rank]
+                    + raw_wait * (1.0 - masking)
+                    + xs * epoch.service_ns[rank] * nic_slow[rank];
                 finish[rank] = f;
             }
 
@@ -476,9 +556,18 @@ impl MacroSim {
             // (dt and CFL diagnostics), not a bare barrier (§II-B).
             arrivals.clear();
             arrivals.extend(finish.iter().map(|&f| f as u64));
+            // A degraded-NIC participant gates the whole collective: every
+            // tree level waits on the slowest link, so the hop cost scales
+            // with the worst per-rank NIC slowdown this step. Healthy
+            // timelines keep the integer latency untouched.
+            let hop_ns = if nic_hop_mult > 1.0 {
+                (cfg.network.fabric.latency_ns as f64 * nic_hop_mult) as u64
+            } else {
+                cfg.network.fabric.latency_ns
+            };
             let completion_ns = collectives::allreduce_into(
                 &arrivals,
-                cfg.network.fabric.latency_ns,
+                hop_ns,
                 64,
                 cfg.network.fabric.bytes_per_ns,
                 &mut coll_wait,
@@ -529,6 +618,55 @@ impl MacroSim {
             messages.intra += epoch.intra_msgs * xm;
             messages.local += epoch.local_msgs * xm;
             messages.remote += epoch.remote_msgs * xm;
+
+            // --- Online fault response (detect → reweight / prune) --------
+            if let Some(det) = detector.as_mut() {
+                // Normalize the collector's compute series by the capacity
+                // already applied to each rank: a derated rank legitimately
+                // holds less work, so its *raw* time looks healthy — the
+                // normalized signal keeps measuring the machine, not the
+                // placement, and the flag stays stable after reweighting.
+                let series = collector.step_compute();
+                for rank in 0..r {
+                    let applied = if caps_active { caps[rank] } else { 1.0 };
+                    det_signal[rank] = series[rank] / applied;
+                }
+                if det.observe(&det_signal) {
+                    if cfg.fault_response == FaultResponse::PruneAndMigrate {
+                        let flagged = det.flagged_nodes();
+                        let moved = blacklist_and_rehost(&mut node_map, &flagged);
+                        for &(node, _spare) in &moved {
+                            // The flagged machine is gone; its window
+                            // history and flag describe dead hardware.
+                            det.clear_flag(node);
+                            // Every block on the node's ranks ships to the
+                            // spare over the fabric, charged next step.
+                            let node_blocks: u64 = cfg
+                                .topology
+                                .ranks_on_node(node)
+                                .map(|rank| epoch.blocks_per_rank[rank] as u64)
+                                .sum();
+                            pending_migration_ns += node_blocks as f64 * block_bytes as f64
+                                / cfg.network.fabric.bytes_per_ns;
+                            blocks_migrated += node_blocks;
+                            nodes_pruned += 1;
+                        }
+                        if !moved.is_empty() {
+                            det.reset_window();
+                        }
+                    }
+                    // Reweight is the primary response, and the fallback for
+                    // flagged nodes the spare pool couldn't absorb.
+                    caps_active = det.capacities_into(&mut caps);
+                    if caps_active {
+                        self.engine.set_capacities(&caps);
+                    } else {
+                        self.engine.clear_capacities();
+                    }
+                    capacity_updates += 1;
+                    force_rebalance = true;
+                }
+            }
         }
 
         RunReport {
@@ -544,6 +682,8 @@ impl MacroSim {
             final_blocks: workload.mesh().num_blocks(),
             placement_wall_total_ns: placement_wall_total,
             placement_wall_max_ns: placement_wall_max,
+            nodes_pruned,
+            capacity_updates,
             telemetry: collector.finish(),
         }
     }
@@ -745,7 +885,7 @@ mod tests {
     #[test]
     fn throttled_node_inflates_sync() {
         let mut cfg = small_config(16); // 4 nodes x 4 ranks
-        cfg.faults = FaultConfig::with_throttled_nodes([1]);
+        cfg.faults = crate::faults::FaultConfig::with_throttled_nodes([1]).into();
         let mut w1 = StaticWorkload::new(4, 10, 0.0);
         let rep_faulty = MacroSim::new(cfg).run(&mut w1, &Baseline, RebalanceTrigger::OnMeshChange);
         let mut w2 = StaticWorkload::new(4, 10, 0.0);
@@ -753,6 +893,73 @@ mod tests {
             MacroSim::new(small_config(16)).run(&mut w2, &Baseline, RebalanceTrigger::OnMeshChange);
         assert!(rep_faulty.phases.sync_ns > 2.0 * rep_ok.phases.sync_ns);
         assert!(rep_faulty.total_ns > rep_ok.total_ns);
+    }
+
+    #[test]
+    fn online_reweight_recovers_midrun_throttle() {
+        use crate::faults::{FaultEpisode, FaultResponse, FaultTimeline};
+        let steps = 60u64;
+        let mk = |response| {
+            let mut cfg = small_config(16); // 4 nodes x 4 ranks
+            cfg.faults = FaultTimeline::with_episode(FaultEpisode::throttle(20, 40, [1], 4.0));
+            cfg.fault_response = response;
+            cfg
+        };
+        let trig = RebalanceTrigger::OnMeshChange;
+        let mut w1 = StaticWorkload::new(4, steps, 0.5);
+        let obliv = MacroSim::new(mk(FaultResponse::Oblivious)).run(&mut w1, &Lpt, trig);
+        let mut w2 = StaticWorkload::new(4, steps, 0.5);
+        let rew = MacroSim::new(mk(FaultResponse::Reweight)).run(&mut w2, &Lpt, trig);
+        // The flag must rise after onset and clear after recovery.
+        assert!(
+            rew.capacity_updates >= 2,
+            "capacity updates = {}",
+            rew.capacity_updates
+        );
+        assert_eq!(rew.nodes_pruned, 0);
+        assert!(rew.lb_invocations > obliv.lb_invocations);
+        assert!(
+            rew.total_ns < obliv.total_ns,
+            "reweight {} !< oblivious {}",
+            rew.total_ns,
+            obliv.total_ns
+        );
+    }
+
+    #[test]
+    fn prune_migrates_to_spare_and_escapes_episode() {
+        use crate::faults::{FaultEpisode, FaultResponse, FaultTimeline};
+        let steps = 50u64;
+        // Permanent episode with NIC degradation: reweighting can shed
+        // compute but not escape the slow NIC; pruning escapes both.
+        let mk = |response, spares| {
+            let mut cfg = small_config(16);
+            cfg.faults = FaultTimeline::with_episode(
+                FaultEpisode::throttle(15, u64::MAX, [1], 4.0).with_nic_degradation(0.5),
+            );
+            cfg.fault_response = response;
+            cfg.spare_nodes = spares;
+            cfg
+        };
+        let trig = RebalanceTrigger::OnMeshChange;
+        let mut w1 = StaticWorkload::new(4, steps, 0.5);
+        let obliv = MacroSim::new(mk(FaultResponse::Oblivious, 0)).run(&mut w1, &Lpt, trig);
+        let mut w2 = StaticWorkload::new(4, steps, 0.5);
+        let prune = MacroSim::new(mk(FaultResponse::PruneAndMigrate, 1)).run(&mut w2, &Lpt, trig);
+        assert_eq!(prune.nodes_pruned, 1);
+        assert!(prune.blocks_migrated > 0);
+        assert!(
+            prune.total_ns < obliv.total_ns,
+            "prune {} !< oblivious {}",
+            prune.total_ns,
+            obliv.total_ns
+        );
+        // With no spares the response degrades to reweighting, not a panic.
+        let mut w3 = StaticWorkload::new(4, steps, 0.5);
+        let starved = MacroSim::new(mk(FaultResponse::PruneAndMigrate, 0)).run(&mut w3, &Lpt, trig);
+        assert_eq!(starved.nodes_pruned, 0);
+        assert!(starved.capacity_updates >= 1);
+        assert!(starved.total_ns < obliv.total_ns);
     }
 
     /// Workload that refines once at a given step.

@@ -32,6 +32,22 @@ impl PathParams {
     pub fn transfer_ns(&self, bytes: u64) -> u64 {
         self.latency_ns + (bytes as f64 / self.bytes_per_ns) as u64
     }
+
+    /// The same path with its bandwidth degraded to `bw_mult` of nominal
+    /// (`0 < bw_mult <= 1`) — a fail-slow NIC negotiating a lower rate or
+    /// burning cycles in firmware recovery, per the §IV-B pathologies.
+    /// Latency is unchanged; only the serialization rate drops.
+    #[must_use]
+    pub fn degraded(&self, bw_mult: f64) -> PathParams {
+        assert!(
+            bw_mult > 0.0 && bw_mult <= 1.0,
+            "bandwidth multiplier must be in (0, 1]"
+        );
+        PathParams {
+            latency_ns: self.latency_ns,
+            bytes_per_ns: self.bytes_per_ns * bw_mult,
+        }
+    }
 }
 
 /// Full network model configuration.
@@ -130,6 +146,20 @@ impl NetworkConfig {
         let excess = shm_arrivals.saturating_sub(self.shm_queue_size);
         excess as u64 * self.queue_overflow_penalty_ns
     }
+
+    /// This configuration with the *fabric* path degraded to `bw_mult` of
+    /// nominal bandwidth (see [`PathParams::degraded`]); the shm path is
+    /// untouched — intra-node copies don't ride the NIC. Used for static
+    /// whole-run NIC degradation studies; per-node mid-run degradation is
+    /// applied by the simulator from the fault timeline's episode
+    /// multipliers.
+    #[must_use]
+    pub fn with_degraded_fabric(&self, bw_mult: f64) -> NetworkConfig {
+        NetworkConfig {
+            fabric: self.fabric.degraded(bw_mult),
+            ..*self
+        }
+    }
 }
 
 #[cfg(test)]
@@ -174,5 +204,25 @@ mod tests {
         let n = NetworkConfig::tuned();
         assert!(n.service_ns(0, true) >= n.recv_overhead_ns);
         assert!(n.dispatch_ns(0) >= n.send_overhead_ns);
+    }
+
+    #[test]
+    fn degraded_fabric_slows_remote_only() {
+        let n = NetworkConfig::tuned();
+        let d = n.with_degraded_fabric(0.5);
+        assert_eq!(d.fabric.bytes_per_ns, n.fabric.bytes_per_ns * 0.5);
+        assert_eq!(d.fabric.latency_ns, n.fabric.latency_ns);
+        assert_eq!(d.shm, n.shm);
+        let bytes = 1 << 20;
+        assert!(d.transfer_ns(bytes, false) > n.transfer_ns(bytes, false));
+        assert_eq!(d.transfer_ns(bytes, true), n.transfer_ns(bytes, true));
+        // Full multiplier is the identity.
+        assert_eq!(n.with_degraded_fabric(1.0), n);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth multiplier must be in")]
+    fn rejects_zero_bandwidth_multiplier() {
+        let _ = NetworkConfig::tuned().with_degraded_fabric(0.0);
     }
 }

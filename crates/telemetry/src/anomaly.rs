@@ -12,6 +12,12 @@
 //! * [`variance_ratio`] — before/after variance-regime comparison used to
 //!   validate tuning steps (Fig. 3): did send prioritization / queue sizing
 //!   actually reduce rankwise spread?
+//!
+//! [`OnlineThrottleDetector`] turns the first of these into a *runtime* loop:
+//! a sliding window over the per-step per-rank compute series with debounce,
+//! so mid-run fault onset/recovery is caught within a few steps while OS
+//! jitter never trips it. Its output (flagged nodes + inflation estimates)
+//! feeds capacity-aware placement and node pruning.
 
 use crate::stats;
 
@@ -22,8 +28,9 @@ pub struct ThrottleReport {
     pub slow_ranks: Vec<u32>,
     /// Nodes where at least `node_quorum` of the ranks are slow — the
     /// "cluster of 16" signature distinguishing hardware faults from
-    /// workload imbalance.
-    pub throttled_nodes: Vec<u32>,
+    /// workload imbalance. Node ids use `usize` to match
+    /// `Topology`/`FaultConfig` on the simulator side.
+    pub throttled_nodes: Vec<usize>,
     /// Mean compute-time inflation of slow ranks relative to the median rank.
     pub inflation: f64,
     /// Median per-rank compute time used as the baseline.
@@ -66,14 +73,14 @@ pub fn detect_throttling(
     for &r in &slow_ranks {
         slow_per_node[r as usize / ranks_per_node] += 1;
     }
-    let throttled_nodes: Vec<u32> = slow_per_node
+    let throttled_nodes: Vec<usize> = slow_per_node
         .iter()
         .enumerate()
         .filter(|(n, &c)| {
             let node_size = ranks_per_node.min(per_rank_compute.len() - n * ranks_per_node);
             c as f64 >= node_quorum * node_size as f64 && c > 0
         })
-        .map(|(n, _)| n as u32)
+        .map(|(n, _)| n)
         .collect();
 
     let inflation = if slow_ranks.is_empty() || median == 0.0 {
@@ -127,34 +134,47 @@ impl WaitSpikeReport {
 pub fn detect_wait_spikes(durations: &[f64], spike_factor: f64) -> WaitSpikeReport {
     let med = stats::median(durations);
     let threshold = med * spike_factor;
-    let spikes: Vec<usize> = durations
-        .iter()
-        .enumerate()
-        .filter(|(_, &d)| med > 0.0 && d > threshold)
-        .map(|(i, _)| i)
-        .collect();
-    let mean_with = stats::mean(durations);
-    let non_spike: Vec<f64> = durations
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| !spikes.contains(i))
-        .map(|(_, &d)| d)
-        .collect();
-    let mean_without = stats::mean(&non_spike);
+    // One linear pass classifies every event and accumulates both means —
+    // no `spikes.contains` rescans (formerly O(n · spikes)).
+    let mut spikes = Vec::new();
+    let mut sum_with = 0.0;
+    let mut sum_without = 0.0;
+    for (i, &d) in durations.iter().enumerate() {
+        sum_with += d;
+        if med > 0.0 && d > threshold {
+            spikes.push(i);
+        } else {
+            sum_without += d;
+        }
+    }
+    let n = durations.len();
+    let n_without = n - spikes.len();
+    let mean_with = if n > 0 { sum_with / n as f64 } else { 0.0 };
+    let mean_without = if n_without > 0 {
+        sum_without / n_without as f64
+    } else {
+        0.0
+    };
+    // When *every* event is a spike there is no clean baseline left; the
+    // old `1.0` fallback reported "nothing wrong" in exactly the worst
+    // case. Infinite amplification is the honest answer.
+    let amplification = if mean_without > 0.0 {
+        mean_with / mean_without
+    } else if mean_with > 0.0 {
+        f64::INFINITY
+    } else {
+        1.0
+    };
     WaitSpikeReport {
-        spike_rate: if durations.is_empty() {
+        spike_rate: if n == 0 {
             0.0
         } else {
-            spikes.len() as f64 / durations.len() as f64
+            spikes.len() as f64 / n as f64
         },
         spikes,
         mean_with,
         mean_without,
-        amplification: if mean_without > 0.0 {
-            mean_with / mean_without
-        } else {
-            1.0
-        },
+        amplification,
     }
 }
 
@@ -172,6 +192,227 @@ pub fn variance_ratio(before: &[f64], after: &[f64]) -> f64 {
         }
     } else {
         a / b
+    }
+}
+
+/// Tuning knobs for the [`OnlineThrottleDetector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineDetectorConfig {
+    /// Sliding-window length in steps. Window *means* are what the
+    /// threshold test sees, so jitter is averaged down by `1/window` before
+    /// it can look like throttling.
+    pub window: usize,
+    /// Consecutive windows a node must test slow before it is flagged (and
+    /// consecutive clean windows before an existing flag is lifted). This
+    /// debounce keeps one unlucky step from triggering a rebalance.
+    pub debounce: usize,
+    /// Threshold over the median window-mean (see [`detect_throttling`]).
+    pub slow_factor: f64,
+    /// Fraction of a node's ranks that must be slow (see
+    /// [`detect_throttling`]).
+    pub node_quorum: f64,
+}
+
+impl Default for OnlineDetectorConfig {
+    fn default() -> OnlineDetectorConfig {
+        OnlineDetectorConfig {
+            window: 4,
+            debounce: 3,
+            slow_factor: 2.0,
+            node_quorum: 0.75,
+        }
+    }
+}
+
+/// Online fail-slow detector over the per-step per-rank compute series.
+///
+/// Feed it each step's per-rank compute times ([`observe`]); it maintains a
+/// sliding window per rank (ring buffer + running sum, O(ranks) per step and
+/// allocation-free after construction), runs the cluster test of
+/// [`detect_throttling`] on the window means, and debounces both onset and
+/// recovery. Flagged nodes and their measured inflation are exposed for the
+/// placement loop: [`capacities_into`] converts them straight into the
+/// per-rank relative speeds that `PlacementCtx::with_capacities` consumes.
+///
+/// [`observe`]: OnlineThrottleDetector::observe
+/// [`capacities_into`]: OnlineThrottleDetector::capacities_into
+#[derive(Debug, Clone)]
+pub struct OnlineThrottleDetector {
+    cfg: OnlineDetectorConfig,
+    num_ranks: usize,
+    ranks_per_node: usize,
+    /// Ring buffer of the last `window` samples, laid out rank-major:
+    /// `ring[r * window + slot]`.
+    ring: Vec<f64>,
+    /// Running per-rank sum over the ring.
+    sums: Vec<f64>,
+    /// Next slot to overwrite.
+    head: usize,
+    /// Samples currently in the ring (saturates at `window`).
+    filled: usize,
+    /// Per-node consecutive slow-window count.
+    hit_streak: Vec<u32>,
+    /// Per-node consecutive clean-window count.
+    clear_streak: Vec<u32>,
+    /// Per-node flagged state (debounced).
+    flagged: Vec<bool>,
+    /// Per-node inflation estimate (mean window-mean of the node's ranks
+    /// over the detection median); refreshed every slow window, retained
+    /// while flagged.
+    inflation: Vec<f64>,
+    /// Scratch for window means.
+    means: Vec<f64>,
+}
+
+impl OnlineThrottleDetector {
+    /// Detector over `num_ranks` ranks grouped `ranks_per_node` per node.
+    pub fn new(num_ranks: usize, ranks_per_node: usize, cfg: OnlineDetectorConfig) -> Self {
+        assert!(cfg.window >= 1, "window must be >= 1");
+        assert!(cfg.debounce >= 1, "debounce must be >= 1");
+        assert!(ranks_per_node >= 1);
+        let num_nodes = num_ranks.div_ceil(ranks_per_node);
+        OnlineThrottleDetector {
+            cfg,
+            num_ranks,
+            ranks_per_node,
+            ring: vec![0.0; num_ranks * cfg.window],
+            sums: vec![0.0; num_ranks],
+            head: 0,
+            filled: 0,
+            hit_streak: vec![0; num_nodes],
+            clear_streak: vec![0; num_nodes],
+            flagged: vec![false; num_nodes],
+            inflation: vec![1.0; num_nodes],
+            means: vec![0.0; num_ranks],
+        }
+    }
+
+    /// Fold one step's per-rank compute times into the window and re-test.
+    /// Returns `true` when the debounced flag set changed this step (the
+    /// signal to recompute capacities / trigger a rebalance).
+    pub fn observe(&mut self, per_rank_compute: &[f64]) -> bool {
+        assert_eq!(per_rank_compute.len(), self.num_ranks);
+        let w = self.cfg.window;
+        for (r, &t) in per_rank_compute.iter().enumerate() {
+            let slot = &mut self.ring[r * w + self.head];
+            self.sums[r] += t - *slot;
+            *slot = t;
+        }
+        self.head = (self.head + 1) % w;
+        if self.filled < w {
+            self.filled += 1;
+        }
+        if self.filled < w {
+            return false; // not enough history for a stable window mean
+        }
+        let inv_w = 1.0 / w as f64;
+        for r in 0..self.num_ranks {
+            self.means[r] = self.sums[r] * inv_w;
+        }
+        let report = detect_throttling(
+            &self.means,
+            self.ranks_per_node,
+            self.cfg.slow_factor,
+            self.cfg.node_quorum,
+        );
+        let mut changed = false;
+        let mut hits = report.throttled_nodes.iter().copied().peekable();
+        for node in 0..self.flagged.len() {
+            let hit = hits.peek() == Some(&node);
+            if hit {
+                hits.next();
+                self.hit_streak[node] += 1;
+                self.clear_streak[node] = 0;
+                self.inflation[node] = self.node_inflation(node, report.median);
+                if !self.flagged[node] && self.hit_streak[node] >= self.cfg.debounce as u32 {
+                    self.flagged[node] = true;
+                    changed = true;
+                }
+            } else {
+                self.clear_streak[node] += 1;
+                self.hit_streak[node] = 0;
+                if self.flagged[node] && self.clear_streak[node] >= self.cfg.debounce as u32 {
+                    self.flagged[node] = false;
+                    self.inflation[node] = 1.0;
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
+    /// Mean window-mean of `node`'s ranks over `median` (≥ 1).
+    fn node_inflation(&self, node: usize, median: f64) -> f64 {
+        if median <= 0.0 {
+            return 1.0;
+        }
+        let lo = node * self.ranks_per_node;
+        let hi = (lo + self.ranks_per_node).min(self.num_ranks);
+        let node_mean = stats::mean(&self.means[lo..hi]);
+        (node_mean / median).max(1.0)
+    }
+
+    /// Currently flagged (debounced) nodes, ascending.
+    pub fn flagged_nodes(&self) -> Vec<usize> {
+        self.flagged
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(n, _)| n)
+            .collect()
+    }
+
+    /// Any node currently flagged?
+    pub fn any_flagged(&self) -> bool {
+        self.flagged.iter().any(|&f| f)
+    }
+
+    /// Measured compute-time inflation of `node` (1.0 when not flagged).
+    pub fn inflation(&self, node: usize) -> f64 {
+        self.inflation[node]
+    }
+
+    /// Fill `out` with per-rank relative speeds: `1.0` for ranks on healthy
+    /// nodes, `1/inflation` for ranks on flagged nodes. This is exactly the
+    /// capacity vector capacity-aware placement consumes. Returns `true` if
+    /// any entry differs from 1.0.
+    pub fn capacities_into(&self, out: &mut Vec<f64>) -> bool {
+        out.clear();
+        out.reserve(self.num_ranks);
+        let mut any = false;
+        for r in 0..self.num_ranks {
+            let node = r / self.ranks_per_node;
+            if self.flagged[node] {
+                out.push(1.0 / self.inflation[node]);
+                any = true;
+            } else {
+                out.push(1.0);
+            }
+        }
+        any
+    }
+
+    /// Drop `node`'s flag, streaks, and inflation estimate immediately,
+    /// without waiting out the recovery debounce. For when the *hardware*
+    /// under the node changed — e.g. the node was just re-hosted on a
+    /// healthy spare — so the flag describes a machine that is gone.
+    pub fn clear_flag(&mut self, node: usize) {
+        self.flagged[node] = false;
+        self.inflation[node] = 1.0;
+        self.hit_streak[node] = 0;
+        self.clear_streak[node] = 0;
+    }
+
+    /// Forget all window history and streaks but keep current flags. Call
+    /// after a placement change that redistributes load: the old window
+    /// mixes pre- and post-change samples and would mislead the next test.
+    pub fn reset_window(&mut self) {
+        self.ring.fill(0.0);
+        self.sums.fill(0.0);
+        self.head = 0;
+        self.filled = 0;
+        self.hit_streak.fill(0);
+        self.clear_streak.fill(0);
     }
 }
 
@@ -249,5 +490,136 @@ mod tests {
         let tuned = [2.0, 2.1, 1.9, 2.05, 2.0];
         assert!(variance_ratio(&noisy, &tuned) < 0.2);
         assert!((variance_ratio(&tuned, &tuned) - 1.0).abs() < 1e-9);
+    }
+
+    /// Regression: when *every* event is a spike the old code reported
+    /// `amplification: 1.0` — "nothing wrong" in the worst case.
+    #[test]
+    fn all_spike_series_reports_infinite_amplification() {
+        // Every element above `factor x median` leaves no clean baseline.
+        let d = vec![5.0, 6.0, 7.0];
+        let rep = detect_wait_spikes(&d, 0.5);
+        assert_eq!(rep.spikes, vec![0, 1, 2]);
+        assert_eq!(rep.spike_rate, 1.0);
+        assert_eq!(rep.mean_without, 0.0);
+        assert_eq!(rep.amplification, f64::INFINITY);
+    }
+
+    #[test]
+    fn wait_spikes_empty_series() {
+        let rep = detect_wait_spikes(&[], 10.0);
+        assert!(!rep.any());
+        assert_eq!(rep.spike_rate, 0.0);
+        assert_eq!(rep.amplification, 1.0);
+    }
+
+    /// One step's per-rank compute: healthy ranks at ~1.0 with `jitter`
+    /// noise, ranks of `slow_nodes` inflated by `factor`.
+    fn step_sample(
+        num_ranks: usize,
+        rpn: usize,
+        slow_nodes: &[usize],
+        factor: f64,
+        jitter: f64,
+        step: usize,
+    ) -> Vec<f64> {
+        (0..num_ranks)
+            .map(|r| {
+                // Deterministic pseudo-jitter in [-jitter, +jitter].
+                let h = (r * 31 + step * 17) % 13;
+                let j = 1.0 + jitter * (h as f64 / 6.0 - 1.0);
+                let base = if slow_nodes.contains(&(r / rpn)) {
+                    factor
+                } else {
+                    1.0
+                };
+                base * j * 1.0e6
+            })
+            .collect()
+    }
+
+    #[test]
+    fn online_detector_flags_after_debounce_and_recovers() {
+        let cfg = OnlineDetectorConfig::default();
+        let mut det = OnlineThrottleDetector::new(64, 16, cfg);
+        // Healthy warm-up: window fills, nothing flagged.
+        for s in 0..6 {
+            let changed = det.observe(&step_sample(64, 16, &[], 1.0, 0.02, s));
+            assert!(!changed);
+        }
+        assert!(!det.any_flagged());
+        // Node 2 throttles at 4x. Flag must appear only after the debounce
+        // number of slow windows, and then exactly node 2.
+        let mut flagged_at = None;
+        for s in 6..20 {
+            let changed = det.observe(&step_sample(64, 16, &[2], 4.0, 0.02, s));
+            if changed {
+                flagged_at = Some(s);
+                break;
+            }
+        }
+        let s0 = flagged_at.expect("detector never flagged the throttled node");
+        // Onset at step 6; needs >= debounce windows over mixed-then-slow
+        // means. With window 4 and debounce 3 the earliest possible is 8.
+        assert!(s0 >= 6 + cfg.debounce - 1, "flagged too early at {s0}");
+        assert!(
+            s0 <= 6 + cfg.window + cfg.debounce,
+            "flagged too late at {s0}"
+        );
+        assert_eq!(det.flagged_nodes(), vec![2]);
+        assert!(det.inflation(2) > 3.0, "inflation = {}", det.inflation(2));
+
+        let mut caps = Vec::new();
+        assert!(det.capacities_into(&mut caps));
+        assert_eq!(caps.len(), 64);
+        assert!((caps[0] - 1.0).abs() < 1e-12);
+        assert!(caps[33] < 0.34, "slow-node capacity = {}", caps[33]);
+
+        // Recovery: after enough clean windows the flag lifts.
+        let mut cleared_at = None;
+        for s in 40..60 {
+            let changed = det.observe(&step_sample(64, 16, &[], 1.0, 0.02, s));
+            if changed {
+                cleared_at = Some(s);
+                break;
+            }
+        }
+        assert!(cleared_at.is_some(), "detector never cleared the flag");
+        assert!(!det.any_flagged());
+        assert_eq!(det.inflation(2), 1.0);
+        assert!(!det.capacities_into(&mut caps));
+        assert!(caps.iter().all(|&c| c == 1.0));
+    }
+
+    #[test]
+    fn online_detector_ignores_jitter_only_runs() {
+        let mut det = OnlineThrottleDetector::new(64, 16, OnlineDetectorConfig::default());
+        for s in 0..50 {
+            // Generous 10% jitter: still far from the 2x threshold.
+            let changed = det.observe(&step_sample(64, 16, &[], 1.0, 0.10, s));
+            assert!(!changed, "jitter tripped the detector at step {s}");
+        }
+        assert!(!det.any_flagged());
+    }
+
+    #[test]
+    fn online_detector_reset_window_keeps_flags() {
+        // 4 nodes: a single throttled node stands clear of the median.
+        let mut det = OnlineThrottleDetector::new(64, 16, OnlineDetectorConfig::default());
+        for s in 0..12 {
+            det.observe(&step_sample(64, 16, &[1], 4.0, 0.0, s));
+        }
+        assert_eq!(det.flagged_nodes(), vec![1]);
+        det.reset_window();
+        assert_eq!(det.flagged_nodes(), vec![1]);
+        // One clean window is not enough to unflag (debounce).
+        for s in 0..4 {
+            det.observe(&step_sample(64, 16, &[], 1.0, 0.0, s));
+        }
+        assert_eq!(det.flagged_nodes(), vec![1]);
+        // clear_flag drops it immediately — the re-host path.
+        det.clear_flag(1);
+        assert!(!det.any_flagged());
+        assert_eq!(det.inflation(1), 1.0);
     }
 }

@@ -18,6 +18,11 @@ pub struct Collector {
     /// Record only every `sampling`-th step's events (1 = record all).
     sampling: u32,
     enabled: bool,
+    /// Per-rank compute accumulator for the *current* step, kept regardless
+    /// of `sampling` — online anomaly detection needs every step's signal
+    /// even when the event table keeps only every n-th. Empty when step
+    /// tracking is off.
+    step_compute: Vec<f64>,
 }
 
 impl Default for Collector {
@@ -34,6 +39,7 @@ impl Collector {
             current_step: 0,
             sampling: 1,
             enabled: true,
+            step_compute: Vec::new(),
         }
     }
 
@@ -56,8 +62,35 @@ impl Collector {
     }
 
     /// Advance to a new timestep; subsequent records carry this step.
+    /// Resets the per-step compute series if step tracking is enabled.
     pub fn begin_step(&mut self, step: u32) {
         self.current_step = step;
+        self.step_compute.fill(0.0);
+    }
+
+    /// Enable per-step per-rank compute tracking for `num_ranks` ranks.
+    /// Unlike the event table, the series is refreshed every step even when
+    /// `sampling > 1` — it feeds online anomaly detection, which can't
+    /// tolerate gaps.
+    pub fn track_step_compute(&mut self, num_ranks: usize) {
+        self.step_compute.clear();
+        self.step_compute.resize(num_ranks, 0.0);
+    }
+
+    /// The per-rank compute durations (ns) accumulated since the last
+    /// `begin_step`. Empty unless [`Collector::track_step_compute`] was
+    /// called.
+    pub fn step_compute(&self) -> &[f64] {
+        &self.step_compute
+    }
+
+    #[inline]
+    fn track_compute(&mut self, rank: u32, phase: Phase, duration_ns: u64) {
+        if phase == Phase::Compute && !self.step_compute.is_empty() {
+            if let Some(slot) = self.step_compute.get_mut(rank as usize) {
+                *slot += duration_ns as f64;
+            }
+        }
     }
 
     /// The step currently being recorded.
@@ -73,6 +106,7 @@ impl Collector {
 
     /// Record a per-block phase duration.
     pub fn record_block(&mut self, rank: u32, block: u32, phase: Phase, duration_ns: u64) {
+        self.track_compute(rank, phase, duration_ns);
         if self.sampled() {
             self.table.push(EventRecord {
                 step: self.current_step,
@@ -88,6 +122,7 @@ impl Collector {
 
     /// Record a rank-level phase duration (no block attribution).
     pub fn record_rank(&mut self, rank: u32, phase: Phase, duration_ns: u64) {
+        self.track_compute(rank, phase, duration_ns);
         if self.sampled() {
             self.table.push(EventRecord::rank_phase(
                 self.current_step,
@@ -202,6 +237,27 @@ mod tests {
         let g = Query::new(&t).phase(Phase::BoundaryComm).by_rank();
         assert_eq!(g[&3].total_msg_count, 26);
         assert_eq!(g[&3].total_msg_bytes, 4096);
+    }
+
+    #[test]
+    fn step_tracking_survives_sampling_gaps() {
+        let mut c = Collector::with_sampling(10);
+        c.track_step_compute(2);
+        c.begin_step(3); // not a sampled step
+        c.record_rank(0, Phase::Compute, 100);
+        c.record_block(1, 7, Phase::Compute, 250);
+        c.record_rank(1, Phase::Synchronization, 999); // not compute
+        assert_eq!(c.step_compute(), &[100.0, 250.0]);
+        assert_eq!(c.len(), 0); // event table dropped the off-step rows
+        c.begin_step(4);
+        assert_eq!(c.step_compute(), &[0.0, 0.0]); // reset per step
+    }
+
+    #[test]
+    fn step_tracking_off_by_default() {
+        let mut c = Collector::new();
+        c.record_rank(0, Phase::Compute, 5);
+        assert!(c.step_compute().is_empty());
     }
 
     #[test]

@@ -27,7 +27,7 @@ fn main() {
     let mesh = MeshConfig::from_cells(Dim::D3, (64, 64, 64), 1);
     let mut workload = SedovWorkload::new(SedovConfig::new(mesh, 200));
     let mut cfg = SimConfig::tuned(ranks);
-    cfg.faults = FaultConfig::with_throttled_nodes([2]);
+    cfg.faults = FaultConfig::with_throttled_nodes([2]).into();
     cfg.telemetry_sampling = 1;
     let report = MacroSim::new(cfg).run(&mut workload, &Baseline, RebalanceTrigger::OnMeshChange);
     let table = &report.telemetry;

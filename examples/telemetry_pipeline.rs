@@ -29,7 +29,7 @@ fn main() {
 
     // 1. Faulty run with per-step telemetry.
     let mut cfg = SimConfig::tuned(ranks);
-    cfg.faults = faults.clone();
+    cfg.faults = faults.clone().into();
     let run = |cfg: SimConfig| {
         let mesh = MeshConfig::from_cells(Dim::D3, (64, 64, 64), 1);
         let mut w = CoolingWorkload::new(CoolingConfig::new(mesh, 100));
@@ -66,7 +66,7 @@ fn main() {
     let (cleaned, blacklisted) = prune_faulty_nodes(&faults, &check);
     println!("pruned nodes {blacklisted:?}");
     let mut cfg2 = SimConfig::tuned(ranks);
-    cfg2.faults = cleaned;
+    cfg2.faults = cleaned.into();
     let healthy = run(cfg2);
     println!(
         "healthy run: total {:.2}s ({:.2}x faster), sync share {:.1}%",

@@ -90,7 +90,7 @@ fn throttled_run_slower_and_diagnosable_from_telemetry() {
     let mesh = MeshConfig::from_cells(Dim::D3, (64, 64, 64), 1);
     let mut w = SedovWorkload::new(SedovConfig::new(mesh.clone(), 100));
     let mut cfg = SimConfig::tuned(64);
-    cfg.faults = FaultConfig::with_throttled_nodes([1]);
+    cfg.faults = FaultConfig::with_throttled_nodes([1]).into();
     cfg.telemetry_sampling = 1;
     let faulty = MacroSim::new(cfg).run(&mut w, &Baseline, RebalanceTrigger::OnMeshChange);
 

@@ -2,7 +2,11 @@
 //! conservation laws that must hold regardless of workload or placement.
 
 use amr_tools::sim::collectives::{barrier, tree_depth};
-use amr_tools::sim::{Message, MicroSim, NetworkConfig, RoundSpec, TaskOrder, Topology};
+use amr_tools::sim::{
+    FaultConfig, FaultEpisode, FaultResponse, FaultTimeline, MacroSim, Message, MicroSim,
+    NetworkConfig, RoundSpec, RunReport, SimConfig, TaskOrder, Topology,
+};
+use amr_tools::telemetry::anomaly::{OnlineDetectorConfig, OnlineThrottleDetector};
 use proptest::prelude::*;
 
 fn quiet_net() -> NetworkConfig {
@@ -103,6 +107,135 @@ proptest! {
         prop_assert_eq!(res.completion_ns, last + tree_depth(arrivals.len()) as u64 * hop);
         for (a, w) in arrivals.iter().zip(&res.wait_ns) {
             prop_assert_eq!(a + w, res.completion_ns);
+        }
+    }
+}
+
+// --- Closed fault loop -----------------------------------------------------
+
+/// One short Sedov run with the given timeline and response.
+fn fault_run(
+    ranks: usize,
+    steps: u64,
+    seed: u64,
+    faults: FaultTimeline,
+    response: FaultResponse,
+) -> RunReport {
+    use amr_tools::mesh::{Dim, MeshConfig};
+    use amr_tools::placement::policies::Lpt;
+    use amr_tools::placement::trigger::RebalanceTrigger;
+    use amr_tools::workloads::{SedovConfig, SedovWorkload};
+    let mesh = MeshConfig::from_cells(Dim::D3, (48, 48, 48), 1);
+    let mut workload = SedovWorkload::new(SedovConfig::new(mesh, steps));
+    let mut cfg = SimConfig::tuned(ranks);
+    cfg.seed = seed;
+    cfg.telemetry_sampling = 4;
+    cfg.faults = faults;
+    cfg.fault_response = response;
+    MacroSim::new(cfg).run(&mut workload, &Lpt, RebalanceTrigger::OnMeshChange)
+}
+
+/// Deterministic splitmix64 step, for synthetic OS jitter.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-rank compute signal: ~1 ms with bounded jitter, times `factor` on the
+/// throttled node's ranks when `throttled` is active.
+fn synth_signal(
+    out: &mut [f64],
+    ranks_per_node: usize,
+    throttled: Option<(usize, f64)>,
+    jitter: f64,
+    rng: &mut u64,
+) {
+    for (rank, slot) in out.iter_mut().enumerate() {
+        let u = (mix(rng) >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        let mut v = 1.0e6 * (1.0 + jitter * (2.0 * u - 1.0));
+        if let Some((node, factor)) = throttled {
+            if rank / ranks_per_node == node {
+                v *= factor;
+            }
+        }
+        *slot = v;
+    }
+}
+
+proptest! {
+    /// An empty `FaultTimeline` — and the detector armed over it — must
+    /// reproduce the fault-oblivious run's virtual phases bit-for-bit.
+    /// Redistribution is excluded: it charges real placement wall-clock
+    /// (see `runs_are_reproducible_given_seed_modulo_wall_clock`).
+    #[test]
+    fn zero_fault_runs_are_bitwise_unchanged(
+        seed in 0u64..1_000,
+        steps in 12u64..24,
+    ) {
+        let ranks = if seed % 2 == 0 { 16usize } else { 32 };
+        let base = fault_run(ranks, steps, seed, FaultTimeline::healthy(), FaultResponse::Oblivious);
+        // Static-config conversion path: same healthy fault model.
+        let via_config = fault_run(ranks, steps, seed, FaultConfig::default().into(), FaultResponse::Oblivious);
+        // Detector armed, capacity reweighting enabled — nothing ever flags,
+        // so the response machinery must be a perfect no-op.
+        let armed = fault_run(ranks, steps, seed, FaultTimeline::healthy(), FaultResponse::Reweight);
+        for rep in [&via_config, &armed] {
+            prop_assert_eq!(rep.phases.compute_ns.to_bits(), base.phases.compute_ns.to_bits());
+            prop_assert_eq!(rep.phases.comm_ns.to_bits(), base.phases.comm_ns.to_bits());
+            prop_assert_eq!(rep.phases.sync_ns.to_bits(), base.phases.sync_ns.to_bits());
+            prop_assert_eq!(&rep.messages, &base.messages);
+            prop_assert_eq!(rep.final_blocks, base.final_blocks);
+            prop_assert_eq!(rep.lb_invocations, base.lb_invocations);
+        }
+        prop_assert_eq!(armed.capacity_updates, 0);
+        prop_assert_eq!(armed.nodes_pruned, 0);
+    }
+
+    /// A single throttle episode is flagged — exactly the throttled node,
+    /// within the detector's window + debounce — and jitter alone never
+    /// trips the detector, no matter the seed.
+    #[test]
+    fn online_detector_flags_episode_nodes_and_ignores_jitter(
+        seed in 0u64..1_000_000,
+        num_nodes in 3usize..6,
+        node in 0usize..6,
+        factor in 3.0f64..6.0,
+        jitter in 0.0f64..0.10,
+        onset in 5usize..15,
+    ) {
+        let node = node % num_nodes;
+        let ranks_per_node = 16;
+        let r = num_nodes * ranks_per_node;
+        let cfg = OnlineDetectorConfig::default();
+        let episode = FaultEpisode::throttle(onset as u64, u64::MAX, [node], factor);
+        let timeline = FaultTimeline::with_episode(episode);
+        let budget = onset + cfg.window + cfg.debounce + 2; // must flag by here
+        let mut det = OnlineThrottleDetector::new(r, ranks_per_node, cfg);
+        let mut signal = vec![0.0f64; r];
+        let mut active_nodes = Vec::new();
+        let mut rng = seed ^ 0xA5A5_A5A5;
+        for step in 0..budget {
+            timeline.throttled_nodes_at(step as u64, &mut active_nodes);
+            let active = active_nodes.first().map(|&n| (n, factor));
+            prop_assert_eq!(active.is_some(), step >= onset);
+            synth_signal(&mut signal, ranks_per_node, active, jitter, &mut rng);
+            det.observe(&signal);
+            if step < onset {
+                prop_assert!(!det.any_flagged(), "flagged before the episode began");
+            }
+        }
+        prop_assert_eq!(det.flagged_nodes(), vec![node]);
+
+        // Jitter-only control: same seeds, no episode, no flags ever.
+        let mut det = OnlineThrottleDetector::new(r, ranks_per_node, OnlineDetectorConfig::default());
+        let mut rng = seed ^ 0xA5A5_A5A5;
+        for _ in 0..4 * budget {
+            synth_signal(&mut signal, ranks_per_node, None, jitter, &mut rng);
+            det.observe(&signal);
+            prop_assert!(!det.any_flagged(), "OS jitter alone tripped the detector");
         }
     }
 }

@@ -14,7 +14,11 @@
 //! `--evolve-steps N` (evolving-trajectory steps, default 40),
 //! `--faults` (run the faulty trajectory even under `--smoke`; full runs
 //! always include it), `--fault-steps N` (faulty-trajectory steps, default
-//! 60), `--out PATH` (default `BENCH_macrosim.json`).
+//! 60), `--out PATH` (default `BENCH_macrosim.json`), `--trace` (run the
+//! traced-vs-untraced overhead arm, assert < 2% overhead on simulated-loop
+//! wall time, and emit `<trace-out>.trace.json` + `<trace-out>.folded`),
+//! `--trace-steps N` (default 100), `--trace-reps N` (default 5),
+//! `--trace-out PREFIX` (default `TRACE_macrosim`).
 //!
 //! The run also enforces the no-op-adapt guard: an all-`Keep` adapt must
 //! take the identity fast path (identity delta, far cheaper than a full
@@ -25,10 +29,12 @@
 //! slowdown.
 
 use amr_bench::e2e::{
-    assert_noop_adapt_fast, run_evolving, run_faulty, run_pipeline, E2eTimings, EvolvingTimings,
-    FaultyArm, FaultyTimings,
+    assert_noop_adapt_fast, run_evolving, run_evolving_traced, run_faulty, run_pipeline,
+    run_pipeline_traced, E2eTimings, EvolvingTimings, FaultyArm, FaultyTimings,
 };
 use amr_bench::Args;
+use amr_telemetry::trace::{chrome_trace_json, collapsed_stacks};
+use amr_telemetry::TraceHandle;
 use std::fmt::Write as _;
 
 fn main() {
@@ -111,6 +117,15 @@ fn main() {
         evolving.push(best.expect("at least one rep"));
     }
 
+    if args.flag("trace") {
+        run_trace_arm(
+            if smoke { 256 } else { 1024 },
+            args.get_u64("trace-steps", 100),
+            args.get_usize("trace-reps", 5),
+            args.get("trace-out", "TRACE_macrosim"),
+        );
+    }
+
     let faulty = with_faults.then(|| {
         let ranks = fault_ranks;
         let f = run_faulty(ranks, fault_steps, 1);
@@ -163,6 +178,62 @@ fn main() {
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("{json}");
     eprintln!("wrote {out_path}");
+}
+
+/// The `--trace` arm: bound the tracing overhead and emit the artifacts.
+///
+/// Interleaves `reps` untraced and traced passes of the identical static
+/// pipeline (same mesh seed, same step count) and compares min-of-reps
+/// simulated-loop wall time. Tracing is a handful of `Cell` stores and ring
+/// writes per step, so it must stay under 2% or the process panics — CI runs
+/// this arm under `--smoke`, making the overhead bound a regression guard.
+/// A traced evolving trajectory then fills the remesh-side phases
+/// (`remesh`/`splice_index`/`graph_patch`) that a static mesh never enters,
+/// and both artifacts are written: `<prefix>.trace.json` (Chrome trace-event
+/// JSON, load in Perfetto) and `<prefix>.folded` (collapsed stacks, feed to
+/// flamegraph.pl / inferno).
+fn run_trace_arm(ranks: usize, steps: u64, reps: usize, out_prefix: &str) {
+    let trace = TraceHandle::new(1 << 16);
+    // Warm both arms (allocator, page cache, branch predictors) untimed.
+    run_pipeline(ranks, steps, 1);
+    run_pipeline_traced(ranks, steps, 1, &trace);
+
+    let mut untraced = u64::MAX;
+    let mut traced = u64::MAX;
+    for _ in 0..reps.max(1) {
+        // Interleave so slow drift (thermal, scheduler) hits both arms alike.
+        untraced = untraced.min(run_pipeline(ranks, steps, 1).sim_ns);
+        traced = traced.min(run_pipeline_traced(ranks, steps, 1, &trace).sim_ns);
+    }
+    let overhead = traced as f64 / untraced as f64 - 1.0;
+    eprintln!(
+        "trace overhead: untraced sim {:.3} ms, traced sim {:.3} ms ({:+.2}%)",
+        untraced as f64 / 1e6,
+        traced as f64 / 1e6,
+        overhead * 100.0
+    );
+    assert!(
+        overhead < 0.02,
+        "tracing must cost < 2% of simulated-loop wall time \
+         (untraced {untraced} ns, traced {traced} ns, {:+.2}%)",
+        overhead * 100.0
+    );
+
+    run_evolving_traced(ranks, 20, false, &trace);
+
+    let spans = trace.sink.snapshot();
+    let json_path = format!("{out_prefix}.trace.json");
+    let folded_path = format!("{out_prefix}.folded");
+    std::fs::write(&json_path, chrome_trace_json(&spans))
+        .unwrap_or_else(|e| panic!("write {json_path}: {e}"));
+    std::fs::write(&folded_path, collapsed_stacks(&spans))
+        .unwrap_or_else(|e| panic!("write {folded_path}: {e}"));
+    eprintln!(
+        "wrote {json_path} + {folded_path} ({} spans, {} overwritten in ring)",
+        spans.len(),
+        trace.sink.dropped()
+    );
+    eprint!("{}", trace.metrics.render_summary());
 }
 
 /// Hand-rolled JSON (the workspace has no serde_json; the schema is flat).

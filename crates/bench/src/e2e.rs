@@ -14,6 +14,7 @@ use amr_mesh::{AmrMesh, BlockFate, Dim, MeshBlock, MeshConfig, PatchScratch, Ref
 use amr_sim::{
     FaultEpisode, FaultResponse, FaultTimeline, MacroSim, SimConfig, Workload, WorkloadStep,
 };
+use amr_telemetry::TraceHandle;
 use amr_workloads::random_refined_mesh;
 use std::time::Instant;
 
@@ -77,13 +78,31 @@ pub struct E2eTimings {
 /// (~1.6 blocks/rank, the paper's commbench regime), build its neighbor
 /// graph, compute a CPLX-50 placement, then macro-simulate `steps` steps.
 pub fn run_pipeline(ranks: usize, steps: u64, seed: u64) -> E2eTimings {
+    run_pipeline_with(ranks, steps, seed, None)
+}
+
+/// [`run_pipeline`] with span tracing and metrics attached to the mesh, the
+/// standalone placement engine, and the simulator. Identical work — tracing
+/// only observes — so the `--trace` arm of `perf_trajectory` can compare the
+/// two `sim_ns` and bound the instrumentation overhead.
+pub fn run_pipeline_traced(ranks: usize, steps: u64, seed: u64, trace: &TraceHandle) -> E2eTimings {
+    run_pipeline_with(ranks, steps, seed, Some(trace))
+}
+
+fn run_pipeline_with(
+    ranks: usize,
+    steps: u64,
+    seed: u64,
+    trace: Option<&TraceHandle>,
+) -> E2eTimings {
     let policy = Cplx::new(50);
     let t_total = Instant::now();
 
     let t = Instant::now();
-    let mesh = random_refined_mesh(ranks, 1.6, seed);
+    let mut mesh = random_refined_mesh(ranks, 1.6, seed);
     let mesh_build_ns = t.elapsed().as_nanos() as u64;
     let blocks = mesh.num_blocks();
+    mesh.set_trace(trace.cloned());
 
     let t = Instant::now();
     let graph = mesh.neighbor_graph();
@@ -93,6 +112,7 @@ pub fn run_pipeline(ranks: usize, steps: u64, seed: u64) -> E2eTimings {
 
     let costs = skewed_costs(blocks);
     let mut engine = PlacementEngine::new();
+    engine.set_trace(trace.cloned());
     let t = Instant::now();
     engine
         .rebalance_with(&policy, &costs, ranks, Some(&mesh), None)
@@ -102,6 +122,7 @@ pub fn run_pipeline(ranks: usize, steps: u64, seed: u64) -> E2eTimings {
     let mut cfg = SimConfig::tuned(ranks);
     cfg.telemetry_sampling = 1_000_000; // telemetry off: measure the engine
     let mut sim = MacroSim::new(cfg);
+    sim.set_trace(trace.cloned());
     let mut workload = StaticPipelineWorkload::new(mesh, steps);
     let t = Instant::now();
     let report = sim.run(&mut workload, &policy, RebalanceTrigger::OnMeshChange);
@@ -286,10 +307,32 @@ fn front_tag(b: &MeshBlock, s: f64, slope: f64, w: f64, max_level: u8) -> Refine
 ///   [`AmrMesh::neighbor_graph`] build, and an origin-less rebalance (cold
 ///   LPT order).
 pub fn run_evolving(ranks: usize, steps: u64, full_rebuild: bool) -> EvolvingTimings {
+    run_evolving_with(ranks, steps, full_rebuild, None)
+}
+
+/// [`run_evolving`] with span tracing attached to the mesh and the engine:
+/// fills the `remesh`/`splice_index`/`graph_patch`/`place` phases of the
+/// trace artifacts, which the static pipeline never exercises.
+pub fn run_evolving_traced(
+    ranks: usize,
+    steps: u64,
+    full_rebuild: bool,
+    trace: &TraceHandle,
+) -> EvolvingTimings {
+    run_evolving_with(ranks, steps, full_rebuild, Some(trace))
+}
+
+fn run_evolving_with(
+    ranks: usize,
+    steps: u64,
+    full_rebuild: bool,
+    trace: Option<&TraceHandle>,
+) -> EvolvingTimings {
     let policy = Lpt;
     let roots_axis = (ranks as f64).cbrt().round().max(2.0) as u32;
     let cells = roots_axis * 16;
     let mut mesh = AmrMesh::new(MeshConfig::from_cells(Dim::D3, (cells, cells, cells), 1));
+    mesh.set_trace(trace.cloned());
     let slope = 0.3;
     let w = 0.01;
     let s0 = 0.3;
@@ -304,6 +347,7 @@ pub fn run_evolving(ranks: usize, steps: u64, full_rebuild: bool) -> EvolvingTim
     let mut origins = Vec::new();
     let mut costs = skewed_costs(mesh.num_blocks());
     let mut engine = PlacementEngine::new();
+    engine.set_trace(trace.cloned());
     engine
         .rebalance_with(&policy, &costs, ranks, None, None)
         .expect("initial evolving rebalance failed");

@@ -25,6 +25,7 @@ use crate::cost::CostOrigin;
 use crate::placement::{Placement, RankId};
 use crate::policies::{PlacementPolicy, Slot};
 use amr_mesh::{AmrMesh, NeighborGraph};
+use amr_telemetry::trace::{Counter as TraceCounter, Gauge as TraceGauge, TraceHandle, TracePhase};
 use std::cell::RefCell;
 use std::fmt;
 
@@ -607,6 +608,10 @@ pub struct PlacementEngine {
     /// Per-rank capacities applied to every rebalance until cleared; empty
     /// means the homogeneous (capacity-less) fast path.
     capacities: Vec<f64>,
+    /// Optional trace handle: when set, each rebalance records a `place`
+    /// span and publishes migration/imbalance metrics. `None` is the
+    /// zero-overhead default.
+    trace: Option<TraceHandle>,
 }
 
 impl PlacementEngine {
@@ -652,6 +657,13 @@ impl PlacementEngine {
         (!self.capacities.is_empty()).then_some(&self.capacities[..])
     }
 
+    /// Attach (or detach, with `None`) a trace handle; see
+    /// [`amr_telemetry::trace`]. Mirrors the capacity API: the handle is
+    /// engine-owned state applied to every subsequent rebalance.
+    pub fn set_trace(&mut self, trace: Option<TraceHandle>) {
+        self.trace = trace;
+    }
+
     /// Rebalance with costs only.
     pub fn rebalance(
         &mut self,
@@ -684,6 +696,10 @@ impl PlacementEngine {
         mesh: Option<&AmrMesh>,
         origins: Option<&[CostOrigin]>,
     ) -> Result<PlacementReport, PlacementError> {
+        // Cheap Rc bump (no allocation) so the span guard doesn't hold a
+        // borrow of `self` across the buffer split below.
+        let trace = self.trace.clone();
+        let _span = trace.as_ref().map(|t| t.span(TracePhase::Place));
         let (head, tail) = self.buffers.split_at_mut(1);
         let (cur, next) = if self.current == 0 {
             (&head[0], &mut tail[0])
@@ -711,6 +727,13 @@ impl PlacementEngine {
         let report = policy.place_into(&ctx, next)?;
         self.current ^= 1;
         self.primed = true;
+        if let Some(t) = &trace {
+            t.metrics.incr(TraceCounter::Rebalances, 1);
+            if let Some(m) = &report.migration {
+                t.metrics.incr(TraceCounter::BlocksMoved, m.moved as u64);
+            }
+            t.metrics.set(TraceGauge::Imbalance, report.imbalance);
+        }
         Ok(report)
     }
 }

@@ -26,6 +26,7 @@ use crate::neighbors::{NeighborGraph, PatchScratch};
 use crate::octant::Octant;
 use crate::sfc::sfc_key;
 use crate::tree::{Coverage, Octree, NORM_LEVEL};
+use amr_telemetry::trace::{Counter as TraceCounter, TraceHandle, TracePhase};
 use serde::{Deserialize, Serialize};
 
 /// Static configuration of an AMR mesh.
@@ -194,6 +195,10 @@ pub struct AmrMesh {
     blocks_spare: Vec<MeshBlock>,
     keys_spare: Vec<u64>,
     leaves_scratch: Vec<Octant>,
+    /// Optional trace handle: when set, adapts record `remesh`/`splice_index`
+    /// spans and graph repairs record `graph_patch` spans (plus counters).
+    /// `None` — the default — leaves every path untouched.
+    trace: Option<TraceHandle>,
 }
 
 impl AmrMesh {
@@ -248,7 +253,15 @@ impl AmrMesh {
             blocks_spare: Vec::new(),
             keys_spare: Vec::new(),
             leaves_scratch: Vec::new(),
+            trace: None,
         }
+    }
+
+    /// Attach (or detach, with `None`) a trace handle; see
+    /// [`amr_telemetry::trace`]. Instrumentation only observes — traced and
+    /// untraced adapts produce identical meshes and deltas.
+    pub fn set_trace(&mut self, trace: Option<TraceHandle>) {
+        self.trace = trace;
     }
 
     /// Mesh configuration.
@@ -352,6 +365,7 @@ impl AmrMesh {
         graph: &mut NeighborGraph,
         scratch: &mut PatchScratch,
     ) -> bool {
+        let _span = self.trace.as_ref().map(|t| t.span(TracePhase::GraphPatch));
         let d = &self.delta;
         if d.remap.len() == d.blocks_before
             && !d.remap.is_empty()
@@ -359,9 +373,15 @@ impl AmrMesh {
             && self.blocks.len() == d.blocks_after
         {
             graph.patch(&self.tree, &self.blocks, &self.keys, d, scratch);
+            if let Some(t) = &self.trace {
+                t.metrics.incr(TraceCounter::GraphPatches, 1);
+            }
             true
         } else {
             *graph = self.neighbor_graph();
+            if let Some(t) = &self.trace {
+                t.metrics.incr(TraceCounter::GraphFullBuilds, 1);
+            }
             false
         }
     }
@@ -379,6 +399,10 @@ impl AmrMesh {
     where
         F: Fn(&MeshBlock) -> RefineTag,
     {
+        // Cheap Rc bump (no allocation) so the span guard doesn't hold a
+        // borrow of `self` across the mutations below.
+        let trace = self.trace.clone();
+        let _span = trace.as_ref().map(|t| t.span(TracePhase::Remesh));
         let blocks_before = self.blocks.len();
         let mut tags = std::mem::take(&mut self.tags_scratch);
         tags.clear();
@@ -432,9 +456,19 @@ impl AmrMesh {
             self.delta.refined_parents.clear();
             self.delta.coarsened_parents.clear();
         } else {
+            let _splice = trace.as_ref().map(|t| t.span(TracePhase::SpliceIndex));
             self.splice_index();
         }
         self.delta.blocks_after = self.blocks.len();
+        if let Some(t) = &trace {
+            t.metrics.incr(TraceCounter::Adapts, 1);
+            if refined == 0 && coarsened == 0 {
+                t.metrics.incr(TraceCounter::NoopAdapts, 1);
+            }
+            t.metrics.incr(TraceCounter::BlocksRefined, refined as u64);
+            t.metrics
+                .incr(TraceCounter::BlocksCoarsened, coarsened as u64);
+        }
         &self.delta
     }
 

@@ -4,17 +4,21 @@
 //! forcing all ranks to wait until the last rank reaches the synchronization
 //! point" (§II-B). We model barriers/blocking-allreduce with a binomial
 //! tree: once every rank has arrived, completion takes `⌈log₂ r⌉` fabric
-//! hops; each rank's *wait* is the gap between its own arrival and the
-//! collective's completion. This is the mechanism that converts per-rank
-//! compute imbalance into the 35–50%-of-runtime synchronization phase of
-//! Fig. 6a.
+//! hops. Each rank's *wait* is the idle gap between its own arrival and the
+//! moment the last rank arrives — the tree hops after that point are work
+//! every rank participates in, not waiting, so the last arriver waits ~0.
+//! This is the mechanism that converts per-rank compute imbalance into the
+//! 35–50%-of-runtime synchronization phase of Fig. 6a; mis-attributing the
+//! tree term as wait would over-count sync by `r × depth × hop_ns` per
+//! collective and skew every policy comparison built on it.
 
 /// Result of a collective operation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CollectiveResult {
     /// Virtual time when the collective completes (same for all ranks).
     pub completion_ns: u64,
-    /// Per-rank wait time: completion − own arrival − own tree work.
+    /// Per-rank wait time: completion − own arrival − own tree work, i.e.
+    /// `max(arrival) − own arrival`. Zero for the last arriver.
     pub wait_ns: Vec<u64>,
 }
 
@@ -56,15 +60,42 @@ pub fn barrier(arrivals_ns: &[u64], hop_ns: u64) -> CollectiveResult {
 /// Allocation-free barrier: writes per-rank waits into `wait_out` (cleared
 /// first, capacity reused) and returns the completion time. The per-step
 /// collective of [`crate::macrosim`] calls this with a pooled buffer.
+///
+/// An empty participant set (a fault response pruned every rank) is a no-op:
+/// completion 0, no waits. A single rank has tree depth 0 and waits 0.
+/// Arithmetic saturates so degenerate `hop_ns` values (e.g. a payload cost
+/// computed from near-zero bandwidth) cannot overflow in debug builds.
 pub fn barrier_into(arrivals_ns: &[u64], hop_ns: u64, wait_out: &mut Vec<u64>) -> u64 {
+    wait_out.clear();
     let r = arrivals_ns.len();
-    assert!(r > 0);
+    if r == 0 {
+        return 0;
+    }
     let last = arrivals_ns.iter().copied().max().unwrap();
     let depth = tree_depth(r) as u64;
-    let completion = last + depth * hop_ns;
-    wait_out.clear();
-    wait_out.extend(arrivals_ns.iter().map(|&a| completion - a.min(completion)));
+    let completion = last.saturating_add(depth.saturating_mul(hop_ns));
+    // Wait is idle time before the straggler arrives; the `depth * hop_ns`
+    // tree term after it is active participation, charged to no one's wait.
+    wait_out.extend(arrivals_ns.iter().map(|&a| last - a));
     completion
+}
+
+/// Serialization time of a reduction payload, saturating on degenerate
+/// bandwidth: a non-finite or non-positive `bytes_per_ns` (reachable when a
+/// fail-slow NIC multiplier collapses to 0) means the payload never finishes,
+/// so the cost pins at `u64::MAX` instead of overflowing through an
+/// `f64 → u64` cast.
+#[inline]
+fn payload_ns(payload_bytes: u64, bytes_per_ns: f64) -> u64 {
+    if !bytes_per_ns.is_finite() || bytes_per_ns <= 0.0 {
+        return u64::MAX;
+    }
+    let ns = payload_bytes as f64 / bytes_per_ns;
+    if ns >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        ns as u64
+    }
 }
 
 /// Execute a blocking allreduce: a barrier plus a reduction payload moved at
@@ -75,8 +106,10 @@ pub fn allreduce(
     payload_bytes: u64,
     bytes_per_ns: f64,
 ) -> CollectiveResult {
-    let payload_ns = (payload_bytes as f64 / bytes_per_ns) as u64;
-    barrier(arrivals_ns, hop_ns + payload_ns)
+    barrier(
+        arrivals_ns,
+        hop_ns.saturating_add(payload_ns(payload_bytes, bytes_per_ns)),
+    )
 }
 
 /// Allocation-free counterpart of [`allreduce`]; see [`barrier_into`].
@@ -87,8 +120,11 @@ pub fn allreduce_into(
     bytes_per_ns: f64,
     wait_out: &mut Vec<u64>,
 ) -> u64 {
-    let payload_ns = (payload_bytes as f64 / bytes_per_ns) as u64;
-    barrier_into(arrivals_ns, hop_ns + payload_ns, wait_out)
+    barrier_into(
+        arrivals_ns,
+        hop_ns.saturating_add(payload_ns(payload_bytes, bytes_per_ns)),
+        wait_out,
+    )
 }
 
 #[cfg(test)]
@@ -110,17 +146,61 @@ mod tests {
     fn straggler_sets_completion() {
         let r = barrier(&[10, 20, 1000, 30], 5);
         assert_eq!(r.completion_ns, 1000 + 2 * 5);
-        // The straggler waits only for the tree; early arrivers wait longest.
-        assert_eq!(r.wait_ns[2], 10);
-        assert_eq!(r.wait_ns[0], 1000);
-        assert_eq!(r.max_wait_ns(), 1000);
+        // The straggler's tree hops are work, not wait: it waits zero.
+        assert_eq!(r.wait_ns[2], 0);
+        // Early arrivers wait until the straggler shows up.
+        assert_eq!(r.wait_ns[0], 990);
+        assert_eq!(r.max_wait_ns(), 990);
     }
 
     #[test]
-    fn uniform_arrivals_mean_minimal_wait() {
+    fn last_arriver_waits_zero() {
+        // The headline invariant: whoever arrives last never waits, no
+        // matter the tree depth or hop cost.
+        for arrivals in [
+            vec![10u64, 20, 1000, 30],
+            vec![7; 9],
+            vec![0, u64::MAX / 2],
+            (0..100).collect::<Vec<u64>>(),
+        ] {
+            let res = barrier(&arrivals, 12_345);
+            let last = *arrivals.iter().max().unwrap();
+            let argmax = arrivals.iter().position(|&a| a == last).unwrap();
+            assert_eq!(res.wait_ns[argmax], 0);
+            assert_eq!(
+                res.total_wait_ns(),
+                arrivals.iter().map(|&a| last - a).sum::<u64>()
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_arrivals_mean_zero_wait() {
+        // Simultaneous arrivals: everyone does tree work, nobody waits.
         let r = barrier(&[100; 64], 5);
         let depth = tree_depth(64) as u64;
-        assert!(r.wait_ns.iter().all(|&w| w == depth * 5));
+        assert_eq!(r.completion_ns, 100 + depth * 5);
+        assert!(r.wait_ns.iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn empty_arrivals_complete_at_zero() {
+        let mut wait = vec![7u64; 3];
+        let c = barrier_into(&[], 5, &mut wait);
+        assert_eq!(c, 0);
+        assert!(wait.is_empty());
+        let r = barrier(&[], 5);
+        assert_eq!(r.completion_ns, 0);
+        assert!(r.wait_ns.is_empty());
+        assert_eq!(r.total_wait_ns(), 0);
+        assert_eq!(r.max_wait_ns(), 0);
+    }
+
+    #[test]
+    fn single_rank_has_no_tree_and_no_wait() {
+        let r = barrier(&[42], 5_000);
+        assert_eq!(r.completion_ns, 42); // depth 0: no hops
+        assert_eq!(r.wait_ns, vec![0]);
     }
 
     #[test]
@@ -140,6 +220,21 @@ mod tests {
         let b = barrier(&[0, 0], 10);
         let a = allreduce(&[0, 0], 10, 1000, 1.0);
         assert!(a.completion_ns > b.completion_ns);
+    }
+
+    #[test]
+    fn degenerate_bandwidth_saturates_instead_of_overflowing() {
+        // bytes_per_ns == 0 previously cast `inf` to u64::MAX and then
+        // overflowed in `last + depth * hop`. Now the whole chain saturates.
+        let mut wait = Vec::new();
+        for bw in [0.0, -1.0, f64::NAN, f64::INFINITY * 0.0] {
+            let c = allreduce_into(&[10, 20], 5, 64, bw, &mut wait);
+            assert_eq!(c, u64::MAX);
+            assert_eq!(wait, vec![10, 0]);
+        }
+        // Tiny-but-positive bandwidth also saturates rather than wrapping.
+        let c = allreduce_into(&[10, 20], 5, u64::MAX, 1e-300, &mut wait);
+        assert_eq!(c, u64::MAX);
     }
 
     #[test]

@@ -78,6 +78,26 @@ impl FaultConfig {
     pub fn any_throttled(&self) -> bool {
         !self.throttled_nodes.is_empty() && self.throttle_factor > 1.0
     }
+
+    /// Reject configurations that would deflate compute time or poison the
+    /// cost model with non-finite multipliers. Struct-literal construction
+    /// bypasses the constructor asserts; this is the boundary check the
+    /// simulator applies before a run starts.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.throttle_factor.is_finite() || self.throttle_factor < 1.0 {
+            return Err(format!(
+                "throttle_factor must be finite and >= 1 (got {})",
+                self.throttle_factor
+            ));
+        }
+        if !self.compute_jitter.is_finite() || !(0.0..1.0).contains(&self.compute_jitter) {
+            return Err(format!(
+                "compute_jitter must be finite and in [0, 1) (got {})",
+                self.compute_jitter
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Scale `base` by one jitter draw (shared by the static and timeline paths
@@ -159,6 +179,35 @@ impl FaultEpisode {
         self
     }
 
+    /// Boundary check for episodes built via struct literals (which skip the
+    /// constructor asserts): spans must be positive, throttle factors finite
+    /// and >= 1, and the NIC multiplier finite in (0, 1]. A multiplier of 0
+    /// would drive fabric bandwidth to zero and saturate every allreduce.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.onset_step >= self.recovery_step {
+            return Err(format!(
+                "episode span [{}, {}) is empty",
+                self.onset_step, self.recovery_step
+            ));
+        }
+        if !self.throttle_factor.is_finite() || self.throttle_factor < 1.0 {
+            return Err(format!(
+                "episode throttle_factor must be finite and >= 1 (got {})",
+                self.throttle_factor
+            ));
+        }
+        if !self.nic_bandwidth_mult.is_finite()
+            || self.nic_bandwidth_mult <= 0.0
+            || self.nic_bandwidth_mult > 1.0
+        {
+            return Err(format!(
+                "episode nic_bandwidth_mult must be finite and in (0, 1] (got {})",
+                self.nic_bandwidth_mult
+            ));
+        }
+        Ok(())
+    }
+
     /// Is the episode active at `step`?
     #[inline]
     pub fn active_at(&self, step: u64) -> bool {
@@ -217,6 +266,18 @@ impl FaultTimeline {
     pub fn push_episode(&mut self, episode: FaultEpisode) -> &mut Self {
         self.episodes.push(episode);
         self
+    }
+
+    /// Validate the base config and every episode; see
+    /// [`FaultEpisode::validate`]. Called by `SimConfig::validate` before a
+    /// simulated run so degenerate multipliers are rejected up front rather
+    /// than saturating the collective model mid-run.
+    pub fn validate(&self) -> Result<(), String> {
+        self.base.validate().map_err(|e| format!("base: {e}"))?;
+        for (i, e) in self.episodes.iter().enumerate() {
+            e.validate().map_err(|msg| format!("episode {i}: {msg}"))?;
+        }
+        Ok(())
     }
 
     /// No episodes scheduled: fault state is constant over the run.
@@ -406,6 +467,46 @@ mod tests {
         assert_eq!(tl.nic_slowdown(12, 1), 4.0); // both episodes active
         assert_eq!(tl.nic_slowdown(17, 1), 2.0);
         assert_eq!(tl.nic_slowdown(12, 0), 1.0); // other nodes unaffected
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_multipliers() {
+        assert!(FaultTimeline::healthy().validate().is_ok());
+        let mut tl = FaultTimeline::healthy();
+        tl.push_episode(FaultEpisode::throttle(5, 15, [1], 4.0).with_nic_degradation(0.1));
+        assert!(tl.validate().is_ok());
+
+        // Struct-literal episode with a zeroed NIC multiplier: the PR-4
+        // regression path that drove fabric bandwidth to 0 mid-run.
+        let bad = FaultEpisode {
+            onset_step: 0,
+            recovery_step: 10,
+            nodes: [1].into_iter().collect(),
+            throttle_factor: 1.0,
+            nic_bandwidth_mult: 0.0,
+        };
+        assert!(bad.validate().is_err());
+        let mut tl = FaultTimeline::healthy();
+        tl.push_episode(bad);
+        assert!(tl.validate().unwrap_err().contains("nic_bandwidth_mult"));
+
+        for factor in [0.5, 0.0, f64::NAN, f64::INFINITY] {
+            let cfg = FaultConfig {
+                throttle_factor: factor,
+                ..FaultConfig::healthy()
+            };
+            assert!(cfg.validate().is_err(), "factor {factor} passed");
+        }
+        let cfg = FaultConfig {
+            compute_jitter: 1.5,
+            ..FaultConfig::healthy()
+        };
+        assert!(cfg.validate().is_err());
+        let empty_span = FaultEpisode {
+            recovery_step: 5,
+            ..FaultEpisode::throttle(5, 6, [0], 2.0)
+        };
+        assert!(empty_span.validate().is_err());
     }
 
     #[test]

@@ -36,6 +36,7 @@ use amr_core::trigger::{RebalanceTrigger, TriggerContext};
 use amr_core::Placement;
 use amr_mesh::{AmrMesh, PatchScratch};
 use amr_telemetry::anomaly::{OnlineDetectorConfig, OnlineThrottleDetector};
+use amr_telemetry::trace::{Counter as TraceCounter, Gauge as TraceGauge, TraceHandle, TracePhase};
 use amr_telemetry::{Collector, EventTable, Phase};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -141,6 +142,31 @@ impl SimConfig {
             exchanges_per_step: 3,
             overlap_efficiency: 0.0,
         }
+    }
+
+    /// Boundary validation run by [`MacroSim::new`]: reject degenerate
+    /// bandwidths and fault multipliers before they can poison the cost
+    /// model mid-run. A zero/non-finite `bytes_per_ns` — reachable through a
+    /// struct-literal [`crate::faults::FaultEpisode`] with
+    /// `nic_bandwidth_mult: 0.0` — would saturate every allreduce to
+    /// `u64::MAX` and (pre-fix) overflow the completion sum in debug builds.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, path) in [("fabric", &self.network.fabric), ("shm", &self.network.shm)] {
+            if !path.bytes_per_ns.is_finite() || path.bytes_per_ns <= 0.0 {
+                return Err(format!(
+                    "network.{name}.bytes_per_ns must be finite and > 0 (got {})",
+                    path.bytes_per_ns
+                ));
+            }
+        }
+        self.faults.validate().map_err(|e| format!("faults: {e}"))?;
+        if !self.cost_alpha.is_finite() || !(0.0..=1.0).contains(&self.cost_alpha) {
+            return Err(format!(
+                "cost_alpha must be finite and in [0, 1] (got {})",
+                self.cost_alpha
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -253,18 +279,39 @@ pub struct MacroSim {
     /// Staging buffers for incremental neighbor-graph repair on mesh change
     /// (reused across adapts and runs).
     patch_scratch: PatchScratch,
+    /// Optional trace handle shared with the engine (and, by callers, the
+    /// mesh): per-step virtual spans plus pipeline counters/gauges.
+    trace: Option<TraceHandle>,
 }
 
 impl MacroSim {
     /// Create a simulator from a config.
+    ///
+    /// # Panics
+    /// On an invalid config (see [`SimConfig::validate`]): degenerate
+    /// network bandwidth or malformed fault timeline.
     pub fn new(config: SimConfig) -> MacroSim {
+        if let Err(e) = config.validate() {
+            panic!("invalid SimConfig: {e}");
+        }
         let seed = config.seed;
         MacroSim {
             config,
             rng: StdRng::seed_from_u64(seed),
             engine: PlacementEngine::new(),
             patch_scratch: PatchScratch::default(),
+            trace: None,
         }
+    }
+
+    /// Attach (or detach, with `None`) a trace handle; the placement engine
+    /// shares it, so `place` spans and rebalance metrics ride along.
+    /// Tracing observes simulated time and never perturbs it: traced and
+    /// untraced runs are bit-identical in virtual time (pinned by a property
+    /// test in `tests/sim_properties.rs`).
+    pub fn set_trace(&mut self, trace: Option<TraceHandle>) {
+        self.engine.set_trace(trace.clone());
+        self.trace = trace;
     }
 
     /// Run `workload` under `policy`, rebalancing per `trigger`.
@@ -357,6 +404,15 @@ impl MacroSim {
         let mut placement_wall_total = 0u64;
         let mut placement_wall_max = 0u64;
 
+        // Tracing clones the handle once (an Rc bump) so span guards never
+        // borrow `self` across the engine calls below. Everything recorded
+        // is derived from values the untraced run computes anyway: tracing
+        // observes virtual time, never perturbs it.
+        let trace = self.trace.clone();
+        if let Some(t) = &trace {
+            t.metrics.set(TraceGauge::Ranks, r as f64);
+        }
+
         // Scratch buffers reused across steps.
         let mut compute = vec![0.0f64; r];
         let mut ready = vec![0.0f64; r];
@@ -368,6 +424,10 @@ impl MacroSim {
 
         for step in 0..steps {
             collector.begin_step(step as u32);
+            if let Some(t) = &trace {
+                t.sink.set_step(step as u32);
+                t.metrics.incr(TraceCounter::Steps, 1);
+            }
             let ws = workload.advance(step);
 
             // --- Redistribution (placement + migration) -------------------
@@ -572,6 +632,8 @@ impl MacroSim {
                 cfg.network.fabric.bytes_per_ns,
                 &mut coll_wait,
             );
+            // Virtual-time base of this step (for trace spans).
+            let step_base_ns = total_ns as u64;
             let step_total = completion_ns as f64 + redist_per_rank;
             total_ns += step_total;
 
@@ -614,6 +676,36 @@ impl MacroSim {
             }
             phases.accumulate(&step_phases.scaled(1.0 / r as f64));
 
+            if let Some(t) = &trace {
+                // Virtual spans replay the step's mean-rank timeline:
+                // exchange from end-of-compute to end-of-comm, then the
+                // collective's tree+payload term after the last arrival.
+                // Per-rank waits land in the sync_fraction gauge instead of
+                // r separate spans.
+                let inv_r = 1.0 / r as f64;
+                let mean_compute = (step_phases.compute_ns * inv_r) as u64;
+                let mean_comm = (step_phases.comm_ns * inv_r) as u64;
+                t.record_virtual(
+                    TracePhase::Exchange,
+                    step_base_ns.saturating_add(mean_compute),
+                    mean_comm,
+                );
+                let last_arrival = arrivals.iter().copied().max().unwrap_or(0);
+                t.record_virtual(
+                    TracePhase::Collective,
+                    step_base_ns.saturating_add(last_arrival),
+                    completion_ns.saturating_sub(last_arrival),
+                );
+                t.metrics.incr(TraceCounter::Collectives, 1);
+                let denom = step_phases.compute_ns + step_phases.comm_ns + step_phases.sync_ns;
+                if denom > 0.0 {
+                    t.metrics
+                        .set(TraceGauge::SyncFraction, step_phases.sync_ns / denom);
+                }
+                t.metrics
+                    .set(TraceGauge::Blocks, workload.mesh().num_blocks() as f64);
+            }
+
             let xm = cfg.exchanges_per_step as u64;
             messages.intra += epoch.intra_msgs * xm;
             messages.local += epoch.local_msgs * xm;
@@ -621,6 +713,7 @@ impl MacroSim {
 
             // --- Online fault response (detect → reweight / prune) --------
             if let Some(det) = detector.as_mut() {
+                let _fr_span = trace.as_ref().map(|t| t.span(TracePhase::FaultResponse));
                 // Normalize the collector's compute series by the capacity
                 // already applied to each rank: a derated rank legitimately
                 // holds less work, so its *raw* time looks healthy — the
@@ -665,8 +758,14 @@ impl MacroSim {
                     }
                     capacity_updates += 1;
                     force_rebalance = true;
+                    if let Some(t) = &trace {
+                        t.metrics.incr(TraceCounter::CapacityUpdates, 1);
+                    }
                 }
             }
+        }
+        if let Some(t) = &trace {
+            t.metrics.incr(TraceCounter::NodesPruned, nodes_pruned);
         }
 
         RunReport {
@@ -1151,5 +1250,74 @@ mod knob_tests {
                 .mpi()
         };
         assert_eq!(count(2), 2 * count(1));
+    }
+
+    /// Regression for the degenerate-bandwidth overflow: a struct-literal
+    /// episode with `nic_bandwidth_mult: 0.0` (bypassing the constructor
+    /// asserts) used to drive `bytes_per_ns` to 0 mid-run and overflow the
+    /// allreduce completion in debug builds. The boundary check now rejects
+    /// the config before the run starts.
+    #[test]
+    #[should_panic(expected = "nic_bandwidth_mult")]
+    fn zero_nic_bandwidth_multiplier_is_rejected_at_construction() {
+        let mut cfg = cfg16();
+        cfg.faults.episodes.push(crate::faults::FaultEpisode {
+            onset_step: 2,
+            recovery_step: 8,
+            nodes: [1].into_iter().collect(),
+            throttle_factor: 1.0,
+            nic_bandwidth_mult: 0.0,
+        });
+        let _ = MacroSim::new(cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "bytes_per_ns")]
+    fn zero_fabric_bandwidth_is_rejected_at_construction() {
+        let mut cfg = cfg16();
+        cfg.network.fabric.bytes_per_ns = 0.0;
+        let _ = MacroSim::new(cfg);
+    }
+
+    /// Tracing observes without perturbing, and the artifacts are populated:
+    /// same virtual phases bit-for-bit, spans in the sink, counters and the
+    /// sync-fraction gauge live in the registry.
+    #[test]
+    fn traced_run_matches_untraced_and_fills_artifacts() {
+        use amr_core::policies::Lpt;
+        use amr_telemetry::trace::{chrome_trace_json, collapsed_stacks};
+        let trig = RebalanceTrigger::OnMeshChange;
+        let mut w1 = StaticWorkload::new(4, 10, 1.0);
+        let base = MacroSim::new(cfg16()).run(&mut w1, &Lpt, trig);
+        let mut w2 = StaticWorkload::new(4, 10, 1.0);
+        let mut sim = MacroSim::new(cfg16());
+        let handle = TraceHandle::new(1024);
+        sim.set_trace(Some(handle.clone()));
+        let traced = sim.run(&mut w2, &Lpt, trig);
+        assert_eq!(
+            traced.phases.sync_ns.to_bits(),
+            base.phases.sync_ns.to_bits()
+        );
+        assert_eq!(
+            traced.phases.comm_ns.to_bits(),
+            base.phases.comm_ns.to_bits()
+        );
+        assert_eq!(traced.total_ns.to_bits(), base.total_ns.to_bits());
+        assert_eq!(handle.metrics.counter(TraceCounter::Steps), 10);
+        assert_eq!(handle.metrics.counter(TraceCounter::Collectives), 10);
+        // Static mesh + OnMeshChange trigger: only the initial placement.
+        assert_eq!(
+            handle.metrics.counter(TraceCounter::Rebalances),
+            traced.lb_invocations + 1
+        );
+        let sf = handle.metrics.gauge(TraceGauge::SyncFraction);
+        assert!((0.0..1.0).contains(&sf), "sync fraction {sf}");
+        let spans = handle.sink.snapshot();
+        assert!(spans.iter().any(|s| s.phase == TracePhase::Collective));
+        assert!(spans.iter().any(|s| s.phase == TracePhase::Exchange));
+        assert!(spans.iter().any(|s| s.phase == TracePhase::Place));
+        let json = chrome_trace_json(&spans);
+        assert!(json.contains("\"name\":\"collective\""));
+        assert!(collapsed_stacks(&spans).contains("amr;virtual;exchange"));
     }
 }

@@ -18,7 +18,11 @@
 //! * statistics ([`stats`]) including Pearson correlation — the paper's
 //!   measure of telemetry reliability (Fig. 1a) — and
 //! * anomaly detectors ([`anomaly`]) for the cross-stack failure modes of
-//!   §IV: throttled node clusters, MPI_Wait spikes, variance regimes.
+//!   §IV: throttled node clusters, MPI_Wait spikes, variance regimes;
+//! * a structured span-tracing and metrics layer ([`trace`]) — pooled
+//!   ring-buffer spans over a fixed phase taxonomy with Chrome-trace and
+//!   flamegraph exporters, so phase attribution is auditable rather than
+//!   asserted.
 
 pub mod anomaly;
 pub mod chunked;
@@ -29,6 +33,7 @@ pub mod query;
 pub mod record;
 pub mod stats;
 pub mod table;
+pub mod trace;
 pub mod views;
 
 pub use anomaly::{ThrottleReport, WaitSpikeReport};
@@ -38,3 +43,4 @@ pub use histogram::LogHistogram;
 pub use query::Query;
 pub use record::{EventRecord, Phase, NO_BLOCK};
 pub use table::EventTable;
+pub use trace::{MetricsRegistry, SpanRecord, TraceHandle, TracePhase, TraceSink};

@@ -1,0 +1,770 @@
+//! Structured span tracing and step metrics: the auditable phase attribution
+//! the paper's placement lessons depend on.
+//!
+//! The 35–50% synchronization fraction of Fig. 6a is *the* signal placement
+//! optimizes against; if wait time is mis-attributed, every policy comparison
+//! silently inherits the error. Production AMR frameworks answer this with
+//! built-in per-region timers (Parthenon's kernel regions are the closest
+//! cousin); this module is the simulator-sized equivalent:
+//!
+//! * [`TraceSink`] — a pooled ring buffer of [`SpanRecord`]s with RAII span
+//!   guards over a fixed phase taxonomy ([`TracePhase`]). Steady-state
+//!   recording is allocation-free: the ring is sized once at construction
+//!   and old spans are overwritten, never reallocated (proved in this
+//!   crate's `zero_alloc` test like the placement engine and event arena
+//!   before it).
+//! * [`MetricsRegistry`] — fixed-slot counters and gauges plus a per-phase
+//!   [`LogHistogram`], all behind interior mutability so instrumented code
+//!   publishes through a shared handle without threading `&mut` everywhere.
+//! * [`TraceHandle`] — the cloneable bundle (`Rc<TraceSink>` +
+//!   `Rc<MetricsRegistry>`) that macrosim, the placement engine, and the
+//!   mesh adapt path each hold a copy of.
+//! * Exporters to Chrome trace-event JSON ([`chrome_trace_json`], load in
+//!   `chrome://tracing` / Perfetto) and collapsed-stack format
+//!   ([`collapsed_stacks`], feed to `flamegraph.pl`).
+//!
+//! Spans carry a [`Track`]: `Host` spans are wall-clock measurements of the
+//! simulator's own work (placement, graph patching, remeshing); `Virtual`
+//! spans replay simulated time (exchanges, collectives). Tracing observes and
+//! never perturbs — a traced run's virtual timeline is bit-identical to an
+//! untraced one (pinned by a property test in `tests/sim_properties.rs`).
+
+use crate::histogram::LogHistogram;
+use std::cell::{Cell, RefCell};
+use std::fmt::Write as _;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Fixed phase taxonomy for spans and per-phase histograms. Fixed (rather
+/// than string-keyed) so recording is a branch-free array index and the
+/// steady-state path never hashes or allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum TracePhase {
+    /// Mesh adaptation: tag, refine/coarsen, delta production.
+    Remesh,
+    /// Splicing the block index after an adapt (keys/blocks arrays).
+    SpliceIndex,
+    /// Incremental CSR neighbor-graph repair (or the full-build fallback).
+    GraphPatch,
+    /// Placement computation (policy run + migration diff) in the engine.
+    Place,
+    /// Boundary exchange (ghost zones + flux correction), virtual time.
+    Exchange,
+    /// The per-step blocking allreduce, virtual time.
+    Collective,
+    /// Online fault response: detector observe + reweight/prune actions.
+    FaultResponse,
+}
+
+impl TracePhase {
+    /// Number of phases (array sizes, iteration bounds).
+    pub const COUNT: usize = 7;
+
+    /// All phases, in declaration order.
+    pub const ALL: [TracePhase; TracePhase::COUNT] = [
+        TracePhase::Remesh,
+        TracePhase::SpliceIndex,
+        TracePhase::GraphPatch,
+        TracePhase::Place,
+        TracePhase::Exchange,
+        TracePhase::Collective,
+        TracePhase::FaultResponse,
+    ];
+
+    /// Stable snake_case name (used by both exporters).
+    pub fn name(self) -> &'static str {
+        match self {
+            TracePhase::Remesh => "remesh",
+            TracePhase::SpliceIndex => "splice_index",
+            TracePhase::GraphPatch => "graph_patch",
+            TracePhase::Place => "place",
+            TracePhase::Exchange => "exchange",
+            TracePhase::Collective => "collective",
+            TracePhase::FaultResponse => "fault_response",
+        }
+    }
+
+    /// Dense index for per-phase arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Which clock a span was measured on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Track {
+    /// Host wall-clock: real time the simulator spent doing the work.
+    Host,
+    /// Simulated virtual time replayed from the cost model.
+    Virtual,
+}
+
+impl Track {
+    pub fn name(self) -> &'static str {
+        match self {
+            Track::Host => "host",
+            Track::Virtual => "virtual",
+        }
+    }
+}
+
+/// One completed span. `Copy` so the ring buffer overwrites slots in place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    pub phase: TracePhase,
+    pub track: Track,
+    /// Simulation step active when the span closed.
+    pub step: u32,
+    /// Start time in ns — host spans measure from the sink's epoch, virtual
+    /// spans carry simulated-time offsets.
+    pub start_ns: u64,
+    pub dur_ns: u64,
+}
+
+impl Default for SpanRecord {
+    fn default() -> SpanRecord {
+        SpanRecord {
+            phase: TracePhase::Remesh,
+            track: Track::Host,
+            step: 0,
+            start_ns: 0,
+            dur_ns: 0,
+        }
+    }
+}
+
+/// Fixed-capacity span ring: slots are pre-filled at construction and
+/// overwritten oldest-first once full, so pushing never allocates.
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<SpanRecord>,
+    /// Index of the oldest live record.
+    head: usize,
+    /// Number of live records (≤ `buf.len()`).
+    len: usize,
+}
+
+/// Pooled ring-buffer trace sink. All methods take `&self` (interior
+/// mutability) so a single sink can be shared — via [`TraceHandle`] — by the
+/// simulator, the placement engine, and the mesh without borrow gymnastics.
+///
+/// Not `Sync`: the pipeline is single-threaded by design (the rayon shim is
+/// sequential) and `Rc`/`Cell` keep the record path free of atomics.
+#[derive(Debug)]
+pub struct TraceSink {
+    epoch: Instant,
+    step: Cell<u32>,
+    dropped: Cell<u64>,
+    ring: RefCell<Ring>,
+}
+
+impl TraceSink {
+    /// Sink holding up to `capacity` spans; the oldest are overwritten once
+    /// full ([`TraceSink::dropped`] counts the overwrites — a silent-cap
+    /// guard for exporters).
+    pub fn with_capacity(capacity: usize) -> TraceSink {
+        TraceSink {
+            epoch: Instant::now(),
+            step: Cell::new(0),
+            dropped: Cell::new(0),
+            ring: RefCell::new(Ring {
+                buf: vec![SpanRecord::default(); capacity],
+                head: 0,
+                len: 0,
+            }),
+        }
+    }
+
+    /// Tag subsequent spans with `step` (called once per simulation step).
+    pub fn set_step(&self, step: u32) {
+        self.step.set(step);
+    }
+
+    /// Step tag currently applied to new spans.
+    pub fn step(&self) -> u32 {
+        self.step.get()
+    }
+
+    /// Live span count.
+    pub fn len(&self) -> usize {
+        self.ring.borrow().len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.ring.borrow().buf.len()
+    }
+
+    /// Spans overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// Nanoseconds since the sink was created (host-span clock).
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Record a completed span directly (the guard path calls this on drop).
+    pub fn push(&self, rec: SpanRecord) {
+        let mut ring = self.ring.borrow_mut();
+        let cap = ring.buf.len();
+        if cap == 0 {
+            self.dropped.set(self.dropped.get() + 1);
+            return;
+        }
+        if ring.len < cap {
+            let at = (ring.head + ring.len) % cap;
+            ring.buf[at] = rec;
+            ring.len += 1;
+        } else {
+            let at = ring.head;
+            ring.buf[at] = rec;
+            ring.head = (ring.head + 1) % cap;
+            self.dropped.set(self.dropped.get() + 1);
+        }
+    }
+
+    /// Record a span in simulated virtual time.
+    pub fn record_virtual(&self, phase: TracePhase, start_ns: u64, dur_ns: u64) {
+        self.push(SpanRecord {
+            phase,
+            track: Track::Virtual,
+            step: self.step.get(),
+            start_ns,
+            dur_ns,
+        });
+    }
+
+    /// Open a host wall-clock span; it records itself when dropped.
+    pub fn span(&self, phase: TracePhase) -> SpanGuard<'_> {
+        SpanGuard {
+            sink: self,
+            phase,
+            start_ns: self.now_ns(),
+        }
+    }
+
+    /// Copy live spans, oldest first, into `out` (cleared; capacity reused).
+    pub fn snapshot_into(&self, out: &mut Vec<SpanRecord>) {
+        out.clear();
+        let ring = self.ring.borrow();
+        let cap = ring.buf.len();
+        for i in 0..ring.len {
+            out.push(ring.buf[(ring.head + i) % cap]);
+        }
+    }
+
+    /// Allocating convenience over [`TraceSink::snapshot_into`].
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::with_capacity(self.len());
+        self.snapshot_into(&mut out);
+        out
+    }
+
+    /// Discard all spans (capacity and epoch kept).
+    pub fn clear(&self) {
+        let mut ring = self.ring.borrow_mut();
+        ring.head = 0;
+        ring.len = 0;
+        self.dropped.set(0);
+    }
+}
+
+/// RAII guard for a host span: measures from creation to drop and pushes the
+/// record into the sink. Created via [`TraceSink::span`] /
+/// [`TraceHandle::span`].
+#[must_use = "a span guard measures until dropped; binding it to `_` drops it immediately"]
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    sink: &'a TraceSink,
+    phase: TracePhase,
+    start_ns: u64,
+}
+
+impl SpanGuard<'_> {
+    /// Elapsed host time so far (the value recorded at drop).
+    pub fn elapsed_ns(&self) -> u64 {
+        self.sink.now_ns().saturating_sub(self.start_ns)
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let dur_ns = self.elapsed_ns();
+        self.sink.push(SpanRecord {
+            phase: self.phase,
+            track: Track::Host,
+            step: self.sink.step(),
+            start_ns: self.start_ns,
+            dur_ns,
+        });
+    }
+}
+
+/// Fixed counter slots published by the instrumented pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Counter {
+    /// Simulation steps executed.
+    Steps,
+    /// Mesh adapt calls (including no-ops).
+    Adapts,
+    /// Adapt calls whose changeset was the identity.
+    NoopAdapts,
+    /// Blocks created by refinement.
+    BlocksRefined,
+    /// Blocks removed by coarsening merges.
+    BlocksCoarsened,
+    /// Incremental CSR neighbor-graph repairs.
+    GraphPatches,
+    /// Full neighbor-graph rebuild fallbacks.
+    GraphFullBuilds,
+    /// Placement engine rebalances.
+    Rebalances,
+    /// Blocks whose rank changed across all rebalances.
+    BlocksMoved,
+    /// Per-step blocking collectives executed.
+    Collectives,
+    /// Detector-driven capacity-vector changes.
+    CapacityUpdates,
+    /// Nodes blacklisted and re-hosted on spares.
+    NodesPruned,
+}
+
+impl Counter {
+    pub const COUNT: usize = 12;
+
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::Steps,
+        Counter::Adapts,
+        Counter::NoopAdapts,
+        Counter::BlocksRefined,
+        Counter::BlocksCoarsened,
+        Counter::GraphPatches,
+        Counter::GraphFullBuilds,
+        Counter::Rebalances,
+        Counter::BlocksMoved,
+        Counter::Collectives,
+        Counter::CapacityUpdates,
+        Counter::NodesPruned,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Steps => "steps",
+            Counter::Adapts => "adapts",
+            Counter::NoopAdapts => "noop_adapts",
+            Counter::BlocksRefined => "blocks_refined",
+            Counter::BlocksCoarsened => "blocks_coarsened",
+            Counter::GraphPatches => "graph_patches",
+            Counter::GraphFullBuilds => "graph_full_builds",
+            Counter::Rebalances => "rebalances",
+            Counter::BlocksMoved => "blocks_moved",
+            Counter::Collectives => "collectives",
+            Counter::CapacityUpdates => "capacity_updates",
+            Counter::NodesPruned => "nodes_pruned",
+        }
+    }
+}
+
+/// Fixed gauge slots (latest-value semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Gauge {
+    /// Blocks in the mesh after the latest step.
+    Blocks,
+    /// Ranks being simulated.
+    Ranks,
+    /// Imbalance of the latest placement under current costs.
+    Imbalance,
+    /// Latest step's synchronization fraction: sync / (compute+comm+sync).
+    /// This is the corrected-wait signal the collective bugfix changes.
+    SyncFraction,
+}
+
+impl Gauge {
+    pub const COUNT: usize = 4;
+
+    pub const ALL: [Gauge; Gauge::COUNT] = [
+        Gauge::Blocks,
+        Gauge::Ranks,
+        Gauge::Imbalance,
+        Gauge::SyncFraction,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::Blocks => "blocks",
+            Gauge::Ranks => "ranks",
+            Gauge::Imbalance => "imbalance",
+            Gauge::SyncFraction => "sync_fraction",
+        }
+    }
+}
+
+/// Fixed-slot metrics registry: counters, gauges, and a per-phase duration
+/// histogram. Everything is pre-allocated at construction; `incr`, `set` and
+/// `observe_phase_ns` are allocation-free (covered by the zero-alloc test).
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    counters: [Cell<u64>; Counter::COUNT],
+    gauges: [Cell<f64>; Gauge::COUNT],
+    phase_ns: RefCell<Vec<LogHistogram>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            counters: std::array::from_fn(|_| Cell::new(0)),
+            gauges: std::array::from_fn(|_| Cell::new(0.0)),
+            phase_ns: RefCell::new(
+                (0..TracePhase::COUNT)
+                    .map(|_| LogHistogram::new(8))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Add `by` to a counter.
+    pub fn incr(&self, c: Counter, by: u64) {
+        let cell = &self.counters[c as usize];
+        cell.set(cell.get().saturating_add(by));
+    }
+
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize].get()
+    }
+
+    /// Set a gauge to its latest value.
+    pub fn set(&self, g: Gauge, value: f64) {
+        self.gauges[g as usize].set(value);
+    }
+
+    pub fn gauge(&self, g: Gauge) -> f64 {
+        self.gauges[g as usize].get()
+    }
+
+    /// Record one duration into a phase's histogram.
+    pub fn observe_phase_ns(&self, phase: TracePhase, ns: u64) {
+        self.phase_ns.borrow_mut()[phase.index()].record(ns);
+    }
+
+    /// Run `f` against a phase's histogram (no copy).
+    pub fn with_phase<R>(&self, phase: TracePhase, f: impl FnOnce(&LogHistogram) -> R) -> R {
+        f(&self.phase_ns.borrow()[phase.index()])
+    }
+
+    /// Human-readable dump: counters, gauges, then per-phase histogram
+    /// summaries (count/min/p50/max ns). For logs and bench output.
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str("counters:\n");
+        for c in Counter::ALL {
+            let _ = writeln!(out, "  {:<18} {}", c.name(), self.counter(c));
+        }
+        out.push_str("gauges:\n");
+        for g in Gauge::ALL {
+            let _ = writeln!(out, "  {:<18} {:.4}", g.name(), self.gauge(g));
+        }
+        out.push_str("phase_ns (count min p50 max):\n");
+        let hists = self.phase_ns.borrow();
+        for p in TracePhase::ALL {
+            let h = &hists[p.index()];
+            let _ = writeln!(
+                out,
+                "  {:<18} {} {} {} {}",
+                p.name(),
+                h.count(),
+                h.min(),
+                h.quantile(0.5),
+                h.max()
+            );
+        }
+        out
+    }
+}
+
+/// The cloneable bundle instrumented components hold: one shared sink, one
+/// shared registry. Cloning is two `Rc` bumps — no allocation — so handing a
+/// copy to the engine, the mesh, and the simulator keeps them all publishing
+/// into the same artifacts.
+#[derive(Debug, Clone)]
+pub struct TraceHandle {
+    pub sink: Rc<TraceSink>,
+    pub metrics: Rc<MetricsRegistry>,
+}
+
+impl TraceHandle {
+    /// Handle with a fresh sink (ring of `span_capacity`) and registry.
+    pub fn new(span_capacity: usize) -> TraceHandle {
+        TraceHandle {
+            sink: Rc::new(TraceSink::with_capacity(span_capacity)),
+            metrics: Rc::new(MetricsRegistry::new()),
+        }
+    }
+
+    /// Open a host span that, on drop, records into the sink *and* observes
+    /// its duration into the phase histogram.
+    pub fn span(&self, phase: TracePhase) -> TracedSpan<'_> {
+        TracedSpan {
+            handle: self,
+            phase,
+            start_ns: self.sink.now_ns(),
+        }
+    }
+
+    /// Record a virtual-time span and observe it into the phase histogram.
+    pub fn record_virtual(&self, phase: TracePhase, start_ns: u64, dur_ns: u64) {
+        self.sink.record_virtual(phase, start_ns, dur_ns);
+        self.metrics.observe_phase_ns(phase, dur_ns);
+    }
+}
+
+/// RAII guard from [`TraceHandle::span`]: feeds both the sink and the
+/// per-phase histogram on drop.
+#[must_use = "a span guard measures until dropped; binding it to `_` drops it immediately"]
+#[derive(Debug)]
+pub struct TracedSpan<'a> {
+    handle: &'a TraceHandle,
+    phase: TracePhase,
+    start_ns: u64,
+}
+
+impl Drop for TracedSpan<'_> {
+    fn drop(&mut self) {
+        let dur_ns = self.handle.sink.now_ns().saturating_sub(self.start_ns);
+        self.handle.sink.push(SpanRecord {
+            phase: self.phase,
+            track: Track::Host,
+            step: self.handle.sink.step(),
+            start_ns: self.start_ns,
+            dur_ns,
+        });
+        self.handle.metrics.observe_phase_ns(self.phase, dur_ns);
+    }
+}
+
+/// Serialize spans as Chrome trace-event JSON (the `chrome://tracing` /
+/// Perfetto "JSON Array Format" with a `traceEvents` wrapper). Host spans go
+/// on tid 1, virtual spans on tid 2; timestamps are microseconds as the
+/// format requires.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(64 + spans.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    out.push_str(
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\",\
+         \"args\":{\"name\":\"host\"}},",
+    );
+    out.push_str(
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":2,\"name\":\"thread_name\",\
+         \"args\":{\"name\":\"virtual\"}}",
+    );
+    for s in spans {
+        let tid = match s.track {
+            Track::Host => 1,
+            Track::Virtual => 2,
+        };
+        let _ = write!(
+            out,
+            ",{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\
+             \"dur\":{:.3},\"pid\":1,\"tid\":{},\"args\":{{\"step\":{}}}}}",
+            s.phase.name(),
+            s.track.name(),
+            s.start_ns as f64 / 1_000.0,
+            s.dur_ns as f64 / 1_000.0,
+            tid,
+            s.step
+        );
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Serialize spans in collapsed-stack (flamegraph) format: one line per
+/// `track;phase` stack with the summed duration in ns as the sample weight.
+/// Feed straight to `flamegraph.pl` / `inferno-flamegraph`.
+pub fn collapsed_stacks(spans: &[SpanRecord]) -> String {
+    let mut totals = [[0u64; TracePhase::COUNT]; 2];
+    for s in spans {
+        let t = match s.track {
+            Track::Host => 0,
+            Track::Virtual => 1,
+        };
+        let slot = &mut totals[t][s.phase.index()];
+        *slot = slot.saturating_add(s.dur_ns);
+    }
+    let mut out = String::new();
+    for (t, track) in [Track::Host, Track::Virtual].into_iter().enumerate() {
+        for p in TracePhase::ALL {
+            let total = totals[t][p.index()];
+            if total > 0 {
+                let _ = writeln!(out, "amr;{};{} {}", track.name(), p.name(), total);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_guard_records_on_drop() {
+        let sink = TraceSink::with_capacity(8);
+        sink.set_step(3);
+        {
+            let _g = sink.span(TracePhase::Place);
+        }
+        let spans = sink.snapshot();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].phase, TracePhase::Place);
+        assert_eq!(spans[0].track, Track::Host);
+        assert_eq!(spans[0].step, 3);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let sink = TraceSink::with_capacity(4);
+        for i in 0..10u64 {
+            sink.record_virtual(TracePhase::Collective, i, 1);
+        }
+        assert_eq!(sink.len(), 4);
+        assert_eq!(sink.dropped(), 6);
+        let spans = sink.snapshot();
+        let starts: Vec<u64> = spans.iter().map(|s| s.start_ns).collect();
+        assert_eq!(starts, vec![6, 7, 8, 9]); // oldest first, newest kept
+        sink.clear();
+        assert!(sink.is_empty());
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_sink_drops_everything() {
+        let sink = TraceSink::with_capacity(0);
+        sink.record_virtual(TracePhase::Exchange, 0, 5);
+        {
+            let _g = sink.span(TracePhase::Place);
+        }
+        assert_eq!(sink.len(), 0);
+        assert_eq!(sink.dropped(), 2);
+    }
+
+    #[test]
+    fn metrics_counters_gauges_histograms() {
+        let m = MetricsRegistry::new();
+        m.incr(Counter::Rebalances, 2);
+        m.incr(Counter::Rebalances, 1);
+        assert_eq!(m.counter(Counter::Rebalances), 3);
+        assert_eq!(m.counter(Counter::Steps), 0);
+        m.incr(Counter::BlocksMoved, u64::MAX);
+        m.incr(Counter::BlocksMoved, 1); // saturates, never wraps
+        assert_eq!(m.counter(Counter::BlocksMoved), u64::MAX);
+        m.set(Gauge::Imbalance, 1.25);
+        assert_eq!(m.gauge(Gauge::Imbalance), 1.25);
+        m.observe_phase_ns(TracePhase::Place, 1_000);
+        m.observe_phase_ns(TracePhase::Place, 3_000);
+        let (count, max) = m.with_phase(TracePhase::Place, |h| (h.count(), h.max()));
+        assert_eq!(count, 2);
+        assert_eq!(max, 3_000);
+        let summary = m.render_summary();
+        assert!(summary.contains("rebalances"));
+        assert!(summary.contains("sync_fraction"));
+        assert!(summary.contains("place"));
+    }
+
+    #[test]
+    fn handle_span_feeds_sink_and_histogram() {
+        let t = TraceHandle::new(16);
+        {
+            let _g = t.span(TracePhase::GraphPatch);
+        }
+        t.record_virtual(TracePhase::Collective, 100, 50);
+        assert_eq!(t.sink.len(), 2);
+        assert_eq!(
+            t.metrics.with_phase(TracePhase::GraphPatch, |h| h.count()),
+            1
+        );
+        assert_eq!(
+            t.metrics.with_phase(TracePhase::Collective, |h| h.max()),
+            50
+        );
+        // Clones publish into the same sink.
+        let t2 = t.clone();
+        t2.record_virtual(TracePhase::Exchange, 0, 1);
+        assert_eq!(t.sink.len(), 3);
+    }
+
+    #[test]
+    fn chrome_export_is_wellformed() {
+        let sink = TraceSink::with_capacity(8);
+        sink.set_step(7);
+        sink.record_virtual(TracePhase::Collective, 2_000, 500);
+        {
+            let _g = sink.span(TracePhase::Place);
+        }
+        let json = chrome_trace_json(&sink.snapshot());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("\"displayTimeUnit\":\"ms\"}"));
+        assert!(json.contains("\"name\":\"collective\""));
+        assert!(json.contains("\"cat\":\"virtual\""));
+        assert!(json.contains("\"ts\":2.000"));
+        assert!(json.contains("\"name\":\"place\""));
+        assert!(json.contains("\"step\":7"));
+        // Balanced braces/brackets (cheap well-formedness check without a
+        // JSON parser in the dependency-free build).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn collapsed_export_sums_per_stack() {
+        let sink = TraceSink::with_capacity(8);
+        sink.record_virtual(TracePhase::Exchange, 0, 30);
+        sink.record_virtual(TracePhase::Exchange, 50, 12);
+        sink.record_virtual(TracePhase::Collective, 100, 5);
+        let folded = collapsed_stacks(&sink.snapshot());
+        let lines: Vec<&str> = folded.lines().collect();
+        assert!(lines.contains(&"amr;virtual;exchange 42"));
+        assert!(lines.contains(&"amr;virtual;collective 5"));
+        // Phases with no samples are omitted.
+        assert!(!folded.contains("remesh"));
+    }
+
+    #[test]
+    fn phase_taxonomy_is_stable() {
+        assert_eq!(TracePhase::ALL.len(), TracePhase::COUNT);
+        let names: Vec<&str> = TracePhase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "remesh",
+                "splice_index",
+                "graph_patch",
+                "place",
+                "exchange",
+                "collective",
+                "fault_response"
+            ]
+        );
+        for (i, p) in TracePhase::ALL.into_iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+}

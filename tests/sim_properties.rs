@@ -104,22 +104,32 @@ proptest! {
                                     hop in 0u64..10_000) {
         let res = barrier(&arrivals, hop);
         let last = *arrivals.iter().max().unwrap();
+        // Completion still includes the tree term...
         prop_assert_eq!(res.completion_ns, last + tree_depth(arrivals.len()) as u64 * hop);
+        // ...but wait is idle time before the straggler arrives: the tree
+        // hops are every rank's own work, charged to no one's wait.
         for (a, w) in arrivals.iter().zip(&res.wait_ns) {
-            prop_assert_eq!(a + w, res.completion_ns);
+            prop_assert_eq!(a + w, last);
         }
+        // The straggler itself never waits.
+        let argmax = arrivals.iter().position(|&a| a == last).unwrap();
+        prop_assert_eq!(res.wait_ns[argmax], 0);
+        prop_assert_eq!(res.total_wait_ns(),
+            arrivals.iter().map(|&a| last - a).sum::<u64>());
     }
 }
 
 // --- Closed fault loop -----------------------------------------------------
 
-/// One short Sedov run with the given timeline and response.
-fn fault_run(
+/// One short Sedov run with the given timeline and response. When `trace` is
+/// supplied the simulator (and its placement engine) publish into it.
+fn fault_run_traced(
     ranks: usize,
     steps: u64,
     seed: u64,
     faults: FaultTimeline,
     response: FaultResponse,
+    trace: Option<amr_tools::telemetry::TraceHandle>,
 ) -> RunReport {
     use amr_tools::mesh::{Dim, MeshConfig};
     use amr_tools::placement::policies::Lpt;
@@ -132,7 +142,20 @@ fn fault_run(
     cfg.telemetry_sampling = 4;
     cfg.faults = faults;
     cfg.fault_response = response;
-    MacroSim::new(cfg).run(&mut workload, &Lpt, RebalanceTrigger::OnMeshChange)
+    let mut sim = MacroSim::new(cfg);
+    sim.set_trace(trace);
+    sim.run(&mut workload, &Lpt, RebalanceTrigger::OnMeshChange)
+}
+
+/// Untraced convenience wrapper over [`fault_run_traced`].
+fn fault_run(
+    ranks: usize,
+    steps: u64,
+    seed: u64,
+    faults: FaultTimeline,
+    response: FaultResponse,
+) -> RunReport {
+    fault_run_traced(ranks, steps, seed, faults, response, None)
 }
 
 /// Deterministic splitmix64 step, for synthetic OS jitter.
@@ -192,6 +215,42 @@ proptest! {
         }
         prop_assert_eq!(armed.capacity_updates, 0);
         prop_assert_eq!(armed.nodes_pruned, 0);
+    }
+
+    /// Tracing must observe, never perturb: a traced run — spans, counters
+    /// and gauges flowing into a live `TraceHandle`, through a mid-run fault
+    /// episode with the reweight response active — reproduces the untraced
+    /// run's simulated virtual time bit for bit. (Redistribution is excluded
+    /// for the same reason as in `zero_fault_runs_are_bitwise_unchanged`:
+    /// it charges real placement wall-clock.)
+    #[test]
+    fn traced_runs_are_bitwise_identical_in_virtual_time(
+        seed in 0u64..1_000,
+        steps in 12u64..24,
+    ) {
+        use amr_tools::telemetry::trace::Counter as TraceCounter;
+        use amr_tools::telemetry::TraceHandle;
+        let ranks = if seed % 2 == 0 { 16usize } else { 32 };
+        let episode = FaultEpisode::throttle(4, 12, [1], 4.0);
+        let timeline = FaultTimeline::with_episode(episode);
+        let base = fault_run(ranks, steps, seed, timeline.clone(), FaultResponse::Reweight);
+        let handle = TraceHandle::new(4096);
+        let traced = fault_run_traced(
+            ranks, steps, seed, timeline, FaultResponse::Reweight, Some(handle.clone()));
+        prop_assert_eq!(traced.phases.compute_ns.to_bits(), base.phases.compute_ns.to_bits());
+        prop_assert_eq!(traced.phases.comm_ns.to_bits(), base.phases.comm_ns.to_bits());
+        prop_assert_eq!(traced.phases.sync_ns.to_bits(), base.phases.sync_ns.to_bits());
+        prop_assert_eq!(&traced.messages, &base.messages);
+        prop_assert_eq!(traced.final_blocks, base.final_blocks);
+        prop_assert_eq!(traced.lb_invocations, base.lb_invocations);
+        prop_assert_eq!(traced.capacity_updates, base.capacity_updates);
+        // And the trace really observed the run: per-step spans landed and
+        // the counters line up with the report.
+        prop_assert!(!handle.sink.is_empty());
+        prop_assert_eq!(handle.metrics.counter(TraceCounter::Steps), steps);
+        prop_assert_eq!(handle.metrics.counter(TraceCounter::Collectives), steps);
+        prop_assert_eq!(
+            handle.metrics.counter(TraceCounter::Rebalances), traced.lb_invocations + 1);
     }
 
     /// A single throttle episode is flagged — exactly the throttled node,

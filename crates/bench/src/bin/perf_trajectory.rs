@@ -18,7 +18,12 @@
 //! traced-vs-untraced overhead arm, assert < 2% overhead on simulated-loop
 //! wall time, and emit `<trace-out>.trace.json` + `<trace-out>.folded`),
 //! `--trace-steps N` (default 100), `--trace-reps N` (default 5),
-//! `--trace-out PREFIX` (default `TRACE_macrosim`).
+//! `--trace-out PREFIX` (default `TRACE_macrosim`), `--sharded` (run the
+//! flat-vs-sharded arm even under `--smoke`; full runs always include it),
+//! `--shards N` (shard count of that arm, default 8), `--hier-ranks N`
+//! (rank count of the solo hierarchical trajectory, default 2^20 in full
+//! runs and 0 = skipped under `--smoke`), `--hier-steps N` (its simulated
+//! steps, default 4).
 //!
 //! The run also enforces the no-op-adapt guard: an all-`Keep` adapt must
 //! take the identity fast path (identity delta, far cheaper than a full
@@ -26,16 +31,84 @@
 //! faulty trajectory likewise guards the closed fault loop: detect-and-
 //! reweight must beat fault-oblivious, detect-and-prune must beat both, and
 //! at full scale reweighting must recover at least 40% of the fault-induced
-//! slowdown.
+//! slowdown. The sharded arm guards the sharded data path: virtual phases
+//! must be bit-identical to the flat engine's at shard count 1 *and* at
+//! `--shards`, and streaming one shard's CSR at a time must peak at less
+//! than half the resident global graph's heap.
 
 use amr_bench::e2e::{
     assert_noop_adapt_fast, run_evolving, run_evolving_traced, run_faulty, run_pipeline,
-    run_pipeline_traced, E2eTimings, EvolvingTimings, FaultyArm, FaultyTimings,
+    run_pipeline_traced, run_sharded, skewed_costs, E2eTimings, EvolvingTimings, FaultyArm,
+    FaultyTimings, ShardedRun, StaticPipelineWorkload,
 };
 use amr_bench::Args;
+use amr_core::engine::PlacementEngine;
+use amr_core::policies::Hierarchical;
+use amr_core::trigger::RebalanceTrigger;
+use amr_mesh::{build_shard, plan_shard_bounds, ShardGraph};
+use amr_sim::{MacroSim, SimConfig};
 use amr_telemetry::trace::{chrome_trace_json, collapsed_stacks};
 use amr_telemetry::TraceHandle;
+use amr_workloads::{large_refined_mesh, random_refined_mesh};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Byte-accurate live/peak heap meter. The sharded arm's claim is about
+/// *peak resident bytes* (can a node hold its slice of the topology?), so
+/// the bench binary swaps in an allocator that tracks the high-water mark;
+/// [`measured`] resets it around each stage. Single atomic adds per
+/// alloc/free — far below measurement noise for the timed stages.
+struct PeakAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                let grow = new_size - layout.size();
+                let live = LIVE.fetch_add(grow, Ordering::Relaxed) + grow;
+                PEAK.fetch_max(live, Ordering::Relaxed);
+            } else {
+                LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static A: PeakAlloc = PeakAlloc;
+
+/// Run `f`, returning its result plus wall nanoseconds and the peak heap
+/// growth (bytes above the live heap at entry) it caused.
+fn measured<T>(f: impl FnOnce() -> T) -> (T, u64, u64) {
+    let live = LIVE.load(Ordering::Relaxed);
+    PEAK.store(live, Ordering::Relaxed);
+    let t = Instant::now();
+    let r = f();
+    let ns = t.elapsed().as_nanos() as u64;
+    let peak = PEAK.load(Ordering::Relaxed).saturating_sub(live) as u64;
+    (r, ns, peak)
+}
 
 fn main() {
     let args = Args::from_env();
@@ -46,6 +119,11 @@ fn main() {
     let fault_steps = args.get_u64("fault-steps", 60);
     let fault_ranks = args.get_usize("fault-ranks", if smoke { 256 } else { 4096 });
     let with_faults = args.flag("faults") || !smoke;
+    let with_sharded = args.flag("sharded") || !smoke;
+    let shard_count = args.get_usize("shards", 8);
+    let sharded_ranks = if smoke { 256 } else { 16384 };
+    let hier_ranks = args.get_usize("hier-ranks", if smoke { 0 } else { 1 << 20 });
+    let hier_steps = args.get_u64("hier-steps", 4);
     let out_path = args.get("out", "BENCH_macrosim.json").to_string();
     let scales: Vec<usize> = if smoke {
         vec![256]
@@ -166,15 +244,20 @@ fn main() {
         f
     });
 
-    let json = render_json(
-        &rows,
-        &evolving,
-        faulty.as_ref(),
+    let sharded = with_sharded.then(|| run_sharded_arm(sharded_ranks, steps, shard_count));
+    let hier = (hier_ranks > 0).then(|| run_hier_arm(hier_ranks, hier_steps));
+
+    let json = render_json(&Report {
+        rows: &rows,
+        evolving: &evolving,
+        faulty: faulty.as_ref(),
+        sharded: sharded.as_ref(),
+        hier: hier.as_ref(),
         steps,
         evolve_steps,
         reps,
         smoke,
-    );
+    });
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("{json}");
     eprintln!("wrote {out_path}");
@@ -185,7 +268,9 @@ fn main() {
 /// Interleaves `reps` untraced and traced passes of the identical static
 /// pipeline (same mesh seed, same step count) and compares min-of-reps
 /// simulated-loop wall time. Tracing is a handful of `Cell` stores and ring
-/// writes per step, so it must stay under 2% or the process panics — CI runs
+/// writes per step, so it must stay under 2% — with a 250 µs absolute noise
+/// floor, because the `--smoke` sim is only ~4 ms and scheduler jitter on a
+/// single-core runner exceeds 2% of that — or the process panics. CI runs
 /// this arm under `--smoke`, making the overhead bound a regression guard.
 /// A traced evolving trajectory then fills the remesh-side phases
 /// (`remesh`/`splice_index`/`graph_patch`) that a static mesh never enters,
@@ -206,15 +291,20 @@ fn run_trace_arm(ranks: usize, steps: u64, reps: usize, out_prefix: &str) {
         traced = traced.min(run_pipeline_traced(ranks, steps, 1, &trace).sim_ns);
     }
     let overhead = traced as f64 / untraced as f64 - 1.0;
+    let abs_ns = traced.saturating_sub(untraced);
     eprintln!(
-        "trace overhead: untraced sim {:.3} ms, traced sim {:.3} ms ({:+.2}%)",
+        "trace overhead: untraced sim {:.3} ms, traced sim {:.3} ms ({:+.2}%, {:+.1} us)",
         untraced as f64 / 1e6,
         traced as f64 / 1e6,
-        overhead * 100.0
+        overhead * 100.0,
+        abs_ns as f64 / 1e3
     );
+    // Per-step tracing cost is what we guard. 2% of the full-scale 25 ms sim
+    // is ~500 us; the 250 us absolute floor is tighter per step than that and
+    // only lifts the bound where the relative test drowns in timer jitter.
     assert!(
-        overhead < 0.02,
-        "tracing must cost < 2% of simulated-loop wall time \
+        overhead < 0.02 || abs_ns < 250_000,
+        "tracing must cost < 2% of simulated-loop wall time or < 250 us absolute \
          (untraced {untraced} ns, traced {traced} ns, {:+.2}%)",
         overhead * 100.0
     );
@@ -236,16 +326,315 @@ fn run_trace_arm(ranks: usize, steps: u64, reps: usize, out_prefix: &str) {
     eprint!("{}", trace.metrics.render_summary());
 }
 
-/// Hand-rolled JSON (the workspace has no serde_json; the schema is flat).
-fn render_json(
-    rows: &[E2eTimings],
-    evolving: &[(EvolvingTimings, EvolvingTimings)],
-    faulty: Option<&FaultyTimings>,
+/// Results of the flat-vs-sharded arm.
+struct ShardedArm {
+    ranks: usize,
+    blocks: usize,
+    relations: usize,
+    shards: usize,
+    flat_graph_ns: u64,
+    flat_graph_peak_bytes: u64,
+    stream_graph_ns: u64,
+    stream_graph_peak_bytes: u64,
+    halo_blocks: usize,
+    cross_relations: usize,
+    flat: ShardedRun,
+    sharded: ShardedRun,
+}
+
+/// The `--sharded` arm: prove the sharded data path on the two axes the
+/// refactor claims.
+///
+/// **Memory** — build the resident global CSR (the flat engine's working
+/// set), then stream the identical topology one shard at a time through
+/// [`build_shard`] into a single reused [`ShardGraph`] (a node's view in a
+/// distributed run). Peak heap growth of the streaming pass must be under
+/// half the resident graph's, or the process panics.
+///
+/// **Determinism** — macro-simulate the same mesh flat, at 1 shard, and at
+/// `shards` shards. Shard rows keep global neighbor ids in global SFC row
+/// order, so the virtual compute/comm/sync totals must be *bit-identical*
+/// across all three (asserted via `f64::to_bits`); at 1 shard the halo is
+/// empty so even the redistribution charge is untouched.
+fn run_sharded_arm(ranks: usize, steps: u64, shards: usize) -> ShardedArm {
+    assert!(shards >= 2, "--shards must be at least 2");
+    let mesh = random_refined_mesh(ranks, 1.6, 1);
+    let blocks = mesh.num_blocks();
+
+    let (relations, flat_graph_ns, flat_peak) =
+        measured(|| mesh.neighbor_graph().total_relations());
+    let ((stream_relations, halo_blocks, cross_relations), stream_graph_ns, stream_peak) =
+        measured(|| {
+            let bounds = plan_shard_bounds(&mesh, shards);
+            let mut g = ShardGraph::default();
+            let (mut rel, mut halo, mut cross) = (0usize, 0usize, 0usize);
+            for s in 0..shards {
+                build_shard(&mesh, &bounds, s, &mut g);
+                rel += g.total_relations();
+                halo += g.halo().len();
+                cross += g.cross_relations();
+            }
+            (rel, halo, cross)
+        });
+    assert_eq!(
+        stream_relations, relations,
+        "streamed shard rows must cover exactly the global graph"
+    );
+    let ratio = flat_peak as f64 / stream_peak.max(1) as f64;
+    eprintln!(
+        "sharded {:>6}: flat graph {:.2} MiB peak / {:.3} ms, streamed x{} {:.2} MiB peak / {:.3} ms ({:.1}x less memory)",
+        ranks,
+        flat_peak as f64 / (1 << 20) as f64,
+        flat_graph_ns as f64 / 1e6,
+        shards,
+        stream_peak as f64 / (1 << 20) as f64,
+        stream_graph_ns as f64 / 1e6,
+        ratio,
+    );
+    assert!(
+        ratio >= 2.0,
+        "streaming {shards} shards must peak at less than half the resident \
+         graph ({flat_peak} vs {stream_peak} bytes, {ratio:.2}x)"
+    );
+
+    let flat = run_sharded(&mesh, ranks, steps, 1, 0);
+    let s1 = run_sharded(&mesh, ranks, steps, 1, 1);
+    let sn = run_sharded(&mesh, ranks, steps, 1, shards);
+    let bits = |r: &ShardedRun| {
+        (
+            r.compute_ns.to_bits(),
+            r.comm_ns.to_bits(),
+            r.sync_ns.to_bits(),
+        )
+    };
+    assert_eq!(
+        bits(&flat),
+        bits(&s1),
+        "virtual phases at 1 shard must be bit-identical to the flat engine"
+    );
+    assert_eq!(
+        bits(&flat),
+        bits(&sn),
+        "virtual phases at {shards} shards must be bit-identical to the flat engine"
+    );
+    assert_eq!(
+        flat.mpi_messages, sn.mpi_messages,
+        "message totals diverged"
+    );
+    assert_eq!(
+        s1.halo_blocks, 0,
+        "a single shard owns everything: no ghosts"
+    );
+    assert_eq!(
+        s1.halo_exchange_ns.to_bits(),
+        0.0f64.to_bits(),
+        "no ghosts, no halo charge"
+    );
+    assert_eq!(
+        sn.halo_blocks as usize, halo_blocks,
+        "simulator and streaming pass disagree on the halo"
+    );
+    eprintln!(
+        "sharded {:>6}: virtual phases bit-identical flat vs S=1 vs S={} ({} halo blocks, {} cross relations)",
+        ranks, shards, halo_blocks, cross_relations,
+    );
+
+    ShardedArm {
+        ranks,
+        blocks,
+        relations,
+        shards,
+        flat_graph_ns,
+        flat_graph_peak_bytes: flat_peak,
+        stream_graph_ns,
+        stream_graph_peak_bytes: stream_peak,
+        halo_blocks,
+        cross_relations,
+        flat,
+        sharded: sn,
+    }
+}
+
+/// Results of the solo hierarchical trajectory.
+struct HierArm {
+    ranks: usize,
+    blocks: usize,
+    relations: usize,
+    nodes: usize,
+    ranks_per_node: usize,
+    mesh_shards: usize,
+    policy_shards: usize,
+    mesh_build_ns: u64,
+    stream_graph_ns: u64,
+    stream_graph_peak_bytes: u64,
+    halo_blocks: usize,
+    cross_relations: usize,
+    place_cold_ns: u64,
+    place_cold_peak_bytes: u64,
+    place_warm_ns: u64,
+    place_warm_peak_bytes: u64,
+    sim_steps: u64,
+    sim_shards: usize,
+    sim_wall_ns: u64,
+    virtual_total_ns: f64,
+}
+
+/// The hierarchical-scale arm: the full sharded trajectory at a rank count
+/// the flat data path has no business at (default 2^20 ranks, ~1.7M
+/// blocks). Solo column — no flat comparison is run here; the flat-vs-
+/// sharded ratios are measured at `--sharded`'s scale and only grow with
+/// rank count (resident CSR bytes scale linearly, streamed per-node bytes
+/// stay ~constant at fixed blocks/node).
+///
+/// Stages, each timed with peak heap growth: random refined mesh build →
+/// streamed per-node CSR (one [`ShardGraph`] resident at a time, one shard
+/// per 16-rank node) → two-stage hierarchical placement (cold, then warm to
+/// show the steady state is allocation-free) → a short macro-simulated
+/// trajectory on the sharded topology under the same policy.
+fn run_hier_arm(ranks: usize, sim_steps: u64) -> HierArm {
+    let ranks_per_node = 16; // Topology::paper's node width
+    let nodes = (ranks / ranks_per_node).max(1);
+    let mesh_shards = nodes;
+    // ~6 blocks per stage-1 unit: enough resolution for the cut refinement
+    // to balance nodes without drowning stage 1 in degenerate shards.
+    let policy_shards = nodes * 4;
+
+    // Past 2^16 ranks the root grid hits the Morton budget, so block count
+    // comes from refinement depth instead of root count.
+    let (mesh, mesh_build_ns, _) = measured(|| {
+        if ranks > 65_536 {
+            large_refined_mesh((ranks as f64 * 1.6) as usize, 1)
+        } else {
+            random_refined_mesh(ranks, 1.6, 1)
+        }
+    });
+    let blocks = mesh.num_blocks();
+    eprintln!(
+        "hier {:>8}: mesh built, {} blocks in {:.3} s",
+        ranks,
+        blocks,
+        mesh_build_ns as f64 / 1e9
+    );
+
+    let ((relations, halo_blocks, cross_relations), stream_graph_ns, stream_graph_peak_bytes) =
+        measured(|| {
+            let bounds = plan_shard_bounds(&mesh, mesh_shards);
+            let mut g = ShardGraph::default();
+            let (mut rel, mut halo, mut cross) = (0usize, 0usize, 0usize);
+            for s in 0..mesh_shards {
+                build_shard(&mesh, &bounds, s, &mut g);
+                rel += g.total_relations();
+                halo += g.halo().len();
+                cross += g.cross_relations();
+            }
+            (rel, halo, cross)
+        });
+    eprintln!(
+        "hier {:>8}: streamed {} per-node shards in {:.3} s, peak {:.2} MiB ({} relations, {} halo blocks)",
+        ranks,
+        mesh_shards,
+        stream_graph_ns as f64 / 1e9,
+        stream_graph_peak_bytes as f64 / (1 << 20) as f64,
+        relations,
+        halo_blocks,
+    );
+
+    let policy = Hierarchical::new(policy_shards, ranks_per_node);
+    let costs = skewed_costs(blocks);
+    let mut engine = PlacementEngine::new();
+    let (_, place_cold_ns, place_cold_peak) = measured(|| {
+        engine
+            .rebalance(&policy, &costs, ranks)
+            .expect("cold hierarchical rebalance failed")
+    });
+    engine
+        .rebalance(&policy, &costs, ranks)
+        .expect("hierarchical rebalance warm-up failed");
+    let (_, place_warm_ns, place_warm_peak) = measured(|| {
+        engine
+            .rebalance(&policy, &costs, ranks)
+            .expect("warm hierarchical rebalance failed")
+    });
+    eprintln!(
+        "hier {:>8}: two-stage placement cold {:.3} ms / {:.2} MiB, warm {:.3} ms / {} B",
+        ranks,
+        place_cold_ns as f64 / 1e6,
+        place_cold_peak as f64 / (1 << 20) as f64,
+        place_warm_ns as f64 / 1e6,
+        place_warm_peak,
+    );
+
+    // Short end-to-end trajectory on the sharded topology: a resident
+    // per-shard granularity coarser than per-node keeps the epoch walk
+    // cache-friendly without changing any virtual number (phase totals are
+    // shard-count-invariant, proven by the --sharded arm and the proptests).
+    let sim_shards = 256.min(mesh_shards);
+    let mut cfg = SimConfig::tuned(ranks);
+    cfg.telemetry_sampling = 1_000_000;
+    cfg.num_shards = sim_shards;
+    let mut w = StaticPipelineWorkload::new(mesh, sim_steps);
+    let mut sim = MacroSim::new(cfg);
+    let t = Instant::now();
+    let rep = sim.run(&mut w, &policy, RebalanceTrigger::OnMeshChange);
+    let sim_wall_ns = t.elapsed().as_nanos() as u64;
+    eprintln!(
+        "hier {:>8}: {} macrosim steps in {:.3} s (virtual {:.3} ms)",
+        ranks,
+        sim_steps,
+        sim_wall_ns as f64 / 1e9,
+        rep.total_ns / 1e6,
+    );
+
+    HierArm {
+        ranks,
+        blocks,
+        relations,
+        nodes,
+        ranks_per_node,
+        mesh_shards,
+        policy_shards,
+        mesh_build_ns,
+        stream_graph_ns,
+        stream_graph_peak_bytes,
+        halo_blocks,
+        cross_relations,
+        place_cold_ns,
+        place_cold_peak_bytes: place_cold_peak,
+        place_warm_ns,
+        place_warm_peak_bytes: place_warm_peak,
+        sim_steps,
+        sim_shards,
+        sim_wall_ns,
+        virtual_total_ns: rep.total_ns,
+    }
+}
+
+/// Everything `render_json` serializes, bundled so the call site stays flat.
+struct Report<'a> {
+    rows: &'a [E2eTimings],
+    evolving: &'a [(EvolvingTimings, EvolvingTimings)],
+    faulty: Option<&'a FaultyTimings>,
+    sharded: Option<&'a ShardedArm>,
+    hier: Option<&'a HierArm>,
     steps: u64,
     evolve_steps: u64,
     reps: usize,
     smoke: bool,
-) -> String {
+}
+
+/// Hand-rolled JSON (the workspace has no serde_json; the schema is flat).
+fn render_json(report: &Report<'_>) -> String {
+    let &Report {
+        rows,
+        evolving,
+        faulty,
+        sharded,
+        hier,
+        steps,
+        evolve_steps,
+        reps,
+        smoke,
+    } = report;
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"bench\": \"macrosim_e2e\",");
@@ -302,8 +691,9 @@ fn render_json(
             if i + 1 == evolving.len() { "" } else { "," }
         );
     }
+    s.push_str("  ]");
     if let Some(f) = faulty {
-        s.push_str("  ],\n");
+        s.push_str(",\n");
         let _ = writeln!(
             s,
             "  \"faulty_pipeline\": \"static mesh, lpt, {} steps; node 1 throttled 4x + NIC renegotiated to 1/10 rate on steps [{}, {}); arms share workload/seed and differ only in fault response\",",
@@ -337,9 +727,81 @@ fn render_json(
             f.recovery(&f.reweight),
             f.recovery(&f.prune)
         );
-        s.push_str("  }\n}\n");
-    } else {
-        s.push_str("  ]\n}\n");
+        s.push_str("  }");
     }
+    if let Some(sh) = sharded {
+        s.push_str(",\n");
+        let _ = writeln!(
+            s,
+            "  \"sharded_pipeline\": \"static random mesh; resident global CSR vs one streamed per-shard CSR at a time ({} shards); macrosim virtual phases asserted bit-identical flat vs S=1 vs S={}\",",
+            sh.shards, sh.shards
+        );
+        s.push_str("  \"sharded\": {\n");
+        let _ = writeln!(
+            s,
+            "    \"ranks\": {}, \"blocks\": {}, \"relations\": {}, \"shards\": {},",
+            sh.ranks, sh.blocks, sh.relations, sh.shards
+        );
+        let _ = writeln!(
+            s,
+            "    \"flat_graph_build_ns\": {}, \"flat_graph_peak_bytes\": {},",
+            sh.flat_graph_ns, sh.flat_graph_peak_bytes
+        );
+        let _ = writeln!(
+            s,
+            "    \"stream_graph_build_ns\": {}, \"stream_graph_peak_bytes\": {}, \"graph_peak_ratio\": {:.2},",
+            sh.stream_graph_ns,
+            sh.stream_graph_peak_bytes,
+            sh.flat_graph_peak_bytes as f64 / sh.stream_graph_peak_bytes.max(1) as f64
+        );
+        let _ = writeln!(
+            s,
+            "    \"halo_blocks\": {}, \"cross_relations\": {}, \"halo_exchange_ns\": {:.0},",
+            sh.halo_blocks, sh.cross_relations, sh.sharded.halo_exchange_ns
+        );
+        let _ = writeln!(
+            s,
+            "    \"virtual_phases_bitwise_flat\": true, \"compute_ns\": {:.0}, \"comm_ns\": {:.0}, \"sync_ns\": {:.0}, \"mpi_messages\": {},",
+            sh.flat.compute_ns, sh.flat.comm_ns, sh.flat.sync_ns, sh.flat.mpi_messages
+        );
+        let _ = writeln!(
+            s,
+            "    \"flat_sim_wall_ns\": {}, \"sharded_sim_wall_ns\": {}",
+            sh.flat.sim_wall_ns, sh.sharded.sim_wall_ns
+        );
+        s.push_str("  }");
+    }
+    if let Some(h) = hier {
+        s.push_str(",\n");
+        let _ = writeln!(
+            s,
+            "  \"hierarchical_pipeline\": \"solo sharded trajectory at {} ranks ({} nodes x {}): mesh -> streamed per-node CSR -> two-stage hier placement ({} stage-1 shards) -> {} macrosim steps on {} resident shards\",",
+            h.ranks, h.nodes, h.ranks_per_node, h.policy_shards, h.sim_steps, h.sim_shards
+        );
+        s.push_str("  \"hierarchical\": {\n");
+        let _ = writeln!(
+            s,
+            "    \"ranks\": {}, \"blocks\": {}, \"relations\": {}, \"nodes\": {}, \"ranks_per_node\": {}, \"mesh_shards\": {}, \"policy_shards\": {},",
+            h.ranks, h.blocks, h.relations, h.nodes, h.ranks_per_node, h.mesh_shards, h.policy_shards
+        );
+        let _ = writeln!(s, "    \"mesh_build_ns\": {},", h.mesh_build_ns);
+        let _ = writeln!(
+            s,
+            "    \"stream_graph_build_ns\": {}, \"stream_graph_peak_bytes\": {}, \"halo_blocks\": {}, \"cross_relations\": {},",
+            h.stream_graph_ns, h.stream_graph_peak_bytes, h.halo_blocks, h.cross_relations
+        );
+        let _ = writeln!(
+            s,
+            "    \"place_cold_ns\": {}, \"place_cold_peak_bytes\": {}, \"place_warm_ns\": {}, \"place_warm_peak_bytes\": {},",
+            h.place_cold_ns, h.place_cold_peak_bytes, h.place_warm_ns, h.place_warm_peak_bytes
+        );
+        let _ = writeln!(
+            s,
+            "    \"sim_steps\": {}, \"sim_shards\": {}, \"sim_wall_ns\": {}, \"virtual_total_ns\": {:.0}",
+            h.sim_steps, h.sim_shards, h.sim_wall_ns, h.virtual_total_ns
+        );
+        s.push_str("  }");
+    }
+    s.push_str("\n}\n");
     s
 }

@@ -250,6 +250,60 @@ pub fn run_faulty(ranks: usize, steps: u64, seed: u64) -> FaultyTimings {
     }
 }
 
+/// Virtual-time fingerprint of one macro-simulated pass over a prebuilt
+/// static mesh, with the topology held flat (`num_shards == 0`) or sharded
+/// `num_shards` ways. Phase totals are *virtual* nanoseconds — host wall
+/// clock only enters through `sim_wall_ns`.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedRun {
+    pub num_shards: usize,
+    pub compute_ns: f64,
+    pub comm_ns: f64,
+    pub sync_ns: f64,
+    /// MPI-visible (local + remote) messages over the run.
+    pub mpi_messages: u64,
+    /// Ghost blocks of the final epoch, summed over shards (0 when flat or
+    /// at a single shard).
+    pub halo_blocks: u64,
+    /// Virtual time charged for inter-shard ghost-metadata exchange.
+    pub halo_exchange_ns: f64,
+    pub sim_wall_ns: u64,
+}
+
+/// Macro-simulate `steps` steps over `mesh` under LPT with the topology
+/// partitioned into `num_shards` shards (0 = the resident flat graph).
+/// Shard rows store global neighbor ids in global SFC row order, so the
+/// virtual phase totals must be bit-identical to the flat run's at *every*
+/// shard count — the `--sharded` bench arm asserts this with
+/// `f64::to_bits`; only the redistribution phase may differ (the halo
+/// ghost-metadata charge, zero at `num_shards <= 1`).
+pub fn run_sharded(
+    mesh: &AmrMesh,
+    ranks: usize,
+    steps: u64,
+    seed: u64,
+    num_shards: usize,
+) -> ShardedRun {
+    let mut cfg = SimConfig::tuned(ranks);
+    cfg.telemetry_sampling = 1_000_000; // telemetry off: measure the loop
+    cfg.seed = seed ^ 0x5EED;
+    cfg.num_shards = num_shards;
+    let mut w = StaticPipelineWorkload::new(mesh.clone(), steps);
+    let mut sim = MacroSim::new(cfg);
+    let t = Instant::now();
+    let rep = sim.run(&mut w, &Lpt, RebalanceTrigger::OnMeshChange);
+    ShardedRun {
+        num_shards,
+        compute_ns: rep.phases.compute_ns,
+        comm_ns: rep.phases.comm_ns,
+        sync_ns: rep.phases.sync_ns,
+        mpi_messages: rep.messages.mpi(),
+        halo_blocks: rep.final_halo_blocks,
+        halo_exchange_ns: rep.halo_exchange_ns,
+        sim_wall_ns: t.elapsed().as_nanos() as u64,
+    }
+}
+
 /// Stage totals of one evolving-mesh trajectory (nanoseconds of host wall
 /// clock, summed over all steps).
 #[derive(Debug, Clone, Copy)]

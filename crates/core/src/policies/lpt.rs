@@ -25,8 +25,8 @@ pub struct Lpt;
 /// heap's backing storage alive between placements.
 #[derive(Debug, PartialEq)]
 pub(crate) struct Slot {
-    load: f64,
-    rank: u32,
+    pub(crate) load: f64,
+    pub(crate) rank: u32,
 }
 
 impl Eq for Slot {}
@@ -211,7 +211,7 @@ fn lpt_capacity_heap(
     }
 }
 
-fn lpt_heap(costs: &[f64], out: &mut [u32], order: &mut [usize], slots: &mut Vec<Slot>) {
+pub(crate) fn lpt_heap(costs: &[f64], out: &mut [u32], order: &mut [usize], slots: &mut Vec<Slot>) {
     assert!(!slots.is_empty());
     // Sort by cost descending; index ascending tie-break for determinism
     // (the comparator is a strict total order, so the unstable in-place

@@ -15,6 +15,7 @@ mod chunked;
 mod cplx;
 pub mod geometric;
 pub mod graph;
+mod hierarchical;
 mod lpt;
 pub mod zonal;
 
@@ -25,6 +26,7 @@ pub use chunked::ChunkedCdp;
 pub use cplx::Cplx;
 pub use geometric::Rcb;
 pub use graph::{edge_cut_bytes, GreedyEdgeCut};
+pub use hierarchical::Hierarchical;
 pub use lpt::{lpt_into, Lpt};
 pub use zonal::Zonal;
 

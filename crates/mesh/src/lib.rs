@@ -29,6 +29,7 @@ pub mod morton;
 pub mod neighbors;
 pub mod octant;
 pub mod sfc;
+pub mod sharded;
 pub mod tree;
 
 pub use block::{BlockId, BlockSpec, MeshBlock};
@@ -39,4 +40,5 @@ pub use morton::{morton_decode2, morton_decode3, morton_encode2, morton_encode3}
 pub use neighbors::{Neighbor, NeighborGraph, NeighborKind, PatchScratch};
 pub use octant::{Direction, Octant, MAX_LEVEL};
 pub use sfc::sfc_key;
+pub use sharded::{build_shard, plan_shard_bounds, ShardGraph, ShardedMesh};
 pub use tree::Octree;

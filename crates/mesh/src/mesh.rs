@@ -381,6 +381,9 @@ impl AmrMesh {
             *graph = self.neighbor_graph();
             if let Some(t) = &self.trace {
                 t.metrics.incr(TraceCounter::GraphFullBuilds, 1);
+                // Distinct from GraphFullBuilds so callers can tell "the
+                // patch entry point gave up" apart from intentional builds.
+                t.metrics.incr(TraceCounter::GraphPatchFallbacks, 1);
             }
             false
         }
@@ -751,6 +754,34 @@ mod tests {
         full.force_full_rebuild();
         assert_eq!(m.blocks(), full.blocks());
         assert_eq!(m.sfc_keys(), full.sfc_keys());
+    }
+
+    #[test]
+    fn patch_fallback_is_reported_via_trace_counter() {
+        use amr_telemetry::trace::Counter as TC;
+        let mut m = AmrMesh::new(cfg(2, 3));
+        let handle = TraceHandle::new(64);
+        m.set_trace(Some(handle.clone()));
+        let mut graph = m.neighbor_graph();
+        let mut scratch = PatchScratch::default();
+        // A live delta patches incrementally: no fallback recorded.
+        m.adapt(|b| {
+            if b.id.index() == 0 {
+                RefineTag::Refine
+            } else {
+                RefineTag::Keep
+            }
+        });
+        assert!(m.patch_neighbor_graph(&mut graph, &mut scratch));
+        assert_eq!(handle.metrics.counter(TC::GraphPatches), 1);
+        assert_eq!(handle.metrics.counter(TC::GraphPatchFallbacks), 0);
+        // Invalidate the stored delta: the entry point must degrade to a
+        // full rebuild — and say so, distinctly from intentional builds.
+        m.force_full_rebuild();
+        assert!(!m.patch_neighbor_graph(&mut graph, &mut scratch));
+        assert_eq!(handle.metrics.counter(TC::GraphPatchFallbacks), 1);
+        assert_eq!(handle.metrics.counter(TC::GraphFullBuilds), 1);
+        assert_eq!(graph, m.neighbor_graph());
     }
 
     #[test]

@@ -90,15 +90,15 @@ const PARALLEL_BUILD_MIN_LEAVES: usize = 8192;
 pub struct NeighborGraph {
     /// Row boundaries; `offsets.len() == num_blocks + 1` (empty graph: `[0]`
     /// or empty).
-    offsets: Vec<u32>,
+    pub(crate) offsets: Vec<u32>,
     /// Packed neighbor entries, rows sorted by `block`.
-    entries: Vec<Neighbor>,
+    pub(crate) entries: Vec<Neighbor>,
 }
 
 /// Where a same-level candidate cell sits relative to the (SFC-sorted) leaf
 /// array — the binary-search replacement for `Octree::coverage` plus the
 /// `HashMap<Octant, BlockId>` id lookup.
-enum Cover {
+pub(crate) enum Cover {
     /// The cell is leaf number `i` (same level).
     Leaf(u32),
     /// The cell is interior to coarser leaf number `i`.
@@ -110,7 +110,7 @@ enum Cover {
 /// Binary-search cover classification over a strictly ascending SFC key
 /// array — the shared core of the leaf-slice builder ([`LeafIndex`]) and the
 /// block-array patcher ([`BlockIndex`]).
-trait CoverIndex {
+pub(crate) trait CoverIndex {
     fn keys(&self) -> &[u64];
     fn octant(&self, i: u32) -> Octant;
     fn dim(&self) -> Dim;
@@ -181,11 +181,12 @@ impl CoverIndex for LeafIndex<'_> {
 }
 
 /// Cover index borrowing a mesh's maintained block array and key array
-/// (no per-call key computation) — the patch path's view of the new mesh.
-struct BlockIndex<'a> {
-    blocks: &'a [MeshBlock],
-    keys: &'a [u64],
-    dim: Dim,
+/// (no per-call key computation) — the patch path's (and the sharded
+/// builder's) view of the mesh.
+pub(crate) struct BlockIndex<'a> {
+    pub(crate) blocks: &'a [MeshBlock],
+    pub(crate) keys: &'a [u64],
+    pub(crate) dim: Dim,
 }
 
 impl CoverIndex for BlockIndex<'_> {
@@ -554,7 +555,7 @@ impl NeighborGraph {
 /// directions are enumerated faces-first, so ties resolve to the lowest
 /// codimension (largest message), matching the legacy builder's
 /// first-insertion-wins dedup.
-fn build_row<I: CoverIndex>(
+pub(crate) fn build_row<I: CoverIndex>(
     tree: &Octree,
     index: &I,
     dirs: &[Direction],

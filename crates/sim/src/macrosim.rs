@@ -34,13 +34,17 @@ use amr_core::engine::PlacementEngine;
 use amr_core::policies::PlacementPolicy;
 use amr_core::trigger::{RebalanceTrigger, TriggerContext};
 use amr_core::Placement;
-use amr_mesh::{AmrMesh, PatchScratch};
+use amr_mesh::{AmrMesh, BlockId, Neighbor, NeighborGraph, PatchScratch, ShardedMesh};
 use amr_telemetry::anomaly::{OnlineDetectorConfig, OnlineThrottleDetector};
 use amr_telemetry::trace::{Counter as TraceCounter, Gauge as TraceGauge, TraceHandle, TracePhase};
 use amr_telemetry::{Collector, EventTable, Phase};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
+
+/// Bytes per ghost-block metadata record in the inter-shard halo exchange:
+/// SFC key (8) + level/owner (8) + cost estimate (8) + bounds tag (8).
+const GHOST_META_BYTES: f64 = 32.0;
 
 /// What a workload reports after advancing one step.
 #[derive(Debug, Clone, Default)]
@@ -120,6 +124,16 @@ pub struct SimConfig {
     /// effective masking scales with `1 - 1/blocks_on_rank` — the
     /// counterintuitive locality tension the paper points out.
     pub overlap_efficiency: f64,
+    /// Number of SFC shards the mesh topology is partitioned into
+    /// (hierarchical-scale runs). `0` (the default) keeps the flat path: one
+    /// resident global [`NeighborGraph`], incrementally patched. Any value
+    /// ≥ 1 switches the run to a [`ShardedMesh`] — per-shard CSR graphs with
+    /// halo tables, refreshed per shard on mesh change — and charges a
+    /// ghost-metadata exchange between shards on mesh-change steps. With
+    /// `num_shards == 1` the halo is empty, the charge is exactly zero, and
+    /// virtual time is bit-identical to the flat path (the shard rows keep
+    /// global block ids, so every float accumulates in the same order).
+    pub num_shards: usize,
 }
 
 impl SimConfig {
@@ -141,6 +155,7 @@ impl SimConfig {
             send_coupling: 0.05,
             exchanges_per_step: 3,
             overlap_efficiency: 0.0,
+            num_shards: 0,
         }
     }
 
@@ -201,6 +216,14 @@ pub struct RunReport {
     /// Times the detector's verdict changed the capacity vector handed to
     /// the placement engine (onsets and recoveries both count).
     pub capacity_updates: u64,
+    /// Shards the run's mesh topology was partitioned into (0 = flat path).
+    pub num_shards: usize,
+    /// Total virtual time charged for inter-shard ghost-metadata exchange
+    /// across all mesh-change steps (exactly 0.0 on the flat path and at
+    /// `num_shards == 1`, where the halo is empty).
+    pub halo_exchange_ns: f64,
+    /// Halo (ghost) blocks of the final epoch, summed over shards.
+    pub final_halo_blocks: u64,
     /// Collected telemetry.
     pub telemetry: EventTable,
 }
@@ -209,6 +232,40 @@ impl RunReport {
     /// Did every placement computation meet the budget?
     pub fn placement_within_budget(&self, budget_ns: u64) -> bool {
         self.placement_wall_max_ns <= budget_ns
+    }
+}
+
+/// The topology source an epoch is filled from: the flat resident
+/// [`NeighborGraph`], or a [`ShardedMesh`] walked shard by shard. Shard rows
+/// store *global* neighbor ids in the same per-row order as the flat graph,
+/// and shards tile the SFC index space contiguously, so both variants visit
+/// identical `(block, neighbor)` pairs in identical order — the float
+/// accumulation in [`MacroSim::fill_epoch`] is bit-for-bit the same.
+#[derive(Clone, Copy)]
+enum GraphView<'a> {
+    Flat(&'a NeighborGraph),
+    Sharded(&'a ShardedMesh),
+}
+
+impl GraphView<'_> {
+    /// Visit every block's neighbor row in global SFC order.
+    fn for_each_row(&self, mut f: impl FnMut(BlockId, &[Neighbor])) {
+        match *self {
+            GraphView::Flat(g) => {
+                for (block, nbs) in g.iter() {
+                    f(block, nbs);
+                }
+            }
+            GraphView::Sharded(sm) => {
+                for s in 0..sm.num_shards() {
+                    let shard = sm.shard(s);
+                    let base = shard.range().start;
+                    for local in 0..shard.num_blocks() {
+                        f(BlockId((base + local) as u32), shard.neighbors_local(local));
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -381,18 +438,35 @@ impl MacroSim {
                 .rebalance_with(policy, costs, r, Some(workload.mesh()), None)
                 .unwrap_or_else(|e| panic!("initial placement failed: {e}"));
         }
-        // The neighbor graph depends only on the mesh, not the placement:
+        // The neighbor topology depends only on the mesh, not the placement:
         // cache it across epochs and rebuild only when the mesh changes
         // (placement-only rebalances — e.g. a periodic trigger — refill the
-        // epoch from the cached graph).
-        let mut graph = workload.mesh().neighbor_graph();
+        // epoch from the cached topology). Flat runs hold one resident
+        // global graph; sharded runs hold per-shard CSR graphs with halo
+        // tables instead and never materialize the global CSR.
+        let mut flat_graph: Option<NeighborGraph> = if cfg.num_shards == 0 {
+            Some(workload.mesh().neighbor_graph())
+        } else {
+            None
+        };
+        let mut sharded_mesh: Option<ShardedMesh> = if cfg.num_shards > 0 {
+            Some(ShardedMesh::new(workload.mesh(), cfg.num_shards))
+        } else {
+            None
+        };
+        let mut halo_exchange_ns = 0.0f64;
         let mut epoch = CommEpoch::default();
         {
             let placement = self
                 .engine
                 .placement()
                 .expect("initial placement primed the engine");
-            self.fill_epoch(workload.mesh(), placement, &graph, &mut epoch, &mut shm_in);
+            let view = match (&flat_graph, &sharded_mesh) {
+                (Some(g), _) => GraphView::Flat(g),
+                (_, Some(sm)) => GraphView::Sharded(sm),
+                _ => unreachable!("one topology source is always live"),
+            };
+            self.fill_epoch(workload.mesh(), placement, view, &mut epoch, &mut shm_in);
         }
 
         let mut phases = PhaseBreakdown::default();
@@ -439,12 +513,53 @@ impl MacroSim {
             let mut redist_bytes = 0u64;
             if ws.mesh_changed {
                 mesh_change_steps += 1;
-                // Incremental repair: only CSR rows touching changed octants
-                // are rebuilt (falls back to a full build when the workload's
-                // last delta doesn't describe this graph's mesh).
-                workload
-                    .mesh()
-                    .patch_neighbor_graph(&mut graph, &mut self.patch_scratch);
+                if let Some(g) = flat_graph.as_mut() {
+                    // Incremental repair: only CSR rows touching changed
+                    // octants are rebuilt (falls back to a full build when
+                    // the workload's last delta doesn't describe this
+                    // graph's mesh).
+                    workload
+                        .mesh()
+                        .patch_neighbor_graph(g, &mut self.patch_scratch);
+                }
+                if let Some(sm) = sharded_mesh.as_mut() {
+                    // Per-shard splice of the same delta; a stale delta
+                    // degrades to a full per-shard rebuild (still streaming,
+                    // never a global CSR) and is reported like the flat
+                    // path's fallback.
+                    let patched = {
+                        let _span = trace.as_ref().map(|t| t.span(TracePhase::GraphPatch));
+                        sm.refresh(workload.mesh())
+                    };
+                    if let Some(t) = &trace {
+                        if patched {
+                            t.metrics.incr(TraceCounter::GraphPatches, 1);
+                        } else {
+                            t.metrics.incr(TraceCounter::GraphFullBuilds, 1);
+                            t.metrics.incr(TraceCounter::GraphPatchFallbacks, 1);
+                        }
+                    }
+                    // Remeshing republishes ghost-block metadata across every
+                    // shard boundary before the next exchange epoch can run:
+                    // each shard ships (key, level, owner) records for its
+                    // halo over the fabric. The slowest shard gates the step
+                    // (the refresh precedes redistribution). Exactly zero
+                    // when the halo is empty — i.e. always at one shard — so
+                    // the flat path's arithmetic is untouched.
+                    let mut worst_ns = 0.0f64;
+                    for s in 0..sm.num_shards() {
+                        let halo = sm.shard(s).halo().len() as f64;
+                        if halo > 0.0 {
+                            let ns = cfg.network.fabric.latency_ns as f64
+                                + halo * GHOST_META_BYTES / cfg.network.fabric.bytes_per_ns;
+                            if ns > worst_ns {
+                                worst_ns = ns;
+                            }
+                        }
+                    }
+                    halo_exchange_ns += worst_ns;
+                    redist_per_rank += worst_ns;
+                }
                 if let Some(origins) = &ws.origins {
                     // Warm remap: children inherit the parent's estimate,
                     // merges average — staged in the reused spare buffer.
@@ -528,7 +643,12 @@ impl MacroSim {
                     .engine
                     .placement()
                     .expect("rebalance primed the engine");
-                self.fill_epoch(workload.mesh(), placement, &graph, &mut epoch, &mut shm_in);
+                let view = match (&flat_graph, &sharded_mesh) {
+                    (Some(g), _) => GraphView::Flat(g),
+                    (_, Some(sm)) => GraphView::Sharded(sm),
+                    _ => unreachable!("one topology source is always live"),
+                };
+                self.fill_epoch(workload.mesh(), placement, view, &mut epoch, &mut shm_in);
             }
 
             // --- Compute phase --------------------------------------------
@@ -783,19 +903,25 @@ impl MacroSim {
             placement_wall_max_ns: placement_wall_max,
             nodes_pruned,
             capacity_updates,
+            num_shards: cfg.num_shards,
+            halo_exchange_ns,
+            final_halo_blocks: sharded_mesh
+                .as_ref()
+                .map_or(0, |sm| sm.total_halo_blocks() as u64),
             telemetry: collector.finish(),
         }
     }
 
     /// Fill per-rank communication aggregates for a (mesh, placement) epoch
     /// into the reused `e` (all buffers recycled, no allocation once warm).
-    /// `graph` is the cached neighbor graph of `mesh`; `shm_in` is a pooled
+    /// `graph` is the cached neighbor topology of `mesh` — flat or sharded,
+    /// both walk identical rows in identical order; `shm_in` is a pooled
     /// per-rank counter buffer.
     fn fill_epoch(
         &self,
         mesh: &AmrMesh,
         placement: &Placement,
-        graph: &amr_mesh::NeighborGraph,
+        graph: GraphView<'_>,
         e: &mut CommEpoch,
         shm_in: &mut Vec<usize>,
     ) {
@@ -811,7 +937,7 @@ impl MacroSim {
         shm_in.clear();
         shm_in.resize(r, 0);
 
-        for (block, nbs) in graph.iter() {
+        graph.for_each_row(|block, nbs| {
             let src = placement.rank_of(block.index()) as usize;
             for n in nbs {
                 let bytes = spec.message_bytes(dim, n.kind.codim());
@@ -839,12 +965,12 @@ impl MacroSim {
                 // loop stays branch-light; no per-rank hash/tree set).
                 e.senders[dst].push(src as u32);
             }
-        }
+        });
         // Flux correction: every fine block sends conserved-flux data for
         // each face shared with a coarser neighbor — small messages, one
         // round per step (§II-B). The payload is the fine face restricted
         // onto the coarse grid: a quarter of a face exchange.
-        for (block, nbs) in graph.iter() {
+        graph.for_each_row(|block, nbs| {
             let src = placement.rank_of(block.index()) as usize;
             for n in nbs {
                 if n.level_delta != -1 || n.kind != amr_mesh::NeighborKind::Face {
@@ -866,7 +992,7 @@ impl MacroSim {
                     e.remote_msgs += 1;
                 }
             }
-        }
+        });
         for (dst, &shm) in shm_in.iter().enumerate().take(r) {
             e.service_ns[dst] += cfg.network.shm_contention_ns(shm) as f64;
             let s = &mut e.senders[dst];

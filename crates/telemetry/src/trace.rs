@@ -327,6 +327,11 @@ pub enum Counter {
     GraphPatches,
     /// Full neighbor-graph rebuild fallbacks.
     GraphFullBuilds,
+    /// Patch entry points that silently degraded to a full rebuild because
+    /// the stored delta could not vouch for the caller's graph (identity,
+    /// stale, or block-count mismatch). A nonzero value in a steady-state
+    /// sharded/incremental run is a patching regression, not just slowness.
+    GraphPatchFallbacks,
     /// Placement engine rebalances.
     Rebalances,
     /// Blocks whose rank changed across all rebalances.
@@ -340,7 +345,7 @@ pub enum Counter {
 }
 
 impl Counter {
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 13;
 
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::Steps,
@@ -350,6 +355,7 @@ impl Counter {
         Counter::BlocksCoarsened,
         Counter::GraphPatches,
         Counter::GraphFullBuilds,
+        Counter::GraphPatchFallbacks,
         Counter::Rebalances,
         Counter::BlocksMoved,
         Counter::Collectives,
@@ -366,6 +372,7 @@ impl Counter {
             Counter::BlocksCoarsened => "blocks_coarsened",
             Counter::GraphPatches => "graph_patches",
             Counter::GraphFullBuilds => "graph_full_builds",
+            Counter::GraphPatchFallbacks => "graph_patch_fallbacks",
             Counter::Rebalances => "rebalances",
             Counter::BlocksMoved => "blocks_moved",
             Counter::Collectives => "collectives",

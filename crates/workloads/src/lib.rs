@@ -28,6 +28,6 @@ pub mod sedov;
 pub use cooling::CoolingWorkload;
 pub use distributions::CostDistribution;
 pub use interface::{InterfaceConfig, InterfaceWorkload};
-pub use meshgen::random_refined_mesh;
+pub use meshgen::{large_refined_mesh, random_refined_mesh};
 pub use scenarios::SedovScenario;
 pub use sedov::{SedovConfig, SedovWorkload};

@@ -61,6 +61,55 @@ pub fn random_refined_mesh(ranks: usize, target_blocks_per_rank: f64, seed: u64)
     mesh
 }
 
+/// Build a deterministic 2:1-balanced mesh of roughly `target_blocks`
+/// blocks for scales beyond the root-grid budget.
+///
+/// [`random_refined_mesh`] sizes the *root grid* to the rank count, which
+/// runs into the 32-roots-per-axis Morton budget at 2^16 ranks. Here the
+/// root lattice is pinned to its 32³ maximum and block count is grown by
+/// *depth* instead: one uniform pass to level 1 (262,144 blocks), then
+/// randomly placed level-2 hot spheres until `target_blocks` is reached —
+/// the same clustered fine-level structure, up to the ~2.1M-block ceiling
+/// of a fully level-2 forest. Deterministic in `seed`.
+pub fn large_refined_mesh(target_blocks: usize, seed: u64) -> AmrMesh {
+    const ROOTS: usize = 32 * 32 * 32;
+    assert!(
+        target_blocks <= ROOTS * 55,
+        "target {target_blocks} beyond the level-2 forest's reach"
+    );
+    let mut config = MeshConfig::from_cells(Dim::D3, (32 * 16, 32 * 16, 32 * 16), 2);
+    config.max_level = 2;
+    let mut mesh = AmrMesh::new(config);
+    mesh.adapt(|b| {
+        if b.level() == 0 {
+            RefineTag::Refine
+        } else {
+            RefineTag::Keep
+        }
+    });
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut guard = 0;
+    while mesh.num_blocks() < target_blocks && guard < 256 {
+        guard += 1;
+        let c = Point::new(rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>());
+        let radius = rng.gen_range(0.10..0.30);
+        mesh.adapt(|b| {
+            if b.level() == 1 && b.bounds.distance_to_point(&c) <= radius {
+                RefineTag::Refine
+            } else {
+                RefineTag::Keep
+            }
+        });
+    }
+    assert!(
+        mesh.num_blocks() >= target_blocks,
+        "hot spheres saturated at {} of {target_blocks} blocks",
+        mesh.num_blocks()
+    );
+    mesh
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,5 +161,18 @@ mod tests {
     fn refinement_present() {
         let m = random_refined_mesh(512, 1.8, 4);
         assert!(m.blocks().iter().any(|b| b.level() > 0));
+    }
+
+    #[test]
+    fn large_mesh_reaches_target_beyond_root_budget() {
+        // A target just past the uniform level-1 forest forces at least one
+        // level-2 hot sphere; the full 2^20-rank scale is exercised by the
+        // perf-trajectory hierarchical arm, not in unit tests.
+        let target = 300_000;
+        let m = large_refined_mesh(target, 7);
+        assert!(m.num_blocks() >= target);
+        assert!(m.blocks().iter().any(|b| b.level() == 2));
+        let n1 = large_refined_mesh(target, 7).num_blocks();
+        assert_eq!(m.num_blocks(), n1, "must be deterministic in seed");
     }
 }

@@ -60,6 +60,16 @@ pub struct SedovConfig {
     /// margins keep the refined band one block-layer thick, matching
     /// Table I's final block counts.
     pub refine_margin: f64,
+    /// Fraction of a block's radial extent that counts toward shell
+    /// intersection. At `1.0` a block refines whenever the shock surface
+    /// touches it anywhere (the corner-intersection test); smaller values
+    /// require the surface to pass nearer the block's radial midpoint,
+    /// thinning the refined band. Production AMR tags on gradient
+    /// estimators whose support does not grow with block size, so
+    /// configurations with smaller blocks (Table I's 2048/4096 rows) need
+    /// a sub-unit fraction to match the paper's final block counts; see
+    /// `SedovScenario::for_ranks`.
+    pub band_fraction: f64,
     /// Nominal per-block compute time (ns). 250 ms timesteps across ~2
     /// blocks/rank put this at O(10⁸) ns in the paper; scale freely.
     pub base_cost_ns: f64,
@@ -87,6 +97,7 @@ impl SedovConfig {
             final_radius: 1.25,
             shell_width: 0.06,
             refine_margin: 0.005,
+            band_fraction: 1.0,
             base_cost_ns: 1.0e6,
             gradient_amp: 2.2,
             post_shock_boost: 0.5,
@@ -188,6 +199,7 @@ impl SedovWorkload {
     fn adapt_mesh(&mut self) -> Option<Vec<CostOrigin>> {
         let r = self.current_radius;
         let w = self.config.refine_margin;
+        let band = self.config.band_fraction;
         let center = self.center;
         let max_level = self.config.mesh.max_level;
         // Spatial prefilter: only blocks inside the cube circumscribing the
@@ -215,12 +227,21 @@ impl SedovWorkload {
                 }
                 let dmin = b.bounds.distance_to_point(&center);
                 let dmax = b.bounds.max_distance_to_point(&center);
-                let intersects_shell = dmin <= r + w && dmax >= r - w;
+                // `dmin <= r + w && dmax >= r - w` rewritten around the
+                // block's radial midpoint, with the block-extent term scaled
+                // by `band_fraction` (1.0 reproduces the corner test; less
+                // demands the surface pass nearer the midpoint).
+                let mid = 0.5 * (dmin + dmax);
+                let half_band = 0.5 * band * (dmax - dmin);
+                let intersects_shell = (mid - r).abs() <= half_band + w;
                 if intersects_shell && b.level() < max_level {
                     RefineTag::Refine
                 } else if !intersects_shell && b.level() > 0 {
-                    // Hysteresis: only coarsen when clearly away from the shell.
-                    let clear = dmin > r + 2.0 * w || dmax < r - 2.0 * w;
+                    // Hysteresis: only coarsen when clearly away from the
+                    // shell — the same midpoint form at double margin (at
+                    // `band_fraction` 1.0 this is exactly the legacy
+                    // corner test `dmin > r + 2w || dmax < r - 2w`).
+                    let clear = (mid - r).abs() > half_band + 2.0 * w;
                     if clear {
                         RefineTag::Coarsen
                     } else {

@@ -4,7 +4,8 @@
 //! ordering effects, locality classes), even though their time models
 //! differ.
 
-use amr_tools::placement::policies::{Baseline, Cplx, PlacementPolicy};
+use amr_tools::placement::engine::PlacementEngine;
+use amr_tools::placement::policies::{Baseline, Cplx, Hierarchical, Lpt, PlacementPolicy};
 use amr_tools::sim::{MicroSim, MpiWorld, NetworkConfig, RoundSpec, TaskOrder, Topology};
 use amr_tools::workloads::exchange::{build_mpi_programs, build_round_messages};
 use amr_tools::workloads::random_refined_mesh;
@@ -104,6 +105,78 @@ fn engines_agree_on_locality_monotonicity() {
         assert!(micro_mpi >= prev_micro);
         prev_micro = micro_mpi;
     }
+}
+
+#[test]
+fn hierarchical_at_one_shard_matches_flat_engine_bitwise() {
+    // The two-stage hierarchical policy with a single shard is the flat LPT
+    // engine: stage 1 degenerates to "everything on one shard" and the
+    // policy delegates outright, so every assignment — run through the full
+    // `PlacementEngine` with mesh attached, across repeated warm-scratch
+    // rebalances — must be identical, not merely equivalent in makespan.
+    for seed in [3u64, 7, 13] {
+        let ranks = 64;
+        let mesh = random_refined_mesh(ranks, 1.6, seed);
+        let costs: Vec<f64> = (0..mesh.num_blocks())
+            .map(|i| 1.0 + (i % 17) as f64 * 0.35 + (i % 5) as f64)
+            .collect();
+        let mut flat_engine = PlacementEngine::new();
+        let mut hier_engine = PlacementEngine::new();
+        for round in 0..3 {
+            // Perturb costs across rounds to exercise warm-order reuse.
+            let round_costs: Vec<f64> = costs
+                .iter()
+                .map(|c| c * (1.0 + round as f64 * 0.1))
+                .collect();
+            flat_engine
+                .rebalance_with(&Lpt, &round_costs, ranks, Some(&mesh), None)
+                .expect("flat placement");
+            hier_engine
+                .rebalance_with(
+                    &Hierarchical::new(1, 16),
+                    &round_costs,
+                    ranks,
+                    Some(&mesh),
+                    None,
+                )
+                .expect("hierarchical placement");
+            let flat = flat_engine.placement().unwrap();
+            let hier = hier_engine.placement().unwrap();
+            assert_eq!(
+                flat.as_slice(),
+                hier.as_slice(),
+                "seed {seed} round {round}: single-shard hierarchical diverged from flat LPT"
+            );
+        }
+    }
+}
+
+#[test]
+fn hierarchical_multi_shard_stays_close_to_flat_makespan() {
+    // With real shards the hierarchical policy trades a bounded amount of
+    // balance for SFC-contiguous node windows; its makespan must stay within
+    // a modest factor of the flat engine's on refined-mesh cost profiles.
+    let ranks = 64;
+    let mesh = random_refined_mesh(ranks, 1.6, 21);
+    let costs: Vec<f64> = (0..mesh.num_blocks())
+        .map(|i| 1.0 + (i % 13) as f64 * 0.7)
+        .collect();
+    let flat = Lpt.place(&costs, ranks);
+    let hier = Hierarchical::new(8, 16).place(&costs, ranks);
+    assert_eq!(hier.num_blocks(), costs.len());
+    let makespan = |p: &amr_tools::placement::Placement| -> f64 {
+        let mut loads = vec![0.0f64; ranks];
+        for (b, &c) in costs.iter().enumerate() {
+            loads[p.rank_of(b) as usize] += c;
+        }
+        loads.iter().cloned().fold(0.0, f64::max)
+    };
+    let m_flat = makespan(&flat);
+    let m_hier = makespan(&hier);
+    assert!(
+        m_hier <= m_flat * 1.5,
+        "hierarchical makespan {m_hier} vs flat {m_flat}"
+    );
 }
 
 #[test]

@@ -20,8 +20,18 @@
 //!    after every adapt of a random 2D/3D refinement sequence.
 //! 4. The incrementally spliced block index (sorted blocks + SFC keys) must
 //!    equal a forced full DFS rebuild after every adapt.
+//!
+//! PR "shard the mesh" split the global CSR into per-shard graphs with halo
+//! tables, refreshed per shard from the same delta:
+//!
+//! 5. A `ShardedMesh` maintained purely by `refresh` across a random adapt
+//!    sequence must flatten to the from-scratch global graph after every
+//!    step, for any shard count — and its halo tables must index exactly
+//!    the out-of-shard neighbor ids.
 
-use amr_tools::mesh::{AmrMesh, Dim, MeshConfig, NeighborGraph, PatchScratch, RefineTag};
+use amr_tools::mesh::{
+    AmrMesh, Dim, MeshConfig, NeighborGraph, PatchScratch, RefineTag, ShardedMesh,
+};
 use amr_tools::sim::mpi::Op;
 use amr_tools::sim::{MpiWorld, NetworkConfig, Topology};
 use proptest::prelude::*;
@@ -158,6 +168,58 @@ proptest! {
             let full = mesh.neighbor_graph();
             prop_assert_eq!(&graph, &full);
             prop_assert!(graph.check_symmetry().is_ok());
+        }
+    }
+
+    /// A sharded mesh maintained purely by per-shard splice+patch
+    /// (`ShardedMesh::refresh`) across a random 2D/3D adapt sequence equals
+    /// the from-scratch global build after every step: concatenating the
+    /// shard-local CSR rows reproduces the global graph exactly, and every
+    /// halo table holds precisely the sorted out-of-shard ids its shard's
+    /// rows reference.
+    #[test]
+    fn sharded_refresh_matches_global_rebuild_on_random_sequences(
+        dim_3d: bool,
+        steps in 1usize..5,
+        salt in 0u64..1000,
+        num_shards in 1usize..7,
+    ) {
+        let dim = if dim_3d { Dim::D3 } else { Dim::D2 };
+        let cells = if dim_3d { (32, 32, 32) } else { (64, 64, 64) };
+        let mut mesh = AmrMesh::new(MeshConfig::from_cells(dim, cells, 2));
+        let mut sharded = ShardedMesh::new(&mesh, num_shards);
+        let mut flat = NeighborGraph::default();
+        for step in 0..steps {
+            let key = salt.wrapping_add(step as u64);
+            mesh.adapt(|b| {
+                let h = (b.id.index() as u64)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(key);
+                match h % 5 {
+                    0 => RefineTag::Refine,
+                    1 => RefineTag::Coarsen,
+                    _ => RefineTag::Keep,
+                }
+            });
+            sharded.refresh(&mesh);
+            let oracle = mesh.neighbor_graph();
+            sharded.flatten_into(&mut flat);
+            prop_assert_eq!(&flat, &oracle);
+            // Halo tables: sorted, deduplicated, and exactly the
+            // out-of-window ids referenced by the shard's rows.
+            for s in 0..sharded.num_shards() {
+                let shard = sharded.shard(s);
+                let range = shard.range();
+                prop_assert!(shard.halo().windows(2).all(|w| w[0] < w[1]));
+                let mut referenced: Vec<u32> = (0..shard.num_blocks())
+                    .flat_map(|local| shard.neighbors_local(local))
+                    .map(|n| n.block.index() as u32)
+                    .filter(|&g| (g as usize) < range.start || (g as usize) >= range.end)
+                    .collect();
+                referenced.sort_unstable();
+                referenced.dedup();
+                prop_assert_eq!(shard.halo(), &referenced[..]);
+            }
         }
     }
 

@@ -38,8 +38,8 @@
 
 use amr_bench::e2e::{
     assert_noop_adapt_fast, run_evolving, run_evolving_traced, run_faulty, run_pipeline,
-    run_pipeline_traced, run_sharded, skewed_costs, E2eTimings, EvolvingTimings, FaultyArm,
-    FaultyTimings, ShardedRun, StaticPipelineWorkload,
+    run_pipeline_traced, run_sharded, run_sharded_threaded, skewed_costs, E2eTimings,
+    EvolvingTimings, FaultyArm, FaultyTimings, ShardedRun, StaticPipelineWorkload,
 };
 use amr_bench::Args;
 use amr_core::engine::PlacementEngine;
@@ -124,6 +124,9 @@ fn main() {
     let sharded_ranks = if smoke { 256 } else { 16384 };
     let hier_ranks = args.get_usize("hier-ranks", if smoke { 0 } else { 1 << 20 });
     let hier_steps = args.get_u64("hier-steps", 4);
+    // `--threads N`: the multi-core arm. 0 skips it; smoke runs skip by
+    // default (CI passes `--threads 2` explicitly), full runs measure at 4.
+    let threads = args.get_usize("threads", if smoke { 0 } else { 4 });
     let out_path = args.get("out", "BENCH_macrosim.json").to_string();
     let scales: Vec<usize> = if smoke {
         vec![256]
@@ -245,13 +248,16 @@ fn main() {
     });
 
     let sharded = with_sharded.then(|| run_sharded_arm(sharded_ranks, steps, shard_count));
-    let hier = (hier_ranks > 0).then(|| run_hier_arm(hier_ranks, hier_steps));
+    let parallel =
+        (threads > 1).then(|| run_parallel_arm(sharded_ranks, steps, threads, reps, smoke));
+    let hier = (hier_ranks > 0).then(|| run_hier_arm(hier_ranks, hier_steps, threads));
 
     let json = render_json(&Report {
         rows: &rows,
         evolving: &evolving,
         faulty: faulty.as_ref(),
         sharded: sharded.as_ref(),
+        parallel: parallel.as_ref(),
         hier: hier.as_ref(),
         steps,
         evolve_steps,
@@ -455,6 +461,94 @@ fn run_sharded_arm(ranks: usize, steps: u64, shards: usize) -> ShardedArm {
     }
 }
 
+/// Results of the multi-core (`--threads`) arm.
+struct ParallelArm {
+    ranks: usize,
+    blocks: usize,
+    threads: usize,
+    /// Cores the host actually exposes — the honest context for `speedup`
+    /// (a 1-core box timeshares the workers and can't speed anything up).
+    host_cores: usize,
+    serial_wall_ns: u64,
+    parallel_wall_ns: u64,
+    speedup: f64,
+}
+
+/// The `--threads` arm: the same 16384-rank (256 under `--smoke`) static
+/// trajectory, serial vs `threads` worker threads, min-of-reps walls.
+///
+/// Bit-identity of every virtual number is asserted unconditionally — on
+/// any host, at any thread count, that is the contract of the slot-ownership
+/// kernels. The ≥ 2.5x speedup floor is only enforced when the host exposes
+/// at least `threads` cores *and* the run is not a smoke run: on an
+/// undersized box the workers timeshare one core and the measured "speedup"
+/// reports the dispatch overhead instead (still recorded, honestly, in the
+/// JSON).
+fn run_parallel_arm(
+    ranks: usize,
+    steps: u64,
+    threads: usize,
+    reps: usize,
+    smoke: bool,
+) -> ParallelArm {
+    let mesh = random_refined_mesh(ranks, 1.6, 1);
+    let blocks = mesh.num_blocks();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut serial: Option<ShardedRun> = None;
+    let mut parallel: Option<ShardedRun> = None;
+    for _ in 0..reps.max(1) {
+        let s = run_sharded_threaded(&mesh, ranks, steps, 1, 0, 1);
+        let p = run_sharded_threaded(&mesh, ranks, steps, 1, 0, threads);
+        let bits = |r: &ShardedRun| {
+            (
+                r.compute_ns.to_bits(),
+                r.comm_ns.to_bits(),
+                r.sync_ns.to_bits(),
+                r.mpi_messages,
+            )
+        };
+        assert_eq!(
+            bits(&s),
+            bits(&p),
+            "virtual phases at {threads} threads must be bit-identical to serial"
+        );
+        let keep = |best: &mut Option<ShardedRun>, run: ShardedRun| match best {
+            Some(b) if b.sim_wall_ns <= run.sim_wall_ns => {}
+            _ => *best = Some(run),
+        };
+        keep(&mut serial, s);
+        keep(&mut parallel, p);
+    }
+    let serial = serial.expect("at least one rep");
+    let parallel = parallel.expect("at least one rep");
+    let speedup = serial.sim_wall_ns as f64 / parallel.sim_wall_ns.max(1) as f64;
+    eprintln!(
+        "parallel {:>6}: serial {:.3} ms vs {} threads {:.3} ms = {:.2}x (host cores: {}), virtual phases bit-identical",
+        ranks,
+        serial.sim_wall_ns as f64 / 1e6,
+        threads,
+        parallel.sim_wall_ns as f64 / 1e6,
+        speedup,
+        host_cores,
+    );
+    if !smoke && host_cores >= threads && threads >= 4 {
+        assert!(
+            speedup >= 2.5,
+            "{threads}-thread trajectory must be >= 2.5x over serial on a \
+             {host_cores}-core host (got {speedup:.2}x)"
+        );
+    }
+    ParallelArm {
+        ranks,
+        blocks,
+        threads,
+        host_cores,
+        serial_wall_ns: serial.sim_wall_ns,
+        parallel_wall_ns: parallel.sim_wall_ns,
+        speedup,
+    }
+}
+
 /// Results of the solo hierarchical trajectory.
 struct HierArm {
     ranks: usize,
@@ -476,6 +570,11 @@ struct HierArm {
     sim_steps: u64,
     sim_shards: usize,
     sim_wall_ns: u64,
+    /// Worker threads of the threaded trajectory pass (0 = pass skipped).
+    sim_threads: usize,
+    /// Wall clock of the same trajectory on `sim_threads` workers
+    /// (bit-identical virtual time, asserted).
+    sim_wall_threaded_ns: u64,
     virtual_total_ns: f64,
 }
 
@@ -491,7 +590,7 @@ struct HierArm {
 /// per 16-rank node) → two-stage hierarchical placement (cold, then warm to
 /// show the steady state is allocation-free) → a short macro-simulated
 /// trajectory on the sharded topology under the same policy.
-fn run_hier_arm(ranks: usize, sim_steps: u64) -> HierArm {
+fn run_hier_arm(ranks: usize, sim_steps: u64, threads: usize) -> HierArm {
     let ranks_per_node = 16; // Topology::paper's node width
     let nodes = (ranks / ranks_per_node).max(1);
     let mesh_shards = nodes;
@@ -569,14 +668,18 @@ fn run_hier_arm(ranks: usize, sim_steps: u64) -> HierArm {
     // cache-friendly without changing any virtual number (phase totals are
     // shard-count-invariant, proven by the --sharded arm and the proptests).
     let sim_shards = 256.min(mesh_shards);
-    let mut cfg = SimConfig::tuned(ranks);
-    cfg.telemetry_sampling = 1_000_000;
-    cfg.num_shards = sim_shards;
-    let mut w = StaticPipelineWorkload::new(mesh, sim_steps);
-    let mut sim = MacroSim::new(cfg);
-    let t = Instant::now();
-    let rep = sim.run(&mut w, &policy, RebalanceTrigger::OnMeshChange);
-    let sim_wall_ns = t.elapsed().as_nanos() as u64;
+    let run_traj = |threads: usize| {
+        let mut cfg = SimConfig::tuned(ranks);
+        cfg.telemetry_sampling = 1_000_000;
+        cfg.num_shards = sim_shards;
+        cfg.threads = threads.max(1);
+        let mut w = StaticPipelineWorkload::new(mesh.clone(), sim_steps);
+        let mut sim = MacroSim::new(cfg);
+        let t = Instant::now();
+        let rep = sim.run(&mut w, &policy, RebalanceTrigger::OnMeshChange);
+        (rep, t.elapsed().as_nanos() as u64)
+    };
+    let (rep, sim_wall_ns) = run_traj(1);
     eprintln!(
         "hier {:>8}: {} macrosim steps in {:.3} s (virtual {:.3} ms)",
         ranks,
@@ -584,6 +687,27 @@ fn run_hier_arm(ranks: usize, sim_steps: u64) -> HierArm {
         sim_wall_ns as f64 / 1e9,
         rep.total_ns / 1e6,
     );
+    // Same trajectory on the worker pool: the static pipeline never
+    // rebalances mid-run, so even total virtual time is wall-clock-free and
+    // must match the serial pass bit for bit.
+    let (sim_threads, sim_wall_threaded_ns) = if threads > 1 {
+        let (trep, tw) = run_traj(threads);
+        assert_eq!(
+            trep.total_ns.to_bits(),
+            rep.total_ns.to_bits(),
+            "hier trajectory at {threads} threads diverged from serial"
+        );
+        eprintln!(
+            "hier {:>8}: {} threads {:.3} s ({:.2}x), virtual time bit-identical",
+            ranks,
+            threads,
+            tw as f64 / 1e9,
+            sim_wall_ns as f64 / tw.max(1) as f64,
+        );
+        (threads, tw)
+    } else {
+        (0, 0)
+    };
 
     HierArm {
         ranks,
@@ -605,6 +729,8 @@ fn run_hier_arm(ranks: usize, sim_steps: u64) -> HierArm {
         sim_steps,
         sim_shards,
         sim_wall_ns,
+        sim_threads,
+        sim_wall_threaded_ns,
         virtual_total_ns: rep.total_ns,
     }
 }
@@ -615,6 +741,7 @@ struct Report<'a> {
     evolving: &'a [(EvolvingTimings, EvolvingTimings)],
     faulty: Option<&'a FaultyTimings>,
     sharded: Option<&'a ShardedArm>,
+    parallel: Option<&'a ParallelArm>,
     hier: Option<&'a HierArm>,
     steps: u64,
     evolve_steps: u64,
@@ -629,6 +756,7 @@ fn render_json(report: &Report<'_>) -> String {
         evolving,
         faulty,
         sharded,
+        parallel,
         hier,
         steps,
         evolve_steps,
@@ -771,6 +899,26 @@ fn render_json(report: &Report<'_>) -> String {
         );
         s.push_str("  }");
     }
+    if let Some(p) = parallel {
+        s.push_str(",\n");
+        let _ = writeln!(
+            s,
+            "  \"parallel_pipeline\": \"same static trajectory serial vs {} worker threads (slot-ownership kernels); virtual phases asserted bit-identical before any wall is reported\",",
+            p.threads
+        );
+        s.push_str("  \"parallel\": {\n");
+        let _ = writeln!(
+            s,
+            "    \"ranks\": {}, \"blocks\": {}, \"threads\": {}, \"host_cores\": {},",
+            p.ranks, p.blocks, p.threads, p.host_cores
+        );
+        let _ = writeln!(
+            s,
+            "    \"serial_wall_ns\": {}, \"parallel_wall_ns\": {}, \"speedup\": {:.2}, \"virtual_phases_bitwise_serial\": true",
+            p.serial_wall_ns, p.parallel_wall_ns, p.speedup
+        );
+        s.push_str("  }");
+    }
     if let Some(h) = hier {
         s.push_str(",\n");
         let _ = writeln!(
@@ -797,8 +945,8 @@ fn render_json(report: &Report<'_>) -> String {
         );
         let _ = writeln!(
             s,
-            "    \"sim_steps\": {}, \"sim_shards\": {}, \"sim_wall_ns\": {}, \"virtual_total_ns\": {:.0}",
-            h.sim_steps, h.sim_shards, h.sim_wall_ns, h.virtual_total_ns
+            "    \"sim_steps\": {}, \"sim_shards\": {}, \"sim_wall_ns\": {}, \"sim_threads\": {}, \"sim_wall_threaded_ns\": {}, \"virtual_total_ns\": {:.0}",
+            h.sim_steps, h.sim_shards, h.sim_wall_ns, h.sim_threads, h.sim_wall_threaded_ns, h.virtual_total_ns
         );
         s.push_str("  }");
     }

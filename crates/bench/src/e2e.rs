@@ -284,10 +284,27 @@ pub fn run_sharded(
     seed: u64,
     num_shards: usize,
 ) -> ShardedRun {
+    run_sharded_threaded(mesh, ranks, steps, seed, num_shards, 1)
+}
+
+/// [`run_sharded`] with the simulator's worker-pool knob dialed to
+/// `threads` (1 = the untouched serial path). The parallel phase kernels
+/// follow the slot-ownership rule, so every virtual number in the returned
+/// fingerprint must be bit-identical to the serial run's — the `--threads`
+/// bench arm asserts it before reporting any speedup.
+pub fn run_sharded_threaded(
+    mesh: &AmrMesh,
+    ranks: usize,
+    steps: u64,
+    seed: u64,
+    num_shards: usize,
+    threads: usize,
+) -> ShardedRun {
     let mut cfg = SimConfig::tuned(ranks);
     cfg.telemetry_sampling = 1_000_000; // telemetry off: measure the loop
     cfg.seed = seed ^ 0x5EED;
     cfg.num_shards = num_shards;
+    cfg.threads = threads;
     let mut w = StaticPipelineWorkload::new(mesh.clone(), steps);
     let mut sim = MacroSim::new(cfg);
     let t = Instant::now();

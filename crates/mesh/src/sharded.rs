@@ -36,10 +36,13 @@
 //! window boundaries (`starts`) move — recomputed per refresh by binary
 //! search, O(S log n).
 
-use crate::block::BlockId;
+use crate::block::{BlockId, MeshBlock};
+use crate::geom::Dim;
 use crate::mesh::{AmrMesh, BlockFate};
 use crate::neighbors::{build_row, BlockIndex, Neighbor, NeighborGraph};
 use crate::octant::Direction;
+use crate::pool::WorkerPool;
+use crate::tree::Octree;
 
 /// One shard's view of the neighbor topology: the CSR rows of the blocks in
 /// `start..end` (global ids in the entries, rows sorted by id — identical to
@@ -192,18 +195,42 @@ fn build_shard_rows(
     row: &mut Vec<Neighbor>,
     g: &mut ShardGraph,
 ) {
+    build_shard_rows_parts(
+        mesh.tree(),
+        mesh.blocks(),
+        mesh.sfc_keys(),
+        mesh.config().dim,
+        lo,
+        hi,
+        dirs,
+        row,
+        g,
+    );
+}
+
+/// Row builder over the mesh's plain-data parts. Worker tasks use this form:
+/// `AmrMesh` itself is not `Sync` (it may hold a trace handle), but the
+/// tree/blocks/keys snapshot the rows are a pure function of is.
+#[allow(clippy::too_many_arguments)]
+fn build_shard_rows_parts(
+    tree: &Octree,
+    blocks: &[MeshBlock],
+    keys: &[u64],
+    dim: Dim,
+    lo: usize,
+    hi: usize,
+    dirs: &[Direction],
+    row: &mut Vec<Neighbor>,
+    g: &mut ShardGraph,
+) {
     g.start = lo as u32;
     g.end = hi as u32;
     g.offsets.clear();
     g.offsets.push(0);
     g.entries.clear();
-    let index = BlockIndex {
-        blocks: mesh.blocks(),
-        keys: mesh.sfc_keys(),
-        dim: mesh.config().dim,
-    };
-    for b in &mesh.blocks()[lo..hi] {
-        build_row(mesh.tree(), &index, dirs, &b.octant, row);
+    let index = BlockIndex { blocks, keys, dim };
+    for b in &blocks[lo..hi] {
+        build_row(tree, &index, dirs, &b.octant, row);
         g.entries.extend_from_slice(row);
         g.offsets.push(g.entries.len() as u32);
     }
@@ -225,6 +252,29 @@ impl ShardedMesh {
             },
         };
         sharded.rebuild(mesh);
+        sharded
+    }
+
+    /// [`ShardedMesh::new`] with the initial per-shard builds distributed
+    /// across `pool` (capped at `threads`); bitwise identical to the serial
+    /// constructor (see [`ShardedMesh::rebuild_on`]).
+    pub fn new_on(
+        mesh: &AmrMesh,
+        num_shards: usize,
+        pool: &WorkerPool,
+        threads: usize,
+    ) -> ShardedMesh {
+        let bounds = plan_shard_bounds(mesh, num_shards);
+        let mut sharded = ShardedMesh {
+            bounds,
+            starts: Vec::with_capacity(num_shards + 1),
+            shards: vec![ShardGraph::default(); num_shards],
+            scratch: ShardScratch {
+                dirs: Direction::all(mesh.config().dim),
+                ..ShardScratch::default()
+            },
+        };
+        sharded.rebuild_on(mesh, pool, threads);
         sharded
     }
 
@@ -322,6 +372,47 @@ impl ShardedMesh {
         }
     }
 
+    /// [`ShardedMesh::rebuild`] with per-shard builds distributed across
+    /// `pool` (capped at `threads`). Shard rows are pure functions of the
+    /// mesh snapshot and every task writes only its own [`ShardGraph`], so
+    /// the result is bitwise identical to the serial rebuild at any thread
+    /// count. Unlike the steady-state serial path, each task allocates its
+    /// own small row scratch — acceptable because rebuilds are the fallback
+    /// (initial build or stale delta), not the per-step path.
+    pub fn rebuild_on(&mut self, mesh: &AmrMesh, pool: &WorkerPool, threads: usize) {
+        self.recompute_starts(mesh);
+        if self.scratch.dirs.is_empty() {
+            self.scratch.dirs = Direction::all(mesh.config().dim);
+        }
+        let ShardedMesh {
+            starts,
+            shards,
+            scratch,
+            ..
+        } = self;
+        let dirs = &scratch.dirs;
+        let (tree, blocks, keys, dim) = (
+            mesh.tree(),
+            mesh.blocks(),
+            mesh.sfc_keys(),
+            mesh.config().dim,
+        );
+        pool.run_with_capped(threads, shards, |s, g| {
+            let mut row = Vec::with_capacity(32);
+            build_shard_rows_parts(
+                tree,
+                blocks,
+                keys,
+                dim,
+                starts[s] as usize,
+                starts[s + 1] as usize,
+                dirs,
+                &mut row,
+                g,
+            );
+        });
+    }
+
     fn recompute_starts(&mut self, mesh: &AmrMesh) {
         let keys = mesh.sfc_keys();
         self.starts.clear();
@@ -341,16 +432,39 @@ impl ShardedMesh {
     /// delta cannot vouch for the current shards. Returns `true` iff the
     /// incremental path ran.
     pub fn refresh(&mut self, mesh: &AmrMesh) -> bool {
-        let d = mesh.last_delta();
-        let n_old = self.num_blocks();
-        if !(d.remap.len() == d.blocks_before
-            && !d.remap.is_empty()
-            && n_old == d.blocks_before
-            && mesh.num_blocks() == d.blocks_after)
-        {
+        if !self.delta_vouches(mesh) {
             self.rebuild(mesh);
             return false;
         }
+        self.refresh_incremental(mesh);
+        true
+    }
+
+    /// [`ShardedMesh::refresh`] with the full-rebuild fallback distributed
+    /// across `pool` (see [`ShardedMesh::rebuild_on`]). The incremental path
+    /// itself stays serial: it is a single in-order splice over the fate
+    /// table (already O(changed rows)), and keeping it on one thread
+    /// preserves its zero-allocation staging discipline.
+    pub fn refresh_on(&mut self, mesh: &AmrMesh, pool: &WorkerPool, threads: usize) -> bool {
+        if !self.delta_vouches(mesh) {
+            self.rebuild_on(mesh, pool, threads);
+            return false;
+        }
+        self.refresh_incremental(mesh);
+        true
+    }
+
+    /// Can the mesh's stored delta vouch for the current shards?
+    fn delta_vouches(&self, mesh: &AmrMesh) -> bool {
+        let d = mesh.last_delta();
+        d.remap.len() == d.blocks_before
+            && !d.remap.is_empty()
+            && self.num_blocks() == d.blocks_before
+            && mesh.num_blocks() == d.blocks_after
+    }
+
+    fn refresh_incremental(&mut self, mesh: &AmrMesh) {
+        let d = mesh.last_delta();
         let n_new = d.blocks_after;
         let num_shards = self.shards.len();
 
@@ -499,7 +613,6 @@ impl ShardedMesh {
         }
         debug_assert_eq!(emitted, n_new);
         debug_assert_eq!(s, num_shards, "every shard finalized");
-        true
     }
 }
 
@@ -643,6 +756,43 @@ mod tests {
         for b in 0..mesh.num_blocks() {
             let id = BlockId(b as u32);
             assert_eq!(sharded.neighbors(id), oracle.neighbors(id));
+        }
+    }
+
+    #[test]
+    fn parallel_rebuild_is_bitwise_identical_to_serial() {
+        let pool = WorkerPool::new(4);
+        for threads in [1usize, 2, 4] {
+            let (mut mesh, keys) = random_mesh_steps(Dim::D3, 3, 29);
+            let mut serial: Option<ShardedMesh> = None;
+            let mut parallel: Option<ShardedMesh> = None;
+            for (i, k) in keys.iter().enumerate() {
+                hash_adapt(&mut mesh, *k);
+                if i == 0 {
+                    serial = Some(ShardedMesh::new(&mesh, 6));
+                    parallel = Some(ShardedMesh::new_on(&mesh, 6, &pool, threads));
+                } else {
+                    let s = serial.as_mut().unwrap();
+                    let p = parallel.as_mut().unwrap();
+                    s.refresh(&mesh);
+                    p.refresh_on(&mesh, &pool, threads);
+                    if i == 2 {
+                        // Force the parallel full-rebuild fallback too.
+                        mesh.force_full_rebuild();
+                        assert!(!p.refresh_on(&mesh, &pool, threads));
+                        assert!(!s.refresh(&mesh));
+                    }
+                }
+                let (s, p) = (serial.as_ref().unwrap(), parallel.as_ref().unwrap());
+                assert_eq!(s.shard_starts(), p.shard_starts());
+                for sh in 0..s.num_shards() {
+                    assert_eq!(s.shard(sh).entries, p.shard(sh).entries);
+                    assert_eq!(s.shard(sh).offsets, p.shard(sh).offsets);
+                    assert_eq!(s.shard(sh).halo, p.shard(sh).halo);
+                    assert_eq!(s.shard(sh).cross, p.shard(sh).cross);
+                }
+                assert_matches_oracle(p, &mesh);
+            }
         }
     }
 

@@ -29,15 +29,18 @@
 
 pub mod collectives;
 pub mod events;
+pub mod exec;
 pub mod faults;
 pub mod health;
 pub mod macrosim;
 pub mod microsim;
 pub mod mpi;
 pub mod network;
+mod par;
 pub mod report;
 pub mod topology;
 
+pub use exec::{PooledCommunicator, SerialCommunicator, SimCommunicator};
 pub use faults::{FaultConfig, FaultEpisode, FaultResponse, FaultTimeline};
 pub use health::{blacklist_and_rehost, run_health_check, run_health_check_at, HealthCheck};
 pub use macrosim::{MacroSim, RunReport, SimConfig, Workload, WorkloadStep};

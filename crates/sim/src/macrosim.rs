@@ -24,9 +24,11 @@
 //! the full telemetry-driven placement loop of the paper.
 
 use crate::collectives;
+use crate::exec::{PooledCommunicator, SimCommunicator};
 use crate::faults::{FaultResponse, FaultTimeline};
 use crate::health::blacklist_and_rehost;
 use crate::network::NetworkConfig;
+use crate::par;
 use crate::report::{MessageTotals, PhaseBreakdown};
 use crate::topology::{NodeMap, Topology};
 use amr_core::cost::{CostModel, CostOrigin, TelemetryCostModel};
@@ -134,6 +136,17 @@ pub struct SimConfig {
     /// virtual time is bit-identical to the flat path (the shard rows keep
     /// global block ids, so every float accumulates in the same order).
     pub num_shards: usize,
+    /// OS threads the in-process simulator may use. `1` (the default) takes
+    /// the original serial path, untouched. Any value > 1 spawns a
+    /// simulator-owned worker pool and executes the embarrassingly-parallel
+    /// phases — epoch fill, compute scatter, the fused ready/finish pass,
+    /// and (sharded runs) shard rebuilds — on real threads under the
+    /// slot-ownership rule of [`crate::par`], which keeps virtual time
+    /// **bitwise identical** to the serial run at any thread count. The
+    /// pool is sized exactly `threads`, not the host's core count, so the
+    /// parallel code paths are genuinely exercised (timesharing if need be)
+    /// even on small machines.
+    pub threads: usize,
 }
 
 impl SimConfig {
@@ -156,6 +169,7 @@ impl SimConfig {
             exchanges_per_step: 3,
             overlap_efficiency: 0.0,
             num_shards: 0,
+            threads: 1,
         }
     }
 
@@ -175,6 +189,9 @@ impl SimConfig {
             }
         }
         self.faults.validate().map_err(|e| format!("faults: {e}"))?;
+        if self.threads == 0 {
+            return Err("threads must be >= 1 (1 = serial path)".to_string());
+        }
         if !self.cost_alpha.is_finite() || !(0.0..=1.0).contains(&self.cost_alpha) {
             return Err(format!(
                 "cost_alpha must be finite and in [0, 1] (got {})",
@@ -242,14 +259,14 @@ impl RunReport {
 /// identical `(block, neighbor)` pairs in identical order — the float
 /// accumulation in [`MacroSim::fill_epoch`] is bit-for-bit the same.
 #[derive(Clone, Copy)]
-enum GraphView<'a> {
+pub(crate) enum GraphView<'a> {
     Flat(&'a NeighborGraph),
     Sharded(&'a ShardedMesh),
 }
 
 impl GraphView<'_> {
     /// Visit every block's neighbor row in global SFC order.
-    fn for_each_row(&self, mut f: impl FnMut(BlockId, &[Neighbor])) {
+    pub(crate) fn for_each_row(&self, mut f: impl FnMut(BlockId, &[Neighbor])) {
         match *self {
             GraphView::Flat(g) => {
                 for (block, nbs) in g.iter() {
@@ -272,28 +289,28 @@ impl GraphView<'_> {
 /// Per-rank communication aggregates for the current (mesh, placement)
 /// epoch. Recomputed only when either changes.
 #[derive(Debug, Clone, Default)]
-struct CommEpoch {
+pub(crate) struct CommEpoch {
     /// Dispatch time per rank (MPI sends only).
-    dispatch_ns: Vec<f64>,
+    pub(crate) dispatch_ns: Vec<f64>,
     /// Receive service time per rank (incl. shm contention).
-    service_ns: Vec<f64>,
+    pub(crate) service_ns: Vec<f64>,
     /// Intra-rank memcpy time per rank.
-    memcpy_ns: Vec<f64>,
+    pub(crate) memcpy_ns: Vec<f64>,
     /// Ranks that send to each rank (for the arrival/wait model).
-    senders: Vec<Vec<u32>>,
+    pub(crate) senders: Vec<Vec<u32>>,
     /// Per-round message counts by class.
-    intra_msgs: u64,
-    local_msgs: u64,
-    remote_msgs: u64,
+    pub(crate) intra_msgs: u64,
+    pub(crate) local_msgs: u64,
+    pub(crate) remote_msgs: u64,
     /// Flux-correction traffic (fine→coarse face pairs, §II-B): per-rank
     /// dispatch+service time and MPI message count per step.
-    flux_ns: Vec<f64>,
-    flux_msgs: u64,
+    pub(crate) flux_ns: Vec<f64>,
+    pub(crate) flux_msgs: u64,
     /// Representative per-message transfer latency into each rank (max over
     /// classes present), for the arrival model.
-    transfer_tail_ns: Vec<f64>,
+    pub(crate) transfer_tail_ns: Vec<f64>,
     /// Blocks hosted per rank (for overlap availability).
-    blocks_per_rank: Vec<u32>,
+    pub(crate) blocks_per_rank: Vec<u32>,
 }
 
 impl CommEpoch {
@@ -339,6 +356,11 @@ pub struct MacroSim {
     /// Optional trace handle shared with the engine (and, by callers, the
     /// mesh): per-step virtual spans plus pipeline counters/gauges.
     trace: Option<TraceHandle>,
+    /// Worker pool behind the parallel phase kernels; `None` ⇔
+    /// `config.threads == 1` ⇔ the original serial path runs. Owned by the
+    /// simulator (not the process-global pool) so workers persist across
+    /// steps and runs — steady-state dispatch allocates nothing.
+    exec: Option<PooledCommunicator>,
 }
 
 impl MacroSim {
@@ -352,12 +374,14 @@ impl MacroSim {
             panic!("invalid SimConfig: {e}");
         }
         let seed = config.seed;
+        let exec = (config.threads > 1).then(|| PooledCommunicator::new(config.threads));
         MacroSim {
             config,
             rng: StdRng::seed_from_u64(seed),
             engine: PlacementEngine::new(),
             patch_scratch: PatchScratch::default(),
             trace: None,
+            exec,
         }
     }
 
@@ -425,6 +449,7 @@ impl MacroSim {
         let mut uniform: Vec<f64> = Vec::new();
         let mut cost_spare: Vec<f64> = Vec::new();
         let mut shm_in: Vec<usize> = Vec::new();
+        let mut epoch_partials: Vec<par::EpochPartial> = Vec::new();
 
         self.engine.reset();
         {
@@ -450,7 +475,15 @@ impl MacroSim {
             None
         };
         let mut sharded_mesh: Option<ShardedMesh> = if cfg.num_shards > 0 {
-            Some(ShardedMesh::new(workload.mesh(), cfg.num_shards))
+            Some(match &self.exec {
+                // Shard builds distribute over the simulator's own pool; the
+                // rows are pure functions of (tree, range), so chunking does
+                // not change their contents.
+                Some(ex) => {
+                    ShardedMesh::new_on(workload.mesh(), cfg.num_shards, ex.pool(), ex.threads())
+                }
+                None => ShardedMesh::new(workload.mesh(), cfg.num_shards),
+            })
         } else {
             None
         };
@@ -466,7 +499,14 @@ impl MacroSim {
                 (_, Some(sm)) => GraphView::Sharded(sm),
                 _ => unreachable!("one topology source is always live"),
             };
-            self.fill_epoch(workload.mesh(), placement, view, &mut epoch, &mut shm_in);
+            self.fill_epoch(
+                workload.mesh(),
+                placement,
+                view,
+                &mut epoch,
+                &mut shm_in,
+                &mut epoch_partials,
+            );
         }
 
         let mut phases = PhaseBreakdown::default();
@@ -529,7 +569,13 @@ impl MacroSim {
                     // path's fallback.
                     let patched = {
                         let _span = trace.as_ref().map(|t| t.span(TracePhase::GraphPatch));
-                        sm.refresh(workload.mesh())
+                        match &self.exec {
+                            // The incremental splice stays serial either way
+                            // (a single in-order pass); only the full-rebuild
+                            // fallback fans out over the pool.
+                            Some(ex) => sm.refresh_on(workload.mesh(), ex.pool(), ex.threads()),
+                            None => sm.refresh(workload.mesh()),
+                        }
                     };
                     if let Some(t) = &trace {
                         if patched {
@@ -648,7 +694,14 @@ impl MacroSim {
                     (_, Some(sm)) => GraphView::Sharded(sm),
                     _ => unreachable!("one topology source is always live"),
                 };
-                self.fill_epoch(workload.mesh(), placement, view, &mut epoch, &mut shm_in);
+                self.fill_epoch(
+                    workload.mesh(),
+                    placement,
+                    view,
+                    &mut epoch,
+                    &mut shm_in,
+                    &mut epoch_partials,
+                );
             }
 
             // --- Compute phase --------------------------------------------
@@ -675,13 +728,30 @@ impl MacroSim {
                     }
                 }
             }
-            for (b, &base) in block_ns.iter().enumerate() {
-                let rank = placement.rank_of(b) as usize;
-                let t = base * rank_mult[rank];
-                compute[rank] += t;
-                measured[b] = t;
-                if cfg.per_block_telemetry {
-                    collector.record_block(rank as u32, b as u32, Phase::Compute, t as u64);
+            match &self.exec {
+                // Per-block collector records pin the per-block-telemetry
+                // path to the owning thread, so that (rare, heavy) mode
+                // keeps the serial scatter.
+                Some(comm) if !cfg.per_block_telemetry => {
+                    par::compute_phase_parallel(
+                        comm,
+                        block_ns,
+                        placement,
+                        &rank_mult,
+                        &mut compute,
+                        &mut measured,
+                    );
+                }
+                _ => {
+                    for (b, &base) in block_ns.iter().enumerate() {
+                        let rank = placement.rank_of(b) as usize;
+                        let t = base * rank_mult[rank];
+                        compute[rank] += t;
+                        measured[b] = t;
+                        if cfg.per_block_telemetry {
+                            collector.record_block(rank as u32, b as u32, Phase::Compute, t as u64);
+                        }
+                    }
                 }
             }
             // With capacities applied, deflate observations back to
@@ -700,35 +770,52 @@ impl MacroSim {
             // by 1.0 is bit-exact) stretch the fabric-facing terms: dispatch,
             // service, flux, and the transfer tail. Memcpys don't ride the NIC.
             let xs = cfg.exchanges_per_step as f64;
-            for rank in 0..r {
-                ready[rank] = compute[rank]
-                    + xs * (epoch.dispatch_ns[rank] * nic_slow[rank] + epoch.memcpy_ns[rank])
-                    + epoch.flux_ns[rank] * nic_slow[rank];
-            }
-            for rank in 0..r {
-                // Last inbound message ~ slowest sender's dispatch + tail.
-                // With the tuned sends-first schedule, dispatch times are
-                // only weakly coupled to the sender's compute (§IV-B/§IV-D).
-                let mut arrival = 0.0f64;
-                for &s in &epoch.senders[rank] {
-                    let a = cfg.send_coupling * compute[s as usize]
-                        + xs * epoch.dispatch_ns[s as usize] * nic_slow[s as usize];
-                    if a > arrival {
-                        arrival = a;
+            if let Some(comm) = &self.exec {
+                // A rank's finish reads only its own ready plus other ranks'
+                // compute/dispatch, so the two loops fuse per owned rank.
+                par::ready_finish_parallel(
+                    comm,
+                    xs,
+                    cfg.send_coupling,
+                    cfg.overlap_efficiency,
+                    &epoch,
+                    &compute,
+                    &nic_slow,
+                    &mut ready,
+                    &mut finish,
+                );
+            } else {
+                for rank in 0..r {
+                    ready[rank] = compute[rank]
+                        + xs * (epoch.dispatch_ns[rank] * nic_slow[rank] + epoch.memcpy_ns[rank])
+                        + epoch.flux_ns[rank] * nic_slow[rank];
+                }
+                for rank in 0..r {
+                    // Last inbound message ~ slowest sender's dispatch + tail.
+                    // With the tuned sends-first schedule, dispatch times are
+                    // only weakly coupled to the sender's compute
+                    // (§IV-B/§IV-D).
+                    let mut arrival = 0.0f64;
+                    for &s in &epoch.senders[rank] {
+                        let a = cfg.send_coupling * compute[s as usize]
+                            + xs * epoch.dispatch_ns[s as usize] * nic_slow[s as usize];
+                        if a > arrival {
+                            arrival = a;
+                        }
                     }
+                    if !epoch.senders[rank].is_empty() {
+                        arrival += epoch.transfer_tail_ns[rank] * nic_slow[rank];
+                    }
+                    // Async masking: independent work from co-resident blocks
+                    // hides part of the arrival wait (§IV-D).
+                    let raw_wait = (arrival - ready[rank]).max(0.0);
+                    let nb = epoch.blocks_per_rank[rank].max(1) as f64;
+                    let masking = cfg.overlap_efficiency * (1.0 - 1.0 / nb);
+                    let f = ready[rank]
+                        + raw_wait * (1.0 - masking)
+                        + xs * epoch.service_ns[rank] * nic_slow[rank];
+                    finish[rank] = f;
                 }
-                if !epoch.senders[rank].is_empty() {
-                    arrival += epoch.transfer_tail_ns[rank] * nic_slow[rank];
-                }
-                // Async masking: independent work from co-resident blocks
-                // hides part of the arrival wait (§IV-D).
-                let raw_wait = (arrival - ready[rank]).max(0.0);
-                let nb = epoch.blocks_per_rank[rank].max(1) as f64;
-                let masking = cfg.overlap_efficiency * (1.0 - 1.0 / nb);
-                let f = ready[rank]
-                    + raw_wait * (1.0 - masking)
-                    + xs * epoch.service_ns[rank] * nic_slow[rank];
-                finish[rank] = f;
             }
 
             // --- Synchronization ------------------------------------------
@@ -915,8 +1002,14 @@ impl MacroSim {
     /// Fill per-rank communication aggregates for a (mesh, placement) epoch
     /// into the reused `e` (all buffers recycled, no allocation once warm).
     /// `graph` is the cached neighbor topology of `mesh` — flat or sharded,
-    /// both walk identical rows in identical order; `shm_in` is a pooled
-    /// per-rank counter buffer.
+    /// both walk identical rows in identical order; `shm_in` and `partials`
+    /// are pooled scratch buffers.
+    ///
+    /// With `threads > 1` the two graph passes and the contention/sort pass
+    /// run on the worker pool via [`par::fill_epoch_parallel`] under the
+    /// slot-ownership rule — bitwise identical to this serial body at any
+    /// thread count. Only the cheap O(n + r) prologue (reset, block counts,
+    /// shm zeroing) is shared.
     fn fill_epoch(
         &self,
         mesh: &AmrMesh,
@@ -924,6 +1017,7 @@ impl MacroSim {
         graph: GraphView<'_>,
         e: &mut CommEpoch,
         shm_in: &mut Vec<usize>,
+        partials: &mut Vec<par::EpochPartial>,
     ) {
         let cfg = &self.config;
         let r = cfg.topology.num_ranks;
@@ -936,6 +1030,47 @@ impl MacroSim {
         }
         shm_in.clear();
         shm_in.resize(r, 0);
+
+        if let Some(comm) = &self.exec {
+            // Worker lanes observe wall clock per task (host track only);
+            // they feed nothing back, so traced and untraced parallel runs
+            // stay bit-identical in virtual time.
+            if let Some(t) = &self.trace {
+                let t_n = comm.threads().min(r).max(1);
+                t.sink.ensure_lanes(t_n, par::LANE_SPAN_CAPACITY);
+                let step = t.sink.step();
+                t.sink.with_lanes_mut(|lanes| {
+                    par::fill_epoch_parallel(
+                        comm,
+                        &cfg.topology,
+                        &cfg.network,
+                        spec,
+                        dim,
+                        placement,
+                        graph,
+                        e,
+                        shm_in,
+                        partials,
+                        Some((lanes, step)),
+                    );
+                });
+            } else {
+                par::fill_epoch_parallel(
+                    comm,
+                    &cfg.topology,
+                    &cfg.network,
+                    spec,
+                    dim,
+                    placement,
+                    graph,
+                    e,
+                    shm_in,
+                    partials,
+                    None,
+                );
+            }
+            return;
+        }
 
         graph.for_each_row(|block, nbs| {
             let src = placement.rank_of(block.index()) as usize;
@@ -1188,7 +1323,7 @@ mod tests {
     }
 
     /// Workload that refines once at a given step.
-    struct RefiningWorkload {
+    pub(super) struct RefiningWorkload {
         mesh: AmrMesh,
         costs: Vec<f64>,
         steps: u64,
@@ -1196,7 +1331,7 @@ mod tests {
     }
 
     impl RefiningWorkload {
-        fn new(steps: u64, refine_at: u64) -> Self {
+        pub(super) fn new(steps: u64, refine_at: u64) -> Self {
             let mesh = AmrMesh::new(MeshConfig::from_cells(Dim::D3, (32, 32, 32), 2));
             let n = mesh.num_blocks();
             RefiningWorkload {
@@ -1445,5 +1580,106 @@ mod knob_tests {
         let json = chrome_trace_json(&spans);
         assert!(json.contains("\"name\":\"collective\""));
         assert!(collapsed_stacks(&spans).contains("amr;virtual;exchange"));
+    }
+
+    #[test]
+    fn zero_threads_config_is_rejected() {
+        let mut cfg = cfg16();
+        cfg.threads = 0;
+        assert!(cfg.validate().unwrap_err().contains("threads"));
+    }
+
+    /// The tentpole determinism proof at unit scale: every parallel phase —
+    /// epoch fill, compute scatter, the fused ready/finish pass, shard
+    /// rebuilds — follows the slot-ownership rule, so a multi-threaded run
+    /// reproduces the serial oracle's virtual time **bit for bit** at any
+    /// thread count, through mesh adaptation, a throttle episode with NIC
+    /// degradation, and both graph paths (flat and sharded). Virtual phases
+    /// and counters are compared; `total_ns`/`redist_ns` are excluded
+    /// because redistribution charges real placement wall-clock.
+    #[test]
+    fn parallel_run_is_bitwise_identical_to_serial() {
+        use super::tests::RefiningWorkload;
+        use crate::faults::{FaultEpisode, FaultTimeline};
+        use amr_core::policies::Lpt;
+        let trig = RebalanceTrigger::OnMeshChange;
+        let mk = |shards: usize, threads: usize| {
+            let mut cfg = cfg16();
+            cfg.num_shards = shards;
+            cfg.threads = threads;
+            cfg.faults = FaultTimeline::with_episode(
+                FaultEpisode::throttle(3, 9, [1], 3.0).with_nic_degradation(0.6),
+            );
+            cfg
+        };
+        for shards in [0usize, 3] {
+            let mut w = RefiningWorkload::new(12, 4);
+            let base = MacroSim::new(mk(shards, 1)).run(&mut w, &Lpt, trig);
+            for threads in [2usize, 4] {
+                let mut w = RefiningWorkload::new(12, 4);
+                let rep = MacroSim::new(mk(shards, threads)).run(&mut w, &Lpt, trig);
+                assert_eq!(
+                    rep.phases.compute_ns.to_bits(),
+                    base.phases.compute_ns.to_bits(),
+                    "compute diverged at {threads} threads, {shards} shards"
+                );
+                assert_eq!(
+                    rep.phases.comm_ns.to_bits(),
+                    base.phases.comm_ns.to_bits(),
+                    "comm diverged at {threads} threads, {shards} shards"
+                );
+                assert_eq!(
+                    rep.phases.sync_ns.to_bits(),
+                    base.phases.sync_ns.to_bits(),
+                    "sync diverged at {threads} threads, {shards} shards"
+                );
+                assert_eq!(
+                    rep.halo_exchange_ns.to_bits(),
+                    base.halo_exchange_ns.to_bits()
+                );
+                assert_eq!(&rep.messages, &base.messages);
+                assert_eq!(rep.lb_invocations, base.lb_invocations);
+                assert_eq!(rep.mesh_change_steps, base.mesh_change_steps);
+                assert_eq!(rep.blocks_migrated, base.blocks_migrated);
+                assert_eq!(rep.final_blocks, base.final_blocks);
+                assert_eq!(rep.final_halo_blocks, base.final_halo_blocks);
+            }
+        }
+    }
+
+    /// Worker lanes observe parallel epoch fills without perturbing them: a
+    /// traced 4-thread run matches the untraced one bit for bit, and the
+    /// sink's snapshot carries host-track `Exchange` spans from lanes ≥ 1.
+    #[test]
+    fn traced_parallel_run_matches_and_records_worker_lanes() {
+        use amr_core::policies::Lpt;
+        let trig = RebalanceTrigger::OnMeshChange;
+        let mk = || {
+            let mut cfg = cfg16();
+            cfg.threads = 4;
+            cfg
+        };
+        let mut w1 = StaticWorkload::new(4, 8, 1.0);
+        let base = MacroSim::new(mk()).run(&mut w1, &Lpt, trig);
+        let mut w2 = StaticWorkload::new(4, 8, 1.0);
+        let mut sim = MacroSim::new(mk());
+        let handle = TraceHandle::new(1024);
+        sim.set_trace(Some(handle.clone()));
+        let traced = sim.run(&mut w2, &Lpt, trig);
+        assert_eq!(traced.total_ns.to_bits(), base.total_ns.to_bits());
+        assert_eq!(
+            traced.phases.comm_ns.to_bits(),
+            base.phases.comm_ns.to_bits()
+        );
+        // 16 ranks at 4 threads ⇒ 4 lanes, each with one span per epoch fill.
+        assert_eq!(handle.sink.lane_count(), 4);
+        let spans = handle.sink.snapshot();
+        use amr_telemetry::trace::Track;
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.lane >= 1 && s.track == Track::Host && s.phase == TracePhase::Exchange),
+            "no worker-lane exchange spans in the snapshot"
+        );
     }
 }

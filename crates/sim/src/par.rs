@@ -1,0 +1,292 @@
+//! Parallel kernels for the macro-simulator's per-step phases.
+//!
+//! Every kernel here follows one rule — **slot ownership**: the rank space
+//! `0..r` is split into `threads` contiguous ranges, and each task writes
+//! only the per-rank slots inside its own range. Where the input is indexed
+//! by *block* (the epoch's graph rows, the compute scatter), each task scans
+//! the whole input in the serial loop's order and applies only the updates
+//! whose target slot it owns. That costs a redundant read pass per task, but
+//! it buys the property the whole PR rests on: per-slot floating-point
+//! accumulation happens in exactly the serial order, so virtual time is
+//! **bitwise identical** at any thread count (f64 addition is not
+//! associative; merging per-chunk partial sums would reorder it). Integer
+//! message counters are associative, so those use per-task partials
+//! ([`EpochPartial`]) summed in task order after the join.
+//!
+//! The kernels receive only plain-data views (`Topology`, `NetworkConfig`,
+//! `Placement`, `GraphView`) — never `&AmrMesh`, which holds an `Rc`-based
+//! trace handle and is not `Sync`. This module is policed by the workspace
+//! `disallowed_types` clippy guard: no `Rc`, `RefCell`, or `Cell`; shared
+//! mutable state crosses the dispatch boundary only through
+//! [`Disjoint`](amr_mesh::pool::Disjoint) range ownership.
+
+use crate::exec::SimCommunicator;
+use crate::macrosim::{CommEpoch, GraphView};
+use crate::network::NetworkConfig;
+use crate::topology::Topology;
+use amr_core::Placement;
+use amr_mesh::pool::Disjoint;
+use amr_mesh::{BlockSpec, Dim, NeighborKind};
+use amr_telemetry::{TracePhase, WorkerLane};
+
+/// Span slots pre-allocated per worker lane the first time a traced
+/// simulator dispatches in parallel (one host span per task per epoch fill,
+/// so this covers hundreds of fills before the ring recycles).
+pub(crate) const LANE_SPAN_CAPACITY: usize = 256;
+
+/// One task's private integer counters, merged in task-index order after the
+/// join. Only associative `u64` sums live here — float accumulation stays in
+/// owned [`CommEpoch`] slots.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct EpochPartial {
+    pub intra: u64,
+    pub local: u64,
+    pub remote: u64,
+    pub flux: u64,
+}
+
+/// Contiguous rank range owned by task `t` of `t_n`.
+#[inline]
+fn own_range(t: usize, t_n: usize, r: usize) -> (usize, usize) {
+    (t * r / t_n, (t + 1) * r / t_n)
+}
+
+/// Parallel body of [`MacroSim::fill_epoch`](crate::macrosim::MacroSim):
+/// boundary pass, flux pass, and the per-destination contention/sort pass.
+/// The caller has already run `e.reset(r)`, counted `blocks_per_rank`, and
+/// zero-filled `shm_in` (all O(r + n) and trivially serial).
+///
+/// Each task scans both graph passes in full and applies src-slot updates
+/// (dispatch, memcpy, flux-send, message-class counters) when it owns `src`,
+/// dst-slot updates (service, transfer tail, senders, shm fan-in, flux
+/// receive) when it owns `dst`. A slot's contributions therefore arrive from
+/// exactly one task, in global row order — the serial order. The final
+/// contention + `senders` sort/dedup pass touches only dst-owned slots, so
+/// no barrier is needed between passes: one dispatch runs all three.
+///
+/// When the simulator is traced, each task records one host-track
+/// [`TracePhase::Exchange`] span into its own [`WorkerLane`] — lanes observe
+/// wall clock only and feed nothing back, so traced parallel runs stay
+/// bit-identical to untraced ones.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fill_epoch_parallel<C: SimCommunicator>(
+    comm: &C,
+    topology: &Topology,
+    network: &NetworkConfig,
+    spec: BlockSpec,
+    dim: Dim,
+    placement: &Placement,
+    graph: GraphView<'_>,
+    e: &mut CommEpoch,
+    shm_in: &mut [usize],
+    partials: &mut Vec<EpochPartial>,
+    lanes: Option<(&mut [WorkerLane], u32)>,
+) {
+    let r = topology.num_ranks;
+    let t_n = comm.threads().min(r).max(1);
+    partials.clear();
+    partials.resize(t_n, EpochPartial::default());
+
+    let dispatch = Disjoint::new(&mut e.dispatch_ns);
+    let service = Disjoint::new(&mut e.service_ns);
+    let memcpy = Disjoint::new(&mut e.memcpy_ns);
+    let flux = Disjoint::new(&mut e.flux_ns);
+    let tail = Disjoint::new(&mut e.transfer_tail_ns);
+    let senders = Disjoint::new(&mut e.senders);
+    let shm = Disjoint::new(shm_in);
+    let (lanes, step) = match lanes {
+        Some((l, s)) => (Some(Disjoint::new(l)), s),
+        None => (None, 0),
+    };
+
+    comm.run_with(partials, |t, p| {
+        let (lo, hi) = own_range(t, t_n, r);
+        // SAFETY: tasks own pairwise-disjoint rank ranges [lo, hi); every
+        // slice below is indexed only by owned ranks (rk - lo). Lanes are
+        // indexed by the task id itself, also pairwise disjoint.
+        let _span = lanes.as_ref().map(|l| {
+            let lane = unsafe { &mut l.slice(t, t + 1)[0] };
+            lane.span(TracePhase::Exchange, step)
+        });
+        let dispatch = unsafe { dispatch.slice(lo, hi) };
+        let service = unsafe { service.slice(lo, hi) };
+        let memcpy = unsafe { memcpy.slice(lo, hi) };
+        let flux = unsafe { flux.slice(lo, hi) };
+        let tail = unsafe { tail.slice(lo, hi) };
+        let senders = unsafe { senders.slice(lo, hi) };
+        let shm = unsafe { shm.slice(lo, hi) };
+
+        graph.for_each_row(|block, nbs| {
+            let src = placement.rank_of(block.index()) as usize;
+            let src_owned = src >= lo && src < hi;
+            for n in nbs {
+                let dst = placement.rank_of(n.block.index()) as usize;
+                if dst == src {
+                    if src_owned {
+                        p.intra += 1;
+                        let bytes = spec.message_bytes(dim, n.kind.codim());
+                        memcpy[src - lo] += bytes as f64 / network.shm.bytes_per_ns;
+                    }
+                    continue;
+                }
+                let dst_owned = dst >= lo && dst < hi;
+                if !src_owned && !dst_owned {
+                    continue;
+                }
+                let bytes = spec.message_bytes(dim, n.kind.codim());
+                let local = topology.same_node(src, dst);
+                if src_owned {
+                    if local {
+                        p.local += 1;
+                    } else {
+                        p.remote += 1;
+                    }
+                    dispatch[src - lo] += network.dispatch_ns(bytes) as f64;
+                }
+                if dst_owned {
+                    if local {
+                        shm[dst - lo] += 1;
+                    }
+                    service[dst - lo] += network.service_ns(bytes, local) as f64;
+                    let tl = network.transfer_ns(bytes, local) as f64;
+                    if tl > tail[dst - lo] {
+                        tail[dst - lo] = tl;
+                    }
+                    senders[dst - lo].push(src as u32);
+                }
+            }
+        });
+        graph.for_each_row(|block, nbs| {
+            let src = placement.rank_of(block.index()) as usize;
+            let src_owned = src >= lo && src < hi;
+            for n in nbs {
+                if n.level_delta != -1 || n.kind != NeighborKind::Face {
+                    continue; // only fine→coarse faces carry flux fix-ups
+                }
+                let bytes = spec.message_bytes(dim, 1) / 4;
+                let dst = placement.rank_of(n.block.index()) as usize;
+                if dst == src {
+                    if src_owned {
+                        flux[src - lo] += bytes as f64 / network.shm.bytes_per_ns;
+                    }
+                    continue;
+                }
+                let dst_owned = dst >= lo && dst < hi;
+                if !src_owned && !dst_owned {
+                    continue;
+                }
+                let local = topology.same_node(src, dst);
+                if src_owned {
+                    p.flux += 1;
+                    flux[src - lo] += network.dispatch_ns(bytes) as f64;
+                    if local {
+                        p.local += 1;
+                    } else {
+                        p.remote += 1;
+                    }
+                }
+                if dst_owned {
+                    flux[dst - lo] += network.service_ns(bytes, local) as f64;
+                }
+            }
+        });
+        for dst in lo..hi {
+            service[dst - lo] += network.shm_contention_ns(shm[dst - lo]) as f64;
+            let s = &mut senders[dst - lo];
+            s.sort_unstable();
+            s.dedup();
+        }
+    });
+
+    // Fixed-order merge of the associative integer partials.
+    for p in partials.iter() {
+        e.intra_msgs += p.intra;
+        e.local_msgs += p.local;
+        e.remote_msgs += p.remote;
+        e.flux_msgs += p.flux;
+    }
+}
+
+/// Parallel compute-phase scatter: `compute[rank] += block_ns[b] *
+/// rank_mult[rank]` for every block, plus the per-block `measured` record.
+/// Each task scans all blocks and accumulates only its owned ranks'
+/// `compute` slots (serial per-slot order); `measured[b]` is written exactly
+/// once, by the owner of block `b`'s rank. The caller zeroes both buffers.
+pub(crate) fn compute_phase_parallel<C: SimCommunicator>(
+    comm: &C,
+    block_ns: &[f64],
+    placement: &Placement,
+    rank_mult: &[f64],
+    compute: &mut [f64],
+    measured: &mut [f64],
+) {
+    let r = compute.len();
+    let t_n = comm.threads().min(r).max(1);
+    let comp = Disjoint::new(compute);
+    let meas = Disjoint::new(measured);
+    comm.run(t_n, |t| {
+        let (lo, hi) = own_range(t, t_n, r);
+        // SAFETY: rank ranges are pairwise disjoint; each `measured[b]` has
+        // exactly one writer (the owner of `placement.rank_of(b)`).
+        let comp = unsafe { comp.slice(lo, hi) };
+        for (b, &base) in block_ns.iter().enumerate() {
+            let rank = placement.rank_of(b) as usize;
+            if rank < lo || rank >= hi {
+                continue;
+            }
+            let v = base * rank_mult[rank];
+            comp[rank - lo] += v;
+            unsafe { meas.write(b, v) };
+        }
+    });
+}
+
+/// Fused parallel ready+finish pass. Per-rank slots are independent: a
+/// rank's `finish` reads its own `ready` plus *other* ranks' `compute` and
+/// epoch dispatch times (read-only shared), so fusing the two serial loops
+/// per owned rank reproduces the serial arithmetic exactly.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn ready_finish_parallel<C: SimCommunicator>(
+    comm: &C,
+    xs: f64,
+    send_coupling: f64,
+    overlap_efficiency: f64,
+    e: &CommEpoch,
+    compute: &[f64],
+    nic_slow: &[f64],
+    ready: &mut [f64],
+    finish: &mut [f64],
+) {
+    let r = compute.len();
+    let t_n = comm.threads().min(r).max(1);
+    let ready = Disjoint::new(ready);
+    let finish = Disjoint::new(finish);
+    comm.run(t_n, |t| {
+        let (lo, hi) = own_range(t, t_n, r);
+        // SAFETY: tasks own pairwise-disjoint rank ranges [lo, hi).
+        let ready = unsafe { ready.slice(lo, hi) };
+        let finish = unsafe { finish.slice(lo, hi) };
+        for rank in lo..hi {
+            let rd = compute[rank]
+                + xs * (e.dispatch_ns[rank] * nic_slow[rank] + e.memcpy_ns[rank])
+                + e.flux_ns[rank] * nic_slow[rank];
+            ready[rank - lo] = rd;
+            let mut arrival = 0.0f64;
+            for &s in &e.senders[rank] {
+                let a = send_coupling * compute[s as usize]
+                    + xs * e.dispatch_ns[s as usize] * nic_slow[s as usize];
+                if a > arrival {
+                    arrival = a;
+                }
+            }
+            if !e.senders[rank].is_empty() {
+                arrival += e.transfer_tail_ns[rank] * nic_slow[rank];
+            }
+            let raw_wait = (arrival - rd).max(0.0);
+            let nb = e.blocks_per_rank[rank].max(1) as f64;
+            let masking = overlap_efficiency * (1.0 - 1.0 / nb);
+            finish[rank - lo] =
+                rd + raw_wait * (1.0 - masking) + xs * e.service_ns[rank] * nic_slow[rank];
+        }
+    });
+}

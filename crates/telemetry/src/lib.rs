@@ -29,6 +29,7 @@ pub mod chunked;
 pub mod codec;
 pub mod collector;
 pub mod histogram;
+pub mod lane;
 pub mod query;
 pub mod record;
 pub mod stats;
@@ -40,6 +41,7 @@ pub use anomaly::{ThrottleReport, WaitSpikeReport};
 pub use chunked::{ChunkedStore, Predicate};
 pub use collector::Collector;
 pub use histogram::LogHistogram;
+pub use lane::WorkerLane;
 pub use query::Query;
 pub use record::{EventRecord, Phase, NO_BLOCK};
 pub use table::EventTable;

@@ -29,7 +29,15 @@
 //! never perturbs — a traced run's virtual timeline is bit-identical to an
 //! untraced one (pinned by a property test in `tests/sim_properties.rs`).
 
+// Legacy single-threaded module: the sink/registry are deliberately
+// `Rc`/`Cell`-based (no atomics on the record path) and pinned to the owning
+// thread. Worker threads record into `lane::WorkerLane` (plain `&mut`, Send)
+// instead, so the workspace-wide `disallowed_types` guard is waived only
+// here, not in the parallel lane module.
+#![allow(clippy::disallowed_types)]
+
 use crate::histogram::LogHistogram;
+use crate::lane::WorkerLane;
 use std::cell::{Cell, RefCell};
 use std::fmt::Write as _;
 use std::rc::Rc;
@@ -117,6 +125,9 @@ pub struct SpanRecord {
     pub track: Track,
     /// Simulation step active when the span closed.
     pub step: u32,
+    /// Recording lane: 0 for the sink's owning thread, `1..` for worker
+    /// lanes (see [`crate::lane::WorkerLane`]).
+    pub lane: u16,
     /// Start time in ns — host spans measure from the sink's epoch, virtual
     /// spans carry simulated-time offsets.
     pub start_ns: u64,
@@ -129,6 +140,7 @@ impl Default for SpanRecord {
             phase: TracePhase::Remesh,
             track: Track::Host,
             step: 0,
+            lane: 0,
             start_ns: 0,
             dur_ns: 0,
         }
@@ -150,14 +162,19 @@ struct Ring {
 /// mutability) so a single sink can be shared — via [`TraceHandle`] — by the
 /// simulator, the placement engine, and the mesh without borrow gymnastics.
 ///
-/// Not `Sync`: the pipeline is single-threaded by design (the rayon shim is
-/// sequential) and `Rc`/`Cell` keep the record path free of atomics.
+/// Not `Sync`: the sink's own record path is single-threaded by design and
+/// `Rc`/`Cell` keep it free of atomics. Parallel phases record through
+/// [`WorkerLane`]s instead — per-worker rings the owning thread checks out
+/// with [`TraceSink::with_lanes_mut`] for the duration of a parallel region
+/// and that every snapshot/export merges back in.
 #[derive(Debug)]
 pub struct TraceSink {
     epoch: Instant,
     step: Cell<u32>,
     dropped: Cell<u64>,
     ring: RefCell<Ring>,
+    /// Worker lanes (lane ids `1..`), created on demand by `ensure_lanes`.
+    lanes: RefCell<Vec<WorkerLane>>,
 }
 
 impl TraceSink {
@@ -174,7 +191,31 @@ impl TraceSink {
                 head: 0,
                 len: 0,
             }),
+            lanes: RefCell::new(Vec::new()),
         }
+    }
+
+    /// Make sure at least `workers` worker lanes exist, each with
+    /// `capacity` pre-allocated slots (lane ids `1..=workers`). Existing
+    /// lanes are kept as-is, so calling this every parallel region is free
+    /// after the first call — the steady state allocates nothing.
+    pub fn ensure_lanes(&self, workers: usize, capacity: usize) {
+        let mut lanes = self.lanes.borrow_mut();
+        while lanes.len() < workers {
+            let id = (lanes.len() + 1) as u16;
+            lanes.push(WorkerLane::with_capacity(id, self.epoch, capacity));
+        }
+    }
+
+    /// Number of worker lanes created so far.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.borrow().len()
+    }
+
+    /// Borrow all worker lanes mutably for the duration of a parallel
+    /// region; the caller distributes one `&mut WorkerLane` to each task.
+    pub fn with_lanes_mut<R>(&self, f: impl FnOnce(&mut [WorkerLane]) -> R) -> R {
+        f(&mut self.lanes.borrow_mut())
     }
 
     /// Tag subsequent spans with `step` (called once per simulation step).
@@ -201,9 +242,9 @@ impl TraceSink {
         self.ring.borrow().buf.len()
     }
 
-    /// Spans overwritten because the ring was full.
+    /// Spans overwritten because a ring was full (main ring + all lanes).
     pub fn dropped(&self) -> u64 {
-        self.dropped.get()
+        self.dropped.get() + self.lanes.borrow().iter().map(|l| l.dropped()).sum::<u64>()
     }
 
     /// Nanoseconds since the sink was created (host-span clock).
@@ -238,6 +279,7 @@ impl TraceSink {
             phase,
             track: Track::Virtual,
             step: self.step.get(),
+            lane: 0,
             start_ns,
             dur_ns,
         });
@@ -252,7 +294,10 @@ impl TraceSink {
         }
     }
 
-    /// Copy live spans, oldest first, into `out` (cleared; capacity reused).
+    /// Copy live spans into `out` (cleared; capacity reused): the main ring
+    /// oldest-first, then each worker lane's spans oldest-first in lane
+    /// order. The merge is a deterministic function of ring contents —
+    /// records carry their lane id, so exporters can still split by worker.
     pub fn snapshot_into(&self, out: &mut Vec<SpanRecord>) {
         out.clear();
         let ring = self.ring.borrow();
@@ -260,21 +305,28 @@ impl TraceSink {
         for i in 0..ring.len {
             out.push(ring.buf[(ring.head + i) % cap]);
         }
+        for lane in self.lanes.borrow().iter() {
+            lane.snapshot_into(out);
+        }
     }
 
     /// Allocating convenience over [`TraceSink::snapshot_into`].
     pub fn snapshot(&self) -> Vec<SpanRecord> {
-        let mut out = Vec::with_capacity(self.len());
+        let lanes: usize = self.lanes.borrow().iter().map(|l| l.len()).sum();
+        let mut out = Vec::with_capacity(self.len() + lanes);
         self.snapshot_into(&mut out);
         out
     }
 
-    /// Discard all spans (capacity and epoch kept).
+    /// Discard all spans, main ring and lanes (capacity and epoch kept).
     pub fn clear(&self) {
         let mut ring = self.ring.borrow_mut();
         ring.head = 0;
         ring.len = 0;
         self.dropped.set(0);
+        for lane in self.lanes.borrow_mut().iter_mut() {
+            lane.clear();
+        }
     }
 }
 
@@ -303,6 +355,7 @@ impl Drop for SpanGuard<'_> {
             phase: self.phase,
             track: Track::Host,
             step: self.sink.step(),
+            lane: 0,
             start_ns: self.start_ns,
             dur_ns,
         });
@@ -558,6 +611,7 @@ impl Drop for TracedSpan<'_> {
             phase: self.phase,
             track: Track::Host,
             step: self.handle.sink.step(),
+            lane: 0,
             start_ns: self.start_ns,
             dur_ns,
         });
@@ -567,8 +621,8 @@ impl Drop for TracedSpan<'_> {
 
 /// Serialize spans as Chrome trace-event JSON (the `chrome://tracing` /
 /// Perfetto "JSON Array Format" with a `traceEvents` wrapper). Host spans go
-/// on tid 1, virtual spans on tid 2; timestamps are microseconds as the
-/// format requires.
+/// on tid 1, virtual spans on tid 2, worker-lane spans on tid `16 + lane`;
+/// timestamps are microseconds as the format requires.
 pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
     let mut out = String::with_capacity(64 + spans.len() * 96);
     out.push_str("{\"traceEvents\":[");
@@ -581,9 +635,10 @@ pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
          \"args\":{\"name\":\"virtual\"}}",
     );
     for s in spans {
-        let tid = match s.track {
-            Track::Host => 1,
-            Track::Virtual => 2,
+        let tid = match (s.track, s.lane) {
+            (Track::Host, 0) => 1,
+            (Track::Virtual, _) => 2,
+            (Track::Host, lane) => 16 + lane as u32,
         };
         let _ = write!(
             out,
@@ -752,6 +807,47 @@ mod tests {
         assert!(lines.contains(&"amr;virtual;collective 5"));
         // Phases with no samples are omitted.
         assert!(!folded.contains("remesh"));
+    }
+
+    #[test]
+    fn snapshot_merges_worker_lanes_behind_the_same_api() {
+        let sink = TraceSink::with_capacity(8);
+        sink.set_step(4);
+        sink.record_virtual(TracePhase::Collective, 100, 5);
+        sink.ensure_lanes(2, 4);
+        assert_eq!(sink.lane_count(), 2);
+        sink.with_lanes_mut(|lanes| {
+            lanes[0].record_host(TracePhase::Exchange, 4, 10, 3);
+            lanes[1].record_host(TracePhase::Exchange, 4, 11, 2);
+            lanes[1].record_host(TracePhase::Exchange, 4, 20, 1);
+        });
+        // ensure_lanes never shrinks or replaces warm lanes.
+        sink.ensure_lanes(1, 4);
+        assert_eq!(sink.lane_count(), 2);
+        let spans = sink.snapshot();
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans[0].lane, 0);
+        let lanes: Vec<u16> = spans.iter().map(|s| s.lane).collect();
+        assert_eq!(lanes, vec![0, 1, 2, 2]);
+        // Lane spans survive into the exporters with their own tids.
+        let json = chrome_trace_json(&spans);
+        assert!(json.contains("\"tid\":17"));
+        assert!(json.contains("\"tid\":18"));
+        sink.clear();
+        assert!(sink.snapshot().is_empty());
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn lane_drops_count_toward_sink_dropped() {
+        let sink = TraceSink::with_capacity(4);
+        sink.ensure_lanes(1, 2);
+        sink.with_lanes_mut(|lanes| {
+            for i in 0..5 {
+                lanes[0].record_host(TracePhase::Exchange, 0, i, 1);
+            }
+        });
+        assert_eq!(sink.dropped(), 3);
     }
 
     #[test]

@@ -164,6 +164,43 @@ fn sharded_run(ranks: usize, steps: u64, seed: u64, num_shards: usize) -> RunRep
     sim.run(&mut workload, &Lpt, RebalanceTrigger::OnMeshChange)
 }
 
+/// Sedov run with the full multi-core surface dialed in: `threads` worker
+/// threads (1 = the untouched serial path), `num_shards` SFC shards, a
+/// random 2D/3D mesh, and a fault timeline. Everything the parallel kernels
+/// touch — epoch fill, compute scatter, ready/finish, shard rebuilds — is
+/// exercised in one run.
+#[allow(clippy::too_many_arguments)]
+fn parallel_run(
+    ranks: usize,
+    steps: u64,
+    seed: u64,
+    dim2: bool,
+    num_shards: usize,
+    threads: usize,
+    faults: FaultTimeline,
+    response: FaultResponse,
+) -> RunReport {
+    use amr_tools::mesh::{Dim, MeshConfig};
+    use amr_tools::placement::policies::Lpt;
+    use amr_tools::placement::trigger::RebalanceTrigger;
+    use amr_tools::workloads::{SedovConfig, SedovWorkload};
+    let mesh = if dim2 {
+        MeshConfig::from_cells(Dim::D2, (128, 128, 1), 1)
+    } else {
+        MeshConfig::from_cells(Dim::D3, (48, 48, 48), 1)
+    };
+    let mut workload = SedovWorkload::new(SedovConfig::new(mesh, steps));
+    let mut cfg = SimConfig::tuned(ranks);
+    cfg.seed = seed;
+    cfg.telemetry_sampling = 4;
+    cfg.num_shards = num_shards;
+    cfg.threads = threads;
+    cfg.faults = faults;
+    cfg.fault_response = response;
+    let mut sim = MacroSim::new(cfg);
+    sim.run(&mut workload, &Lpt, RebalanceTrigger::OnMeshChange)
+}
+
 /// Untraced convenience wrapper over [`fault_run_traced`].
 fn fault_run(
     ranks: usize,
@@ -238,6 +275,55 @@ proptest! {
                 // ghost-metadata republication.
                 prop_assert!(rep.halo_exchange_ns > 0.0);
             }
+        }
+    }
+
+    /// The multi-core tentpole's determinism proof: a run on real worker
+    /// threads must reproduce the serial oracle's virtual time **bit for
+    /// bit** at any thread count. Every parallel kernel follows the
+    /// slot-ownership rule (each per-rank slot has exactly one writing task,
+    /// accumulating in the serial loop's order), so f64 non-associativity
+    /// never gets a chance to bite — across random 2D/3D adapt sequences,
+    /// random fault timelines (throttle + NIC degradation, reweight response
+    /// armed), and both graph paths. Redistribution/total are excluded as
+    /// everywhere else: they charge real placement wall-clock.
+    #[test]
+    fn parallel_runs_are_bitwise_identical_to_serial(
+        seed in 0u64..500,
+        steps in 8u64..14,
+        dim2 in any::<bool>(),
+        shards in prop_oneof![Just(0usize), 2usize..5],
+        onset in 2u64..6,
+        len in 2u64..8,
+        factor in 2.0f64..5.0,
+        nic in prop_oneof![Just(1.0f64), 0.4f64..0.9],
+    ) {
+        let ranks = 16usize;
+        let mut episode = FaultEpisode::throttle(onset, onset + len, [1], factor);
+        if nic < 1.0 {
+            episode = episode.with_nic_degradation(nic);
+        }
+        let timeline = FaultTimeline::with_episode(episode);
+        let base = parallel_run(
+            ranks, steps, seed, dim2, shards, 1, timeline.clone(), FaultResponse::Reweight);
+        for threads in [2usize, 4] {
+            let rep = parallel_run(
+                ranks, steps, seed, dim2, shards, threads, timeline.clone(),
+                FaultResponse::Reweight);
+            prop_assert_eq!(rep.phases.compute_ns.to_bits(), base.phases.compute_ns.to_bits(),
+                "compute diverged at {} threads", threads);
+            prop_assert_eq!(rep.phases.comm_ns.to_bits(), base.phases.comm_ns.to_bits(),
+                "comm diverged at {} threads", threads);
+            prop_assert_eq!(rep.phases.sync_ns.to_bits(), base.phases.sync_ns.to_bits(),
+                "sync diverged at {} threads", threads);
+            prop_assert_eq!(rep.halo_exchange_ns.to_bits(), base.halo_exchange_ns.to_bits());
+            prop_assert_eq!(&rep.messages, &base.messages);
+            prop_assert_eq!(rep.lb_invocations, base.lb_invocations);
+            prop_assert_eq!(rep.mesh_change_steps, base.mesh_change_steps);
+            prop_assert_eq!(rep.blocks_migrated, base.blocks_migrated);
+            prop_assert_eq!(rep.final_blocks, base.final_blocks);
+            prop_assert_eq!(rep.final_halo_blocks, base.final_halo_blocks);
+            prop_assert_eq!(rep.capacity_updates, base.capacity_updates);
         }
     }
 

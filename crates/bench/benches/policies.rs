@@ -3,9 +3,11 @@
 //! 50 ms redistribution budget.
 
 use amr_core::engine::{PlacementCtx, PlacementEngine};
-use amr_core::policies::{Baseline, Cdp, ChunkedCdp, Cplx, Lpt, PlacementPolicy};
+use amr_core::policies::{
+    Baseline, Cdp, ChunkedCdp, Cplx, GreedyEdgeCut, Lpt, Multilevel, PlacementPolicy,
+};
 use amr_core::Placement;
-use amr_workloads::CostDistribution;
+use amr_workloads::{random_refined_mesh, CostDistribution};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -99,6 +101,48 @@ fn bench_engine_fig7c(c: &mut Criterion) {
     group.finish();
 }
 
+/// The graph-partitioning pair on a real refined mesh: `GreedyEdgeCut` vs
+/// the multilevel pipeline, cold (full coarsen→seed→refine, local scratch)
+/// and the multilevel warm engine loop (refine-only against the arena — the
+/// steady state every mid-run repartition hits, allocation-free by the
+/// zero-alloc suite).
+fn bench_engine_partition(c: &mut Criterion) {
+    let ranks = 512usize;
+    let mesh = random_refined_mesh(ranks, 1.6, 1);
+    let n = mesh.num_blocks();
+    let graph = mesh.neighbor_graph();
+    let cost = costs(n, ranks as u64);
+    let mut group = c.benchmark_group("engine_partition_512");
+    group.throughput(Throughput::Elements(n as u64));
+    let greedy = GreedyEdgeCut::default();
+    group.bench_function("greedy_cold", |b| {
+        b.iter(|| std::hint::black_box(greedy.place_on_mesh(&mesh, &cost, ranks)))
+    });
+    let ml = Multilevel::default();
+    group.bench_function("multilevel_cold", |b| {
+        b.iter(|| std::hint::black_box(ml.place_on_mesh(&mesh, &cost, ranks)))
+    });
+    let mut engine = PlacementEngine::new();
+    let mut shifted = cost.clone();
+    for _ in 0..3 {
+        shifted.rotate_right(1);
+        engine
+            .rebalance_weighted(&ml, &shifted, ranks, Some(&mesh), None, Some(&graph), None)
+            .expect("multilevel warm-up");
+    }
+    group.bench_function("multilevel_warm_engine", |b| {
+        b.iter(|| {
+            shifted.rotate_right(1);
+            std::hint::black_box(
+                engine
+                    .rebalance_weighted(&ml, &shifted, ranks, Some(&mesh), None, Some(&graph), None)
+                    .expect("warm multilevel rebalance"),
+            )
+        })
+    });
+    group.finish();
+}
+
 fn bench_cplx_x_sweep(c: &mut Criterion) {
     let ranks = 4096;
     let cost = costs(ranks * 2, 7);
@@ -116,6 +160,7 @@ criterion_group!(
     benches,
     bench_policies,
     bench_engine_fig7c,
+    bench_engine_partition,
     bench_cplx_x_sweep
 );
 criterion_main!(benches);

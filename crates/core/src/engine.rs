@@ -224,6 +224,10 @@ pub struct Scratch {
     pub(crate) order_starts: RefCell<Vec<u32>>,
     /// Staged remapped full order (swapped with `lpt_full_order`).
     pub(crate) order_stage: RefCell<Vec<usize>>,
+    /// Multilevel partitioner arena (level graphs, gain buckets, matching
+    /// state) — warm repartitions through [`crate::policies::Multilevel`]
+    /// allocate nothing once these have grown to the working size.
+    pub(crate) ml: RefCell<crate::policies::multilevel::MlScratch>,
 }
 
 impl Scratch {
@@ -329,6 +333,7 @@ pub struct PlacementCtx<'a> {
     origins: Option<&'a [CostOrigin]>,
     scratch: Option<&'a Scratch>,
     capacities: Option<&'a [f64]>,
+    edge_weights: Option<&'a [u64]>,
 }
 
 impl<'a> PlacementCtx<'a> {
@@ -344,6 +349,7 @@ impl<'a> PlacementCtx<'a> {
             origins: None,
             scratch: None,
             capacities: None,
+            edge_weights: None,
         }
     }
 
@@ -396,6 +402,19 @@ impl<'a> PlacementCtx<'a> {
         self
     }
 
+    /// Attach observed per-relation exchange bytes, parallel to the attached
+    /// graph's flat relation space (`NeighborGraph::row_start` indexing).
+    /// Graph-aware policies (`GreedyEdgeCut`, the multilevel family) then
+    /// optimize *measured* traffic instead of the topological message-size
+    /// model — the feedback loop the simulator's `ExchangeByteLedger`
+    /// closes. A slice whose length doesn't match the graph's relation
+    /// count is ignored (policies fall back to topological weights), so a
+    /// ledger that lags a remesh can never mis-weight edges.
+    pub fn with_edge_weights(mut self, edge_weights: &'a [u64]) -> Self {
+        self.edge_weights = Some(edge_weights);
+        self
+    }
+
     /// Per-block costs in SFC order.
     pub fn costs(&self) -> &'a [f64] {
         self.costs
@@ -439,6 +458,11 @@ impl<'a> PlacementCtx<'a> {
     /// Per-rank capacities, if attached.
     pub fn capacities(&self) -> Option<&'a [f64]> {
         self.capacities
+    }
+
+    /// Observed per-relation exchange bytes, if attached.
+    pub fn edge_weights(&self) -> Option<&'a [u64]> {
+        self.edge_weights
     }
 
     /// Validate costs, rank count, and (when attached) capacities.
@@ -702,6 +726,25 @@ impl PlacementEngine {
         mesh: Option<&AmrMesh>,
         origins: Option<&[CostOrigin]>,
     ) -> Result<PlacementReport, PlacementError> {
+        self.rebalance_weighted(policy, costs, num_ranks, mesh, origins, None, None)
+    }
+
+    /// [`rebalance_with`](PlacementEngine::rebalance_with) plus the
+    /// graph-aware inputs: a prebuilt neighbor graph (so graph policies skip
+    /// the rebuild) and observed per-relation exchange bytes parallel to it
+    /// (see [`PlacementCtx::with_edge_weights`]). This is the simulator's
+    /// feedback path — the `ExchangeByteLedger` lands here.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rebalance_weighted(
+        &mut self,
+        policy: &dyn PlacementPolicy,
+        costs: &[f64],
+        num_ranks: usize,
+        mesh: Option<&AmrMesh>,
+        origins: Option<&[CostOrigin]>,
+        graph: Option<&NeighborGraph>,
+        edge_weights: Option<&[u64]>,
+    ) -> Result<PlacementReport, PlacementError> {
         // Cheap Rc bump (no allocation) so the span guard doesn't hold a
         // borrow of `self` across the buffer split below.
         let trace = self.trace.clone();
@@ -721,6 +764,12 @@ impl PlacementEngine {
         }
         if let Some(o) = origins {
             ctx = ctx.with_origins(o);
+        }
+        if let Some(g) = graph {
+            ctx = ctx.with_graph(g);
+        }
+        if let Some(w) = edge_weights {
+            ctx = ctx.with_edge_weights(w);
         }
         if self.primed {
             ctx = ctx.with_prev(cur);

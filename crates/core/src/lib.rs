@@ -54,6 +54,6 @@ pub use engine::{
     MigrationStats, PlacementCtx, PlacementEngine, PlacementError, PlacementReport, Scratch,
 };
 pub use placement::{LocalityStats, Placement, RankId};
-pub use policies::{Baseline, Cdp, ChunkedCdp, Cplx, Lpt, PlacementPolicy};
+pub use policies::{Baseline, Cdp, ChunkedCdp, Cplx, Lpt, Multilevel, PlacementPolicy};
 pub use traffic::TrafficMatrix;
 pub use trigger::RebalanceTrigger;

@@ -1,0 +1,240 @@
+//! Shared weighted edge-cut objective and greedy cut partitioning.
+//!
+//! Every graph-aware policy — [`GreedyEdgeCut`](super::GreedyEdgeCut) and
+//! the multilevel family ([`super::Multilevel`]) — scores through this one
+//! module, so "the cut" means the same number everywhere: the sum of edge
+//! weights over *directed* relations whose endpoints land on different
+//! ranks. Weights come in two flavors ([`CutWeights`]): the topological
+//! message size a relation's codimension implies, or *observed* per-relation
+//! bytes measured by the simulator's exchange ledger (the paper's §VIII
+//! point — static edge cuts correlate poorly with runtime traffic — made
+//! actionable by optimizing the measured quantity instead).
+//!
+//! Accumulation is `u128`: at the 2^20-rank trajectory a mesh carries ~10^8
+//! directed relations, and an observed-byte weight is itself a whole run's
+//! traffic on that relation (easily 2^40+ bytes), so a `u64` objective can
+//! overflow long before the partitioner misbehaves. Per-entry weights stay
+//! `u64`; only the objective widens.
+
+use crate::placement::Placement;
+use amr_mesh::{AmrMesh, BlockId, BlockSpec, Dim, Neighbor, NeighborGraph};
+
+/// Edge-weight source for cut scoring and partitioning.
+#[derive(Debug, Clone, Copy)]
+pub enum CutWeights<'a> {
+    /// Static model: a relation weighs the ghost-exchange message its
+    /// codimension implies (`spec.message_bytes`), independent of runtime.
+    Topological { spec: BlockSpec, dim: Dim },
+    /// Measured model: per-relation observed bytes, parallel to the graph's
+    /// flat relation space (`NeighborGraph::row_start` indexing). Entry `i`
+    /// is the traffic the simulator actually accumulated on relation `i`.
+    Observed(&'a [u64]),
+}
+
+impl<'a> CutWeights<'a> {
+    /// Topological weights for `mesh`'s block spec.
+    pub fn topological(mesh: &AmrMesh) -> CutWeights<'static> {
+        CutWeights::Topological {
+            spec: mesh.config().spec,
+            dim: mesh.config().dim,
+        }
+    }
+
+    /// Weight of directed relation `entry` (flat index) described by `n`.
+    #[inline]
+    pub fn weight(&self, entry: usize, n: &Neighbor) -> u64 {
+        match self {
+            CutWeights::Topological { spec, dim } => spec.message_bytes(*dim, n.kind.codim()),
+            CutWeights::Observed(bytes) => bytes[entry],
+        }
+    }
+}
+
+/// Weighted edge cut of a placement: total weight of directed relations
+/// whose endpoints live on different ranks — the objective every graph
+/// partitioner here minimizes. Overflow-safe at trajectory scale (`u128`
+/// accumulation; see module docs).
+pub fn weighted_edge_cut(placement: &Placement, graph: &NeighborGraph, w: &CutWeights) -> u128 {
+    let mut cut = 0u128;
+    let mut entry = 0usize;
+    for (block, nbs) in graph.iter() {
+        let src = placement.rank_of(block.index());
+        for n in nbs {
+            if placement.rank_of(n.block.index()) != src {
+                cut += w.weight(entry, n) as u128;
+            }
+            entry += 1;
+        }
+    }
+    cut
+}
+
+/// Topological-bytes edge cut, kept for the pre-ledger callers (ablations,
+/// tests). Saturates on the way back down to `u64`; the symmetric directed
+/// count keeps full volume (both directions of every cut edge).
+pub fn edge_cut_bytes(placement: &Placement, graph: &NeighborGraph, mesh: &AmrMesh) -> u64 {
+    let w = CutWeights::topological(mesh);
+    u64::try_from(weighted_edge_cut(placement, graph, &w)).unwrap_or(u64::MAX)
+}
+
+/// Greedy weighted-cut partition with a load cap, plus majority-move
+/// refinement sweeps — the exact algorithm [`GreedyEdgeCut`] has always run,
+/// hoisted here so the multilevel family's small-graph fast path produces
+/// *bitwise-identical* assignments (pinned by the
+/// `multilevel_equals_greedy_below_coarsening_threshold` proptest).
+///
+/// Blocks are seeded in descending-cost order onto the rank with the highest
+/// already-placed-neighbor connectivity under the cap (ties: lower load,
+/// then lower rank; fallback: least loaded). Each refinement sweep then
+/// moves blocks to their neighbor-majority rank when that reduces the cut
+/// without violating the cap. Deterministic: every tie-break is total.
+///
+/// `assign`/`loads` are caller-owned buffers (cleared and refilled). The
+/// seeding itself allocates (per-block gain table, seed order) — this is
+/// the comparison-policy path, not the steady-state warm path.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn greedy_cut_partition(
+    costs: &[f64],
+    graph: &NeighborGraph,
+    w: &CutWeights,
+    num_ranks: usize,
+    balance_slack: f64,
+    refine_sweeps: usize,
+    assign: &mut Vec<u32>,
+    loads: &mut Vec<f64>,
+) {
+    let n = costs.len();
+    let total: f64 = costs.iter().sum();
+    let cap = (total / num_ranks as f64) * balance_slack;
+
+    const UNASSIGNED: u32 = u32::MAX;
+    assign.clear();
+    assign.resize(n, UNASSIGNED);
+    loads.clear();
+    loads.resize(num_ranks, 0.0);
+
+    // Seed order: descending cost, then id.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| costs[b].total_cmp(&costs[a]).then(a.cmp(&b)));
+
+    for &b in &order {
+        // Connectivity to each candidate rank via already-placed neighbors.
+        let mut gain = vec![0.0f64; num_ranks];
+        let row = graph.row_start(b);
+        for (j, nb) in graph.neighbors(BlockId(b as u32)).iter().enumerate() {
+            let a = assign[nb.block.index()];
+            if a != UNASSIGNED {
+                gain[a as usize] += w.weight(row + j, nb) as f64;
+            }
+        }
+        // Best rank: max gain among ranks under the cap; ties by lower
+        // load then id. Fallback: least-loaded rank.
+        let mut best: Option<usize> = None;
+        for r in 0..num_ranks {
+            if loads[r] + costs[b] > cap {
+                continue;
+            }
+            best = match best {
+                None => Some(r),
+                Some(cur) => {
+                    if gain[r] > gain[cur] || (gain[r] == gain[cur] && loads[r] < loads[cur]) {
+                        Some(r)
+                    } else {
+                        Some(cur)
+                    }
+                }
+            };
+        }
+        let r = best.unwrap_or_else(|| {
+            (0..num_ranks)
+                .min_by(|&a, &b| loads[a].total_cmp(&loads[b]))
+                .unwrap()
+        });
+        assign[b] = r as u32;
+        loads[r] += costs[b];
+    }
+
+    // Refinement sweeps: move a block to the neighbor-majority rank when it
+    // reduces the cut and respects the cap.
+    for _ in 0..refine_sweeps {
+        let mut moved = false;
+        for b in 0..n {
+            let cur = assign[b] as usize;
+            let mut gain = std::collections::BTreeMap::<u32, f64>::new();
+            let row = graph.row_start(b);
+            for (j, nb) in graph.neighbors(BlockId(b as u32)).iter().enumerate() {
+                *gain.entry(assign[nb.block.index()]).or_insert(0.0) +=
+                    w.weight(row + j, nb) as f64;
+            }
+            let here = gain.get(&(cur as u32)).copied().unwrap_or(0.0);
+            if let Some((&target, &g)) = gain
+                .iter()
+                .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(a.0)))
+            {
+                let target = target as usize;
+                if target != cur && g > here && loads[target] + costs[b] <= cap {
+                    loads[cur] -= costs[b];
+                    loads[target] += costs[b];
+                    assign[b] = target as u32;
+                    moved = true;
+                }
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amr_mesh::MeshConfig;
+
+    fn mesh() -> AmrMesh {
+        AmrMesh::new(MeshConfig::from_cells(Dim::D3, (64, 64, 64), 1))
+    }
+
+    #[test]
+    fn observed_weights_change_the_objective() {
+        let m = mesh();
+        let g = m.neighbor_graph();
+        let n = m.num_blocks();
+        let p = Placement::new((0..n).map(|i| (i % 2) as u32).collect(), 2);
+        let topo = weighted_edge_cut(&p, &g, &CutWeights::topological(&m));
+        // All-zero observations: nothing crosses for free.
+        let zeros = vec![0u64; g.total_relations()];
+        assert_eq!(weighted_edge_cut(&p, &g, &CutWeights::Observed(&zeros)), 0);
+        // Uniform ones: the cut counts crossing relations.
+        let ones = vec![1u64; g.total_relations()];
+        let crossings = weighted_edge_cut(&p, &g, &CutWeights::Observed(&ones));
+        assert!(crossings > 0 && topo > crossings);
+    }
+
+    #[test]
+    fn u128_accumulation_survives_huge_weights() {
+        let m = mesh();
+        let g = m.neighbor_graph();
+        let n = m.num_blocks();
+        // Every relation near u64::MAX: the objective must not wrap.
+        let huge = vec![u64::MAX - 1; g.total_relations()];
+        let p = Placement::new((0..n).map(|i| (i % 4) as u32).collect(), 4);
+        let cut = weighted_edge_cut(&p, &g, &CutWeights::Observed(&huge));
+        let crossings = {
+            let ones = vec![1u64; g.total_relations()];
+            weighted_edge_cut(&p, &g, &CutWeights::Observed(&ones))
+        };
+        assert_eq!(cut, crossings * (u64::MAX - 1) as u128);
+        assert!(cut > u64::MAX as u128, "objective genuinely needs u128");
+    }
+
+    #[test]
+    fn saturating_u64_wrapper_matches_wide_objective() {
+        let m = mesh();
+        let g = m.neighbor_graph();
+        let n = m.num_blocks();
+        let p = Placement::new((0..n).map(|i| (i % 3) as u32).collect(), 3);
+        let wide = weighted_edge_cut(&p, &g, &CutWeights::topological(&m));
+        assert_eq!(edge_cut_bytes(&p, &g, &m) as u128, wide);
+    }
+}

@@ -6,16 +6,21 @@
 //! "poorly correlated with runtime communication overhead" — the
 //! `ablation_edgecut` experiment measures exactly that using this policy.
 //!
-//! The implementation is a deterministic greedy: blocks in descending cost
-//! order are assigned to the rank that maximizes connectivity to already-
-//! placed neighbors, subject to a load cap; a refinement pass then tries
-//! single-block moves that reduce the weighted cut without violating the
-//! cap (a light Kernighan–Lin flavor).
+//! The algorithm itself (deterministic greedy seeding + majority-move
+//! refinement) lives in the shared [`cut`](super::cut) module so this policy
+//! and the multilevel family ([`super::Multilevel`]) partition and score
+//! through one implementation. When the context carries observed exchange
+//! bytes ([`PlacementCtx::edge_weights`]) the greedy optimizes measured
+//! traffic; otherwise it falls back to the static topological model the
+//! paper critiques.
 
+use super::cut::{greedy_cut_partition, CutWeights};
 use super::PlacementPolicy;
 use crate::engine::{PlacementCtx, PlacementError, PlacementReport};
 use crate::placement::Placement;
-use amr_mesh::{AmrMesh, NeighborGraph};
+use amr_mesh::AmrMesh;
+
+pub use super::cut::edge_cut_bytes;
 
 /// Greedy weighted-edge-cut partitioner with load cap.
 #[derive(Debug, Clone, Copy)]
@@ -33,24 +38,6 @@ impl Default for GreedyEdgeCut {
             refine_sweeps: 2,
         }
     }
-}
-
-/// Weighted edge cut of a placement: total bytes of neighbor relations whose
-/// endpoints live on different ranks (the objective graph partitioners
-/// minimize).
-pub fn edge_cut_bytes(placement: &Placement, graph: &NeighborGraph, mesh: &AmrMesh) -> u64 {
-    let spec = mesh.config().spec;
-    let dim = mesh.config().dim;
-    let mut cut = 0u64;
-    for (block, nbs) in graph.iter() {
-        let src = placement.rank_of(block.index());
-        for n in nbs {
-            if placement.rank_of(n.block.index()) != src {
-                cut += spec.message_bytes(dim, n.kind.codim());
-            }
-        }
-    }
-    cut / 2 * 2 // directed relations counted once each way; keep full volume
 }
 
 impl GreedyEdgeCut {
@@ -107,87 +94,25 @@ impl PlacementPolicy for GreedyEdgeCut {
                 &built
             }
         };
-        let spec = mesh.config().spec;
-        let dim = mesh.config().dim;
-        let weight = |codim: u8| spec.message_bytes(dim, codim) as f64;
+        // Observed bytes only line up with the graph they were recorded
+        // against; a stale slice (wrong relation count) degrades to the
+        // topological model instead of mis-weighting edges.
+        let weights = match ctx.edge_weights() {
+            Some(w) if w.len() == graph.total_relations() => CutWeights::Observed(w),
+            _ => CutWeights::topological(mesh),
+        };
 
-        let total: f64 = costs.iter().sum();
-        let cap = (total / num_ranks as f64) * self.balance_slack;
-
-        const UNASSIGNED: u32 = u32::MAX;
-        let assign = assignment;
-        assign.resize(n, UNASSIGNED);
-        let mut loads = vec![0.0f64; num_ranks];
-
-        // Seed order: descending cost, then id.
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| costs[b].total_cmp(&costs[a]).then(a.cmp(&b)));
-
-        for &b in &order {
-            // Connectivity to each candidate rank via already-placed
-            // neighbors.
-            let mut gain = vec![0.0f64; num_ranks];
-            for nb in graph.neighbors(amr_mesh::BlockId(b as u32)) {
-                let a = assign[nb.block.index()];
-                if a != UNASSIGNED {
-                    gain[a as usize] += weight(nb.kind.codim());
-                }
-            }
-            // Best rank: max gain among ranks under the cap; ties by lower
-            // load then id. Fallback: least-loaded rank.
-            let mut best: Option<usize> = None;
-            for r in 0..num_ranks {
-                if loads[r] + costs[b] > cap {
-                    continue;
-                }
-                best = match best {
-                    None => Some(r),
-                    Some(cur) => {
-                        if gain[r] > gain[cur] || (gain[r] == gain[cur] && loads[r] < loads[cur]) {
-                            Some(r)
-                        } else {
-                            Some(cur)
-                        }
-                    }
-                };
-            }
-            let r = best.unwrap_or_else(|| {
-                (0..num_ranks)
-                    .min_by(|&a, &b| loads[a].total_cmp(&loads[b]))
-                    .unwrap()
-            });
-            assign[b] = r as u32;
-            loads[r] += costs[b];
-        }
-
-        // Refinement sweeps: move a block to the neighbor-majority rank when
-        // it reduces the cut and respects the cap.
-        for _ in 0..self.refine_sweeps {
-            let mut moved = false;
-            for b in 0..n {
-                let cur = assign[b] as usize;
-                let mut gain = std::collections::BTreeMap::<u32, f64>::new();
-                for nb in graph.neighbors(amr_mesh::BlockId(b as u32)) {
-                    *gain.entry(assign[nb.block.index()]).or_insert(0.0) += weight(nb.kind.codim());
-                }
-                let here = gain.get(&(cur as u32)).copied().unwrap_or(0.0);
-                if let Some((&target, &g)) = gain
-                    .iter()
-                    .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(a.0)))
-                {
-                    let target = target as usize;
-                    if target != cur && g > here && loads[target] + costs[b] <= cap {
-                        loads[cur] -= costs[b];
-                        loads[target] += costs[b];
-                        assign[b] = target as u32;
-                        moved = true;
-                    }
-                }
-            }
-            if !moved {
-                break;
-            }
-        }
+        let mut loads = Vec::new();
+        greedy_cut_partition(
+            costs,
+            graph,
+            &weights,
+            num_ranks,
+            self.balance_slack,
+            self.refine_sweeps,
+            assignment,
+            &mut loads,
+        );
 
         Ok(ctx.finish(out))
     }
@@ -250,6 +175,36 @@ mod tests {
         let a = GreedyEdgeCut::default().place_on_mesh(&m, &costs, 8);
         let b = GreedyEdgeCut::default().place_on_mesh(&m, &costs, 8);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn observed_weights_steer_the_partition() {
+        // Zero out every relation except one block pair's, with uniform
+        // costs: the greedy must co-locate that pair (its the only traffic).
+        let m = mesh();
+        let graph = m.neighbor_graph();
+        let costs = vec![1.0; m.num_blocks()];
+        let mut w = vec![0u64; graph.total_relations()];
+        // Pick block 0 and its first neighbor; weight both directions.
+        let nb = graph.neighbors(amr_mesh::BlockId(0))[0].block;
+        w[graph.row_start(0)] = 1 << 40;
+        let back = graph
+            .neighbors(nb)
+            .iter()
+            .position(|n| n.block.index() == 0)
+            .unwrap();
+        w[graph.row_start(nb.index()) + back] = 1 << 40;
+        let ctx = PlacementCtx::new(&costs, 8)
+            .with_mesh(&m)
+            .with_graph(&graph)
+            .with_edge_weights(&w);
+        let mut out = Placement::new(Vec::new(), 1);
+        GreedyEdgeCut::default().place_into(&ctx, &mut out).unwrap();
+        assert_eq!(
+            out.rank_of(0),
+            out.rank_of(nb.index()),
+            "the only observed-traffic pair must be co-located"
+        );
     }
 
     #[test]

@@ -13,10 +13,12 @@ mod blend;
 mod cdp;
 mod chunked;
 mod cplx;
+pub mod cut;
 pub mod geometric;
 pub mod graph;
 mod hierarchical;
 mod lpt;
+pub mod multilevel;
 pub mod zonal;
 
 pub use baseline::Baseline;
@@ -24,10 +26,12 @@ pub use blend::Blend;
 pub use cdp::{cdp_general, cdp_parametric, Cdp};
 pub use chunked::ChunkedCdp;
 pub use cplx::Cplx;
+pub use cut::{weighted_edge_cut, CutWeights};
 pub use geometric::Rcb;
 pub use graph::{edge_cut_bytes, GreedyEdgeCut};
 pub use hierarchical::Hierarchical;
 pub use lpt::{lpt_into, Lpt};
+pub use multilevel::Multilevel;
 pub use zonal::Zonal;
 
 pub(crate) use lpt::Slot;

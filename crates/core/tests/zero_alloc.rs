@@ -101,6 +101,63 @@ fn steady_state_rebalance_is_allocation_free() {
         );
     }
 
+    // ---- Warm multilevel repartition ----------------------------------------
+    // The multilevel partitioner's warm path (same block and rank count as
+    // the previous placement) refines in place against the engine's
+    // `MlScratch` arena: no coarsening, no level rebuilds, zero heap traffic
+    // once the buckets and level-0 buffers have grown to the working size.
+    {
+        use amr_core::policies::Multilevel;
+        use amr_mesh::{AmrMesh, Dim, MeshConfig};
+        let mesh = AmrMesh::new(MeshConfig::from_cells(Dim::D3, (128, 128, 128), 1));
+        let graph = mesh.neighbor_graph();
+        let n = mesh.num_blocks();
+        assert!(n > 128, "must exceed the greedy-delegation threshold");
+        let num_ranks = 16;
+        let policy = Multilevel::default();
+        let mut shifted: Vec<f64> = (0..n).map(|i| 1.0 + (i % 13) as f64 * 0.37).collect();
+        let mut engine = PlacementEngine::new();
+        // Warm-up: cold pipeline once (sizes the level hierarchy), then warm
+        // rounds to size every bucket and the migration flows.
+        for _ in 0..3 {
+            shifted.rotate_right(1);
+            engine
+                .rebalance_weighted(
+                    &policy,
+                    &shifted,
+                    num_ranks,
+                    Some(&mesh),
+                    None,
+                    Some(&graph),
+                    None,
+                )
+                .expect("multilevel warm-up");
+        }
+        let mut min_delta = u64::MAX;
+        for _ in 0..5 {
+            shifted.rotate_right(1);
+            let before = alloc_count();
+            let report = engine
+                .rebalance_weighted(
+                    &policy,
+                    &shifted,
+                    num_ranks,
+                    Some(&mesh),
+                    None,
+                    Some(&graph),
+                    None,
+                )
+                .expect("warm multilevel repartition");
+            let delta = alloc_count() - before;
+            min_delta = min_delta.min(delta);
+            assert_eq!(report.num_blocks, n);
+        }
+        assert_eq!(
+            min_delta, 0,
+            "warm multilevel repartition allocated {min_delta} times"
+        );
+    }
+
     // ---- Simulator steady state -------------------------------------------
     // A warm MpiWorld re-running the same ring-exchange programs must not
     // allocate: events recycle through the arena, queue buckets and

@@ -426,6 +426,18 @@ impl NeighborGraph {
         self.entries.len()
     }
 
+    /// Index into the flat relation space (`0..total_relations()`) where
+    /// block `i`'s row begins. Rows are contiguous and sorted by block id,
+    /// so `row_start(i)..row_start(i + 1)` addresses exactly the entries
+    /// returned by [`neighbors`](NeighborGraph::neighbors) — this is how
+    /// entry-parallel side tables (observed-traffic ledgers, partitioner
+    /// edge weights) line up with the CSR without touching its internals.
+    /// `i == num_blocks()` is allowed and returns `total_relations()`.
+    #[inline]
+    pub fn row_start(&self, i: usize) -> usize {
+        self.offsets[i] as usize
+    }
+
     /// Verify symmetry: if `a` lists `b`, then `b` lists `a` with the same
     /// kind and negated level delta. Returns a description of the first
     /// violation found. Rows are sorted by block id, so each back-edge

@@ -32,6 +32,7 @@ pub mod events;
 pub mod exec;
 pub mod faults;
 pub mod health;
+pub mod ledger;
 pub mod macrosim;
 pub mod microsim;
 pub mod mpi;
@@ -43,6 +44,7 @@ pub mod topology;
 pub use exec::{PooledCommunicator, SerialCommunicator, SimCommunicator};
 pub use faults::{FaultConfig, FaultEpisode, FaultResponse, FaultTimeline};
 pub use health::{blacklist_and_rehost, run_health_check, run_health_check_at, HealthCheck};
+pub use ledger::ExchangeByteLedger;
 pub use macrosim::{MacroSim, RunReport, SimConfig, Workload, WorkloadStep};
 pub use microsim::{Message, MicroSim, RoundResult, RoundSpec, TaskOrder};
 pub use mpi::{MpiWorld, Op};

@@ -136,6 +136,16 @@ pub struct SimConfig {
     /// virtual time is bit-identical to the flat path (the shard rows keep
     /// global block ids, so every float accumulates in the same order).
     pub num_shards: usize,
+    /// Accumulate per-relation observed exchange bytes in an
+    /// [`ExchangeByteLedger`](crate::ledger::ExchangeByteLedger) and feed
+    /// them to the placement policy as measured edge weights
+    /// ([`PlacementCtx::edge_weights`](amr_core::engine::PlacementCtx)) —
+    /// the closed observe→partition loop that lets the multilevel family
+    /// optimize real traffic instead of the static model (§VIII). Flat-path
+    /// only (`num_shards == 0`): the ledger is entry-parallel to the
+    /// resident global [`NeighborGraph`]. Policies that ignore edge weights
+    /// see bit-identical virtual time with this on or off.
+    pub observe_exchange_bytes: bool,
     /// OS threads the in-process simulator may use. `1` (the default) takes
     /// the original serial path, untouched. Any value > 1 spawns a
     /// simulator-owned worker pool and executes the embarrassingly-parallel
@@ -168,6 +178,7 @@ impl SimConfig {
             send_coupling: 0.05,
             exchanges_per_step: 3,
             overlap_efficiency: 0.0,
+            observe_exchange_bytes: false,
             num_shards: 0,
             threads: 1,
         }
@@ -191,6 +202,13 @@ impl SimConfig {
         self.faults.validate().map_err(|e| format!("faults: {e}"))?;
         if self.threads == 0 {
             return Err("threads must be >= 1 (1 = serial path)".to_string());
+        }
+        if self.observe_exchange_bytes && self.num_shards > 0 {
+            return Err(
+                "observe_exchange_bytes requires the flat path (num_shards == 0): \
+                 the ledger is entry-parallel to the resident global graph"
+                    .to_string(),
+            );
         }
         if !self.cost_alpha.is_finite() || !(0.0..=1.0).contains(&self.cost_alpha) {
             return Err(format!(
@@ -361,6 +379,12 @@ pub struct MacroSim {
     /// simulator (not the process-global pool) so workers persist across
     /// steps and runs — steady-state dispatch allocates nothing.
     exec: Option<PooledCommunicator>,
+    /// Observed exchange-byte accumulator (active only with
+    /// `config.observe_exchange_bytes`); owned by the simulator so its
+    /// buffers stay warm across runs.
+    ledger: crate::ledger::ExchangeByteLedger,
+    /// Per-task byte partials for the pooled ledger flush.
+    ledger_partials: Vec<u64>,
 }
 
 impl MacroSim {
@@ -382,7 +406,15 @@ impl MacroSim {
             patch_scratch: PatchScratch::default(),
             trace: None,
             exec,
+            ledger: crate::ledger::ExchangeByteLedger::default(),
+            ledger_partials: Vec::new(),
         }
+    }
+
+    /// The observed exchange-byte ledger (meaningful after a run with
+    /// `observe_exchange_bytes`; tests and benches inspect it).
+    pub fn exchange_ledger(&self) -> &crate::ledger::ExchangeByteLedger {
+        &self.ledger
     }
 
     /// Attach (or detach, with `None`) a trace handle; the placement engine
@@ -441,6 +473,7 @@ impl MacroSim {
         let initial_blocks = workload.mesh().num_blocks();
         let mut cost_model = TelemetryCostModel::new(initial_blocks, cfg.cost_alpha, 1.0e6);
         let spec = workload.mesh().config().spec;
+        let dim = workload.mesh().config().dim;
         let block_bytes = spec.cells(workload.mesh().config().dim)
             * spec.num_vars as u64
             * spec.bytes_per_value as u64;
@@ -487,6 +520,15 @@ impl MacroSim {
         } else {
             None
         };
+        // Arm the exchange-byte ledger against the resident flat graph
+        // (validate() already rejected the sharded combination).
+        let observe = cfg.observe_exchange_bytes;
+        if observe {
+            let g = flat_graph
+                .as_ref()
+                .expect("validate() pinned observe_exchange_bytes to the flat path");
+            self.ledger.begin_run(g);
+        }
         let mut halo_exchange_ns = 0.0f64;
         let mut epoch = CommEpoch::default();
         {
@@ -554,6 +596,19 @@ impl MacroSim {
             if ws.mesh_changed {
                 mesh_change_steps += 1;
                 if let Some(g) = flat_graph.as_mut() {
+                    // The remesh invalidates the ledger's relation space:
+                    // flush pending observations against the dying graph and
+                    // stage its layout before the patch rewrites it...
+                    if observe {
+                        match &self.exec {
+                            Some(comm) => {
+                                self.ledger
+                                    .flush_on(comm, g, spec, dim, &mut self.ledger_partials)
+                            }
+                            None => self.ledger.flush(g, spec, dim),
+                        }
+                        self.ledger.prepare_remesh(g, spec, dim);
+                    }
                     // Incremental repair: only CSR rows touching changed
                     // octants are rebuilt (falls back to a full build when
                     // the workload's last delta doesn't describe this
@@ -561,6 +616,11 @@ impl MacroSim {
                     workload
                         .mesh()
                         .patch_neighbor_graph(g, &mut self.patch_scratch);
+                    // ...then carry bytes for relations whose endpoints both
+                    // survived (`CostOrigin::Same`); the rest start at zero.
+                    if observe {
+                        self.ledger.apply_remesh(ws.origins.as_deref(), g);
+                    }
                 }
                 if let Some(sm) = sharded_mesh.as_mut() {
                     // Per-shard splice of the same delta; a stale delta
@@ -642,15 +702,34 @@ impl MacroSim {
                     uniform.resize(n, 1.0);
                     &uniform
                 };
+                // Observed weights: materialize everything noted so far and
+                // hand the per-relation bytes to the policy alongside the
+                // cached graph. Weight-blind policies ignore both, so this
+                // leaves their virtual time bit-identical (pinned by test).
+                let edge_weights = if observe {
+                    let g = flat_graph.as_ref().expect("flat path");
+                    match &self.exec {
+                        Some(comm) => {
+                            self.ledger
+                                .flush_on(comm, g, spec, dim, &mut self.ledger_partials)
+                        }
+                        None => self.ledger.flush(g, spec, dim),
+                    }
+                    self.ledger.has_observations().then(|| self.ledger.bytes())
+                } else {
+                    None
+                };
                 let t0 = Instant::now();
                 let report = self
                     .engine
-                    .rebalance_with(
+                    .rebalance_weighted(
                         policy,
                         costs,
                         r,
                         Some(workload.mesh()),
                         ws.origins.as_deref(),
+                        flat_graph.as_ref(),
+                        edge_weights,
                     )
                     .unwrap_or_else(|e| panic!("{e}"));
                 let wall = t0.elapsed().as_nanos() as u64;
@@ -917,6 +996,11 @@ impl MacroSim {
             messages.intra += epoch.intra_msgs * xm;
             messages.local += epoch.local_msgs * xm;
             messages.remote += epoch.remote_msgs * xm;
+            if observe {
+                // O(1): the per-relation charge materializes lazily at the
+                // next flush point (rebalance or remesh).
+                self.ledger.note_step(cfg.exchanges_per_step);
+            }
 
             // --- Online fault response (detect → reweight / prune) --------
             if let Some(det) = detector.as_mut() {
@@ -973,6 +1057,16 @@ impl MacroSim {
         }
         if let Some(t) = &trace {
             t.metrics.incr(TraceCounter::NodesPruned, nodes_pruned);
+            if observe {
+                t.metrics
+                    .incr(TraceCounter::LedgerFlushes, self.ledger.flushes());
+                t.metrics
+                    .incr(TraceCounter::LedgerRemaps, self.ledger.remaps());
+                t.metrics.incr(
+                    TraceCounter::LedgerObservedBytes,
+                    self.ledger.observed_total(),
+                );
+            }
         }
 
         RunReport {

@@ -98,7 +98,13 @@ fn steady_state_parallel_dispatch_is_allocation_free() {
     for round in 0..5 {
         let before = alloc_count();
         for step in 0..8 {
-            parallel_epoch(&comm, &trace, &mut buf, &mut partials, 64 + round * 8 + step);
+            parallel_epoch(
+                &comm,
+                &trace,
+                &mut buf,
+                &mut partials,
+                64 + round * 8 + step,
+            );
         }
         let delta = alloc_count() - before;
         min_delta = min_delta.min(delta);

@@ -395,10 +395,18 @@ pub enum Counter {
     CapacityUpdates,
     /// Nodes blacklisted and re-hosted on spares.
     NodesPruned,
+    /// Exchange-byte ledger materializations (pending rounds → per-relation
+    /// bytes) ahead of a rebalance or remesh.
+    LedgerFlushes,
+    /// Ledger relation-space remaps that carried observations across a
+    /// remesh (origin-tracked survivors only).
+    LedgerRemaps,
+    /// Observed exchange bytes currently represented in the ledger.
+    LedgerObservedBytes,
 }
 
 impl Counter {
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 16;
 
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::Steps,
@@ -414,6 +422,9 @@ impl Counter {
         Counter::Collectives,
         Counter::CapacityUpdates,
         Counter::NodesPruned,
+        Counter::LedgerFlushes,
+        Counter::LedgerRemaps,
+        Counter::LedgerObservedBytes,
     ];
 
     pub fn name(self) -> &'static str {
@@ -431,6 +442,9 @@ impl Counter {
             Counter::Collectives => "collectives",
             Counter::CapacityUpdates => "capacity_updates",
             Counter::NodesPruned => "nodes_pruned",
+            Counter::LedgerFlushes => "ledger_flushes",
+            Counter::LedgerRemaps => "ledger_remaps",
+            Counter::LedgerObservedBytes => "ledger_observed_bytes",
         }
     }
 }

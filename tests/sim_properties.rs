@@ -436,3 +436,83 @@ proptest! {
         }
     }
 }
+
+// --- Observed exchange-byte ledger ------------------------------------------
+
+/// Sedov run with the exchange-byte ledger dialed in: `observe` arms the
+/// ledger, `policy_ml` picks the multilevel partitioner (which consumes the
+/// observed weights) vs LPT (which ignores them), `threads` sizes the
+/// simulator pool. A periodic trigger guarantees repartitions that consume
+/// mid-run observations even on steps where the mesh holds still.
+fn ledger_run(
+    ranks: usize,
+    steps: u64,
+    seed: u64,
+    threads: usize,
+    observe: bool,
+    policy_ml: bool,
+) -> RunReport {
+    use amr_tools::mesh::{Dim, MeshConfig};
+    use amr_tools::placement::policies::{Lpt, Multilevel};
+    use amr_tools::placement::trigger::RebalanceTrigger;
+    use amr_tools::workloads::{SedovConfig, SedovWorkload};
+    let mesh = MeshConfig::from_cells(Dim::D3, (48, 48, 48), 1);
+    let mut workload = SedovWorkload::new(SedovConfig::new(mesh, steps));
+    let mut cfg = SimConfig::tuned(ranks);
+    cfg.seed = seed;
+    cfg.telemetry_sampling = 4;
+    cfg.observe_exchange_bytes = observe;
+    cfg.threads = threads;
+    let mut sim = MacroSim::new(cfg);
+    if policy_ml {
+        let ml = Multilevel::default();
+        sim.run(&mut workload, &ml, RebalanceTrigger::Periodic(3))
+    } else {
+        sim.run(&mut workload, &Lpt, RebalanceTrigger::Periodic(3))
+    }
+}
+
+proptest! {
+    /// The ledger only *reads* simulation state: arming it under a policy
+    /// that ignores edge weights leaves the entire virtual timeline — phase
+    /// breakdown, total, message counts — bitwise identical.
+    #[test]
+    fn ledger_is_invisible_to_weight_blind_policies(
+        seed in 0u64..300,
+        steps in 8u64..14,
+    ) {
+        let off = ledger_run(16, steps, seed, 1, false, false);
+        let on = ledger_run(16, steps, seed, 1, true, false);
+        // Compare the deterministic virtual phases (total_ns folds in the
+        // *host* wall-clock of placement computation, which no two runs
+        // share — same exclusion as the sharded bit-identity test above).
+        prop_assert_eq!(off.phases.compute_ns.to_bits(), on.phases.compute_ns.to_bits());
+        prop_assert_eq!(off.phases.comm_ns.to_bits(), on.phases.comm_ns.to_bits());
+        prop_assert_eq!(off.phases.sync_ns.to_bits(), on.phases.sync_ns.to_bits());
+        prop_assert_eq!(&off.messages, &on.messages);
+        prop_assert_eq!(off.blocks_migrated, on.blocks_migrated);
+        prop_assert_eq!(off.lb_invocations, on.lb_invocations);
+    }
+
+    /// Ledger-fed runs are deterministic at any worker-thread count: the
+    /// pooled flush writes disjoint entry ranges and merges integer partials
+    /// in task order, and the multilevel policy consuming the weights is
+    /// itself thread-invariant — so the whole feedback loop is too.
+    #[test]
+    fn ledger_feedback_loop_is_thread_invariant(
+        seed in 0u64..300,
+        steps in 8u64..14,
+    ) {
+        let serial = ledger_run(16, steps, seed, 1, true, true);
+        for threads in [2usize, 4] {
+            let rep = ledger_run(16, steps, seed, threads, true, true);
+            prop_assert_eq!(serial.phases.compute_ns.to_bits(), rep.phases.compute_ns.to_bits(),
+                "threads = {}", threads);
+            prop_assert_eq!(serial.phases.comm_ns.to_bits(), rep.phases.comm_ns.to_bits());
+            prop_assert_eq!(serial.phases.sync_ns.to_bits(), rep.phases.sync_ns.to_bits());
+            prop_assert_eq!(&serial.messages, &rep.messages);
+            prop_assert_eq!(serial.blocks_migrated, rep.blocks_migrated);
+            prop_assert_eq!(serial.lb_invocations, rep.lb_invocations);
+        }
+    }
+}

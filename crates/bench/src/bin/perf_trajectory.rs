@@ -23,7 +23,11 @@
 //! `--shards N` (shard count of that arm, default 8), `--hier-ranks N`
 //! (rank count of the solo hierarchical trajectory, default 2^20 in full
 //! runs and 0 = skipped under `--smoke`), `--hier-steps N` (its simulated
-//! steps, default 4).
+//! steps, default 4), `--network` (run the credit/congestion fabric arm
+//! even under `--smoke`; full runs always include it), `--network-steps N`
+//! (its simulated steps, default 16), `--network-small-ranks N` /
+//! `--network-large-ranks N` (the two fabric regimes, defaults 64 and
+//! 1024).
 //!
 //! The run also enforces the no-op-adapt guard: an all-`Keep` adapt must
 //! take the identity fast path (identity delta, far cheaper than a full
@@ -34,7 +38,12 @@
 //! slowdown. The sharded arm guards the sharded data path: virtual phases
 //! must be bit-identical to the flat engine's at shard count 1 *and* at
 //! `--shards`, and streaming one shard's CSR at a time must peak at less
-//! than half the resident global graph's heap.
+//! than half the resident global graph's heap. The network arm guards the
+//! Fig. 7a locality inversion both ways: strict locality must win the
+//! virtual step total on the small deep-credit enclosure and must *lose* it
+//! on the large credit-starved fabric, with the sync-fraction rebalance
+//! trigger asserted active and the congested run asserted bit-identical
+//! across worker threads.
 
 use amr_bench::e2e::{
     assert_noop_adapt_fast, run_evolving, run_evolving_traced, run_faulty, run_pipeline,
@@ -42,13 +51,14 @@ use amr_bench::e2e::{
     EvolvingTimings, FaultyArm, FaultyTimings, ShardedRun, StaticPipelineWorkload,
 };
 use amr_bench::Args;
-use amr_core::engine::PlacementEngine;
+use amr_core::engine::{PlacementCtx, PlacementEngine, PlacementError, PlacementReport};
+use amr_core::placement::Placement;
 use amr_core::policies::{
-    weighted_edge_cut, Cplx, CutWeights, GreedyEdgeCut, Hierarchical, Multilevel,
+    weighted_edge_cut, Cplx, CutWeights, GreedyEdgeCut, Hierarchical, Multilevel, PlacementPolicy,
 };
 use amr_core::trigger::RebalanceTrigger;
 use amr_mesh::{build_shard, plan_shard_bounds, AmrMesh, ShardGraph};
-use amr_sim::{MacroSim, SimConfig, Workload, WorkloadStep};
+use amr_sim::{CollectiveSelect, MacroSim, SimConfig, Topology, Workload, WorkloadStep};
 use amr_telemetry::trace::{chrome_trace_json, collapsed_stacks};
 use amr_telemetry::TraceHandle;
 use amr_workloads::{large_refined_mesh, random_refined_mesh};
@@ -125,6 +135,10 @@ fn main() {
     let with_partition = args.flag("partition") || !smoke;
     let partition_steps = args.get_u64("partition-steps", 24);
     let partition_ranks = args.get_usize("partition-ranks", if smoke { 256 } else { 4096 });
+    let with_network = args.flag("network") || !smoke;
+    let network_steps = args.get_u64("network-steps", 16);
+    let network_small_ranks = args.get_usize("network-small-ranks", 64);
+    let network_large_ranks = args.get_usize("network-large-ranks", 1024);
     let shard_count = args.get_usize("shards", 8);
     let sharded_ranks = if smoke { 256 } else { 16384 };
     let hier_ranks = args.get_usize("hier-ranks", if smoke { 0 } else { 1 << 20 });
@@ -253,6 +267,8 @@ fn main() {
     });
 
     let partition = with_partition.then(|| run_partition_arm(partition_ranks, partition_steps));
+    let network = with_network
+        .then(|| run_network_arm(network_small_ranks, network_large_ranks, network_steps));
     let sharded = with_sharded.then(|| run_sharded_arm(sharded_ranks, steps, shard_count));
     let parallel =
         (threads > 1).then(|| run_parallel_arm(sharded_ranks, steps, threads, reps, smoke));
@@ -263,6 +279,7 @@ fn main() {
         evolving: &evolving,
         faulty: faulty.as_ref(),
         partition: partition.as_ref(),
+        network: network.as_ref(),
         sharded: sharded.as_ref(),
         parallel: parallel.as_ref(),
         hier: hier.as_ref(),
@@ -613,6 +630,242 @@ fn run_partition_arm(ranks: usize, steps: u64) -> PartitionArm {
         compute_cplx,
         compute_multilevel,
         observed_bytes,
+    }
+}
+
+/// Deliberate anti-locality placement for the `--network` arm: blocks are
+/// dealt to ranks round-robin in a deterministically shuffled order, so
+/// SFC-neighbor blocks land on effectively random rank (and therefore
+/// node) pairs. Nearly every boundary message rides the fabric — but the
+/// bytes spread across ~nodes² directed links instead of concentrating on
+/// the few SFC-adjacent node pairs a contiguous placement produces. That
+/// is exactly the Fig. 7a trade: more remote bytes in total, far fewer
+/// bytes per link.
+struct Scatter;
+
+impl PlacementPolicy for Scatter {
+    fn name(&self) -> String {
+        "scatter".into()
+    }
+
+    fn place_into(
+        &self,
+        ctx: &PlacementCtx,
+        out: &mut Placement,
+    ) -> Result<PlacementReport, PlacementError> {
+        ctx.validate()?;
+        let n = ctx.costs().len();
+        let r = ctx.num_ranks();
+        // Fixed-seed Fisher–Yates over an inline xorshift: the same blocks
+        // always shuffle the same way, so the policy stays a pure function
+        // of its context like every other placement.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for k in (1..n).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            order.swap(k, (state % (k as u64 + 1)) as usize);
+        }
+        let mut ranks = vec![0u32; n];
+        for (k, &b) in order.iter().enumerate() {
+            ranks[b as usize] = (k % r) as u32;
+        }
+        // A fresh allocation per call (no access to the crate-private
+        // storage-reuse path) — irrelevant for a bench-local policy.
+        *out = Placement::new(ranks, r);
+        Ok(ctx.finish(out))
+    }
+}
+
+/// One fabric regime of the `--network` arm: the same mesh macro-simulated
+/// under strict locality (CPL0) and under [`Scatter`], on one credit depth.
+struct NetworkRegime {
+    ranks: usize,
+    blocks: usize,
+    nodes: usize,
+    credit_bytes: u64,
+    local: PolicyPhases,
+    spread: PolicyPhases,
+    local_lb_invocations: u64,
+    spread_lb_invocations: u64,
+}
+
+/// Results of the `--network` arm.
+struct NetworkArm {
+    steps: u64,
+    congestion_backoff: f64,
+    sync_trigger: f64,
+    small: NetworkRegime,
+    large: NetworkRegime,
+    /// Worker threads of the bitwise re-run of the congested locality pass.
+    bitwise_threads: usize,
+}
+
+/// The `--network` arm: reproduce the paper's Fig. 7a locality inversion on
+/// the credit/congestion fabric model, both directions CI-asserted on
+/// wall-free virtual phases.
+///
+/// Two regimes share one workload shape (static refined mesh, flat costs,
+/// 12 exchanges/step) and one adaptive control plane (sync-fraction
+/// rebalance trigger, adaptive collectives). The **small enclosure**
+/// (default 64 ranks / 4 nodes) has deep per-port credits — the congestion
+/// model is armed but never binds, so strict locality's shorter message
+/// list must win the virtual step total. The **large fabric** (default 1024
+/// ranks / 64 nodes) starves the per-link credit window: a contiguous
+/// placement concentrates every node's boundary on a couple of SFC-adjacent
+/// links whose outstanding bytes blow the window each round, while the
+/// scattered placement's per-link bytes stay under it, so spread must win —
+/// locality *loses* exactly where the paper's Fig. 7a says it does.
+///
+/// The congested locality pass must also drive the sync-fraction trigger
+/// (congestion stalls hit boundary-heavy nodes asymmetrically, inflating
+/// the measured sync share) — asserted via a second rebalance beyond the
+/// step-0 bootstrap — and re-running it on 2 worker threads must reproduce
+/// every virtual phase bit for bit.
+fn run_network_arm(small_ranks: usize, large_ranks: usize, steps: u64) -> NetworkArm {
+    const RANKS_PER_NODE: usize = 16; // Topology::paper's node width
+    /// Deep credits: ~3x the whole mesh's per-round traffic, never binding.
+    const SMALL_CREDIT: u64 = 64 << 20;
+    /// Starved credits: between the scattered placement's worst per-link
+    /// bytes and the contiguous placement's (tuned against the defaults of
+    /// `random_refined_mesh(1024, 1.6)`; the asserts below re-verify the
+    /// ordering on every run).
+    const LARGE_CREDIT: u64 = 160 << 10;
+    const BACKOFF: f64 = 2.0;
+    const SYNC_TRIGGER: f64 = 0.05;
+
+    let sim_pass = |mesh: &AmrMesh, ranks: usize, credit: u64, spread: bool, threads: usize| {
+        let blocks = mesh.num_blocks();
+        let mut cfg = SimConfig::tuned(ranks);
+        cfg.topology = Topology::new(ranks, RANKS_PER_NODE);
+        cfg.telemetry_sampling = 1_000_000;
+        cfg.exchanges_per_step = 12;
+        cfg.network.fabric_credit_bytes = credit;
+        cfg.network.congestion_backoff = BACKOFF;
+        cfg.collectives = CollectiveSelect::Adaptive;
+        cfg.collective_payload_bytes = 1 << 18;
+        cfg.threads = threads;
+        let mut w = PartitionWorkload {
+            mesh: mesh.clone(),
+            costs: vec![40_000.0; blocks],
+            steps,
+        };
+        let mut sim = MacroSim::new(cfg);
+        let trigger = RebalanceTrigger::SyncFractionAbove(SYNC_TRIGGER);
+        let rep = if spread {
+            sim.run(&mut w, &Scatter, trigger)
+        } else {
+            sim.run(&mut w, &Cplx::new(0), trigger)
+        };
+        (
+            PolicyPhases {
+                compute_ns: rep.phases.compute_ns,
+                comm_ns: rep.phases.comm_ns,
+                sync_ns: rep.phases.sync_ns,
+                remote_messages: rep.messages.remote,
+                blocks_migrated: rep.blocks_migrated,
+            },
+            rep.lb_invocations,
+        )
+    };
+
+    let run_regime = |ranks: usize, credit: u64| -> NetworkRegime {
+        let mesh = random_refined_mesh(ranks, 1.6, 1);
+        let blocks = mesh.num_blocks();
+        let (local, local_lb) = sim_pass(&mesh, ranks, credit, false, 1);
+        let (spread, spread_lb) = sim_pass(&mesh, ranks, credit, true, 1);
+        eprintln!(
+            "network {:>5} ({:>2} nodes, credits {:>6} KiB): local virt {:>9.3} ms (comm {:.3} / sync {:.3}) vs spread virt {:>9.3} ms (comm {:.3} / sync {:.3}), remote msgs {} vs {}",
+            ranks,
+            ranks.div_ceil(RANKS_PER_NODE),
+            credit >> 10,
+            local.virt() / 1e6,
+            local.comm_ns / 1e6,
+            local.sync_ns / 1e6,
+            spread.virt() / 1e6,
+            spread.comm_ns / 1e6,
+            spread.sync_ns / 1e6,
+            local.remote_messages,
+            spread.remote_messages,
+        );
+        NetworkRegime {
+            ranks,
+            blocks,
+            nodes: ranks.div_ceil(RANKS_PER_NODE),
+            credit_bytes: credit,
+            local,
+            spread,
+            local_lb_invocations: local_lb,
+            spread_lb_invocations: spread_lb,
+        }
+    };
+
+    let small = run_regime(small_ranks, SMALL_CREDIT);
+    assert!(
+        small.local.virt() < small.spread.virt(),
+        "on the deep-credit enclosure strict locality must win the virtual \
+         step total ({} !< {})",
+        small.local.virt(),
+        small.spread.virt()
+    );
+
+    let large = run_regime(large_ranks, LARGE_CREDIT);
+    assert!(
+        large.spread.virt() < large.local.virt(),
+        "on the credit-starved fabric the scattered placement must win the \
+         virtual step total — the Fig. 7a inversion ({} !< {})",
+        large.spread.virt(),
+        large.local.virt()
+    );
+    assert!(
+        large.local_lb_invocations > 1,
+        "congestion stalls must push the measured sync share over the \
+         {SYNC_TRIGGER} trigger at least once beyond the step-0 bootstrap \
+         (lb_invocations = {})",
+        large.local_lb_invocations
+    );
+
+    // The congested locality pass again, on a 2-thread worker pool: the
+    // credit stalls, the trigger decisions and the adaptive collective
+    // choice are all pure functions of virtual time, so every phase must
+    // reproduce bit for bit.
+    let bitwise_threads = 2;
+    let mesh = random_refined_mesh(large_ranks, 1.6, 1);
+    let (serial, serial_lb) = sim_pass(&mesh, large_ranks, LARGE_CREDIT, false, 1);
+    let (pooled, pooled_lb) = sim_pass(&mesh, large_ranks, LARGE_CREDIT, false, bitwise_threads);
+    let bits = |p: &PolicyPhases| {
+        (
+            p.compute_ns.to_bits(),
+            p.comm_ns.to_bits(),
+            p.sync_ns.to_bits(),
+            p.remote_messages,
+        )
+    };
+    assert_eq!(
+        bits(&serial),
+        bits(&pooled),
+        "congested virtual phases at {bitwise_threads} threads must be \
+         bit-identical to serial"
+    );
+    assert_eq!(
+        serial_lb, pooled_lb,
+        "the sync-fraction trigger fired a different number of times across \
+         thread counts"
+    );
+    eprintln!(
+        "network {:>5}: inversion holds both ways, trigger fired (lb {}), \
+         virtual phases bit-identical at {} threads",
+        large_ranks, large.local_lb_invocations, bitwise_threads,
+    );
+
+    NetworkArm {
+        steps,
+        congestion_backoff: BACKOFF,
+        sync_trigger: SYNC_TRIGGER,
+        small,
+        large,
+        bitwise_threads,
     }
 }
 
@@ -1025,6 +1278,7 @@ struct Report<'a> {
     evolving: &'a [(EvolvingTimings, EvolvingTimings)],
     faulty: Option<&'a FaultyTimings>,
     partition: Option<&'a PartitionArm>,
+    network: Option<&'a NetworkArm>,
     sharded: Option<&'a ShardedArm>,
     parallel: Option<&'a ParallelArm>,
     hier: Option<&'a HierArm>,
@@ -1041,6 +1295,7 @@ fn render_json(report: &Report<'_>) -> String {
         evolving,
         faulty,
         partition,
+        network,
         sharded,
         parallel,
         hier,
@@ -1194,6 +1449,50 @@ fn render_json(report: &Report<'_>) -> String {
             phases(&p.compute_multilevel),
             p.compute_multilevel.virt() / p.compute_cplx.virt().max(1.0)
         );
+        s.push_str("  }");
+    }
+    if let Some(n) = network {
+        s.push_str(",\n");
+        let _ = writeln!(
+            s,
+            "  \"network_pipeline\": \"static refined mesh, flat costs, {} steps x 12 exchanges; CPL0 (strict locality) vs shuffled round-robin scatter under the credit/congestion fabric, sync-fraction trigger ({}) + adaptive collectives; deep credits: locality must win the virtual step total, starved credits: scatter must win (Fig. 7a inversion), congested pass asserted bit-identical at {} threads\",",
+            n.steps, n.sync_trigger, n.bitwise_threads
+        );
+        let phases = |ph: &PolicyPhases| {
+            format!(
+                "{{\"compute_ns\": {:.0}, \"comm_ns\": {:.0}, \"sync_ns\": {:.0}, \"virt_ns\": {:.0}, \"remote_messages\": {}, \"blocks_migrated\": {}}}",
+                ph.compute_ns,
+                ph.comm_ns,
+                ph.sync_ns,
+                ph.virt(),
+                ph.remote_messages,
+                ph.blocks_migrated
+            )
+        };
+        let regime = |s: &mut String, key: &str, r: &NetworkRegime, trail: &str| {
+            let _ = writeln!(
+                s,
+                "    \"{key}\": {{\"ranks\": {}, \"blocks\": {}, \"nodes\": {}, \"credit_bytes\": {},",
+                r.ranks, r.blocks, r.nodes, r.credit_bytes
+            );
+            let _ = writeln!(s, "      \"local\": {},", phases(&r.local));
+            let _ = writeln!(s, "      \"spread\": {},", phases(&r.spread));
+            let _ = writeln!(
+                s,
+                "      \"local_lb_invocations\": {}, \"spread_lb_invocations\": {}, \"local_over_spread_virt\": {:.4}}}{trail}",
+                r.local_lb_invocations,
+                r.spread_lb_invocations,
+                r.local.virt() / r.spread.virt().max(1.0)
+            );
+        };
+        s.push_str("  \"network\": {\n");
+        let _ = writeln!(
+            s,
+            "    \"steps\": {}, \"congestion_backoff\": {}, \"sync_trigger\": {}, \"virtual_phases_bitwise_threads\": {},",
+            n.steps, n.congestion_backoff, n.sync_trigger, n.bitwise_threads
+        );
+        regime(&mut s, "small", &n.small, ",");
+        regime(&mut s, "large", &n.large, "");
         s.push_str("  }");
     }
     if let Some(sh) = sharded {

@@ -19,6 +19,13 @@ pub struct TriggerContext {
     /// Current imbalance factor (makespan / mean load) under the current
     /// placement and newest cost estimates.
     pub imbalance: f64,
+    /// Live synchronization share of the previous step —
+    /// `sync / (compute + comm + sync)` read back from the telemetry
+    /// sync-fraction gauge (0.0 before the first step). Unlike `imbalance`,
+    /// which is a scalar *estimate* from the cost model, this is the
+    /// simulator's measured signal: it already folds in communication waits,
+    /// fault multipliers, and congestion stalls.
+    pub sync_fraction: f64,
 }
 
 /// When to invoke redistribution.
@@ -30,6 +37,11 @@ pub enum RebalanceTrigger {
     Periodic(u64),
     /// When the mesh changes *or* measured imbalance exceeds the factor.
     MeshChangeOrImbalance(f64),
+    /// When the mesh changes *or* the previous step's measured sync share
+    /// exceeds the threshold — the trace-driven trigger: it reacts to what
+    /// the run actually lost to synchronization (including congestion and
+    /// fault stalls the imbalance estimate can't see).
+    SyncFractionAbove(f64),
     /// Never rebalance (static placement ablation).
     Never,
 }
@@ -42,6 +54,9 @@ impl RebalanceTrigger {
             RebalanceTrigger::Periodic(n) => n > 0 && ctx.step.is_multiple_of(n),
             RebalanceTrigger::MeshChangeOrImbalance(threshold) => {
                 ctx.mesh_changed || ctx.imbalance > threshold
+            }
+            RebalanceTrigger::SyncFractionAbove(threshold) => {
+                ctx.mesh_changed || ctx.sync_fraction > threshold
             }
             RebalanceTrigger::Never => false,
         }
@@ -57,6 +72,7 @@ mod tests {
             step,
             mesh_changed,
             imbalance,
+            sync_fraction: 0.0,
         }
     }
 
@@ -89,5 +105,28 @@ mod tests {
     fn never_is_never() {
         let t = RebalanceTrigger::Never;
         assert!(!t.should_rebalance(&ctx(0, true, 99.0)));
+    }
+
+    #[test]
+    fn sync_fraction_threshold_reads_the_measured_signal() {
+        let t = RebalanceTrigger::SyncFractionAbove(0.25);
+        let hot = TriggerContext {
+            sync_fraction: 0.4,
+            ..ctx(3, false, 1.0)
+        };
+        let cool = TriggerContext {
+            sync_fraction: 0.1,
+            ..ctx(3, false, 9.0) // huge *estimated* imbalance is ignored
+        };
+        assert!(t.should_rebalance(&hot));
+        assert!(!t.should_rebalance(&cool));
+        // Mesh changes always fire, as for the other hybrid trigger.
+        assert!(t.should_rebalance(&ctx(3, true, 1.0)));
+        // Boundary is exclusive.
+        let edge = TriggerContext {
+            sync_fraction: 0.25,
+            ..ctx(3, false, 1.0)
+        };
+        assert!(!t.should_rebalance(&edge));
     }
 }

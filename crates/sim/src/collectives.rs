@@ -11,6 +11,142 @@
 //! 35–50%-of-runtime synchronization phase of Fig. 6a; mis-attributing the
 //! tree term as wait would over-count sync by `r × depth × hop_ns` per
 //! collective and skew every policy comparison built on it.
+//!
+//! Three allreduce algorithms share that straggler-only wait model and
+//! differ only in the post-arrival term ([`CollectiveAlgo`]): the binomial
+//! tree (latency-light, moves the full payload at every level), and the
+//! bandwidth-optimal recursive-doubling and ring variants (Thakur/Gropp
+//! costs: `2·(r−1)/r` of the payload total, more hops). Which one wins
+//! depends on payload size, scale, and hop latency — the diversity the
+//! adaptive control plane selects over.
+
+use serde::{Deserialize, Serialize};
+
+/// Allreduce algorithm: how ranks combine and redistribute the reduction
+/// payload once everyone has arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CollectiveAlgo {
+    /// Reduce-and-broadcast over a binomial tree: `⌈log₂ r⌉` levels, each
+    /// moving the full payload. Latency-optimal for small vectors — the
+    /// production default for timestep control.
+    BinomialTree,
+    /// Recursive halving/doubling (reduce-scatter + allgather): `2·⌈log₂ r⌉`
+    /// hops but only `2·(r−1)/r` of the payload crosses any rank's link.
+    RecursiveDoubling,
+    /// Ring allreduce: `2·(r−1)` hops with the same bandwidth-optimal
+    /// payload volume — hop-latency-heavy at scale, best for huge payloads.
+    Ring,
+}
+
+impl CollectiveAlgo {
+    /// Every algorithm, for sweeps and the adaptive argmin.
+    pub const ALL: [CollectiveAlgo; 3] = [
+        CollectiveAlgo::BinomialTree,
+        CollectiveAlgo::RecursiveDoubling,
+        CollectiveAlgo::Ring,
+    ];
+
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CollectiveAlgo::BinomialTree => "binomial_tree",
+            CollectiveAlgo::RecursiveDoubling => "recursive_doubling",
+            CollectiveAlgo::Ring => "ring",
+        }
+    }
+
+    /// The post-arrival cost: virtual time from the last rank's arrival to
+    /// completion. All arithmetic saturates (degenerate bandwidth pins the
+    /// payload term at `u64::MAX`, see [`payload_ns`]). For
+    /// [`CollectiveAlgo::BinomialTree`] this is exactly the pre-existing
+    /// `depth × (hop + payload)` term, keeping every committed baseline
+    /// bit-identical.
+    pub fn post_arrival_ns(
+        self,
+        num_ranks: usize,
+        hop_ns: u64,
+        payload_bytes: u64,
+        bytes_per_ns: f64,
+    ) -> u64 {
+        if num_ranks <= 1 {
+            return 0;
+        }
+        let depth = tree_depth(num_ranks) as u64;
+        let r = num_ranks as u64;
+        // Bandwidth-optimal volume per rank: 2·bytes·(r−1)/r.
+        let opt_bytes = (2u128 * payload_bytes as u128 * (r as u128 - 1) / r as u128)
+            .min(u64::MAX as u128) as u64;
+        match self {
+            CollectiveAlgo::BinomialTree => {
+                depth.saturating_mul(hop_ns.saturating_add(payload_ns(payload_bytes, bytes_per_ns)))
+            }
+            CollectiveAlgo::RecursiveDoubling => {
+                // Non-power-of-two participant counts pay the standard
+                // preparation exchange (fold the excess ranks into the
+                // nearest power of two and unfold after): two extra hops and
+                // one extra full-payload move — the opening ring allreduce
+                // exploits at scale.
+                let prep = if num_ranks.is_power_of_two() {
+                    0
+                } else {
+                    hop_ns
+                        .saturating_mul(2)
+                        .saturating_add(payload_ns(payload_bytes, bytes_per_ns))
+                };
+                depth
+                    .saturating_mul(2)
+                    .saturating_mul(hop_ns)
+                    .saturating_add(payload_ns(opt_bytes, bytes_per_ns))
+                    .saturating_add(prep)
+            }
+            CollectiveAlgo::Ring => (r - 1)
+                .saturating_mul(2)
+                .saturating_mul(hop_ns)
+                .saturating_add(payload_ns(opt_bytes, bytes_per_ns)),
+        }
+    }
+}
+
+/// Cheapest algorithm for the given shape: argmin of the post-arrival term,
+/// ties broken in [`CollectiveAlgo::ALL`] order (the binomial production
+/// default wins exact ties). Deterministic — a pure function of its inputs —
+/// so the adaptive selector stays bitwise thread-invariant.
+pub fn cheapest_algo(
+    num_ranks: usize,
+    hop_ns: u64,
+    payload_bytes: u64,
+    bytes_per_ns: f64,
+) -> CollectiveAlgo {
+    let mut best = CollectiveAlgo::BinomialTree;
+    let mut best_ns = u64::MAX;
+    for algo in CollectiveAlgo::ALL {
+        let ns = algo.post_arrival_ns(num_ranks, hop_ns, payload_bytes, bytes_per_ns);
+        if ns < best_ns {
+            best = algo;
+            best_ns = ns;
+        }
+    }
+    best
+}
+
+/// How the per-step collective is chosen ([`crate::macrosim::SimConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CollectiveSelect {
+    /// A fixed algorithm. `Fixed(BinomialTree)` (the default) is the
+    /// pre-existing behavior, bit for bit.
+    Fixed(CollectiveAlgo),
+    /// Re-pick each step from live telemetry: stay on the binomial default
+    /// until the sync-fraction gauge shows real pressure, then switch to the
+    /// cheapest post-arrival term for the current shape (see
+    /// `MacroSim::run`).
+    Adaptive,
+}
+
+impl Default for CollectiveSelect {
+    fn default() -> CollectiveSelect {
+        CollectiveSelect::Fixed(CollectiveAlgo::BinomialTree)
+    }
+}
 
 /// Result of a collective operation.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,18 +202,29 @@ pub fn barrier(arrivals_ns: &[u64], hop_ns: u64) -> CollectiveResult {
 /// Arithmetic saturates so degenerate `hop_ns` values (e.g. a payload cost
 /// computed from near-zero bandwidth) cannot overflow in debug builds.
 pub fn barrier_into(arrivals_ns: &[u64], hop_ns: u64, wait_out: &mut Vec<u64>) -> u64 {
+    // A barrier is an allreduce with an empty payload (payload term 0).
+    allreduce_with_into(
+        CollectiveAlgo::BinomialTree,
+        arrivals_ns,
+        hop_ns,
+        0,
+        1.0,
+        wait_out,
+    )
+}
+
+/// The single completion core every collective shares: per-rank wait is the
+/// idle gap before the straggler arrives (`max(arrival) − own arrival`; the
+/// post-arrival term is active participation, charged to no one's wait), and
+/// completion is the straggler's arrival plus the algorithm's post term.
+fn finish_into(arrivals_ns: &[u64], post_ns: u64, wait_out: &mut Vec<u64>) -> u64 {
     wait_out.clear();
-    let r = arrivals_ns.len();
-    if r == 0 {
+    if arrivals_ns.is_empty() {
         return 0;
     }
     let last = arrivals_ns.iter().copied().max().unwrap();
-    let depth = tree_depth(r) as u64;
-    let completion = last.saturating_add(depth.saturating_mul(hop_ns));
-    // Wait is idle time before the straggler arrives; the `depth * hop_ns`
-    // tree term after it is active participation, charged to no one's wait.
     wait_out.extend(arrivals_ns.iter().map(|&a| last - a));
-    completion
+    last.saturating_add(post_ns)
 }
 
 /// Serialization time of a reduction payload, saturating on degenerate
@@ -100,16 +247,22 @@ fn payload_ns(payload_bytes: u64, bytes_per_ns: f64) -> u64 {
 
 /// Execute a blocking allreduce: a barrier plus a reduction payload moved at
 /// every level (small vectors in AMR codes — timestep control values).
+///
+/// Thin shim over [`allreduce_into`] — the wait-accounting and `payload_ns`
+/// saturation fixes live on the `_into` path only, and a regression test
+/// pins the equality.
 pub fn allreduce(
     arrivals_ns: &[u64],
     hop_ns: u64,
     payload_bytes: u64,
     bytes_per_ns: f64,
 ) -> CollectiveResult {
-    barrier(
-        arrivals_ns,
-        hop_ns.saturating_add(payload_ns(payload_bytes, bytes_per_ns)),
-    )
+    let mut wait = Vec::new();
+    let completion = allreduce_into(arrivals_ns, hop_ns, payload_bytes, bytes_per_ns, &mut wait);
+    CollectiveResult {
+        completion_ns: completion,
+        wait_ns: wait,
+    }
 }
 
 /// Allocation-free counterpart of [`allreduce`]; see [`barrier_into`].
@@ -120,11 +273,52 @@ pub fn allreduce_into(
     bytes_per_ns: f64,
     wait_out: &mut Vec<u64>,
 ) -> u64 {
-    barrier_into(
+    allreduce_with_into(
+        CollectiveAlgo::BinomialTree,
         arrivals_ns,
-        hop_ns.saturating_add(payload_ns(payload_bytes, bytes_per_ns)),
+        hop_ns,
+        payload_bytes,
+        bytes_per_ns,
         wait_out,
     )
+}
+
+/// Algorithm-selectable allreduce (see [`CollectiveAlgo`]); all variants use
+/// the same straggler-only wait model and differ only in the post-arrival
+/// term.
+pub fn allreduce_with(
+    algo: CollectiveAlgo,
+    arrivals_ns: &[u64],
+    hop_ns: u64,
+    payload_bytes: u64,
+    bytes_per_ns: f64,
+) -> CollectiveResult {
+    let mut wait = Vec::new();
+    let completion = allreduce_with_into(
+        algo,
+        arrivals_ns,
+        hop_ns,
+        payload_bytes,
+        bytes_per_ns,
+        &mut wait,
+    );
+    CollectiveResult {
+        completion_ns: completion,
+        wait_ns: wait,
+    }
+}
+
+/// Allocation-free counterpart of [`allreduce_with`]; see [`barrier_into`].
+pub fn allreduce_with_into(
+    algo: CollectiveAlgo,
+    arrivals_ns: &[u64],
+    hop_ns: u64,
+    payload_bytes: u64,
+    bytes_per_ns: f64,
+    wait_out: &mut Vec<u64>,
+) -> u64 {
+    let post = algo.post_arrival_ns(arrivals_ns.len(), hop_ns, payload_bytes, bytes_per_ns);
+    finish_into(arrivals_ns, post, wait_out)
 }
 
 #[cfg(test)]
@@ -255,5 +449,131 @@ mod tests {
         let reference = allreduce(&arrivals, 5, 64, 2.0);
         assert_eq!(c, reference.completion_ns);
         assert_eq!(wait, reference.wait_ns);
+        for algo in CollectiveAlgo::ALL {
+            let c = allreduce_with_into(algo, &arrivals, 5, 64, 2.0, &mut wait);
+            let reference = allreduce_with(algo, &arrivals, 5, 64, 2.0);
+            assert_eq!(c, reference.completion_ns);
+            assert_eq!(wait, reference.wait_ns);
+        }
+    }
+
+    /// The legacy wrappers are shims over the `_into` path: identical on the
+    /// saturation edge cases that used to live only on the `_into` side.
+    #[test]
+    fn legacy_wrappers_share_the_saturating_path() {
+        let arrivals = [10u64, 20];
+        for bw in [0.0, -1.0, f64::NAN, 1e-300] {
+            let r = allreduce(&arrivals, 5, u64::MAX, bw);
+            assert_eq!(r.completion_ns, u64::MAX);
+            assert_eq!(r.wait_ns, vec![10, 0]);
+        }
+        // Degenerate hop on the barrier wrapper saturates too.
+        let r = barrier(&[u64::MAX, 1], u64::MAX);
+        assert_eq!(r.completion_ns, u64::MAX);
+    }
+
+    /// `Fixed(BinomialTree)` — the default — reproduces the legacy formula
+    /// bit for bit; every committed baseline rests on this.
+    #[test]
+    fn binomial_variant_is_the_legacy_allreduce() {
+        let cases: [(&[u64], u64, u64, f64); 3] = [
+            (&[10, 20, 1000, 30], 2_500, 64, 5.0),
+            (&[7; 9], 400, 1 << 20, 10.0),
+            (&[0, u64::MAX / 2], 12_345, 0, 1.0),
+        ];
+        let mut wait_a = Vec::new();
+        let mut wait_b = Vec::new();
+        for (arrivals, hop, bytes, bw) in cases {
+            let a = allreduce_into(arrivals, hop, bytes, bw, &mut wait_a);
+            let b = allreduce_with_into(
+                CollectiveAlgo::BinomialTree,
+                arrivals,
+                hop,
+                bytes,
+                bw,
+                &mut wait_b,
+            );
+            assert_eq!(a, b);
+            assert_eq!(wait_a, wait_b);
+        }
+        assert_eq!(
+            CollectiveSelect::default(),
+            CollectiveSelect::Fixed(CollectiveAlgo::BinomialTree)
+        );
+    }
+
+    /// All algorithms share the straggler-only wait model: identical waits,
+    /// only the post-arrival completion term differs.
+    #[test]
+    fn algorithms_share_straggler_waits() {
+        let arrivals = [10u64, 20, 1000, 30];
+        let reference = allreduce(&arrivals, 5, 1 << 20, 5.0);
+        for algo in CollectiveAlgo::ALL {
+            let r = allreduce_with(algo, &arrivals, 5, 1 << 20, 5.0);
+            assert_eq!(
+                r.wait_ns,
+                reference.wait_ns,
+                "{} waits diverge",
+                algo.name()
+            );
+            assert!(r.completion_ns >= 1000);
+        }
+    }
+
+    #[test]
+    fn bandwidth_optimal_variants_win_big_payloads() {
+        // 64 ranks (power of two), 8 MiB payload: recursive doubling moves
+        // 2·(r−1)/r of the vector once instead of log r full copies.
+        let (r, hop, bw) = (64usize, 2_500u64, 5.0);
+        let big = 8u64 << 20;
+        let bino = CollectiveAlgo::BinomialTree.post_arrival_ns(r, hop, big, bw);
+        let rd = CollectiveAlgo::RecursiveDoubling.post_arrival_ns(r, hop, big, bw);
+        assert!(rd < bino, "recursive doubling {rd} !< binomial {bino}");
+        // Tiny control payloads: the latency-light tree stays cheapest.
+        assert_eq!(cheapest_algo(r, hop, 64, bw), CollectiveAlgo::BinomialTree);
+        assert_eq!(
+            cheapest_algo(r, hop, big, bw),
+            CollectiveAlgo::RecursiveDoubling
+        );
+    }
+
+    #[test]
+    fn ring_wins_non_power_of_two_with_huge_payload() {
+        // 6 ranks: recursive doubling pays the fold/unfold preparation; the
+        // ring's 2·(r−1) hops stay cheap at this scale.
+        let (r, hop, bw) = (6usize, 2_500u64, 5.0);
+        let big = 1u64 << 20;
+        assert_eq!(cheapest_algo(r, hop, big, bw), CollectiveAlgo::Ring);
+        // Power-of-two at the same scale: no prep penalty, doubling wins.
+        assert_eq!(
+            cheapest_algo(8, hop, big, bw),
+            CollectiveAlgo::RecursiveDoubling
+        );
+    }
+
+    #[test]
+    fn cheapest_algo_is_argmin_and_tie_breaks_to_binomial() {
+        for (r, hop, bytes, bw) in [
+            (2usize, 1u64, 0u64, 1.0f64),
+            (64, 2_500, 64, 5.0),
+            (100, 2_500, 1 << 22, 5.0),
+            (4096, 400, 1 << 16, 10.0),
+        ] {
+            let best = cheapest_algo(r, hop, bytes, bw);
+            let best_ns = best.post_arrival_ns(r, hop, bytes, bw);
+            for algo in CollectiveAlgo::ALL {
+                assert!(best_ns <= algo.post_arrival_ns(r, hop, bytes, bw));
+            }
+        }
+        // Single rank: every algorithm is free; the tie goes to the default.
+        assert_eq!(cheapest_algo(1, 9, 9, 1.0), CollectiveAlgo::BinomialTree);
+    }
+
+    #[test]
+    fn post_arrival_saturates_for_all_algorithms() {
+        for algo in CollectiveAlgo::ALL {
+            assert_eq!(algo.post_arrival_ns(3, u64::MAX, u64::MAX, 0.0), u64::MAX);
+            assert_eq!(algo.post_arrival_ns(1, u64::MAX, u64::MAX, 0.0), 0);
+        }
     }
 }

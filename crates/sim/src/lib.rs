@@ -41,6 +41,7 @@ mod par;
 pub mod report;
 pub mod topology;
 
+pub use collectives::{cheapest_algo, CollectiveAlgo, CollectiveSelect};
 pub use exec::{PooledCommunicator, SerialCommunicator, SimCommunicator};
 pub use faults::{FaultConfig, FaultEpisode, FaultResponse, FaultTimeline};
 pub use health::{blacklist_and_rehost, run_health_check, run_health_check_at, HealthCheck};

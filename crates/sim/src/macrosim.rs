@@ -23,7 +23,7 @@
 //! ([`amr_core::cost::TelemetryCostModel`]) which in turn feeds the policy —
 //! the full telemetry-driven placement loop of the paper.
 
-use crate::collectives;
+use crate::collectives::{self, CollectiveAlgo, CollectiveSelect};
 use crate::exec::{PooledCommunicator, SimCommunicator};
 use crate::faults::{FaultResponse, FaultTimeline};
 use crate::health::blacklist_and_rehost;
@@ -38,7 +38,9 @@ use amr_core::trigger::{RebalanceTrigger, TriggerContext};
 use amr_core::Placement;
 use amr_mesh::{AmrMesh, BlockId, Neighbor, NeighborGraph, PatchScratch, ShardedMesh};
 use amr_telemetry::anomaly::{OnlineDetectorConfig, OnlineThrottleDetector};
-use amr_telemetry::trace::{Counter as TraceCounter, Gauge as TraceGauge, TraceHandle, TracePhase};
+use amr_telemetry::trace::{
+    Counter as TraceCounter, Gauge as TraceGauge, MetricsRegistry, TraceHandle, TracePhase,
+};
 use amr_telemetry::{Collector, EventTable, Phase};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -47,6 +49,12 @@ use std::time::Instant;
 /// Bytes per ghost-block metadata record in the inter-shard halo exchange:
 /// SFC key (8) + level/owner (8) + cost estimate (8) + bounds tag (8).
 const GHOST_META_BYTES: f64 = 32.0;
+
+/// Measured sync share above which [`CollectiveSelect::Adaptive`] abandons
+/// the binomial-tree default and re-selects the cheapest algorithm for the
+/// current scale and payload. Below it, synchronization isn't the problem
+/// and switching would only churn the collective schedule.
+const ADAPTIVE_SYNC_THRESHOLD: f64 = 0.15;
 
 /// What a workload reports after advancing one step.
 #[derive(Debug, Clone, Default)]
@@ -157,6 +165,16 @@ pub struct SimConfig {
     /// parallel code paths are genuinely exercised (timesharing if need be)
     /// even on small machines.
     pub threads: usize,
+    /// Which allreduce algorithm closes each step's synchronization: a fixed
+    /// [`CollectiveAlgo`] (the default pins the legacy binomial tree,
+    /// bit-identical to the pre-enum simulator) or
+    /// [`CollectiveSelect::Adaptive`], which watches the run's own
+    /// sync-fraction feedback gauge and switches to the cheapest algorithm
+    /// for the current scale/payload once synchronization dominates.
+    pub collectives: CollectiveSelect,
+    /// Payload of the per-step timestep-control allreduce (dt plus CFL
+    /// diagnostics), bytes. The historical hard-coded value was 64.
+    pub collective_payload_bytes: u64,
 }
 
 impl SimConfig {
@@ -181,6 +199,8 @@ impl SimConfig {
             observe_exchange_bytes: false,
             num_shards: 0,
             threads: 1,
+            collectives: CollectiveSelect::default(),
+            collective_payload_bytes: 64,
         }
     }
 
@@ -191,14 +211,9 @@ impl SimConfig {
     /// `nic_bandwidth_mult: 0.0` — would saturate every allreduce to
     /// `u64::MAX` and (pre-fix) overflow the completion sum in debug builds.
     pub fn validate(&self) -> Result<(), String> {
-        for (name, path) in [("fabric", &self.network.fabric), ("shm", &self.network.shm)] {
-            if !path.bytes_per_ns.is_finite() || path.bytes_per_ns <= 0.0 {
-                return Err(format!(
-                    "network.{name}.bytes_per_ns must be finite and > 0 (got {})",
-                    path.bytes_per_ns
-                ));
-            }
-        }
+        self.network
+            .validate()
+            .map_err(|e| format!("network.{e}"))?;
         self.faults.validate().map_err(|e| format!("faults: {e}"))?;
         if self.threads == 0 {
             return Err("threads must be >= 1 (1 = serial path)".to_string());
@@ -215,6 +230,12 @@ impl SimConfig {
                 "cost_alpha must be finite and in [0, 1] (got {})",
                 self.cost_alpha
             ));
+        }
+        if self.collective_payload_bytes == 0 {
+            return Err(
+                "collective_payload_bytes must be >= 1 (the dt allreduce always carries data)"
+                    .to_string(),
+            );
         }
         Ok(())
     }
@@ -329,6 +350,16 @@ pub(crate) struct CommEpoch {
     pub(crate) transfer_tail_ns: Vec<f64>,
     /// Blocks hosted per rank (for overlap availability).
     pub(crate) blocks_per_rank: Vec<u32>,
+    /// One round's remote boundary+flux bytes per directed node link, flat
+    /// `src_node * num_nodes + dst_node`. Sized only while the credit model
+    /// is enabled ([`NetworkConfig::congestion_enabled`]); empty otherwise.
+    pub(crate) link_bytes: Vec<u64>,
+    /// Per-rank worst-outgoing-link congestion stall (ns/round): the sender
+    /// blocks for credit returns, so it lands in the rank's ready time.
+    pub(crate) cong_send_ns: Vec<f64>,
+    /// Per-rank worst-incoming-link congestion stall (ns/round): retransmits
+    /// delay the receive service tail.
+    pub(crate) cong_recv_ns: Vec<f64>,
 }
 
 impl CommEpoch {
@@ -342,12 +373,15 @@ impl CommEpoch {
             &mut self.memcpy_ns,
             &mut self.flux_ns,
             &mut self.transfer_tail_ns,
+            &mut self.cong_send_ns,
+            &mut self.cong_recv_ns,
         ] {
             v.clear();
             v.resize(r, 0.0);
         }
         self.blocks_per_rank.clear();
         self.blocks_per_rank.resize(r, 0);
+        self.link_bytes.clear();
         self.senders.resize_with(r, Vec::new);
         self.senders.truncate(r);
         for s in &mut self.senders {
@@ -385,6 +419,13 @@ pub struct MacroSim {
     ledger: crate::ledger::ExchangeByteLedger,
     /// Per-task byte partials for the pooled ledger flush.
     ledger_partials: Vec<u64>,
+    /// The always-on feedback plane: the same metrics registry shape the
+    /// trace pipeline uses, but owned by the simulator and updated every
+    /// step whether or not tracing is attached. The rebalance trigger reads
+    /// its sync-fraction gauge, and [`CollectiveSelect::Adaptive`] reads the
+    /// gauge plus the per-phase histograms — control decisions consume the
+    /// run's *measured* signals, not the cost model's estimates.
+    feedback: MetricsRegistry,
 }
 
 impl MacroSim {
@@ -408,7 +449,14 @@ impl MacroSim {
             exec,
             ledger: crate::ledger::ExchangeByteLedger::default(),
             ledger_partials: Vec::new(),
+            feedback: MetricsRegistry::new(),
         }
+    }
+
+    /// The live feedback registry (sync-fraction gauge, per-phase
+    /// histograms). Meaningful after (or during) a run; reset at run start.
+    pub fn feedback(&self) -> &MetricsRegistry {
+        &self.feedback
     }
 
     /// The observed exchange-byte ledger (meaningful after a run with
@@ -438,6 +486,9 @@ impl MacroSim {
         let r = cfg.topology.num_ranks;
         let steps = workload.total_steps();
         let mut collector = Collector::with_sampling(cfg.telemetry_sampling);
+        // Each run starts with a clean feedback plane; the registry is owned
+        // by the simulator so its histogram buffers stay warm across runs.
+        self.feedback.reset();
 
         // The closed fault loop: the collector's per-step compute series
         // feeds an online throttle detector; its verdicts feed back as
@@ -686,6 +737,10 @@ impl MacroSim {
                 step,
                 mesh_changed: ws.mesh_changed,
                 imbalance,
+                // The previous step's measured sync share (0.0 at step 0):
+                // the trace-driven trigger reacts to what the run actually
+                // lost, congestion and fault stalls included.
+                sync_fraction: self.feedback.gauge(TraceGauge::SyncFraction),
             };
             let count_mismatch = self
                 .engine
@@ -865,9 +920,13 @@ impl MacroSim {
                 );
             } else {
                 for rank in 0..r {
+                    // Congestion terms are exactly 0.0 while the credit
+                    // model is disabled, so adding them is bit-exact for the
+                    // default stacks.
                     ready[rank] = compute[rank]
                         + xs * (epoch.dispatch_ns[rank] * nic_slow[rank] + epoch.memcpy_ns[rank])
-                        + epoch.flux_ns[rank] * nic_slow[rank];
+                        + epoch.flux_ns[rank] * nic_slow[rank]
+                        + xs * epoch.cong_send_ns[rank] * nic_slow[rank];
                 }
                 for rank in 0..r {
                     // Last inbound message ~ slowest sender's dispatch + tail.
@@ -877,7 +936,8 @@ impl MacroSim {
                     let mut arrival = 0.0f64;
                     for &s in &epoch.senders[rank] {
                         let a = cfg.send_coupling * compute[s as usize]
-                            + xs * epoch.dispatch_ns[s as usize] * nic_slow[s as usize];
+                            + xs * epoch.dispatch_ns[s as usize] * nic_slow[s as usize]
+                            + xs * epoch.cong_send_ns[s as usize] * nic_slow[s as usize];
                         if a > arrival {
                             arrival = a;
                         }
@@ -892,7 +952,8 @@ impl MacroSim {
                     let masking = cfg.overlap_efficiency * (1.0 - 1.0 / nb);
                     let f = ready[rank]
                         + raw_wait * (1.0 - masking)
-                        + xs * epoch.service_ns[rank] * nic_slow[rank];
+                        + xs * epoch.service_ns[rank] * nic_slow[rank]
+                        + xs * epoch.cong_recv_ns[rank] * nic_slow[rank];
                     finish[rank] = f;
                 }
             }
@@ -911,10 +972,36 @@ impl MacroSim {
             } else {
                 cfg.network.fabric.latency_ns
             };
-            let completion_ns = collectives::allreduce_into(
+            // Algorithm selection. Fixed pins one variant for the whole run
+            // (the binomial default reproduces the legacy simulator bit for
+            // bit). Adaptive consults the feedback plane: once the measured
+            // sync share crosses the threshold — and at least one collective
+            // has actually been observed, so step 0 never switches on a
+            // zeroed gauge — it picks the cheapest algorithm for this scale
+            // and payload. The decision reads only virtual-time signals, so
+            // it is identical at any thread count.
+            let algo = match cfg.collectives {
+                CollectiveSelect::Fixed(a) => a,
+                CollectiveSelect::Adaptive => {
+                    if self.feedback.gauge(TraceGauge::SyncFraction) > ADAPTIVE_SYNC_THRESHOLD
+                        && self.feedback.phase_count(TracePhase::Collective) > 0
+                    {
+                        collectives::cheapest_algo(
+                            r,
+                            hop_ns,
+                            cfg.collective_payload_bytes,
+                            cfg.network.fabric.bytes_per_ns,
+                        )
+                    } else {
+                        CollectiveAlgo::BinomialTree
+                    }
+                }
+            };
+            let completion_ns = collectives::allreduce_with_into(
+                algo,
                 &arrivals,
                 hop_ns,
-                64,
+                cfg.collective_payload_bytes,
                 cfg.network.fabric.bytes_per_ns,
                 &mut coll_wait,
             );
@@ -962,15 +1049,30 @@ impl MacroSim {
             }
             phases.accumulate(&step_phases.scaled(1.0 / r as f64));
 
+            // The feedback plane updates unconditionally — the trigger and
+            // the adaptive collective selector read it whether or not a
+            // trace handle is attached, so traced and untraced runs make
+            // identical control decisions.
+            let inv_r = 1.0 / r as f64;
+            let mean_compute = (step_phases.compute_ns * inv_r) as u64;
+            let mean_comm = (step_phases.comm_ns * inv_r) as u64;
+            let mean_sync = (step_phases.sync_ns * inv_r) as u64;
+            let denom = step_phases.compute_ns + step_phases.comm_ns + step_phases.sync_ns;
+            if denom > 0.0 {
+                self.feedback
+                    .set(TraceGauge::SyncFraction, step_phases.sync_ns / denom);
+            }
+            self.feedback
+                .observe_phase_ns(TracePhase::Exchange, mean_comm);
+            self.feedback
+                .observe_phase_ns(TracePhase::Collective, mean_sync);
+
             if let Some(t) = &trace {
                 // Virtual spans replay the step's mean-rank timeline:
                 // exchange from end-of-compute to end-of-comm, then the
                 // collective's tree+payload term after the last arrival.
                 // Per-rank waits land in the sync_fraction gauge instead of
                 // r separate spans.
-                let inv_r = 1.0 / r as f64;
-                let mean_compute = (step_phases.compute_ns * inv_r) as u64;
-                let mean_comm = (step_phases.comm_ns * inv_r) as u64;
                 t.record_virtual(
                     TracePhase::Exchange,
                     step_base_ns.saturating_add(mean_compute),
@@ -983,7 +1085,6 @@ impl MacroSim {
                     completion_ns.saturating_sub(last_arrival),
                 );
                 t.metrics.incr(TraceCounter::Collectives, 1);
-                let denom = step_phases.compute_ns + step_phases.comm_ns + step_phases.sync_ns;
                 if denom > 0.0 {
                     t.metrics
                         .set(TraceGauge::SyncFraction, step_phases.sync_ns / denom);
@@ -1124,6 +1225,13 @@ impl MacroSim {
         }
         shm_in.clear();
         shm_in.resize(r, 0);
+        let nodes = cfg.topology.num_nodes();
+        let congestion = cfg.network.congestion_enabled();
+        if congestion {
+            // Flat (src_node, dst_node) byte matrix; `reset` cleared it, so
+            // the resize re-zeroes in place.
+            e.link_bytes.resize(nodes * nodes, 0);
+        }
 
         if let Some(comm) = &self.exec {
             // Worker lanes observe wall clock per task (host track only);
@@ -1163,6 +1271,9 @@ impl MacroSim {
                     None,
                 );
             }
+            if congestion {
+                self.fill_congestion(e);
+            }
             return;
         }
 
@@ -1183,6 +1294,10 @@ impl MacroSim {
                     shm_in[dst] += 1;
                 } else {
                     e.remote_msgs += 1;
+                    if congestion {
+                        let idx = cfg.topology.node_of(src) * nodes + cfg.topology.node_of(dst);
+                        e.link_bytes[idx] += bytes;
+                    }
                 }
                 e.dispatch_ns[src] += cfg.network.dispatch_ns(bytes) as f64;
                 e.service_ns[dst] += cfg.network.service_ns(bytes, local) as f64;
@@ -1219,6 +1334,10 @@ impl MacroSim {
                     e.local_msgs += 1;
                 } else {
                     e.remote_msgs += 1;
+                    if congestion {
+                        let idx = cfg.topology.node_of(src) * nodes + cfg.topology.node_of(dst);
+                        e.link_bytes[idx] += bytes;
+                    }
                 }
             }
         });
@@ -1227,6 +1346,33 @@ impl MacroSim {
             let s = &mut e.senders[dst];
             s.sort_unstable();
             s.dedup();
+        }
+        if congestion {
+            self.fill_congestion(e);
+        }
+    }
+
+    /// Epilogue of [`Self::fill_epoch`] when the credit model is live:
+    /// convert the merged per-link byte matrix into per-rank stalls. A
+    /// rank's round is gated by its node's most congested outgoing link
+    /// (the send side blocks for credit returns) and incoming link
+    /// (retransmits delay the service tail). [`NetworkConfig::congestion_ns`]
+    /// is monotone, so taking the byte max first equals maxing the stalls —
+    /// and prices each worst link exactly once. Pure integer maxima over the
+    /// merged matrix: identical at any thread count.
+    fn fill_congestion(&self, e: &mut CommEpoch) {
+        let cfg = &self.config;
+        let nodes = cfg.topology.num_nodes();
+        for rank in 0..cfg.topology.num_ranks {
+            let sn = cfg.topology.node_of(rank);
+            let mut worst_out = 0u64;
+            let mut worst_in = 0u64;
+            for peer in 0..nodes {
+                worst_out = worst_out.max(e.link_bytes[sn * nodes + peer]);
+                worst_in = worst_in.max(e.link_bytes[peer * nodes + sn]);
+            }
+            e.cong_send_ns[rank] = cfg.network.congestion_ns(worst_out) as f64;
+            e.cong_recv_ns[rank] = cfg.network.congestion_ns(worst_in) as f64;
         }
     }
 }
@@ -1774,6 +1920,197 @@ mod knob_tests {
                 .iter()
                 .any(|s| s.lane >= 1 && s.track == Track::Host && s.phase == TracePhase::Exchange),
             "no worker-lane exchange spans in the snapshot"
+        );
+    }
+
+    /// The new control-plane knobs go through the same boundary validation
+    /// as the bandwidth regression above — rejected before a run can start.
+    #[test]
+    fn degenerate_control_plane_knobs_are_rejected() {
+        let cases: Vec<(SimConfig, &str)> = vec![
+            (
+                {
+                    let mut c = cfg16();
+                    c.network.fabric_credit_bytes = 0;
+                    c
+                },
+                "fabric_credit_bytes",
+            ),
+            (
+                {
+                    let mut c = cfg16();
+                    c.network.congestion_backoff = -1.0;
+                    c
+                },
+                "congestion_backoff",
+            ),
+            (
+                {
+                    let mut c = cfg16();
+                    c.network.ack_loss_prob = 2.0;
+                    c
+                },
+                "ack_loss_prob",
+            ),
+            (
+                {
+                    let mut c = cfg16();
+                    c.network.shm_queue_size = 0;
+                    c
+                },
+                "shm_queue_size",
+            ),
+            (
+                {
+                    let mut c = cfg16();
+                    c.collective_payload_bytes = 0;
+                    c
+                },
+                "collective_payload_bytes",
+            ),
+        ];
+        for (cfg, needle) in cases {
+            let err = cfg.validate().unwrap_err();
+            assert!(err.contains(needle), "{err} does not mention {needle}");
+        }
+    }
+
+    /// An *enabled but never exhausted* credit window adds exactly-0.0
+    /// congestion terms everywhere, so its virtual time is bit-identical to
+    /// the disabled default — the wiring itself costs nothing.
+    #[test]
+    fn idle_credit_window_is_bit_identical_to_disabled() {
+        let trig = RebalanceTrigger::OnMeshChange;
+        let mut w1 = StaticWorkload::new(4, 10, 1.0);
+        let base = MacroSim::new(cfg16()).run(&mut w1, &Baseline, trig);
+        let mut cfg = cfg16();
+        cfg.network.fabric_credit_bytes = u64::MAX - 1; // enabled, unreachable
+        cfg.network.congestion_backoff = 4.0;
+        let mut w2 = StaticWorkload::new(4, 10, 1.0);
+        let idle = MacroSim::new(cfg).run(&mut w2, &Baseline, trig);
+        assert_eq!(idle.total_ns.to_bits(), base.total_ns.to_bits());
+        assert_eq!(idle.phases.comm_ns.to_bits(), base.phases.comm_ns.to_bits());
+        assert_eq!(idle.phases.sync_ns.to_bits(), base.phases.sync_ns.to_bits());
+    }
+
+    /// A window the epoch's hot links actually exceed charges the run:
+    /// strictly more comm than the same run with credits disabled, and
+    /// monotone — tightening the window never speeds anything up.
+    #[test]
+    fn exhausted_credit_window_charges_comm() {
+        let trig = RebalanceTrigger::OnMeshChange;
+        let run = |credit: u64| {
+            let mut cfg = cfg16();
+            if credit > 0 {
+                cfg.network.fabric_credit_bytes = credit;
+                cfg.network.congestion_backoff = 2.0;
+            }
+            let mut w = StaticWorkload::new(4, 10, 0.5);
+            MacroSim::new(cfg).run(&mut w, &Baseline, trig)
+        };
+        let off = run(0);
+        let loose = run(1 << 22);
+        let tight = run(1 << 16);
+        assert!(
+            tight.phases.comm_ns > off.phases.comm_ns,
+            "tight window {} !> uncongested {}",
+            tight.phases.comm_ns,
+            off.phases.comm_ns
+        );
+        assert!(tight.total_ns > off.total_ns);
+        assert!(
+            tight.total_ns >= loose.total_ns,
+            "tightening the window sped the run up"
+        );
+    }
+
+    /// Adaptive collective selection reads the feedback plane mid-run: under
+    /// heavy sync pressure and a fat payload it abandons the binomial tree
+    /// for a bandwidth-optimal algorithm and beats the fixed default, while
+    /// the switching decision itself is thread-invariant (checked bitwise in
+    /// `congested_adaptive_run_is_bitwise_identical_across_threads`).
+    #[test]
+    fn adaptive_collectives_switch_under_sync_pressure() {
+        let trig = RebalanceTrigger::Never; // keep the imbalance (and sync) high
+        let mk = |select: CollectiveSelect| {
+            let mut cfg = cfg16();
+            cfg.collectives = select;
+            cfg.collective_payload_bytes = 1 << 20; // diagnostics-heavy dt vector
+            cfg
+        };
+        let mut w1 = StaticWorkload::new(4, 20, 2.0);
+        let mut fixed_sim = MacroSim::new(mk(CollectiveSelect::default()));
+        let fixed = fixed_sim.run(&mut w1, &Baseline, trig);
+        let mut w2 = StaticWorkload::new(4, 20, 2.0);
+        let mut adaptive_sim = MacroSim::new(mk(CollectiveSelect::Adaptive));
+        let adaptive = adaptive_sim.run(&mut w2, &Baseline, trig);
+        // The skewed static mesh keeps measured sync share above threshold...
+        let sf = adaptive_sim.feedback().gauge(TraceGauge::SyncFraction);
+        assert!(sf > ADAPTIVE_SYNC_THRESHOLD, "sync fraction only {sf}");
+        // ...and at 16 ranks with a 1 MiB payload the bandwidth-optimal
+        // variants clearly beat the tree, so the switch must pay off.
+        assert!(
+            adaptive.total_ns < fixed.total_ns,
+            "adaptive {} !< fixed binomial {}",
+            adaptive.total_ns,
+            fixed.total_ns
+        );
+        assert_ne!(
+            collectives::cheapest_algo(16, 2_500, 1 << 20, 5.0),
+            CollectiveAlgo::BinomialTree
+        );
+    }
+
+    /// The full new control plane at once — congested fabric, adaptive
+    /// collectives, sync-fraction trigger — stays on the slot-ownership
+    /// rails: virtual time is bitwise identical at any thread count.
+    #[test]
+    fn congested_adaptive_run_is_bitwise_identical_across_threads() {
+        use super::tests::RefiningWorkload;
+        use amr_core::policies::Lpt;
+        let trig = RebalanceTrigger::SyncFractionAbove(0.1);
+        let mk = |threads: usize| {
+            let mut cfg = cfg16();
+            cfg.threads = threads;
+            cfg.network = NetworkConfig {
+                fabric_credit_bytes: 1 << 16,
+                congestion_backoff: 2.0,
+                ..NetworkConfig::tuned()
+            };
+            cfg.collectives = CollectiveSelect::Adaptive;
+            cfg.collective_payload_bytes = 1 << 18;
+            cfg
+        };
+        let mut w = RefiningWorkload::new(12, 4);
+        let base = MacroSim::new(mk(1)).run(&mut w, &Lpt, trig);
+        for threads in [2usize, 4] {
+            let mut w = RefiningWorkload::new(12, 4);
+            let rep = MacroSim::new(mk(threads)).run(&mut w, &Lpt, trig);
+            assert_eq!(
+                rep.phases.compute_ns.to_bits(),
+                base.phases.compute_ns.to_bits(),
+                "compute diverged at {threads} threads"
+            );
+            assert_eq!(
+                rep.phases.comm_ns.to_bits(),
+                base.phases.comm_ns.to_bits(),
+                "comm diverged at {threads} threads"
+            );
+            assert_eq!(
+                rep.phases.sync_ns.to_bits(),
+                base.phases.sync_ns.to_bits(),
+                "sync diverged at {threads} threads"
+            );
+            assert_eq!(rep.lb_invocations, base.lb_invocations);
+            assert_eq!(&rep.messages, &base.messages);
+        }
+        // The measured-signal trigger actually fired beyond the initial
+        // mesh-change placements (sync share over the refining run is high).
+        assert!(
+            base.lb_invocations > base.mesh_change_steps,
+            "sync-fraction trigger never fired: {} invocations over {} mesh changes",
+            base.lb_invocations,
+            base.mesh_change_steps
         );
     }
 }

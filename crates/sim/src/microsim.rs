@@ -111,6 +111,9 @@ struct RoundScratch {
     /// Message indices grouped by source rank, preserving input order.
     by_src: Vec<Vec<usize>>,
     pending_stall: Vec<u64>,
+    /// Remote bytes per directed node link, flat `src_node * nodes +
+    /// dst_node` — sized only while the credit model is enabled.
+    link_bytes: Vec<u64>,
     /// (arrival_time, service_time) per inbound message, per receiver.
     arrivals: Vec<Vec<(u64, u64)>>,
     shm_count: Vec<usize>,
@@ -119,7 +122,15 @@ struct RoundScratch {
 
 impl MicroSim {
     /// Create a simulator with the given seed.
+    ///
+    /// # Panics
+    /// On a degenerate network model (see [`NetworkConfig::validate`]) —
+    /// notably an out-of-range `ack_loss_prob`, which would otherwise panic
+    /// inside the RNG mid-round with an unhelpful message.
     pub fn new(topology: Topology, network: NetworkConfig, seed: u64) -> MicroSim {
+        if let Err(e) = network.validate() {
+            panic!("invalid NetworkConfig: {e}");
+        }
         MicroSim {
             topology,
             network,
@@ -143,6 +154,26 @@ impl MicroSim {
         let net = &self.network;
         let topo = &self.topology;
         let s = &mut self.scratch;
+
+        // ---- Phase 0: per-link credit accounting --------------------------
+        // The credit window is exhausted by a *link's* whole-round volume,
+        // not by any single message, so the matrix is built up front. Empty
+        // (and skipped below) while the model is disabled — the default.
+        let congestion = net.congestion_enabled();
+        let nodes = topo.num_nodes();
+        s.link_bytes.clear();
+        if congestion {
+            s.link_bytes.resize(nodes * nodes, 0);
+            for m in &spec.messages {
+                if m.src == m.dst {
+                    continue;
+                }
+                let (sn, dn) = (topo.node_of(m.src as usize), topo.node_of(m.dst as usize));
+                if sn != dn {
+                    s.link_bytes[sn * nodes + dn] += m.bytes;
+                }
+            }
+        }
 
         // ---- Phase 1: sender-side dispatch ------------------------------
         // Per-rank ordered dispatch of messages; compute before or after.
@@ -195,10 +226,14 @@ impl MicroSim {
                 s.dispatch_finish[mi] = t;
                 // ACK-loss recovery: remote only; blocks the sender at its
                 // MPI_Wait unless the drain queue absorbs it.
+                // Exactly one draw per remote message, taken *before* the
+                // drain-queue branch — mitigated and unmitigated runs
+                // consume identical RNG streams (pinned by proptest).
                 if !local && self.rng.gen_bool(net.ack_loss_prob) {
                     out.ack_stalls += 1;
                     if !net.drain_queue {
-                        s.pending_stall[rank] += net.ack_recovery_ns;
+                        s.pending_stall[rank] =
+                            s.pending_stall[rank].saturating_add(net.ack_recovery_ns);
                     }
                 }
             }
@@ -206,6 +241,21 @@ impl MicroSim {
                 t += spec.compute_ns[rank];
             }
             out.local_finish_ns[rank] = t;
+        }
+        if congestion {
+            // Credit starvation blocks the *sender* in MPI_Wait, like the
+            // ACK recovery path: charge each rank its node's worst outgoing
+            // link. congestion_ns is monotone, so maxing bytes first equals
+            // maxing the stalls.
+            for rank in 0..r {
+                let sn = topo.node_of(rank);
+                let mut worst_out = 0u64;
+                for peer in 0..nodes {
+                    worst_out = worst_out.max(s.link_bytes[sn * nodes + peer]);
+                }
+                s.pending_stall[rank] =
+                    s.pending_stall[rank].saturating_add(net.congestion_ns(worst_out));
+            }
         }
 
         // ---- Phase 2: receiver-side arrival + service --------------------
@@ -246,12 +296,21 @@ impl MicroSim {
                 server = server.max(arr) + svc;
                 out.comm_ns[rank] += svc;
             }
-            // Shared-memory queue overflow penalties land on the receiver.
-            let contention = net.shm_contention_ns(s.shm_count[rank]);
+            // Shared-memory queue overflow penalties land on the receiver;
+            // so do retransmits of the node's most congested incoming link.
+            let mut contention = net.shm_contention_ns(s.shm_count[rank]);
+            if congestion {
+                let sn = topo.node_of(rank);
+                let mut worst_in = 0u64;
+                for peer in 0..nodes {
+                    worst_in = worst_in.max(s.link_bytes[peer * nodes + sn]);
+                }
+                contention = contention.saturating_add(net.congestion_ns(worst_in));
+            }
             out.comm_ns[rank] += contention;
             let done = out.local_finish_ns[rank]
-                .max(server + contention)
-                .max(out.local_finish_ns[rank] + s.pending_stall[rank]);
+                .max(server.saturating_add(contention))
+                .max(out.local_finish_ns[rank].saturating_add(s.pending_stall[rank]));
             out.finish_ns[rank] = done;
             out.wait_ns[rank] = done - out.local_finish_ns[rank];
         }
@@ -484,5 +543,81 @@ mod tests {
         assert_eq!(out.wait_ns, cold.wait_ns);
         assert_eq!(out.comm_ns, cold.comm_ns);
         assert_eq!(out.round_latency_ns, cold.round_latency_ns);
+    }
+
+    #[test]
+    #[should_panic(expected = "ack_loss_prob")]
+    fn degenerate_network_rejected_at_construction() {
+        // Out of range, it would otherwise panic deep inside the RNG on the
+        // first remote message.
+        let net = NetworkConfig {
+            ack_loss_prob: 1.5,
+            ..NetworkConfig::tuned()
+        };
+        let _ = MicroSim::new(Topology::paper(2), net, 1);
+    }
+
+    #[test]
+    fn drain_queue_does_not_shift_the_ack_draw_stream() {
+        // The mitigation hides stalls; it must not change *which* sends hit
+        // the recovery path. Same seed, fractional probability: identical
+        // stall counts with the drain queue on or off.
+        let spec = ring_spec(32, 4_096, TaskOrder::SendsFirst, 100);
+        let base = NetworkConfig {
+            ack_loss_prob: 0.5,
+            drain_queue: false,
+            ..NetworkConfig::tuned()
+        };
+        let drained = NetworkConfig {
+            drain_queue: true,
+            ..base
+        };
+        let topo = Topology::new(32, 1); // every message remote => 32 draws
+        let raw = MicroSim::new(topo, base, 77).run_round(&spec);
+        let mit = MicroSim::new(topo, drained, 77).run_round(&spec);
+        assert_eq!(raw.ack_stalls, mit.ack_stalls);
+        assert!(raw.ack_stalls > 0, "p=0.5 over 32 draws never firing");
+        // And the mitigation only ever helps.
+        assert!(mit.round_latency_ns <= raw.round_latency_ns);
+    }
+
+    #[test]
+    fn credit_window_stalls_concentrated_traffic_only() {
+        // Two nodes, all traffic on the single 0→1 link. Under the window:
+        // identical to the disabled model. Over it: strictly slower.
+        let topo = Topology::new(8, 4);
+        let bytes = 1 << 20; // 4 MiB over the link per round
+        let spec = RoundSpec {
+            num_ranks: 8,
+            compute_ns: vec![0; 8],
+            messages: (0..4u32)
+                .map(|i| Message {
+                    src: i,
+                    dst: i + 4,
+                    bytes,
+                })
+                .collect(),
+            order: TaskOrder::SendsFirst,
+        };
+        let generous = NetworkConfig {
+            fabric_credit_bytes: 64 << 20,
+            ack_loss_prob: 0.0,
+            ..NetworkConfig::congested()
+        };
+        let starved = NetworkConfig {
+            fabric_credit_bytes: 1 << 20,
+            ..generous
+        };
+        let off = quiet_net();
+        let res_off = MicroSim::new(topo, off, 11).run_round(&spec);
+        let res_gen = MicroSim::new(topo, generous, 11).run_round(&spec);
+        let res_starved = MicroSim::new(topo, starved, 11).run_round(&spec);
+        assert_eq!(res_gen.round_latency_ns, res_off.round_latency_ns);
+        assert!(
+            res_starved.round_latency_ns > res_gen.round_latency_ns,
+            "starved {} !> generous {}",
+            res_starved.round_latency_ns,
+            res_gen.round_latency_ns
+        );
     }
 }

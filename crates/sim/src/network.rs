@@ -74,6 +74,20 @@ pub struct NetworkConfig {
     /// The paper's mitigation: a drain queue that transparently re-allocates
     /// the blocked request so the sender never stalls.
     pub drain_queue: bool,
+    /// Outstanding-byte credit window per inter-node fabric link (directed
+    /// node pair). A round's remote traffic on one link beyond this many
+    /// in-flight bytes stalls for credit returns and pays the backed-off
+    /// retransmit path — the finite-capacity mechanism behind the Fig. 7a
+    /// large-scale inversion. `u64::MAX` disables the model entirely (the
+    /// tuned/untuned defaults: the small-cluster fabrics of §IV never
+    /// saturated).
+    pub fabric_credit_bytes: u64,
+    /// Congestion-window backoff factor: each byte past the credit window is
+    /// re-serialized at `congestion_backoff ×` its nominal fabric cost
+    /// (retransmit after the recovery handshake, layered on the same
+    /// credit-starved path as the ACK-loss machinery). `0.0` keeps only the
+    /// credit-return round-trip stalls.
+    pub congestion_backoff: f64,
 }
 
 impl NetworkConfig {
@@ -97,6 +111,8 @@ impl NetworkConfig {
             ack_loss_prob: 0.002,
             ack_recovery_ns: 5_000_000,
             drain_queue: true,
+            fabric_credit_bytes: u64::MAX,
+            congestion_backoff: 0.0,
         }
     }
 
@@ -108,6 +124,111 @@ impl NetworkConfig {
             drain_queue: false,
             ..NetworkConfig::tuned()
         }
+    }
+
+    /// A saturated large-scale fabric: the tuned stack with finite per-link
+    /// credits and retransmit backoff enabled. Dense traffic concentrated on
+    /// few links (strict-locality placements funnel chunk-boundary exchange
+    /// onto SFC-adjacent node pairs) exhausts the window and stalls; the
+    /// same volume spread across many links stays under it. The window is
+    /// sized against the `perf_trajectory --network` arm's per-link volumes
+    /// (see DESIGN.md §16).
+    pub fn congested() -> NetworkConfig {
+        NetworkConfig {
+            fabric_credit_bytes: 2 << 20,
+            congestion_backoff: 2.0,
+            ..NetworkConfig::tuned()
+        }
+    }
+
+    /// Boundary validation of every knob that can silently poison a run:
+    /// degenerate bandwidths saturate collectives to `u64::MAX`, an
+    /// out-of-range `ack_loss_prob` panics inside the RNG mid-round, a zero
+    /// shm queue penalizes every local message, a zero credit window marks
+    /// every remote byte congested, and an extreme `ack_recovery_ns` can
+    /// overflow the per-rank stall accumulator. Called by
+    /// [`SimConfig::validate`](crate::macrosim::SimConfig) (which prefixes
+    /// `network.`) and by [`MicroSim::new`](crate::microsim::MicroSim).
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, path) in [("fabric", &self.fabric), ("shm", &self.shm)] {
+            if !path.bytes_per_ns.is_finite() || path.bytes_per_ns <= 0.0 {
+                return Err(format!(
+                    "{name}.bytes_per_ns must be finite and > 0 (got {})",
+                    path.bytes_per_ns
+                ));
+            }
+        }
+        if !self.ack_loss_prob.is_finite() || !(0.0..=1.0).contains(&self.ack_loss_prob) {
+            return Err(format!(
+                "ack_loss_prob must be a probability in [0, 1] (got {})",
+                self.ack_loss_prob
+            ));
+        }
+        // Headroom so thousands of per-round stalls can accumulate in a u64
+        // without wrapping (the draw path adds, it doesn't saturate).
+        if self.ack_recovery_ns > u64::MAX / 4096 {
+            return Err(format!(
+                "ack_recovery_ns is degenerate (got {}; max {})",
+                self.ack_recovery_ns,
+                u64::MAX / 4096
+            ));
+        }
+        if self.shm_queue_size == 0 {
+            return Err(
+                "shm_queue_size must be >= 1 (a zero-depth queue penalizes every local message)"
+                    .to_string(),
+            );
+        }
+        if self.fabric_credit_bytes == 0 {
+            return Err(
+                "fabric_credit_bytes must be >= 1 (use u64::MAX to disable the credit model)"
+                    .to_string(),
+            );
+        }
+        if !self.congestion_backoff.is_finite() || self.congestion_backoff < 0.0 {
+            return Err(format!(
+                "congestion_backoff must be finite and >= 0 (got {})",
+                self.congestion_backoff
+            ));
+        }
+        Ok(())
+    }
+
+    /// Is the finite-credit congestion model active? The `u64::MAX` default
+    /// window can never be exceeded, so the simulators skip the per-link
+    /// bookkeeping entirely (and stay bit-identical to the pre-credit model).
+    #[inline]
+    pub fn congestion_enabled(&self) -> bool {
+        self.fabric_credit_bytes != u64::MAX
+    }
+
+    /// Stall (ns) from pushing `outstanding_bytes` of one round's remote
+    /// traffic through one fabric link under the credit window. Zero while
+    /// the window holds. Past it, every exhausted window waits out a
+    /// credit-return round trip (2 × fabric latency), and the excess bytes
+    /// are retransmitted at `congestion_backoff ×` their nominal
+    /// serialization cost. Saturating and strictly monotone (non-decreasing)
+    /// in `outstanding_bytes` — pinned by a proptest.
+    #[inline]
+    pub fn congestion_ns(&self, outstanding_bytes: u64) -> u64 {
+        let window = self.fabric_credit_bytes.max(1);
+        let excess = outstanding_bytes.saturating_sub(window);
+        if excess == 0 {
+            return 0;
+        }
+        let credit_rtts = excess.div_ceil(window);
+        let stall = credit_rtts.saturating_mul(self.fabric.latency_ns.saturating_mul(2));
+        let retransmit = if self.congestion_backoff > 0.0 && self.fabric.bytes_per_ns > 0.0 {
+            let ns = excess as f64 * self.congestion_backoff / self.fabric.bytes_per_ns;
+            if ns >= u64::MAX as f64 {
+                u64::MAX
+            } else {
+                ns as u64
+            }
+        } else {
+            0
+        };
+        stall.saturating_add(retransmit)
     }
 
     /// Transfer time for a message between `src` and `dst` given locality.
@@ -224,5 +345,118 @@ mod tests {
     #[should_panic(expected = "bandwidth multiplier must be in")]
     fn rejects_zero_bandwidth_multiplier() {
         let _ = NetworkConfig::tuned().with_degraded_fabric(0.0);
+    }
+
+    #[test]
+    fn default_stacks_have_congestion_disabled() {
+        // The committed baselines rest on this: tuned/untuned price remote
+        // traffic with the flat model, so every pre-existing virtual time is
+        // bit-identical with the credit machinery merged.
+        for n in [NetworkConfig::tuned(), NetworkConfig::untuned()] {
+            assert_eq!(n.fabric_credit_bytes, u64::MAX);
+            assert_eq!(n.congestion_ns(0), 0);
+            assert_eq!(n.congestion_ns(u64::MAX), 0);
+        }
+        assert!(NetworkConfig::congested().fabric_credit_bytes < u64::MAX);
+    }
+
+    #[test]
+    fn congestion_zero_within_window_then_grows() {
+        let n = NetworkConfig::congested();
+        let w = n.fabric_credit_bytes;
+        assert_eq!(n.congestion_ns(0), 0);
+        assert_eq!(n.congestion_ns(w), 0);
+        let one_over = n.congestion_ns(w + 1);
+        assert!(one_over >= 2 * n.fabric.latency_ns, "missing credit RTT");
+        let two_windows = n.congestion_ns(3 * w);
+        assert!(two_windows > one_over);
+        // Backoff contributes: doubling it raises the stall for the same
+        // excess.
+        let harsher = NetworkConfig {
+            congestion_backoff: 2.0 * n.congestion_backoff,
+            ..n
+        };
+        assert!(harsher.congestion_ns(3 * w) > two_windows);
+    }
+
+    #[test]
+    fn congestion_saturates_on_degenerate_extremes() {
+        let n = NetworkConfig {
+            fabric_credit_bytes: 1,
+            congestion_backoff: f64::MAX,
+            ..NetworkConfig::tuned()
+        };
+        assert_eq!(n.congestion_ns(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn validate_accepts_all_presets() {
+        for n in [
+            NetworkConfig::tuned(),
+            NetworkConfig::untuned(),
+            NetworkConfig::congested(),
+        ] {
+            n.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_knobs() {
+        let t = NetworkConfig::tuned();
+        let cases: Vec<(NetworkConfig, &str)> = vec![
+            (
+                NetworkConfig {
+                    ack_loss_prob: 1.5,
+                    ..t
+                },
+                "ack_loss_prob",
+            ),
+            (
+                NetworkConfig {
+                    ack_loss_prob: f64::NAN,
+                    ..t
+                },
+                "ack_loss_prob",
+            ),
+            (
+                NetworkConfig {
+                    ack_recovery_ns: u64::MAX,
+                    ..t
+                },
+                "ack_recovery_ns",
+            ),
+            (
+                NetworkConfig {
+                    shm_queue_size: 0,
+                    ..t
+                },
+                "shm_queue_size",
+            ),
+            (
+                NetworkConfig {
+                    fabric_credit_bytes: 0,
+                    ..t
+                },
+                "fabric_credit_bytes",
+            ),
+            (
+                NetworkConfig {
+                    congestion_backoff: -1.0,
+                    ..t
+                },
+                "congestion_backoff",
+            ),
+            (
+                NetworkConfig {
+                    congestion_backoff: f64::INFINITY,
+                    ..t
+                },
+                "congestion_backoff",
+            ),
+        ];
+        for (cfg, needle) in cases {
+            let err = cfg.validate().unwrap_err();
+            assert!(err.contains(needle), "{err} does not mention {needle}");
+        }
     }
 }

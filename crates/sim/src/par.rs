@@ -37,12 +37,16 @@ pub(crate) const LANE_SPAN_CAPACITY: usize = 256;
 /// One task's private integer counters, merged in task-index order after the
 /// join. Only associative `u64` sums live here — float accumulation stays in
 /// owned [`CommEpoch`] slots.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct EpochPartial {
     pub intra: u64,
     pub local: u64,
     pub remote: u64,
     pub flux: u64,
+    /// Per-directed-node-link remote bytes seen by this task (src-owned
+    /// messages only, so each message lands in exactly one partial). Sized
+    /// `nodes²` only while the credit model is enabled; empty otherwise.
+    pub link_bytes: Vec<u64>,
 }
 
 /// Contiguous rank range owned by task `t` of `t_n`.
@@ -84,8 +88,16 @@ pub(crate) fn fill_epoch_parallel<C: SimCommunicator>(
 ) {
     let r = topology.num_ranks;
     let t_n = comm.threads().min(r).max(1);
+    let nodes = topology.num_nodes();
+    let congestion = network.congestion_enabled();
     partials.clear();
     partials.resize(t_n, EpochPartial::default());
+    if congestion {
+        for p in partials.iter_mut() {
+            p.link_bytes.clear();
+            p.link_bytes.resize(nodes * nodes, 0);
+        }
+    }
 
     let dispatch = Disjoint::new(&mut e.dispatch_ns);
     let service = Disjoint::new(&mut e.service_ns);
@@ -140,6 +152,10 @@ pub(crate) fn fill_epoch_parallel<C: SimCommunicator>(
                         p.local += 1;
                     } else {
                         p.remote += 1;
+                        if congestion {
+                            let idx = topology.node_of(src) * nodes + topology.node_of(dst);
+                            p.link_bytes[idx] += bytes;
+                        }
                     }
                     dispatch[src - lo] += network.dispatch_ns(bytes) as f64;
                 }
@@ -183,6 +199,10 @@ pub(crate) fn fill_epoch_parallel<C: SimCommunicator>(
                         p.local += 1;
                     } else {
                         p.remote += 1;
+                        if congestion {
+                            let idx = topology.node_of(src) * nodes + topology.node_of(dst);
+                            p.link_bytes[idx] += bytes;
+                        }
                     }
                 }
                 if dst_owned {
@@ -198,12 +218,21 @@ pub(crate) fn fill_epoch_parallel<C: SimCommunicator>(
         }
     });
 
-    // Fixed-order merge of the associative integer partials.
+    // Fixed-order merge of the associative integer partials. The link-byte
+    // matrices are u64 sums too, so the merged matrix equals the serial one
+    // regardless of how rows were split across tasks; the caller's
+    // congestion epilogue reads only the merged result.
+    if congestion {
+        e.link_bytes.resize(nodes * nodes, 0);
+    }
     for p in partials.iter() {
         e.intra_msgs += p.intra;
         e.local_msgs += p.local;
         e.remote_msgs += p.remote;
         e.flux_msgs += p.flux;
+        for (acc, &b) in e.link_bytes.iter_mut().zip(&p.link_bytes) {
+            *acc += b;
+        }
     }
 }
 
@@ -267,14 +296,18 @@ pub(crate) fn ready_finish_parallel<C: SimCommunicator>(
         let ready = unsafe { ready.slice(lo, hi) };
         let finish = unsafe { finish.slice(lo, hi) };
         for rank in lo..hi {
+            // Exact mirror of the serial loops, congestion terms included
+            // (0.0 while the credit model is disabled — bit-exact).
             let rd = compute[rank]
                 + xs * (e.dispatch_ns[rank] * nic_slow[rank] + e.memcpy_ns[rank])
-                + e.flux_ns[rank] * nic_slow[rank];
+                + e.flux_ns[rank] * nic_slow[rank]
+                + xs * e.cong_send_ns[rank] * nic_slow[rank];
             ready[rank - lo] = rd;
             let mut arrival = 0.0f64;
             for &s in &e.senders[rank] {
                 let a = send_coupling * compute[s as usize]
-                    + xs * e.dispatch_ns[s as usize] * nic_slow[s as usize];
+                    + xs * e.dispatch_ns[s as usize] * nic_slow[s as usize]
+                    + xs * e.cong_send_ns[s as usize] * nic_slow[s as usize];
                 if a > arrival {
                     arrival = a;
                 }
@@ -285,8 +318,10 @@ pub(crate) fn ready_finish_parallel<C: SimCommunicator>(
             let raw_wait = (arrival - rd).max(0.0);
             let nb = e.blocks_per_rank[rank].max(1) as f64;
             let masking = overlap_efficiency * (1.0 - 1.0 / nb);
-            finish[rank - lo] =
-                rd + raw_wait * (1.0 - masking) + xs * e.service_ns[rank] * nic_slow[rank];
+            finish[rank - lo] = rd
+                + raw_wait * (1.0 - masking)
+                + xs * e.service_ns[rank] * nic_slow[rank]
+                + xs * e.cong_recv_ns[rank] * nic_slow[rank];
         }
     });
 }

@@ -120,6 +120,15 @@ impl LogHistogram {
         self.max = self.max.max(other.max);
     }
 
+    /// Forget every recorded value, keeping the allocation and resolution —
+    /// for registries reused across runs.
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
     /// Non-empty buckets as `(lower_bound_ns, count)`, ascending.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
         self.counts
@@ -216,5 +225,22 @@ mod tests {
         assert_eq!(h.quantile(0.5), 0);
         assert_eq!(h.min(), 0);
         assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn reset_restores_the_empty_state() {
+        let mut h = LogHistogram::new(8);
+        for v in [5u64, 50, 500_000] {
+            h.record(v);
+        }
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.9), 0);
+        assert!(h.nonzero_buckets().is_empty());
+        // Still usable after the wipe.
+        h.record(42);
+        assert_eq!((h.count(), h.min(), h.max()), (1, 42, 42));
     }
 }

@@ -542,6 +542,39 @@ impl MetricsRegistry {
         f(&self.phase_ns.borrow()[phase.index()])
     }
 
+    /// Observations recorded for a phase so far. The adaptive control plane
+    /// uses this as its warm-up gate: zero means no history to decide from.
+    pub fn phase_count(&self, phase: TracePhase) -> u64 {
+        self.with_phase(phase, |h| h.count())
+    }
+
+    /// Quantile (`0.0..=1.0`) of a phase's recorded durations, in ns
+    /// (log-bucket upper bound; 0 when empty).
+    pub fn phase_quantile_ns(&self, phase: TracePhase, q: f64) -> u64 {
+        self.with_phase(phase, |h| h.quantile(q))
+    }
+
+    /// Largest duration recorded for a phase, in ns (0 when empty).
+    pub fn phase_max_ns(&self, phase: TracePhase) -> u64 {
+        self.with_phase(phase, |h| h.max())
+    }
+
+    /// Zero every counter, gauge, and phase histogram in place (capacity
+    /// kept). The simulator's always-on feedback registry resets at the top
+    /// of each run so one run's pressure history can't leak into the next.
+    pub fn reset(&self) {
+        for c in &self.counters {
+            c.set(0);
+        }
+        for g in &self.gauges {
+            g.set(0.0);
+        }
+        let mut hists = self.phase_ns.borrow_mut();
+        for h in hists.iter_mut() {
+            h.reset();
+        }
+    }
+
     /// Human-readable dump: counters, gauges, then per-phase histogram
     /// summaries (count/min/p50/max ns). For logs and bench output.
     pub fn render_summary(&self) -> String {
@@ -862,6 +895,35 @@ mod tests {
             }
         });
         assert_eq!(sink.dropped(), 3);
+    }
+
+    #[test]
+    fn registry_query_surface_and_reset() {
+        let m = MetricsRegistry::new();
+        assert_eq!(m.phase_count(TracePhase::Collective), 0);
+        assert_eq!(m.phase_max_ns(TracePhase::Collective), 0);
+        m.observe_phase_ns(TracePhase::Collective, 1_000);
+        m.observe_phase_ns(TracePhase::Collective, 9_000);
+        m.observe_phase_ns(TracePhase::Exchange, 500);
+        m.set(Gauge::SyncFraction, 0.42);
+        m.incr(Counter::Steps, 3);
+        assert_eq!(m.phase_count(TracePhase::Collective), 2);
+        assert_eq!(m.phase_count(TracePhase::Exchange), 1);
+        assert_eq!(m.phase_max_ns(TracePhase::Collective), 9_000);
+        let p50 = m.phase_quantile_ns(TracePhase::Collective, 0.5);
+        assert!((1_000..9_000).contains(&p50), "p50 = {p50}");
+        // Helpers agree with the raw accessor.
+        assert_eq!(
+            m.phase_quantile_ns(TracePhase::Collective, 1.0),
+            m.with_phase(TracePhase::Collective, |h| h.quantile(1.0))
+        );
+        m.reset();
+        assert_eq!(m.phase_count(TracePhase::Collective), 0);
+        assert_eq!(m.gauge(Gauge::SyncFraction), 0.0);
+        assert_eq!(m.counter(Counter::Steps), 0);
+        // Still records after the wipe.
+        m.observe_phase_ns(TracePhase::Collective, 7);
+        assert_eq!(m.phase_count(TracePhase::Collective), 1);
     }
 
     #[test]

@@ -119,6 +119,105 @@ proptest! {
     }
 }
 
+// --- Credit/congestion fabric and ACK-loss determinism ----------------------
+
+proptest! {
+    /// The credit-window stall function is saturating and monotone: more
+    /// outstanding bytes on a link never *reduces* the stall, and a wider
+    /// window never *increases* it.
+    #[test]
+    fn congestion_stall_is_monotone(
+        window in 1u64..(1 << 30),
+        backoff in 0.0f64..8.0,
+        a in 0u64..(1 << 40),
+        b in 0u64..(1 << 40),
+    ) {
+        let net = NetworkConfig {
+            fabric_credit_bytes: window,
+            congestion_backoff: backoff,
+            ..NetworkConfig::tuned()
+        };
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(net.congestion_ns(lo) <= net.congestion_ns(hi));
+        prop_assert_eq!(net.congestion_ns(window.min(lo)), 0);
+        // Widening the window can only shed stalls.
+        let wider = NetworkConfig {
+            fabric_credit_bytes: window.saturating_mul(2),
+            ..net
+        };
+        prop_assert!(wider.congestion_ns(hi) <= net.congestion_ns(hi));
+    }
+
+    /// Under a congested fabric, adding a message (more outstanding bytes on
+    /// some link) never speeds the round up — the microsim analogue of the
+    /// macro credit-window ordering.
+    #[test]
+    fn congested_round_never_speeds_up_with_more_traffic(
+        spec in round_strategy(16),
+        src in 0u32..16,
+        dst in 0u32..16,
+        bytes in 1u64..500_000,
+    ) {
+        let net = NetworkConfig {
+            fabric_credit_bytes: 64 << 10,
+            congestion_backoff: 2.0,
+            ack_loss_prob: 0.0,
+            ..NetworkConfig::tuned()
+        };
+        let src = src % spec.num_ranks as u32;
+        let dst = dst % spec.num_ranks as u32;
+        let base = MicroSim::new(Topology::paper(spec.num_ranks), net, 7).run_round(&spec);
+        let mut bigger = spec.clone();
+        bigger.messages.push(Message { src, dst, bytes });
+        let more = MicroSim::new(Topology::paper(spec.num_ranks), net, 7).run_round(&bigger);
+        prop_assert!(more.round_latency_ns >= base.round_latency_ns);
+    }
+
+    /// The tuned stack never loses to the untuned one on identical traffic
+    /// and identical randomness: a bigger shm queue and the drain-queue
+    /// mitigation can only remove penalties.
+    #[test]
+    fn tuned_network_never_loses_to_untuned(
+        spec in round_strategy(24),
+        seed in 0u64..1_000,
+    ) {
+        let topo = Topology::new(spec.num_ranks, 2);
+        let tuned = MicroSim::new(topo, NetworkConfig::tuned(), seed).run_round(&spec);
+        let untuned = MicroSim::new(topo, NetworkConfig::untuned(), seed).run_round(&spec);
+        prop_assert!(
+            tuned.round_latency_ns <= untuned.round_latency_ns,
+            "tuned {} > untuned {}", tuned.round_latency_ns, untuned.round_latency_ns
+        );
+        // Same seed, same message stream: the recovery draw fires for the
+        // same sends whether or not the mitigation hides them.
+        prop_assert_eq!(tuned.ack_stalls, untuned.ack_stalls);
+    }
+
+    /// The ACK-loss recovery path consumes exactly one RNG draw per remote
+    /// message, *before* the drain-queue branch: mitigated and unmitigated
+    /// runs see identical fault streams for any traffic pattern, probability
+    /// and seed. (The mitigation changes how much a stall hurts — never
+    /// which sends stall.)
+    #[test]
+    fn ack_recovery_draws_are_drain_queue_invariant(
+        spec in round_strategy(24),
+        prob in 0.0f64..1.0,
+        seed in 0u64..1_000,
+    ) {
+        let raw = NetworkConfig {
+            ack_loss_prob: prob,
+            drain_queue: false,
+            ..NetworkConfig::tuned()
+        };
+        let mitigated = NetworkConfig { drain_queue: true, ..raw };
+        let topo = Topology::new(spec.num_ranks, 2);
+        let a = MicroSim::new(topo, raw, seed).run_round(&spec);
+        let b = MicroSim::new(topo, mitigated, seed).run_round(&spec);
+        prop_assert_eq!(a.ack_stalls, b.ack_stalls);
+        prop_assert!(b.round_latency_ns <= a.round_latency_ns);
+    }
+}
+
 // --- Closed fault loop -----------------------------------------------------
 
 /// One short Sedov run with the given timeline and response. When `trace` is

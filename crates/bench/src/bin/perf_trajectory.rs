@@ -27,7 +27,11 @@
 //! even under `--smoke`; full runs always include it), `--network-steps N`
 //! (its simulated steps, default 16), `--network-small-ranks N` /
 //! `--network-large-ranks N` (the two fabric regimes, defaults 64 and
-//! 1024).
+//! 1024), `--service` (run the placement-service load arm even under
+//! `--smoke`; full runs always include it), `--service-shapes N` /
+//! `--service-waves N` (concurrent sessions per wave and wave count,
+//! defaults 16x4 under `--smoke` and 96x32 — ~3k sessions — in full
+//! runs).
 //!
 //! The run also enforces the no-op-adapt guard: an all-`Keep` adapt must
 //! take the identity fast path (identity delta, far cheaper than a full
@@ -43,21 +47,28 @@
 //! virtual step total on the small deep-credit enclosure and must *lose* it
 //! on the large credit-starved fabric, with the sync-fraction rebalance
 //! trigger asserted active and the congested run asserted bit-identical
-//! across worker threads.
+//! across worker threads. The service arm guards the placement-as-a-service
+//! path: a service-routed placement must be bit-identical to the direct
+//! engine call, a warm-LRU serve cycle must not grow the heap by a byte,
+//! and the mixed-traffic load run must record a positive warm-hit rate and
+//! p99 >= p50 > 0 before anything lands in the JSON.
 
 use amr_bench::e2e::{
     assert_noop_adapt_fast, run_evolving, run_evolving_traced, run_faulty, run_pipeline,
     run_pipeline_traced, run_sharded, run_sharded_threaded, skewed_costs, E2eTimings,
     EvolvingTimings, FaultyArm, FaultyTimings, ShardedRun, StaticPipelineWorkload,
 };
+use amr_bench::service_load::{run_service_load, ServiceLoadResult};
 use amr_bench::Args;
 use amr_core::engine::{PlacementCtx, PlacementEngine, PlacementError, PlacementReport};
 use amr_core::placement::Placement;
 use amr_core::policies::{
-    weighted_edge_cut, Cplx, CutWeights, GreedyEdgeCut, Hierarchical, Multilevel, PlacementPolicy,
+    weighted_edge_cut, Cplx, CutWeights, GreedyEdgeCut, Hierarchical, Lpt, Multilevel,
+    PlacementPolicy,
 };
 use amr_core::trigger::RebalanceTrigger;
 use amr_mesh::{build_shard, plan_shard_bounds, AmrMesh, ShardGraph};
+use amr_service::{session_costs, Request, Response, Service, ServiceConfig, SessionSpec};
 use amr_sim::{CollectiveSelect, MacroSim, SimConfig, Topology, Workload, WorkloadStep};
 use amr_telemetry::trace::{chrome_trace_json, collapsed_stacks};
 use amr_telemetry::TraceHandle;
@@ -139,6 +150,9 @@ fn main() {
     let network_steps = args.get_u64("network-steps", 16);
     let network_small_ranks = args.get_usize("network-small-ranks", 64);
     let network_large_ranks = args.get_usize("network-large-ranks", 1024);
+    let with_service = args.flag("service") || !smoke;
+    let service_shapes = args.get_usize("service-shapes", if smoke { 16 } else { 96 });
+    let service_waves = args.get_usize("service-waves", if smoke { 4 } else { 32 });
     let shard_count = args.get_usize("shards", 8);
     let sharded_ranks = if smoke { 256 } else { 16384 };
     let hier_ranks = args.get_usize("hier-ranks", if smoke { 0 } else { 1 << 20 });
@@ -273,6 +287,8 @@ fn main() {
     let parallel =
         (threads > 1).then(|| run_parallel_arm(sharded_ranks, steps, threads, reps, smoke));
     let hier = (hier_ranks > 0).then(|| run_hier_arm(hier_ranks, hier_steps, threads));
+    let service =
+        with_service.then(|| run_service_arm(service_shapes, service_waves, threads.max(1)));
 
     let json = render_json(&Report {
         rows: &rows,
@@ -283,6 +299,7 @@ fn main() {
         sharded: sharded.as_ref(),
         parallel: parallel.as_ref(),
         hier: hier.as_ref(),
+        service: service.as_ref(),
         steps,
         evolve_steps,
         reps,
@@ -1272,6 +1289,129 @@ fn run_hier_arm(ranks: usize, sim_steps: u64, threads: usize) -> HierArm {
     }
 }
 
+/// Results of the `--service` arm.
+struct ServiceArm {
+    load: ServiceLoadResult,
+    /// Min-of-5 wall of one warm serve cycle (submit + batch drain).
+    warm_serve_ns: u64,
+    /// Min-of-5 peak heap growth of that cycle — asserted zero.
+    warm_serve_peak_bytes: u64,
+}
+
+/// The `--service` arm: guard the placement-as-a-service path, then load it.
+///
+/// **Bitwise** — one session's `Rebalance` routed through the service must
+/// produce a placement bit-identical to a direct `PlacementEngine` call on
+/// the same mesh/costs/policy, or the process panics — the service is a
+/// multiplexer, never a different solver.
+///
+/// **Zero-alloc warm hits** — close parks the engine in the fingerprint
+/// LRU; reopening the same shape must check it out warm (asserted on the
+/// stats), and a steady-state warm serve cycle — submit, batch drain, warm
+/// placement, response + latency logging — must not grow the heap by one
+/// byte, min-of-5 against the bench allocator's high-water mark (the
+/// dedicated counting-allocator test pins the same claim per-allocation).
+///
+/// **Load** — `shapes` concurrent sessions per wave times `waves` waves of
+/// mixed adapt/rebalance/simulate/query traffic through a `threads`-worker
+/// batch dispatch. Warm-hit rate must come out positive and the recorded
+/// latency percentiles ordered (p99 >= p50 > 0) before the JSON is written.
+fn run_service_arm(shapes: usize, waves: usize, threads: usize) -> ServiceArm {
+    // Bitwise spot check: service route vs direct engine call.
+    let mesh = random_refined_mesh(16, 6.0, 7);
+    let mut svc = Service::new(ServiceConfig::default());
+    let id = svc.open_session(mesh.clone(), SessionSpec::tuned(16, Box::new(Lpt)));
+    svc.submit(id, Request::Rebalance);
+    svc.drain();
+    let mut costs = Vec::new();
+    session_costs(mesh.num_blocks(), &mut costs);
+    let mut engine = PlacementEngine::new();
+    engine
+        .rebalance_with(&Lpt, &costs, 16, Some(&mesh), None)
+        .expect("direct rebalance failed");
+    assert_eq!(
+        svc.session_placement(id)
+            .expect("service session holds a placement")
+            .as_slice(),
+        engine
+            .placement()
+            .expect("direct engine holds a placement")
+            .as_slice(),
+        "service-path placement must be bitwise identical to the direct engine call"
+    );
+    svc.close_session(id);
+
+    // Warm serve cycle: the reopen must hit the LRU, and the steady state
+    // must be allocation-free.
+    let id = svc.open_session(mesh, SessionSpec::tuned(16, Box::new(Lpt)));
+    assert_eq!(
+        svc.stats().warm_hits,
+        1,
+        "reopening a parked shape must hit the engine LRU"
+    );
+    for _ in 0..3 {
+        svc.submit(id, Request::Rebalance);
+        svc.drain();
+        svc.clear_responses(id);
+    }
+    let (mut warm_serve_ns, mut warm_serve_peak) = (u64::MAX, u64::MAX);
+    for _ in 0..5 {
+        let ((), ns, peak) = measured(|| {
+            svc.submit(id, Request::Rebalance);
+            svc.drain();
+        });
+        assert!(
+            matches!(
+                svc.responses(id)[0],
+                Response::Rebalanced { warm: true, .. }
+            ),
+            "steady-state serve must ride the warm engine"
+        );
+        svc.clear_responses(id);
+        warm_serve_ns = warm_serve_ns.min(ns);
+        warm_serve_peak = warm_serve_peak.min(peak);
+    }
+    assert_eq!(
+        warm_serve_peak, 0,
+        "warm-hit serve cycle grew the heap by {warm_serve_peak} bytes in \
+         every one of 5 steady-state rounds"
+    );
+
+    let load = run_service_load(shapes, waves, threads);
+    eprintln!(
+        "service {:>4}x{:<3} ({} threads): {} sessions / {} requests in {:.3} s = {:.0} sess/s, {:.0} req/s | warm rate {:.1}% | p50 {:.1} us p99 {:.1} us max {:.1} us | warm serve {:.1} us / 0 B",
+        shapes,
+        waves,
+        threads,
+        load.sessions,
+        load.requests,
+        load.wall_ns as f64 / 1e9,
+        load.sessions_per_sec,
+        load.requests_per_sec,
+        load.warm_hit_rate * 100.0,
+        load.p50_ns as f64 / 1e3,
+        load.p99_ns as f64 / 1e3,
+        load.max_ns as f64 / 1e3,
+        warm_serve_ns as f64 / 1e3,
+    );
+    assert!(
+        load.warm_hit_rate > 0.0,
+        "the load run must produce warm engine-cache hits (rate = {})",
+        load.warm_hit_rate
+    );
+    assert!(
+        load.p50_ns > 0 && load.p99_ns >= load.p50_ns,
+        "latency percentiles must be recorded and ordered (p50 {} / p99 {})",
+        load.p50_ns,
+        load.p99_ns
+    );
+    ServiceArm {
+        load,
+        warm_serve_ns,
+        warm_serve_peak_bytes: warm_serve_peak,
+    }
+}
+
 /// Everything `render_json` serializes, bundled so the call site stays flat.
 struct Report<'a> {
     rows: &'a [E2eTimings],
@@ -1282,6 +1422,7 @@ struct Report<'a> {
     sharded: Option<&'a ShardedArm>,
     parallel: Option<&'a ParallelArm>,
     hier: Option<&'a HierArm>,
+    service: Option<&'a ServiceArm>,
     steps: u64,
     evolve_steps: u64,
     reps: usize,
@@ -1299,6 +1440,7 @@ fn render_json(report: &Report<'_>) -> String {
         sharded,
         parallel,
         hier,
+        service,
         steps,
         evolve_steps,
         reps,
@@ -1585,6 +1727,46 @@ fn render_json(report: &Report<'_>) -> String {
             s,
             "    \"sim_steps\": {}, \"sim_shards\": {}, \"sim_wall_ns\": {}, \"sim_threads\": {}, \"sim_wall_threaded_ns\": {}, \"virtual_total_ns\": {:.0}",
             h.sim_steps, h.sim_shards, h.sim_wall_ns, h.sim_threads, h.sim_wall_threaded_ns, h.virtual_total_ns
+        );
+        s.push_str("  }");
+    }
+    if let Some(sv) = service {
+        s.push_str(",\n");
+        let _ = writeln!(
+            s,
+            "  \"service_pipeline\": \"{} concurrent sessions x {} waves of mixed adapt/rebalance/simulate/query traffic batched over {} worker threads; close parks warm engines in the fingerprint LRU, reopen checks them out; service placements asserted bit-identical to direct engine calls and a warm serve cycle asserted 0 heap growth\",",
+            sv.load.shapes, sv.load.waves, sv.load.threads
+        );
+        s.push_str("  \"service\": {\n");
+        let _ = writeln!(
+            s,
+            "    \"shapes\": {}, \"waves\": {}, \"threads\": {},",
+            sv.load.shapes, sv.load.waves, sv.load.threads
+        );
+        let _ = writeln!(
+            s,
+            "    \"sessions\": {}, \"requests\": {}, \"wall_ns\": {},",
+            sv.load.sessions, sv.load.requests, sv.load.wall_ns
+        );
+        let _ = writeln!(
+            s,
+            "    \"sessions_per_sec\": {:.1}, \"requests_per_sec\": {:.1},",
+            sv.load.sessions_per_sec, sv.load.requests_per_sec
+        );
+        let _ = writeln!(
+            s,
+            "    \"warm_hits\": {}, \"cold_misses\": {}, \"warm_hit_rate\": {:.4},",
+            sv.load.warm_hits, sv.load.cold_misses, sv.load.warm_hit_rate
+        );
+        let _ = writeln!(
+            s,
+            "    \"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {},",
+            sv.load.p50_ns, sv.load.p99_ns, sv.load.max_ns
+        );
+        let _ = writeln!(
+            s,
+            "    \"warm_serve_ns\": {}, \"warm_serve_peak_bytes\": {}, \"placements_bitwise_direct\": true",
+            sv.warm_serve_ns, sv.warm_serve_peak_bytes
         );
         s.push_str("  }");
     }

@@ -40,6 +40,7 @@ use amr_core::policies::{Baseline, Cplx, PlacementPolicy};
 use std::collections::HashMap;
 
 pub mod e2e;
+pub mod service_load;
 
 /// Parse `--key value` (and bare `--flag`) command-line arguments.
 ///

@@ -1,0 +1,175 @@
+//! Load generator for the placement service (`perf_trajectory --service`).
+//!
+//! Drives thousands of sessions of mixed adapt / rebalance / simulate /
+//! query traffic through an [`amr_service::Service`] in waves: each wave
+//! opens a fleet of concurrent sessions (one mesh shape each), submits a
+//! per-session traffic mix, drains the whole batch in one dispatch, and
+//! closes every session — parking the warm engines in the fingerprint LRU
+//! so the *next* wave's opens skip cold placement. Per-request wall
+//! latencies feed the p50/p99 the trajectory records in
+//! `BENCH_macrosim.json`; warm-hit counters prove the cache earns its keep.
+
+use amr_core::Lpt;
+use amr_mesh::AmrMesh;
+use amr_service::{QuerySpec, Request, Service, ServiceConfig, SessionSpec};
+use amr_telemetry::Phase;
+use amr_workloads::random_refined_mesh;
+use std::time::Instant;
+
+/// One load-generator run's record (serialized into the trajectory JSON).
+#[derive(Debug, Clone)]
+pub struct ServiceLoadResult {
+    /// Distinct mesh shapes (== concurrent sessions per wave).
+    pub shapes: usize,
+    /// Waves of open → serve → close churn.
+    pub waves: usize,
+    /// Worker threads serving each batch.
+    pub threads: usize,
+    /// Sessions served over the run (opened and closed).
+    pub sessions: u64,
+    /// Requests served over the run.
+    pub requests: u64,
+    /// Opens that checked a warm engine out of the LRU.
+    pub warm_hits: u64,
+    /// Opens that paid the cold path.
+    pub cold_misses: u64,
+    /// `warm_hits / (warm_hits + cold_misses)`.
+    pub warm_hit_rate: f64,
+    /// Median per-request service latency (ns).
+    pub p50_ns: u64,
+    /// 99th-percentile per-request service latency (ns).
+    pub p99_ns: u64,
+    /// Worst single request (ns).
+    pub max_ns: u64,
+    /// Wall time of the whole churn loop (ns), mesh generation excluded.
+    pub wall_ns: u64,
+    /// Sessions served per wall second.
+    pub sessions_per_sec: f64,
+    /// Requests served per wall second.
+    pub requests_per_sec: f64,
+}
+
+/// Nearest-rank percentile over a sorted slice (`q` in 0..=100).
+fn percentile_ns(sorted: &[u64], q: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() * q).div_ceil(100).max(1) - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Run `waves` waves of `shapes` concurrent sessions over `threads`
+/// workers. Every session gets a `Rebalance`; every third adds an
+/// `Adapt` + `Rebalance` (delta-pipeline traffic); every fifth adds a
+/// `Simulate` + `Query` (macro-sim plus telemetry-query traffic). The
+/// engine cache is sized to hold every shape, so from the second wave on,
+/// rebalance-only sessions reopen warm. Adapt-traffic sessions mutate
+/// their mesh mid-tenancy, park under the *adapted* fingerprint, and thus
+/// correctly miss when the base shape returns — the fingerprint refusing
+/// to serve a stale placement.
+pub fn run_service_load(shapes: usize, waves: usize, threads: usize) -> ServiceLoadResult {
+    assert!(shapes > 0 && waves > 0);
+    // Shape fleet: distinct seeds give distinct refinement patterns (and
+    // thus fingerprints) at this scale.
+    let meshes: Vec<AmrMesh> = (0..shapes)
+        .map(|i| random_refined_mesh(16, 6.0, 0x5EED + i as u64))
+        .collect();
+
+    let mut svc = Service::new(ServiceConfig {
+        threads,
+        engine_cache_capacity: shapes,
+        session_queue_capacity: 8,
+    });
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut ids = Vec::with_capacity(shapes);
+
+    let t0 = Instant::now();
+    for wave in 0..waves {
+        ids.clear();
+        for (i, mesh) in meshes.iter().enumerate() {
+            let id = svc.open_session(mesh.clone(), SessionSpec::tuned(16, Box::new(Lpt)));
+            svc.submit(id, Request::Rebalance);
+            if i % 3 == 0 {
+                svc.submit(
+                    id,
+                    Request::Adapt {
+                        front: 0.35 + 0.04 * (wave % 8) as f64,
+                    },
+                );
+                svc.submit(id, Request::Rebalance);
+            }
+            if i % 5 == 0 {
+                svc.submit(id, Request::Simulate { steps: 2 });
+                svc.submit(
+                    id,
+                    Request::Query(QuerySpec {
+                        phase: Some(Phase::Compute),
+                        ..QuerySpec::default()
+                    }),
+                );
+            }
+            ids.push(id);
+        }
+        svc.drain();
+        svc.take_latencies(&mut latencies);
+        for &id in &ids {
+            svc.close_session(id);
+        }
+    }
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+
+    let stats = svc.stats();
+    latencies.sort_unstable();
+    let opens = stats.warm_hits + stats.cold_misses;
+    let secs = (wall_ns as f64 / 1e9).max(1e-9);
+    ServiceLoadResult {
+        shapes,
+        waves,
+        threads,
+        sessions: stats.sessions_opened,
+        requests: stats.requests_served,
+        warm_hits: stats.warm_hits,
+        cold_misses: stats.cold_misses,
+        warm_hit_rate: if opens == 0 {
+            0.0
+        } else {
+            stats.warm_hits as f64 / opens as f64
+        },
+        p50_ns: percentile_ns(&latencies, 50),
+        p99_ns: percentile_ns(&latencies, 99),
+        max_ns: percentile_ns(&latencies, 100),
+        wall_ns,
+        sessions_per_sec: stats.sessions_opened as f64 / secs,
+        requests_per_sec: stats.requests_served as f64 / secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ns(&v, 50), 50);
+        assert_eq!(percentile_ns(&v, 99), 99);
+        assert_eq!(percentile_ns(&v, 100), 100);
+        assert_eq!(percentile_ns(&[7], 99), 7);
+        assert_eq!(percentile_ns(&[], 50), 0);
+    }
+
+    #[test]
+    fn load_run_reports_warm_hits_and_latencies() {
+        let r = run_service_load(8, 3, 1);
+        assert_eq!(r.sessions, 24);
+        assert!(r.requests >= r.sessions);
+        // Waves 2 and 3 reopen the 5 rebalance-only shapes warm; the 3
+        // adapt shapes (i % 3 == 0) parked under adapted fingerprints and
+        // correctly miss: 2 waves x 5 hits, 8 + 2 x 3 misses.
+        assert_eq!(r.warm_hits, 10);
+        assert_eq!(r.cold_misses, 14);
+        assert!(r.warm_hit_rate > 0.4 && r.warm_hit_rate < 0.45);
+        assert!(r.p50_ns > 0 && r.p99_ns >= r.p50_ns && r.max_ns >= r.p99_ns);
+        assert!(r.sessions_per_sec > 0.0);
+    }
+}

@@ -625,6 +625,51 @@ impl<'a> PlacementCtx<'a> {
     }
 }
 
+/// Identity of a placement problem: an FNV-1a hash of the mesh's SFC key
+/// sequence mixed with the rank count. Two meshes exposing identical key
+/// sequences at the same rank count pose the same placement problem, so a
+/// warm engine keyed by its fingerprint can be handed across owners — the
+/// `amr-service` warm-engine LRU is built on exactly this hand-off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MeshFingerprint(u64);
+
+impl MeshFingerprint {
+    /// Fingerprint of `mesh` placed onto `num_ranks` ranks.
+    pub fn of_mesh(mesh: &AmrMesh, num_ranks: usize) -> MeshFingerprint {
+        MeshFingerprint::of_keys(mesh.sfc_keys(), num_ranks)
+    }
+
+    /// Fingerprint from a raw SFC key sequence — sharded callers hash a
+    /// shard's slice without materializing a mesh.
+    pub fn of_keys(keys: &[u64], num_ranks: usize) -> MeshFingerprint {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        let mix = |h: u64, v: u64| -> u64 {
+            let mut h = h;
+            for b in v.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(PRIME);
+            }
+            h
+        };
+        // Length and rank count are mixed explicitly so `[a, b] @ 4` and
+        // `[a] @ 4` with coincidentally-equal streams cannot collide by
+        // construction shape.
+        h = mix(h, keys.len() as u64);
+        h = mix(h, num_ranks as u64);
+        for &k in keys {
+            h = mix(h, k);
+        }
+        MeshFingerprint(h)
+    }
+
+    /// The raw 64-bit hash (stable within a process run; used for display
+    /// and test plumbing, not persistence).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
 /// Owns the scratch arena and a double-buffered placement pair; each
 /// [`rebalance`](PlacementEngine::rebalance) places into the spare buffer
 /// with the current placement as `prev`, then flips. Steady-state rebalances
@@ -635,6 +680,12 @@ pub struct PlacementEngine {
     buffers: [Placement; 2],
     current: usize,
     primed: bool,
+    /// Identity of the mesh the current placement was computed for, stamped
+    /// by the owner via [`set_fingerprint`](PlacementEngine::set_fingerprint)
+    /// (hashing is O(blocks), so the hot rebalance path never computes it
+    /// implicitly). Any rebalance clears it — the placement may no longer
+    /// match the stamped mesh.
+    fingerprint: Option<MeshFingerprint>,
     /// Per-rank capacities applied to every rebalance until cleared; empty
     /// means the homogeneous (capacity-less) fast path.
     capacities: Vec<f64>,
@@ -666,6 +717,21 @@ impl PlacementEngine {
     pub fn reset(&mut self) {
         self.primed = false;
         self.capacities.clear();
+        self.fingerprint = None;
+    }
+
+    /// Identity of the mesh the current placement solves, if the owner
+    /// stamped one (see [`MeshFingerprint`]). `None` after any rebalance or
+    /// reset.
+    pub fn fingerprint(&self) -> Option<MeshFingerprint> {
+        self.fingerprint
+    }
+
+    /// Stamp (or clear) the placement's mesh identity. Owners parking a
+    /// warm engine in a fingerprint-keyed cache stamp it at hand-off time;
+    /// the next rebalance clears the stamp automatically.
+    pub fn set_fingerprint(&mut self, fingerprint: Option<MeshFingerprint>) {
+        self.fingerprint = fingerprint;
     }
 
     /// Apply per-rank capacities (relative speeds; see
@@ -782,6 +848,9 @@ impl PlacementEngine {
         let report = policy.place_into(&ctx, next)?;
         self.current ^= 1;
         self.primed = true;
+        // The new placement may solve a different mesh than the stamped one;
+        // identity is the owner's to re-establish.
+        self.fingerprint = None;
         if let Some(t) = &trace {
             t.metrics.incr(TraceCounter::Rebalances, 1);
             if let Some(m) = &report.migration {
@@ -821,6 +890,30 @@ mod tests {
                 assert_eq!(report.num_blocks, 103);
             }
         }
+    }
+
+    #[test]
+    fn fingerprint_tracks_keys_ranks_and_rebalances() {
+        // Sensitive to every input dimension…
+        let base = MeshFingerprint::of_keys(&[1, 2, 3], 8);
+        assert_eq!(MeshFingerprint::of_keys(&[1, 2, 3], 8), base);
+        assert_ne!(MeshFingerprint::of_keys(&[1, 2, 4], 8), base);
+        assert_ne!(MeshFingerprint::of_keys(&[1, 2], 8), base);
+        assert_ne!(MeshFingerprint::of_keys(&[1, 2, 3], 9), base);
+        assert_ne!(MeshFingerprint::of_keys(&[1, 2, 3, 0], 8), base);
+        // …and the engine stamp survives exactly until the next rebalance
+        // or reset invalidates the placement it described.
+        let c = costs(32);
+        let mut engine = PlacementEngine::new();
+        assert_eq!(engine.fingerprint(), None);
+        engine.rebalance(&Lpt, &c, 8).unwrap();
+        engine.set_fingerprint(Some(base));
+        assert_eq!(engine.fingerprint(), Some(base));
+        engine.rebalance(&Lpt, &c, 8).unwrap();
+        assert_eq!(engine.fingerprint(), None, "rebalance clears the stamp");
+        engine.set_fingerprint(Some(base));
+        engine.reset();
+        assert_eq!(engine.fingerprint(), None, "reset clears the stamp");
     }
 
     #[test]

@@ -51,7 +51,8 @@ pub mod trigger;
 pub use assess::{AssessmentInputs, PlacementAssessment};
 pub use cost::{origins_from_delta, CostModel, CostOrigin, TelemetryCostModel};
 pub use engine::{
-    MigrationStats, PlacementCtx, PlacementEngine, PlacementError, PlacementReport, Scratch,
+    MeshFingerprint, MigrationStats, PlacementCtx, PlacementEngine, PlacementError,
+    PlacementReport, Scratch,
 };
 pub use placement::{LocalityStats, Placement, RankId};
 pub use policies::{Baseline, Cdp, ChunkedCdp, Cplx, Lpt, Multilevel, PlacementPolicy};

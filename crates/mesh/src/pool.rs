@@ -196,6 +196,55 @@ impl WorkerPool {
         }
     }
 
+    /// Multi-tenant dispatch: run `f(slot, &mut states[slot])` for every
+    /// slot named in `order`, distributing the tasks across the pool.
+    /// Unlike [`run_with`](Self::run_with), only the named slots are
+    /// touched, and *priority* is the caller's: the pool's shared task
+    /// counter hands out `order` front to back, so listing heavy tenants
+    /// first lets light ones backfill idle workers — cross-tenant work
+    /// stealing without a scheduler.
+    ///
+    /// `order` entries must be distinct, in-bounds indices into `states`
+    /// (distinctness is enforced whenever the call actually dispatches in
+    /// parallel — a duplicate would alias one state across workers; the
+    /// serial fallback processes entries in order, where a duplicate cannot
+    /// alias). Single-thread pools and `order.len() <= 1` run inline with
+    /// zero allocation, preserving the warm dispatch path.
+    pub fn run_order<S: Send, F: Fn(usize, &mut S) + Sync>(
+        &self,
+        order: &[usize],
+        states: &mut [S],
+        f: F,
+    ) {
+        let n = states.len();
+        for &slot in order {
+            assert!(
+                slot < n,
+                "run_order: slot {slot} out of bounds ({n} states)"
+            );
+        }
+        if order.len() <= 1 || self.handles.is_empty() {
+            for &slot in order {
+                f(slot, &mut states[slot]);
+            }
+            return;
+        }
+        let mut seen = vec![false; n];
+        for &slot in order {
+            assert!(!seen[slot], "run_order: duplicate slot {slot}");
+            seen[slot] = true;
+        }
+        let out = Disjoint::new(states);
+        self.run(order.len(), |i| {
+            let slot = order[i];
+            // SAFETY: `order` entries are distinct and in-bounds (asserted
+            // above) and the task counter hands each `i` to exactly one
+            // worker, so each named state is mutated by exactly one task.
+            let state = unsafe { &mut out.slice(slot, slot + 1)[0] };
+            f(slot, state);
+        });
+    }
+
     /// Run `f(i)` for every `i in 0..tasks` with no per-task state.
     pub fn run<F: Fn(usize) + Sync>(&self, tasks: usize, f: F) {
         self.run_capped(usize::MAX, tasks, f);
@@ -355,6 +404,51 @@ mod tests {
             let expect: Vec<u64> = (0..33).map(|i| i * 3 + 1).collect();
             assert_eq!(states, expect, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn run_order_touches_named_slots_only_at_any_thread_count() {
+        for threads in [1, 2, 4, 7] {
+            let pool = WorkerPool::new(threads);
+            let mut states: Vec<u64> = vec![0; 16];
+            // Priority order: heavy tenants first, several slots skipped.
+            let order = [9, 3, 14, 0, 7, 11, 2];
+            pool.run_order(&order, &mut states, |slot, s| *s = slot as u64 + 100);
+            for (i, &v) in states.iter().enumerate() {
+                let expect = if order.contains(&i) {
+                    i as u64 + 100
+                } else {
+                    0
+                };
+                assert_eq!(v, expect, "threads={threads} slot={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_order_empty_and_single_are_inline() {
+        let pool = WorkerPool::new(4);
+        let mut states: Vec<u64> = vec![0; 4];
+        pool.run_order(&[], &mut states, |_, s| *s = 1);
+        assert_eq!(states, vec![0; 4]);
+        pool.run_order(&[2], &mut states, |slot, s| *s = slot as u64 + 1);
+        assert_eq!(states, vec![0, 0, 3, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate slot")]
+    fn run_order_rejects_duplicates_when_parallel() {
+        let pool = WorkerPool::new(4);
+        let mut states: Vec<u64> = vec![0; 4];
+        pool.run_order(&[1, 2, 1], &mut states, |_, s| *s += 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn run_order_rejects_out_of_bounds_slots() {
+        let pool = WorkerPool::new(2);
+        let mut states: Vec<u64> = vec![0; 4];
+        pool.run_order(&[0, 4], &mut states, |_, s| *s += 1);
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Property: a session served through `amr-service` is **bitwise
+//! identical** to driving the engine and `MacroSim` directly — placements
+//! (rank assignments and makespan bits) and virtual times (`total_ns`
+//! bits) — for arbitrary mixed request scripts, and batch service does not
+//! depend on the worker count.
+
+use amr_core::trigger::RebalanceTrigger;
+use amr_core::{Lpt, PlacementEngine};
+use amr_service::{
+    front_tag, session_costs, QuerySpec, Request, Response, Service, ServiceConfig, SessionSpec,
+};
+use amr_sim::{MacroSim, SimConfig, Workload, WorkloadStep};
+use amr_telemetry::{EventTable, Phase, Query};
+use amr_workloads::random_refined_mesh;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Rebalance,
+    Adapt(f64),
+    Simulate(u64),
+    Query(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Rebalance),
+        (0.35f64..0.65).prop_map(Op::Adapt),
+        (1u64..=3).prop_map(Op::Simulate),
+        (0u8..3).prop_map(Op::Query),
+    ]
+}
+
+fn query_spec(k: u8) -> QuerySpec {
+    match k {
+        0 => QuerySpec::default(),
+        1 => QuerySpec {
+            phase: Some(Phase::Compute),
+            ..QuerySpec::default()
+        },
+        _ => QuerySpec {
+            step_range: Some((0, 2)),
+            ..QuerySpec::default()
+        },
+    }
+}
+
+/// The direct (service-free) arm's workload: same shape as the service's
+/// internal epoch workload.
+struct DirectEpoch<'a> {
+    mesh: &'a amr_mesh::AmrMesh,
+    costs: &'a [f64],
+    steps: u64,
+}
+
+impl Workload for DirectEpoch<'_> {
+    fn mesh(&self) -> &amr_mesh::AmrMesh {
+        self.mesh
+    }
+    fn advance(&mut self, _step: u64) -> WorkloadStep {
+        WorkloadStep {
+            mesh_changed: false,
+            origins: None,
+        }
+    }
+    fn block_compute_ns(&self) -> &[f64] {
+        self.costs
+    }
+    fn total_steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+proptest! {
+    #[test]
+    fn service_is_bitwise_identical_to_direct_calls(
+        seed in 0u64..4,
+        ranks_pick in 0usize..3,
+        script in prop::collection::vec(op_strategy(), 1..7),
+    ) {
+        let ranks = [8, 12, 16][ranks_pick];
+        let base_mesh = random_refined_mesh(16, 6.0, 100 + seed);
+
+        // ---- service arm -------------------------------------------------
+        let mut svc = Service::new(ServiceConfig::default());
+        let id = svc.open_session(
+            base_mesh.clone(),
+            SessionSpec::tuned(ranks, Box::new(Lpt)),
+        );
+        for op in &script {
+            let req = match op {
+                Op::Rebalance => Request::Rebalance,
+                Op::Adapt(front) => Request::Adapt { front: *front },
+                Op::Simulate(steps) => Request::Simulate { steps: *steps },
+                Op::Query(k) => Request::Query(query_spec(*k)),
+            };
+            svc.submit(id, req);
+        }
+        svc.drain();
+        let responses = svc.responses(id).to_vec();
+        prop_assert_eq!(responses.len(), script.len());
+
+        // ---- direct arm: raw engine / MacroSim / Query calls -------------
+        let mut mesh = base_mesh;
+        let mut costs = Vec::new();
+        session_costs(mesh.num_blocks(), &mut costs);
+        let mut engine = PlacementEngine::new();
+        let mut sim: Option<MacroSim> = None;
+        let mut telemetry: Option<EventTable> = None;
+
+        // `session_placement` reads post-drain state, so the slice compare
+        // is only valid at the script's *final* Rebalance.
+        let last_rebalance = script.iter().rposition(|op| matches!(op, Op::Rebalance));
+        for (i, (op, resp)) in script.iter().zip(&responses).enumerate() {
+            match op {
+                Op::Rebalance => {
+                    let report = engine
+                        .rebalance_with(&Lpt, &costs, ranks, Some(&mesh), None)
+                        .expect("direct rebalance");
+                    let Response::Rebalanced { makespan, imbalance, moved, .. } = resp else {
+                        panic!("expected Rebalanced, got {resp:?}");
+                    };
+                    prop_assert_eq!(makespan.to_bits(), report.makespan.to_bits());
+                    prop_assert_eq!(imbalance.to_bits(), report.imbalance.to_bits());
+                    prop_assert_eq!(
+                        *moved,
+                        report.migration.map_or(0, |m| m.moved as u64)
+                    );
+                    if Some(i) == last_rebalance {
+                        let placement = svc.session_placement(id).expect("service placement");
+                        prop_assert_eq!(
+                            placement.as_slice(),
+                            engine.placement().unwrap().as_slice(),
+                            "service placement must be bitwise identical to the direct engine's"
+                        );
+                    }
+                }
+                Op::Adapt(front) => {
+                    let max_level = mesh.config().max_level;
+                    let changed = mesh.adapt(|b| front_tag(b, *front, max_level)).changed();
+                    if changed {
+                        session_costs(mesh.num_blocks(), &mut costs);
+                    }
+                    prop_assert_eq!(
+                        resp,
+                        &Response::Adapted { blocks: mesh.num_blocks(), changed }
+                    );
+                }
+                Op::Simulate(steps) => {
+                    let sim = sim.get_or_insert_with(|| {
+                        MacroSim::try_new(SimConfig::tuned(ranks)).expect("tuned config valid")
+                    });
+                    let mut w = DirectEpoch { mesh: &mesh, costs: &costs, steps: *steps };
+                    let report = sim
+                        .try_run(&mut w, &Lpt, RebalanceTrigger::OnMeshChange)
+                        .expect("direct run");
+                    let Response::Simulated { total_ns, steps: s, lb_invocations } = resp else {
+                        panic!("expected Simulated, got {resp:?}");
+                    };
+                    prop_assert_eq!(
+                        total_ns.to_bits(),
+                        report.total_ns.to_bits(),
+                        "virtual time must be bitwise identical to the direct MacroSim run"
+                    );
+                    prop_assert_eq!(*s, *steps);
+                    prop_assert_eq!(*lb_invocations, report.lb_invocations);
+                    telemetry = Some(report.telemetry);
+                }
+                Op::Query(k) => match &telemetry {
+                    None => prop_assert!(
+                        matches!(resp, Response::Failed { .. }),
+                        "query before any simulate must fail: {:?}", resp
+                    ),
+                    Some(table) => {
+                        let spec = query_spec(*k);
+                        let mut q = Query::new(table);
+                        if let Some(p) = spec.phase {
+                            q = q.phase(p);
+                        }
+                        if let Some((lo, hi)) = spec.step_range {
+                            q = q.step_range(lo, hi);
+                        }
+                        let s = q.summary();
+                        prop_assert_eq!(
+                            resp,
+                            &Response::Queried {
+                                count: s.count,
+                                total_duration_ns: s.total_duration_ns,
+                                max_duration_ns: s.max_duration_ns,
+                            }
+                        );
+                    }
+                },
+            }
+        }
+
+        // ---- thread-count independence -----------------------------------
+        // The same script over a 4-thread service (alongside decoy sessions
+        // so the batch actually parallelizes) yields identical responses.
+        let mut svc4 = Service::new(ServiceConfig { threads: 4, ..ServiceConfig::default() });
+        let main = svc4.open_session(
+            random_refined_mesh(16, 6.0, 100 + seed),
+            SessionSpec::tuned(ranks, Box::new(Lpt)),
+        );
+        let decoys: Vec<_> = (0..3)
+            .map(|i| svc4.open_session(random_refined_mesh(16, 6.0, 200 + i), SessionSpec::tuned(8, Box::new(Lpt))))
+            .collect();
+        for op in &script {
+            let req = match op {
+                Op::Rebalance => Request::Rebalance,
+                Op::Adapt(front) => Request::Adapt { front: *front },
+                Op::Simulate(steps) => Request::Simulate { steps: *steps },
+                Op::Query(k) => Request::Query(query_spec(*k)),
+            };
+            svc4.submit(main, req);
+        }
+        for &d in &decoys {
+            svc4.submit(d, Request::Rebalance);
+        }
+        svc4.drain();
+        prop_assert_eq!(svc4.responses(main), &responses[..]);
+    }
+}

@@ -433,14 +433,22 @@ impl MacroSim {
     ///
     /// # Panics
     /// On an invalid config (see [`SimConfig::validate`]): degenerate
-    /// network bandwidth or malformed fault timeline.
+    /// network bandwidth or malformed fault timeline. Servers hosting many
+    /// tenants use [`MacroSim::try_new`] instead — one bad request must not
+    /// kill the process.
     pub fn new(config: SimConfig) -> MacroSim {
-        if let Err(e) = config.validate() {
-            panic!("invalid SimConfig: {e}");
-        }
+        MacroSim::try_new(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`MacroSim::new`]: an invalid config (see
+    /// [`SimConfig::validate`]) comes back as `Err` instead of a panic.
+    pub fn try_new(config: SimConfig) -> Result<MacroSim, String> {
+        config
+            .validate()
+            .map_err(|e| format!("invalid SimConfig: {e}"))?;
         let seed = config.seed;
         let exec = (config.threads > 1).then(|| PooledCommunicator::new(config.threads));
-        MacroSim {
+        Ok(MacroSim {
             config,
             rng: StdRng::seed_from_u64(seed),
             engine: PlacementEngine::new(),
@@ -450,7 +458,7 @@ impl MacroSim {
             ledger: crate::ledger::ExchangeByteLedger::default(),
             ledger_partials: Vec::new(),
             feedback: MetricsRegistry::new(),
-        }
+        })
     }
 
     /// The live feedback registry (sync-fraction gauge, per-phase
@@ -476,12 +484,29 @@ impl MacroSim {
     }
 
     /// Run `workload` under `policy`, rebalancing per `trigger`.
+    ///
+    /// # Panics
+    /// If a placement fails (zero ranks, degenerate costs). Servers use
+    /// [`MacroSim::try_run`], which surfaces the failure as `Err`.
     pub fn run(
         &mut self,
         workload: &mut dyn Workload,
         policy: &dyn PlacementPolicy,
         trigger: RebalanceTrigger,
     ) -> RunReport {
+        self.try_run(workload, policy, trigger)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`MacroSim::run`]: initial and mid-run placement failures
+    /// come back as `Err` with the offending step named, leaving the
+    /// simulator reusable, instead of panicking.
+    pub fn try_run(
+        &mut self,
+        workload: &mut dyn Workload,
+        policy: &dyn PlacementPolicy,
+        trigger: RebalanceTrigger,
+    ) -> Result<RunReport, String> {
         let cfg = self.config.clone();
         let r = cfg.topology.num_ranks;
         let steps = workload.total_steps();
@@ -545,7 +570,7 @@ impl MacroSim {
             };
             self.engine
                 .rebalance_with(policy, costs, r, Some(workload.mesh()), None)
-                .unwrap_or_else(|e| panic!("initial placement failed: {e}"));
+                .map_err(|e| format!("initial placement failed: {e}"))?;
         }
         // The neighbor topology depends only on the mesh, not the placement:
         // cache it across epochs and rebuild only when the mesh changes
@@ -786,7 +811,7 @@ impl MacroSim {
                         flat_graph.as_ref(),
                         edge_weights,
                     )
-                    .unwrap_or_else(|e| panic!("{e}"));
+                    .map_err(|e| format!("rebalance at step {step} failed: {e}"))?;
                 let wall = t0.elapsed().as_nanos() as u64;
                 placement_wall_total += wall;
                 placement_wall_max = placement_wall_max.max(wall);
@@ -1170,7 +1195,7 @@ impl MacroSim {
             }
         }
 
-        RunReport {
+        Ok(RunReport {
             policy: policy.name(),
             steps,
             phases,
@@ -1191,7 +1216,7 @@ impl MacroSim {
                 .as_ref()
                 .map_or(0, |sm| sm.total_halo_blocks() as u64),
             telemetry: collector.finish(),
-        }
+        })
     }
 
     /// Fill per-rank communication aggregates for a (mesh, placement) epoch
@@ -1778,6 +1803,33 @@ mod knob_tests {
         let mut cfg = cfg16();
         cfg.network.fabric.bytes_per_ns = 0.0;
         let _ = MacroSim::new(cfg);
+    }
+
+    /// The service-facing constructor returns the same rejection as `Err`
+    /// instead of panicking — one bad request must not kill a process
+    /// hosting many sessions — and a `try_new` simulator runs identically
+    /// to a `new` one.
+    #[test]
+    fn try_new_rejects_without_panicking_and_runs_identically() {
+        use amr_core::policies::Lpt;
+        let mut bad = cfg16();
+        bad.network.fabric.bytes_per_ns = 0.0;
+        let Err(err) = MacroSim::try_new(bad) else {
+            panic!("degenerate bandwidth accepted");
+        };
+        assert!(err.contains("invalid SimConfig"), "{err}");
+        assert!(err.contains("bytes_per_ns"), "{err}");
+
+        let trig = RebalanceTrigger::OnMeshChange;
+        let mut w1 = StaticWorkload::new(4, 10, 1.0);
+        let base = MacroSim::new(cfg16()).run(&mut w1, &Lpt, trig);
+        let mut w2 = StaticWorkload::new(4, 10, 1.0);
+        let fallible = MacroSim::try_new(cfg16())
+            .unwrap()
+            .try_run(&mut w2, &Lpt, trig)
+            .unwrap();
+        assert_eq!(fallible.total_ns.to_bits(), base.total_ns.to_bits());
+        assert_eq!(fallible.messages, base.messages);
     }
 
     /// Tracing observes without perturbing, and the artifacts are populated:

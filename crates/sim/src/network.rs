@@ -28,9 +28,12 @@ pub struct PathParams {
 
 impl PathParams {
     /// Pure transfer time of a payload on this path (latency + serialization).
+    /// Saturating: a degenerate payload or bandwidth clamps to `u64::MAX`
+    /// instead of overflowing past the `f64 -> u64` saturating cast.
     #[inline]
     pub fn transfer_ns(&self, bytes: u64) -> u64 {
-        self.latency_ns + (bytes as f64 / self.bytes_per_ns) as u64
+        self.latency_ns
+            .saturating_add((bytes as f64 / self.bytes_per_ns) as u64)
     }
 
     /// The same path with its bandwidth degraded to `bw_mult` of nominal
@@ -246,7 +249,10 @@ impl NetworkConfig {
     #[inline]
     pub fn dispatch_ns(&self, bytes: u64) -> u64 {
         // Injection serializes at fabric bandwidth (worst case of the two).
-        self.send_overhead_ns + (bytes as f64 / self.fabric.bytes_per_ns) as u64
+        // Saturating: the cast clamps to u64::MAX on degenerate payloads and
+        // the add must not wrap past it.
+        self.send_overhead_ns
+            .saturating_add((bytes as f64 / self.fabric.bytes_per_ns) as u64)
     }
 
     /// Receiver-side service time for one message.
@@ -257,7 +263,8 @@ impl NetworkConfig {
         } else {
             self.fabric.bytes_per_ns
         };
-        self.recv_overhead_ns + (bytes as f64 / bw) as u64
+        self.recv_overhead_ns
+            .saturating_add((bytes as f64 / bw) as u64)
     }
 
     /// Total contention penalty for `shm_arrivals` simultaneous shm messages
@@ -265,7 +272,7 @@ impl NetworkConfig {
     #[inline]
     pub fn shm_contention_ns(&self, shm_arrivals: usize) -> u64 {
         let excess = shm_arrivals.saturating_sub(self.shm_queue_size);
-        excess as u64 * self.queue_overflow_penalty_ns
+        (excess as u64).saturating_mul(self.queue_overflow_penalty_ns)
     }
 
     /// This configuration with the *fabric* path degraded to `bw_mult` of
@@ -387,6 +394,51 @@ mod tests {
             ..NetworkConfig::tuned()
         };
         assert_eq!(n.congestion_ns(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn transfer_dispatch_service_saturate_at_max_payload() {
+        // A crawling path makes u64::MAX bytes serialize past u64::MAX ns:
+        // the f64 -> u64 cast saturates and the overhead add must not wrap
+        // (debug panic / release wraparound before the fix).
+        let crawl = PathParams {
+            latency_ns: 2_500,
+            bytes_per_ns: 1.0e-6,
+        };
+        assert_eq!(crawl.transfer_ns(u64::MAX), u64::MAX);
+        let n = NetworkConfig {
+            fabric: crawl,
+            shm: PathParams {
+                latency_ns: 400,
+                bytes_per_ns: 1.0e-6,
+            },
+            ..NetworkConfig::tuned()
+        };
+        assert_eq!(n.transfer_ns(u64::MAX, true), u64::MAX);
+        assert_eq!(n.transfer_ns(u64::MAX, false), u64::MAX);
+        assert_eq!(n.dispatch_ns(u64::MAX), u64::MAX);
+        assert_eq!(n.service_ns(u64::MAX, true), u64::MAX);
+        assert_eq!(n.service_ns(u64::MAX, false), u64::MAX);
+        // Sane payloads on the tuned stack are unaffected by the clamps.
+        let t = NetworkConfig::tuned();
+        assert_eq!(
+            t.dispatch_ns(1 << 20),
+            t.send_overhead_ns + ((1u64 << 20) as f64 / t.fabric.bytes_per_ns) as u64
+        );
+    }
+
+    #[test]
+    fn shm_contention_saturates_at_max_arrivals() {
+        // usize::MAX arrivals overflow the excess * penalty multiply unless
+        // it saturates.
+        let n = NetworkConfig::tuned();
+        assert!(n.queue_overflow_penalty_ns > 1);
+        assert_eq!(n.shm_contention_ns(usize::MAX), u64::MAX);
+        // Still exact in the sane regime.
+        assert_eq!(
+            n.shm_contention_ns(n.shm_queue_size + 2),
+            2 * n.queue_overflow_penalty_ns
+        );
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub use chunked::{ChunkedStore, Predicate};
 pub use collector::Collector;
 pub use histogram::LogHistogram;
 pub use lane::WorkerLane;
-pub use query::Query;
+pub use query::{Query, QuerySummary};
 pub use record::{EventRecord, Phase, NO_BLOCK};
 pub use table::EventTable;
 pub use trace::{MetricsRegistry, SpanRecord, TraceHandle, TracePhase, TraceSink};

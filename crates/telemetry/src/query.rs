@@ -39,11 +39,13 @@ pub struct GroupAgg {
 
 impl GroupAgg {
     fn add(&mut self, r: &EventRecord) {
+        // Saturating: degenerate tables (near-`u64::MAX` durations from a
+        // saturated network model) clamp the sums instead of wrapping.
         self.count += 1;
-        self.total_duration_ns += r.duration_ns;
+        self.total_duration_ns = self.total_duration_ns.saturating_add(r.duration_ns);
         self.max_duration_ns = self.max_duration_ns.max(r.duration_ns);
-        self.total_msg_count += r.msg_count as u64;
-        self.total_msg_bytes += r.msg_bytes;
+        self.total_msg_count = self.total_msg_count.saturating_add(r.msg_count as u64);
+        self.total_msg_bytes = self.total_msg_bytes.saturating_add(r.msg_bytes);
         self.durations.push(r.duration_ns as f64);
     }
 
@@ -56,6 +58,24 @@ impl GroupAgg {
     pub fn total_secs(&self) -> f64 {
         self.total_duration_ns as f64 * 1e-9
     }
+}
+
+/// Flat, copyable aggregate of a query selection: counts and saturating
+/// sums only, no per-row storage. This is the payload a telemetry-query
+/// *service* response carries — cheap to compute (one pass), cheap to ship
+/// (five words), allocation-free.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QuerySummary {
+    /// Rows selected.
+    pub count: usize,
+    /// Sum of durations (ns), saturating.
+    pub total_duration_ns: u64,
+    /// Max single duration (ns).
+    pub max_duration_ns: u64,
+    /// Sum of message counts, saturating.
+    pub total_msg_count: u64,
+    /// Sum of message bytes, saturating.
+    pub total_msg_bytes: u64,
 }
 
 /// A filtered view over an [`EventTable`].
@@ -125,16 +145,39 @@ impl<'a> Query<'a> {
         self.rows.iter().map(|&i| d[i] as f64).collect()
     }
 
-    /// Sum of selected durations (ns).
+    /// Sum of selected durations (ns), saturating at `u64::MAX`.
     pub fn total_duration_ns(&self) -> u64 {
         let d = self.table.durations();
-        self.rows.iter().map(|&i| d[i]).sum()
+        self.rows
+            .iter()
+            .fold(0u64, |acc, &i| acc.saturating_add(d[i]))
     }
 
-    /// Sum of selected message counts.
+    /// Sum of selected message counts, saturating at `u64::MAX`.
     pub fn total_msg_count(&self) -> u64 {
         let c = self.table.msg_counts();
-        self.rows.iter().map(|&i| c[i] as u64).sum()
+        self.rows
+            .iter()
+            .fold(0u64, |acc, &i| acc.saturating_add(c[i] as u64))
+    }
+
+    /// Single-pass flat aggregate of the selection — the wire-friendly
+    /// subset of [`GroupAgg`] (no per-row duration vector, no extra
+    /// allocation), which is what the `amr-service` query API returns.
+    /// All sums saturate.
+    pub fn summary(&self) -> QuerySummary {
+        let d = self.table.durations();
+        let mc = self.table.msg_counts();
+        let mb = self.table.msg_bytes();
+        let mut s = QuerySummary::default();
+        for &i in &self.rows {
+            s.count += 1;
+            s.total_duration_ns = s.total_duration_ns.saturating_add(d[i]);
+            s.max_duration_ns = s.max_duration_ns.max(d[i]);
+            s.total_msg_count = s.total_msg_count.saturating_add(mc[i] as u64);
+            s.total_msg_bytes = s.total_msg_bytes.saturating_add(mb[i]);
+        }
+        s
     }
 
     /// Group selected rows by an arbitrary key.
@@ -223,6 +266,46 @@ mod tests {
             }
         }
         t
+    }
+
+    #[test]
+    fn summary_matches_group_agg_in_one_pass() {
+        let t = table();
+        let q = Query::new(&t).phase(Phase::BoundaryComm);
+        let s = q.summary();
+        assert_eq!(s.count, q.count());
+        assert_eq!(s.total_duration_ns, q.total_duration_ns());
+        assert_eq!(s.total_msg_count, q.total_msg_count());
+        assert_eq!(s.max_duration_ns, 200);
+        assert_eq!(s.total_msg_bytes, 3 * (1000 + 2000 + 3000 + 4000));
+        assert_eq!(Query::new(&t).rank(99).summary(), QuerySummary::default());
+    }
+
+    #[test]
+    fn aggregates_saturate_on_degenerate_durations() {
+        // Two near-MAX rows: unchecked sums would wrap in release builds
+        // and panic in debug; every aggregate clamps instead.
+        let mut t = EventTable::new();
+        for step in 0..2u32 {
+            t.push(EventRecord {
+                step,
+                rank: 0,
+                block: 0,
+                phase: Phase::MpiWait,
+                duration_ns: u64::MAX - 1,
+                msg_count: u32::MAX,
+                msg_bytes: u64::MAX - 1,
+            });
+        }
+        let q = Query::new(&t);
+        assert_eq!(q.total_duration_ns(), u64::MAX);
+        let s = q.summary();
+        assert_eq!(s.total_duration_ns, u64::MAX);
+        assert_eq!(s.total_msg_bytes, u64::MAX);
+        assert_eq!(s.max_duration_ns, u64::MAX - 1);
+        let g = q.by_rank();
+        assert_eq!(g[&0].total_duration_ns, u64::MAX);
+        assert_eq!(g[&0].total_msg_bytes, u64::MAX);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! * [`sim`] — a discrete-event cluster simulator with an MPI-like
 //!   communication layer and fault injection (thermal throttling, ACK-loss
 //!   recovery stalls, shared-memory queue contention).
+//! * [`service`] — placement-as-a-service: many concurrent placement
+//!   sessions batched over the worker pool, with a warm-engine LRU keyed by
+//!   mesh fingerprint and the telemetry query engine behind the same API.
 //! * [`telemetry`] — structured, columnar, queryable performance telemetry.
 //! * [`workloads`] — Sedov-blast-wave-style refinement drivers and synthetic
 //!   cost distributions.
@@ -22,6 +25,7 @@
 
 pub use amr_core as placement;
 pub use amr_mesh as mesh;
+pub use amr_service as service;
 pub use amr_sim as sim;
 pub use amr_telemetry as telemetry;
 pub use amr_workloads as workloads;
